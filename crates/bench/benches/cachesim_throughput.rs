@@ -1,0 +1,57 @@
+//! Simulator throughput: how many references per second the
+//! trace-driven hierarchy sustains. This bounds the cost of the `--full`
+//! paper-scale runs (10⁹–10¹⁰ references).
+
+use cachesim::{MachineModel, SimSink};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use memtrace::{Addr, TraceSink};
+
+const ACCESSES: u64 = 1_000_000;
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cachesim-throughput");
+    group.throughput(Throughput::Elements(ACCESSES));
+    group.sample_size(10);
+
+    group.bench_function("sequential-stream", |b| {
+        let machine = MachineModel::r8000();
+        b.iter(|| {
+            let mut sim = SimSink::new(machine.hierarchy());
+            for i in 0..ACCESSES {
+                sim.read(Addr::new(0x1000_0000 + i * 8), 8);
+            }
+            sim.finish().l1.misses()
+        });
+    });
+
+    group.bench_function("l1-resident", |b| {
+        let machine = MachineModel::r8000();
+        b.iter(|| {
+            let mut sim = SimSink::new(machine.hierarchy());
+            for i in 0..ACCESSES {
+                sim.read(Addr::new(0x1000_0000 + (i * 8) % 8192), 8);
+            }
+            sim.finish().l1.misses()
+        });
+    });
+
+    group.bench_function("random-l2-thrash", |b| {
+        let machine = MachineModel::r8000();
+        b.iter(|| {
+            let mut sim = SimSink::new(machine.hierarchy());
+            let mut state = 0x9e37_79b9u64;
+            for _ in 0..ACCESSES {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                sim.read(Addr::new(0x1000_0000 + (state % (64 << 20))), 8);
+            }
+            sim.finish().l2.misses()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Native (untraced) wall-clock of the five matmul versions — Table 2's
+//! comparison on the host instead of 1996 SGI hardware.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use locality_sched::SchedulerConfig;
+use memtrace::{AddressSpace, NullSink};
+use workloads::matmul;
+
+const N: usize = 160;
+
+fn bench_matmul_versions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul-native");
+    group.throughput(Throughput::Elements((N * N * N) as u64));
+    group.sample_size(10);
+
+    group.bench_function("interchanged", |b| {
+        let mut space = AddressSpace::new();
+        let mut data = matmul::MatMulData::new(&mut space, N, 1);
+        b.iter(|| {
+            data.reset();
+            matmul::interchanged(&mut data, &mut NullSink)
+        });
+    });
+
+    group.bench_function("transposed", |b| {
+        let mut space = AddressSpace::new();
+        let mut data = matmul::MatMulData::new(&mut space, N, 1);
+        b.iter(|| {
+            data.reset();
+            matmul::transposed(&mut data, &mut NullSink)
+        });
+    });
+
+    group.bench_function("tiled-interchanged", |b| {
+        let mut space = AddressSpace::new();
+        let mut data = matmul::MatMulData::new(&mut space, N, 1);
+        let tiles = matmul::TileConfig::default();
+        b.iter(|| {
+            data.reset();
+            matmul::tiled_interchanged(&mut data, tiles, &mut space, &mut NullSink)
+        });
+    });
+
+    group.bench_function("tiled-transposed", |b| {
+        let mut space = AddressSpace::new();
+        let mut data = matmul::MatMulData::new(&mut space, N, 1);
+        let tiles = matmul::TileConfig::default();
+        b.iter(|| {
+            data.reset();
+            matmul::tiled_transposed(&mut data, tiles, &mut space, &mut NullSink)
+        });
+    });
+
+    group.bench_function("threaded", |b| {
+        let mut space = AddressSpace::new();
+        let mut data = matmul::MatMulData::new(&mut space, N, 1);
+        let config = SchedulerConfig::for_cache(2 << 20, 2).expect("valid config");
+        b.iter(|| {
+            data.reset();
+            matmul::threaded(&mut data, config, &mut NullSink)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul_versions);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Native wall-clock of the Barnes–Hut N-body versions — Table 8 on the
+//! host. Because the host's real caches see the same locality the
+//! simulated ones do, the threaded version's advantage shows up in real
+//! time here too (machine permitting).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locality_sched::SchedulerConfig;
+use memtrace::{AddressSpace, NullSink};
+use workloads::nbody;
+
+const BODIES: usize = 20_000;
+
+fn bench_nbody(c: &mut Criterion) {
+    let params = nbody::NBodyParams::default();
+    let mut group = c.benchmark_group("nbody-native");
+    group.sample_size(10);
+
+    group.bench_function("unthreaded", |b| {
+        let mut space = AddressSpace::new();
+        let mut data = nbody::NBodyData::new(&mut space, BODIES, 2024);
+        data.shuffle_storage_order(3);
+        let initial = data.snapshot();
+        b.iter(|| {
+            data.restore(&initial);
+            nbody::unthreaded(&mut data, 1, params, &mut NullSink)
+        });
+    });
+
+    group.bench_function("threaded", |b| {
+        let mut space = AddressSpace::new();
+        let mut data = nbody::NBodyData::new(&mut space, BODIES, 2024);
+        data.shuffle_storage_order(3);
+        let initial = data.snapshot();
+        let config = SchedulerConfig::for_cache(2 << 20, 3).expect("valid config");
+        b.iter(|| {
+            data.restore(&initial);
+            nbody::threaded(&mut data, 1, params, config, &mut NullSink)
+        });
+    });
+
+    group.bench_function("tree-build-only", |b| {
+        let mut space = AddressSpace::new();
+        let mut data = nbody::NBodyData::new(&mut space, BODIES, 2024);
+        b.iter(|| data.build_tree(&mut NullSink));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_nbody);
+criterion_main!(benches);

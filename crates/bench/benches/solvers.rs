@@ -1,0 +1,137 @@
+//! Native wall-clock of the iterative solvers (PDE and SOR) — Tables 4
+//! and 6 on the host.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use locality_sched::SchedulerConfig;
+use memtrace::{AddressSpace, NullSink};
+use workloads::{pde, sor};
+
+fn bench_pde(c: &mut Criterion) {
+    let n = 513;
+    let iters = 5;
+    let mut group = c.benchmark_group("pde-native");
+    group.sample_size(10);
+
+    group.bench_function("regular", |b| {
+        let mut space = AddressSpace::new();
+        let mut data = pde::PdeData::new(&mut space, n, 7);
+        b.iter(|| {
+            data.reset();
+            pde::regular(&mut data, iters, &mut NullSink)
+        });
+    });
+    group.bench_function("cache-conscious", |b| {
+        let mut space = AddressSpace::new();
+        let mut data = pde::PdeData::new(&mut space, n, 7);
+        b.iter(|| {
+            data.reset();
+            pde::cache_conscious(&mut data, iters, &mut NullSink)
+        });
+    });
+    group.bench_function("threaded", |b| {
+        let mut space = AddressSpace::new();
+        let mut data = pde::PdeData::new(&mut space, n, 7);
+        let config = SchedulerConfig::for_cache(2 << 20, 1).expect("valid config");
+        b.iter(|| {
+            data.reset();
+            pde::threaded(&mut data, iters, config, &mut NullSink)
+        });
+    });
+    group.finish();
+}
+
+fn bench_sor(c: &mut Criterion) {
+    let n = 501;
+    let t = 10;
+    let mut group = c.benchmark_group("sor-native");
+    group.sample_size(10);
+
+    group.bench_function("untiled", |b| {
+        let mut space = AddressSpace::new();
+        let mut data = sor::SorData::new(&mut space, n, 9);
+        let initial = data.snapshot();
+        b.iter(|| {
+            data.restore(&initial);
+            sor::untiled(&mut data, t, &mut NullSink)
+        });
+    });
+    group.bench_function("hand-tiled", |b| {
+        let mut space = AddressSpace::new();
+        let mut data = sor::SorData::new(&mut space, n, 9);
+        let initial = data.snapshot();
+        b.iter(|| {
+            data.restore(&initial);
+            sor::hand_tiled(&mut data, t, sor::PAPER_TILE, &mut NullSink)
+        });
+    });
+    group.bench_function("threaded", |b| {
+        let mut space = AddressSpace::new();
+        let mut data = sor::SorData::new(&mut space, n, 9);
+        let initial = data.snapshot();
+        let config = SchedulerConfig::builder()
+            .block_size(512 << 10)
+            .build()
+            .expect("valid config");
+        b.iter(|| {
+            data.restore(&initial);
+            sor::threaded(&mut data, t, config, &mut NullSink)
+        });
+    });
+    group.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions-native");
+    group.sample_size(10);
+
+    group.bench_function("spmv-worklist", |b| {
+        let mut space = AddressSpace::new();
+        let mut data = workloads::spmv::SpmvData::banded(&mut space, 30_000, 64, 6, 9);
+        b.iter(|| {
+            data.reset();
+            workloads::spmv::worklist(&mut data, &mut NullSink)
+        });
+    });
+    group.bench_function("spmv-threaded", |b| {
+        let mut space = AddressSpace::new();
+        let mut data = workloads::spmv::SpmvData::banded(&mut space, 30_000, 64, 6, 9);
+        let config = SchedulerConfig::builder()
+            .block_size(512 << 10)
+            .build()
+            .expect("valid config");
+        b.iter(|| {
+            data.reset();
+            workloads::spmv::threaded(&mut data, config, &mut NullSink)
+        });
+    });
+
+    for (name, smoother) in [
+        ("multigrid-regular", workloads::multigrid::Smoother::Regular),
+        (
+            "multigrid-cc",
+            workloads::multigrid::Smoother::CacheConscious,
+        ),
+        (
+            "multigrid-threaded",
+            workloads::multigrid::Smoother::Threaded(
+                SchedulerConfig::builder()
+                    .block_size(1 << 20)
+                    .build()
+                    .expect("valid config"),
+            ),
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut space = AddressSpace::new();
+                let mut mg = workloads::multigrid::Multigrid::new(&mut space, 257, 7);
+                mg.v_cycle(2, 2, smoother, &mut NullSink);
+                mg.checksum()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pde, bench_sor, bench_extensions);
+criterion_main!(benches);

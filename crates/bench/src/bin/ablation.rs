@@ -1,0 +1,189 @@
+//! Ablations of the scheduler's design choices, measured in simulated
+//! cache misses (the Criterion `ablation` bench measures the same
+//! choices in host wall-clock):
+//!
+//! 1. bin tour policy (paper §2.3's "preferably the shortest path"),
+//! 2. symmetric-hint folding (§2.3's 50% bin saving),
+//! 3. page-mapping policy under a physically-indexed L2 (§6),
+//! 4. N-body hint dimensionality (§6: "limited to 3 address hints").
+//!
+//! Flags: `--full`, `--smoke` (problem scale, as for the tables).
+
+use cachesim::{MachineModel, PagePolicy, SimSink};
+use locality_sched::{ClosureScheduler, Hints, SchedulerConfig, Tour};
+use memtrace::{AddressSpace, MatrixLayout, TraceSink, TracedMatrix};
+use repro::fmt::TextTable;
+use repro::scale::scale_from_args;
+use std::cell::RefCell;
+use workloads::{matmul, nbody, sor};
+
+fn main() {
+    let scale = scale_from_args(std::env::args().skip(1));
+    tour_ablation(&scale);
+    symmetric_ablation();
+    paging_ablation(&scale);
+    hint_dims_ablation(&scale);
+}
+
+fn tour_ablation(scale: &repro::ExpScale) {
+    println!("Ablation 1: bin tour policy (threaded matmul, scaled R8000)\n");
+    let machine = MachineModel::r8000().scaled_split(1.0, scale.matmul_factor);
+    let mut table = TextTable::new(vec!["tour", "L2 misses", "L2 capacity", "modeled s"]);
+    for (name, tour) in [
+        ("allocation-order (paper)", Tour::AllocationOrder),
+        ("sorted-key", Tour::SortedKey),
+        ("hilbert", Tour::Hilbert),
+        ("morton", Tour::Morton),
+        ("random", Tour::Random(42)),
+    ] {
+        let config = SchedulerConfig::builder()
+            .block_size(machine.l2_config().size() / 2)
+            .tour(tour)
+            .build()
+            .expect("valid config");
+        let mut space = AddressSpace::new();
+        let mut data = matmul::MatMulData::new(&mut space, scale.matmul_n, 42);
+        let mut sim = SimSink::new(machine.hierarchy());
+        let report = matmul::threaded(&mut data, config, &mut sim);
+        sim.add_threads(report.threads);
+        let r = sim.finish();
+        table.row(vec![
+            name.into(),
+            r.l2.misses().to_string(),
+            r.classes.capacity.to_string(),
+            format!("{:.3}", r.time_on(&machine).total()),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nIntra-bin locality dominates; space-filling tours shave the\ninter-bin block reloads; random pays one extra block reload per bin.\n");
+}
+
+/// A pairwise-interaction kernel where both hint orders occur: task
+/// (i, j) reads columns i and j of the same matrix, forked for all
+/// ordered pairs — the situation §2.3's symmetric folding targets.
+fn symmetric_ablation() {
+    println!("Ablation 2: symmetric-hint folding (pairwise column kernel)\n");
+    let machine = MachineModel::r8000().scaled_split(1.0, 1.0 / 32.0);
+    let n = 96usize;
+    let mut table = TextTable::new(vec!["folding", "bins", "L2 misses", "modeled s"]);
+    for (name, symmetric) in [("off", false), ("on (paper's 50% saving)", true)] {
+        let mut space = AddressSpace::new();
+        let m = TracedMatrix::from_fn(&mut space, n, n, MatrixLayout::ColMajor, |i, j| {
+            (i + j) as f64
+        });
+        let sim = RefCell::new(SimSink::new(machine.hierarchy()));
+        let config = SchedulerConfig::builder()
+            .block_size(machine.l2_config().size() / 2)
+            .symmetric(symmetric)
+            .build()
+            .expect("valid config");
+        let mut sched = ClosureScheduler::new(config);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let m = &m;
+                let sim = &sim;
+                sched.fork(Hints::two(m.col_addr(i), m.col_addr(j)), move || {
+                    let mut sink = sim.borrow_mut();
+                    let mut acc = 0.0;
+                    for k in 0..m.rows() {
+                        acc += m.get(k, i, &mut *sink) * m.get(k, j, &mut *sink);
+                    }
+                    sink.instructions(4 * m.rows() as u64);
+                    std::hint::black_box(acc);
+                });
+            }
+        }
+        let bins = sched.bins();
+        let threads = sched.pending();
+        sched.run();
+        drop(sched);
+        let mut sim = sim.into_inner();
+        sim.add_threads(threads);
+        let r = sim.finish();
+        table.row(vec![
+            name.into(),
+            bins.to_string(),
+            r.l2.misses().to_string(),
+            format!("{:.3}", r.time_on(&machine).total()),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nFolding halves the bin count (same data both orders) and keeps\nthe per-bin working set identical, so misses stay flat or improve.\n");
+}
+
+fn paging_ablation(scale: &repro::ExpScale) {
+    println!("Ablation 3: page mapping under a physically-indexed L2 (threaded SOR)\n");
+    let machine = MachineModel::r8000().scaled_split(1.0, scale.sor_factor);
+    let mut table = TextTable::new(vec![
+        "mapping",
+        "L2 misses",
+        "L2 conflict",
+        "TLB misses",
+        "modeled s",
+    ]);
+    for (name, policy) in [
+        ("virtual (paper's methodology)", None),
+        ("identity frames", Some(PagePolicy::Identity)),
+        ("random frames", Some(PagePolicy::RandomSeeded(7))),
+        ("bin-hopping frames", Some(PagePolicy::BinHopping)),
+    ] {
+        let hierarchy = match policy {
+            None => machine.hierarchy(),
+            Some(p) => machine.hierarchy_with_paging(p),
+        };
+        let config = SchedulerConfig::builder()
+            .block_size(machine.l2_config().size() / 4)
+            .build()
+            .expect("valid config");
+        let mut space = AddressSpace::new();
+        let mut data = sor::SorData::new(&mut space, scale.sor_n, 99);
+        let mut sim = SimSink::new(hierarchy);
+        let report = sor::threaded(&mut data, scale.sor_t, config, &mut sim);
+        sim.add_threads(report.threads);
+        let r = sim.finish();
+        table.row(vec![
+            name.into(),
+            r.l2.misses().to_string(),
+            r.classes.conflict.to_string(),
+            r.tlb.misses.to_string(),
+            format!("{:.3}", r.time_on(&machine).total()),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nThe paper simulated virtual addresses and flagged physical indexing\nas a limitation; random frames perturb conflicts, and the TLB cost\nthe crude model omits becomes visible.\n");
+}
+
+fn hint_dims_ablation(scale: &repro::ExpScale) {
+    println!("Ablation 4: N-body hint dimensionality (one timestep, scaled R8000)\n");
+    let machine = MachineModel::r8000().scaled_split(1.0, scale.nbody_factor);
+    let mut table = TextTable::new(vec!["hints", "bins", "L2 misses", "L2 capacity"]);
+    for dims in [1usize, 2, 3] {
+        let params = nbody::NBodyParams {
+            plane_extent: 4 * (machine.l2_config().size() / 3),
+            hint_dims: dims,
+            ..nbody::NBodyParams::default()
+        };
+        let config = SchedulerConfig::builder()
+            .block_size(machine.l2_config().size() / 4)
+            .build()
+            .expect("valid config");
+        let mut space = AddressSpace::new();
+        let mut data = nbody::NBodyData::new(&mut space, scale.nbody_n, 2024);
+        data.shuffle_storage_order(1);
+        let mut sim = SimSink::new(machine.hierarchy());
+        let report = nbody::threaded(&mut data, 1, params, config, &mut sim);
+        sim.add_threads(report.threads);
+        let r = sim.finish();
+        table.row(vec![
+            format!("{dims}-D"),
+            report.sched.map(|s| s.bins()).unwrap_or(0).to_string(),
+            r.l2.misses().to_string(),
+            r.classes.capacity.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+    println!("\nOne coordinate clusters bodies into slabs; three cluster them into\ncubes — the tighter the spatial cell, the smaller each bin's tree\nworking set.");
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 4 sweep. Flags: `--full`, `--smoke`.
+fn main() {
+    repro::cli::run("figure4");
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 4. Flags: `--full`, `--smoke`.
+fn main() {
+    repro::cli::run("table4");
+}

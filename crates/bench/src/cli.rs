@@ -1,0 +1,83 @@
+//! Shared command-line driver for the `repro` binaries.
+
+use crate::scale::scale_from_args;
+use crate::{paper, print};
+
+/// Runs one named experiment at the scale selected by the process's
+/// command-line flags (`--full`, `--smoke`, default scaled).
+///
+/// Recognised names: `table1` … `table9`, `figure4`.
+pub fn run(experiment: &str) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(args);
+    run_at(experiment, &scale);
+}
+
+/// Runs one named experiment at an explicit scale.
+pub fn run_at(experiment: &str, scale: &crate::ExpScale) {
+    match experiment {
+        "table1" => {
+            print::table1(&crate::table1(paper::table1::THREADS));
+        }
+        "table2" => print::time_table(
+            &format!("Table 2: matrix multiply (n = {})", scale.matmul_n),
+            &crate::table2(scale),
+            &paper::table2::ROWS,
+            "Modeled seconds on ratio-preserved scaled machines; compare ratios, not absolutes.",
+        ),
+        "table3" => print::miss_table(
+            "Table 3: matmul memory references and cache misses (scaled R8000)",
+            &crate::table3(scale),
+            &print::paper_columns3(&paper::table3::ROWS[..7]),
+            "",
+        ),
+        "table4" => print::time_table(
+            &format!(
+                "Table 4: PDE (n = {}, {} iterations + residual)",
+                scale.pde_n, scale.pde_iters
+            ),
+            &crate::table4(scale),
+            &paper::table4::ROWS,
+            "",
+        ),
+        "table5" => print::miss_table(
+            "Table 5: PDE cache misses (scaled R8000)",
+            &crate::table5(scale),
+            &print::paper_columns3(&paper::table5::ROWS),
+            "",
+        ),
+        "table6" => print::time_table(
+            &format!(
+                "Table 6: SOR (n = {}, t = {}, tile {})",
+                scale.sor_n, scale.sor_t, scale.sor_tile
+            ),
+            &crate::table6(scale),
+            &paper::table6::ROWS,
+            "",
+        ),
+        "table7" => print::miss_table(
+            "Table 7: SOR memory references and cache misses (scaled R8000)",
+            &crate::table7(scale),
+            &print::paper_columns3(&paper::table7::ROWS),
+            "",
+        ),
+        "table8" => print::time_table(
+            &format!(
+                "Table 8: N-body ({} bodies, {} iterations)",
+                scale.nbody_n, scale.nbody_iters
+            ),
+            &crate::table8(scale),
+            &paper::table8::ROWS,
+            "",
+        ),
+        "table9" => print::miss_table(
+            "Table 9: N-body cache misses, one iteration (scaled R8000)",
+            &crate::table9(scale),
+            &print::paper_columns2(&paper::table9::ROWS),
+            "",
+        ),
+        "figure4" => print::figure4(&crate::figure4(scale)),
+        other => eprintln!("unknown experiment: {other}"),
+    }
+    println!();
+}

@@ -1,0 +1,119 @@
+//! Plain-text table rendering for the harness binaries.
+
+/// A simple aligned-column text table.
+///
+/// # Examples
+///
+/// ```
+/// use repro::fmt::TextTable;
+///
+/// let mut t = TextTable::new(vec!["version", "paper", "ours"]);
+/// t.row(vec!["untiled".into(), "102.98".into(), "1.53".into()]);
+/// let s = t.render();
+/// assert!(s.contains("untiled"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<I: IntoIterator<Item = impl Into<String>>>(header: I) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row; short rows are padded with empty cells.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let measure = |widths: &mut Vec<usize>, row: &[String]| {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        };
+        measure(&mut widths, &self.header);
+        for row in &self.rows {
+            measure(&mut widths, row);
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, row: &[String]| {
+            for (i, &width) in widths.iter().enumerate() {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    out.push_str(&format!("{cell:<width$}"));
+                } else {
+                    out.push_str(&format!("  {cell:>width$}"));
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a count in thousands, the paper's table unit.
+pub fn thousands(v: u64) -> String {
+    format!("{}k", (v as f64 / 1000.0).round() as u64)
+}
+
+/// Formats seconds with two decimals.
+pub fn secs(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a ratio like `5.1x`.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["a", "bb"]);
+        t.row(vec!["xxxx".into(), "1".into()]);
+        t.row(vec!["y".into(), "22222".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows render to the same width.
+        assert_eq!(
+            lines[0].len(),
+            lines[2].trim_end().len().max(lines[0].len())
+        );
+        assert!(lines[2].starts_with("xxxx"));
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(thousands(68_225_000), "68225k");
+        assert_eq!(secs(102.98), "102.98");
+        assert_eq!(ratio(5.068), "5.07x");
+    }
+}

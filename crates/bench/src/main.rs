@@ -1,0 +1,30 @@
+//! `repro` — runs any or all of the paper's tables/figures.
+//!
+//! ```text
+//! repro [all|table1|table2|...|table9|figure4]... [--full|--smoke]
+//! ```
+
+use repro::scale::scale_from_args;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(args.iter().cloned());
+    let mut wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    if wanted.is_empty() || wanted.contains(&"all") {
+        wanted = vec![
+            "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
+            "table9", "figure4",
+        ];
+    }
+    println!(
+        "thread-locality reproduction harness (scale: matmul n={}, pde n={}, sor n={}, nbody n={})\n",
+        scale.matmul_n, scale.pde_n, scale.sor_n, scale.nbody_n
+    );
+    for experiment in wanted {
+        repro::cli::run_at(experiment, &scale);
+    }
+}

@@ -1,0 +1,371 @@
+//! A single set-associative cache level.
+
+use crate::{CacheConfig, WritePolicy};
+use memtrace::Addr;
+
+/// Hit/miss counters for one cache level.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read references.
+    pub reads: u64,
+    /// Write references.
+    pub writes: u64,
+    /// Read references that missed.
+    pub read_misses: u64,
+    /// Write references that missed.
+    pub write_misses: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total references.
+    pub fn references(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Total misses.
+    pub fn misses(&self) -> u64 {
+        self.read_misses + self.write_misses
+    }
+
+    /// Total hits.
+    pub fn hits(&self) -> u64 {
+        self.references() - self.misses()
+    }
+
+    /// Miss ratio in percent (0 if no references).
+    pub fn miss_rate_percent(&self) -> f64 {
+        if self.references() == 0 {
+            0.0
+        } else {
+            100.0 * self.misses() as f64 / self.references() as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Way {
+    /// Full line index (address / line size); `u64::MAX` = invalid.
+    line: u64,
+    dirty: bool,
+    /// Global tick of last use, for LRU.
+    last_used: u64,
+}
+
+const INVALID: u64 = u64::MAX;
+
+/// Outcome of one cache reference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct LineOutcome {
+    /// Whether the referenced line was resident.
+    pub hit: bool,
+    /// Line index of a dirty line evicted to make room, if any.
+    pub writeback: Option<u64>,
+}
+
+/// One set-associative, write-allocate, write-back cache level with true
+/// LRU replacement — the configuration DineroIII's default ("copy-back,
+/// write-allocate, LRU") used and the paper's machines implement.
+///
+/// The cache operates on *line indexes* (`address / line_size`); callers
+/// split byte accesses into line touches (see
+/// [`Hierarchy`](crate::Hierarchy)).
+///
+/// # Examples
+///
+/// ```
+/// use cachesim::{Cache, CacheConfig};
+/// use memtrace::Addr;
+///
+/// let mut cache = Cache::new(CacheConfig::new(1024, 32, 2)?);
+/// cache.access_addr(Addr::new(0), false);
+/// cache.access_addr(Addr::new(8), false);  // same 32-byte line: hit
+/// assert_eq!(cache.stats().misses(), 1);
+/// assert_eq!(cache.stats().hits(), 1);
+/// # Ok::<(), cachesim::CacheConfigError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    ways: Vec<Way>,
+    set_shift: u32,
+    set_mask: u64,
+    assoc: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets() as usize;
+        let assoc = config.assoc() as usize;
+        Cache {
+            config,
+            ways: vec![
+                Way {
+                    line: INVALID,
+                    dirty: false,
+                    last_used: 0,
+                };
+                sets * assoc
+            ],
+            set_shift: config.line().trailing_zeros(),
+            set_mask: config.sets() - 1,
+            assoc,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Line index of `addr` under this cache's line size.
+    #[inline]
+    pub fn line_of(&self, addr: Addr) -> u64 {
+        addr.raw() >> self.set_shift
+    }
+
+    /// References the line containing `addr`; returns `true` on hit.
+    ///
+    /// Convenience wrapper over the line-granular access path for
+    /// accesses known not to span lines.
+    #[inline]
+    pub fn access_addr(&mut self, addr: Addr, is_write: bool) -> bool {
+        self.access_line(self.line_of(addr), is_write).hit
+    }
+
+    /// References line `line` (an address divided by the line size).
+    ///
+    /// Misses allocate the line (write-allocate); the evicted victim is
+    /// the LRU way, and if it is dirty its line index is reported so the
+    /// caller can propagate the write-back to the next level.
+    #[inline]
+    pub(crate) fn access_line(&mut self, line: u64, is_write: bool) -> LineOutcome {
+        debug_assert_ne!(line, INVALID);
+        let write_through = self.config.write_policy() == WritePolicy::WriteThroughNoAllocate;
+        self.tick += 1;
+        if is_write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+
+        let set = (line & self.set_mask) as usize;
+        let base = set * self.assoc;
+        let ways = &mut self.ways[base..base + self.assoc];
+
+        // Hit path.
+        let mut victim = 0usize;
+        let mut victim_tick = u64::MAX;
+        for (i, way) in ways.iter_mut().enumerate() {
+            if way.line == line {
+                way.last_used = self.tick;
+                // Write-through lines are never dirty: the write goes
+                // down immediately (the caller propagates it).
+                way.dirty |= is_write && !write_through;
+                return LineOutcome {
+                    hit: true,
+                    writeback: None,
+                };
+            }
+            let rank = if way.line == INVALID {
+                0
+            } else {
+                way.last_used
+            };
+            if rank < victim_tick {
+                victim_tick = rank;
+                victim = i;
+            }
+        }
+
+        // Miss.
+        if is_write {
+            self.stats.write_misses += 1;
+        } else {
+            self.stats.read_misses += 1;
+        }
+        if is_write && write_through {
+            // No write-allocate: the line is not brought in.
+            return LineOutcome {
+                hit: false,
+                writeback: None,
+            };
+        }
+        // Allocate into the LRU (or an invalid) way.
+        let way = &mut ways[victim];
+        let writeback = if way.line != INVALID && way.dirty {
+            self.stats.writebacks += 1;
+            Some(way.line)
+        } else {
+            None
+        };
+        way.line = line;
+        way.dirty = is_write && !write_through;
+        way.last_used = self.tick;
+        LineOutcome {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Zeroes the statistics while keeping cache contents warm.
+    ///
+    /// Use this to exclude warm-up phases (the paper's simulations
+    /// exclude program initialization).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Invalidates all lines and zeroes the statistics.
+    pub fn reset(&mut self) {
+        for way in &mut self.ways {
+            way.line = INVALID;
+            way.dirty = false;
+            way.last_used = 0;
+        }
+        self.tick = 0;
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(size: u64, line: u64, assoc: u32) -> Cache {
+        Cache::new(CacheConfig::new(size, line, assoc).unwrap())
+    }
+
+    #[test]
+    fn spatial_locality_within_a_line_hits() {
+        let mut c = cache(1024, 32, 1);
+        assert!(!c.access_addr(Addr::new(64), false));
+        for off in 1..32 {
+            assert!(c.access_addr(Addr::new(64 + off), false), "offset {off}");
+        }
+        assert_eq!(c.stats().misses(), 1);
+        assert_eq!(c.stats().references(), 32);
+    }
+
+    #[test]
+    fn direct_mapped_conflict() {
+        // 1024 B direct-mapped, 32 B lines => 32 sets; addresses 0 and
+        // 1024 map to the same set and alternate evictions.
+        let mut c = cache(1024, 32, 1);
+        for _ in 0..4 {
+            assert!(!c.access_addr(Addr::new(0), false));
+            assert!(!c.access_addr(Addr::new(1024), false));
+        }
+        assert_eq!(c.stats().misses(), 8);
+    }
+
+    #[test]
+    fn two_way_absorbs_the_same_conflict() {
+        let mut c = cache(1024, 32, 2);
+        c.access_addr(Addr::new(0), false);
+        c.access_addr(Addr::new(1024), false);
+        for _ in 0..4 {
+            assert!(c.access_addr(Addr::new(0), false));
+            assert!(c.access_addr(Addr::new(1024), false));
+        }
+        assert_eq!(c.stats().misses(), 2);
+    }
+
+    #[test]
+    fn lru_replacement_order() {
+        // One set (fully associative), 2 ways.
+        let mut c = cache(64, 32, 2);
+        c.access_addr(Addr::new(0), false); // line 0
+        c.access_addr(Addr::new(32), false); // line 1
+        c.access_addr(Addr::new(0), false); // line 0 now MRU
+        c.access_addr(Addr::new(64), false); // evicts line 1 (LRU)
+        assert!(c.access_addr(Addr::new(0), false), "line 0 should survive");
+        assert!(!c.access_addr(Addr::new(32), false), "line 1 was evicted");
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = cache(32, 32, 1); // one line total
+        let first = c.access_line(0, true);
+        assert_eq!(first.writeback, None);
+        let second = c.access_line(1, false);
+        assert_eq!(
+            second.writeback,
+            Some(0),
+            "dirty line 0 must be written back"
+        );
+        let third = c.access_line(2, false);
+        assert_eq!(third.writeback, None, "clean line 1 evicts silently");
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_hit_marks_line_dirty() {
+        let mut c = cache(32, 32, 1);
+        c.access_line(0, false); // clean fill
+        c.access_line(0, true); // dirty it on a hit
+        let out = c.access_line(1, false);
+        assert_eq!(out.writeback, Some(0));
+    }
+
+    #[test]
+    fn stats_separate_reads_and_writes() {
+        let mut c = cache(1024, 32, 1);
+        c.access_addr(Addr::new(0), false);
+        c.access_addr(Addr::new(0), true);
+        c.access_addr(Addr::new(4096), true);
+        let s = c.stats();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.read_misses, 1);
+        assert_eq!(s.write_misses, 1);
+        assert_eq!(s.hits(), 1);
+        assert!((s.miss_rate_percent() - 200.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_contents_and_stats() {
+        let mut c = cache(1024, 32, 2);
+        c.access_addr(Addr::new(0), true);
+        c.reset();
+        assert_eq!(c.stats().references(), 0);
+        assert!(!c.access_addr(Addr::new(0), false), "reset must invalidate");
+    }
+
+    #[test]
+    fn write_through_no_allocate_semantics() {
+        use crate::WritePolicy;
+        let config = CacheConfig::new(64, 32, 2)
+            .unwrap()
+            .with_write_policy(WritePolicy::WriteThroughNoAllocate);
+        let mut c = Cache::new(config);
+        // Write miss: counted, but not allocated.
+        let out = c.access_line(0, true);
+        assert!(!out.hit);
+        assert!(!c.access_line(0, false).hit, "write did not allocate");
+        // Now line 0 is resident (read-allocated); a write hit must not
+        // dirty it.
+        c.access_line(0, true);
+        let evict = c.access_line(2, false); // same set as 0
+        let evict2 = c.access_line(4, false); // evicts one of them
+        assert_eq!(evict.writeback, None);
+        assert_eq!(evict2.writeback, None, "write-through lines are clean");
+        assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn empty_stats_miss_rate_is_zero() {
+        assert_eq!(CacheStats::default().miss_rate_percent(), 0.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! One-pass compulsory/capacity/conflict miss classification.
+
+use crate::lru::LruSet;
+use crate::CacheConfig;
+use std::collections::HashSet;
+
+/// The three-C class of a cache miss (Hill & Smith, *Evaluating
+/// Associativity in CPU Caches*, IEEE ToC 1989 — reference \[21\] of the
+/// paper; the paper's modified DineroIII produced exactly this
+/// classification in one run).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MissClass {
+    /// First-ever reference to the line (cold miss).
+    Compulsory,
+    /// A fully-associative LRU cache of the same capacity would also
+    /// have missed.
+    Capacity,
+    /// Only the restricted associativity caused the miss.
+    Conflict,
+}
+
+/// Counts of classified misses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MissClassCounts {
+    /// Cold misses.
+    pub compulsory: u64,
+    /// Capacity misses.
+    pub capacity: u64,
+    /// Conflict misses.
+    pub conflict: u64,
+}
+
+impl MissClassCounts {
+    /// Total classified misses.
+    pub fn total(&self) -> u64 {
+        self.compulsory + self.capacity + self.conflict
+    }
+
+    /// Adds one miss of the given class.
+    pub fn record(&mut self, class: MissClass) {
+        match class {
+            MissClass::Compulsory => self.compulsory += 1,
+            MissClass::Capacity => self.capacity += 1,
+            MissClass::Conflict => self.conflict += 1,
+        }
+    }
+}
+
+/// One-pass 3C classifier for a cache level's reference stream.
+///
+/// Feed it *every* reference the classified cache sees (hits included —
+/// the fully-associative model's recency state depends on them);
+/// [`classify_miss`](Self::classify_miss) is consulted only when the
+/// real cache missed.
+///
+/// # Examples
+///
+/// ```
+/// use cachesim::{CacheConfig, MissClass, MissClassifier};
+///
+/// // Two-line fully-associative capacity model.
+/// let config = CacheConfig::new(64, 32, 2)?;
+/// let mut cls = MissClassifier::new(&config);
+/// assert_eq!(cls.classify_miss(0), MissClass::Compulsory);
+/// assert_eq!(cls.classify_miss(1), MissClass::Compulsory);
+/// assert_eq!(cls.classify_miss(2), MissClass::Compulsory);
+/// // Line 0 was evicted from the 2-line FA model by lines 1, 2:
+/// assert_eq!(cls.classify_miss(0), MissClass::Capacity);
+/// # Ok::<(), cachesim::CacheConfigError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct MissClassifier {
+    seen: HashSet<u64>,
+    fully_assoc: LruSet,
+    counts: MissClassCounts,
+}
+
+impl MissClassifier {
+    /// Creates a classifier for a cache with geometry `config`.
+    ///
+    /// The capacity model is a fully-associative LRU cache with
+    /// `config.lines()` lines.
+    pub fn new(config: &CacheConfig) -> Self {
+        MissClassifier {
+            seen: HashSet::new(),
+            fully_assoc: LruSet::new(config.lines() as usize),
+            counts: MissClassCounts::default(),
+        }
+    }
+
+    /// Records a reference that *hit* in the classified cache.
+    ///
+    /// Keeps the capacity model's recency state in sync.
+    #[inline]
+    pub fn note_hit(&mut self, line: u64) {
+        self.fully_assoc.touch(line);
+        // A hit in the real cache implies the line was referenced before,
+        // so `seen` is already up to date; but a hit can occur before the
+        // classifier saw the line if the caller resets stats mid-stream,
+        // so stay defensive:
+        self.seen.insert(line);
+    }
+
+    /// Classifies a miss on `line` and updates the model state.
+    #[inline]
+    pub fn classify_miss(&mut self, line: u64) -> MissClass {
+        let first_touch = self.seen.insert(line);
+        let fa_hit = self.fully_assoc.touch(line);
+        let class = if first_touch {
+            MissClass::Compulsory
+        } else if !fa_hit {
+            MissClass::Capacity
+        } else {
+            MissClass::Conflict
+        };
+        self.counts.record(class);
+        class
+    }
+
+    /// Classified miss counts so far.
+    pub fn counts(&self) -> MissClassCounts {
+        self.counts
+    }
+
+    /// Zeroes the counts, keeping the cache-content models warm.
+    ///
+    /// Use this to exclude warm-up (e.g. the paper excludes program
+    /// initialization from its simulations).
+    pub fn reset_counts(&mut self) {
+        self.counts = MissClassCounts::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classifier(lines: u64) -> MissClassifier {
+        MissClassifier::new(&CacheConfig::new(lines * 32, 32, 1).unwrap())
+    }
+
+    #[test]
+    fn first_touch_is_always_compulsory() {
+        let mut c = classifier(4);
+        for line in 0..100 {
+            assert_eq!(c.classify_miss(line), MissClass::Compulsory);
+        }
+        assert_eq!(c.counts().compulsory, 100);
+    }
+
+    #[test]
+    fn cycling_working_set_larger_than_cache_is_capacity() {
+        let mut c = classifier(4);
+        for line in 0..8 {
+            c.classify_miss(line);
+        }
+        for _ in 0..3 {
+            for line in 0..8 {
+                assert_eq!(c.classify_miss(line), MissClass::Capacity);
+            }
+        }
+        let counts = c.counts();
+        assert_eq!(counts.compulsory, 8);
+        assert_eq!(counts.capacity, 24);
+        assert_eq!(counts.conflict, 0);
+        assert_eq!(counts.total(), 32);
+    }
+
+    #[test]
+    fn miss_that_fa_would_hit_is_conflict() {
+        let mut c = classifier(16);
+        c.classify_miss(0);
+        c.classify_miss(16); // same direct-mapped set in a 16-set cache
+                             // Real cache missed again on 0 (conflict eviction), but the FA
+                             // model still holds both lines:
+        assert_eq!(c.classify_miss(0), MissClass::Conflict);
+        assert_eq!(c.counts().conflict, 1);
+    }
+
+    #[test]
+    fn hits_refresh_fa_recency() {
+        let mut c = classifier(2);
+        c.classify_miss(0);
+        c.classify_miss(1);
+        c.note_hit(0); // 0 becomes MRU in the FA model
+        c.classify_miss(2); // FA evicts 1
+                            // If the real cache now misses on 0, the FA model still holds it
+                            // (thanks to the hit), so it's a conflict miss:
+        assert_eq!(c.classify_miss(0), MissClass::Conflict);
+        // ...while 1 is genuinely out of FA capacity:
+        assert_eq!(c.classify_miss(1), MissClass::Capacity);
+    }
+
+    #[test]
+    fn reset_counts_keeps_models_warm() {
+        let mut c = classifier(4);
+        c.classify_miss(0);
+        c.reset_counts();
+        assert_eq!(c.counts().total(), 0);
+        // Line 0 was already seen: a new miss on it is not compulsory.
+        assert_ne!(c.classify_miss(0), MissClass::Compulsory);
+    }
+
+    #[test]
+    fn classes_partition_misses() {
+        let mut c = classifier(8);
+        let mut total = 0u64;
+        let mut state = 12345u64;
+        for _ in 0..1000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let line = (state >> 33) % 24;
+            c.classify_miss(line);
+            total += 1;
+        }
+        assert_eq!(c.counts().total(), total);
+    }
+}

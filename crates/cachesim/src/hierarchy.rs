@@ -1,0 +1,615 @@
+//! The two-level cache hierarchy of the paper's machines.
+
+use crate::paging::{PageMapper, Tlb, TlbStats};
+use crate::{Cache, CacheConfig, CacheStats, MissClassCounts, MissClassifier};
+use memtrace::{Access, AccessKind, Addr};
+
+/// Virtual-memory simulation attached to a hierarchy: a page mapper
+/// (virtual→physical) and a TLB.
+///
+/// When present, the L1 stays virtually indexed (as on the paper's
+/// machines, where the small L1s are indexed below the page boundary)
+/// while every L2 reference is made with the *physical* line address —
+/// the effect the paper flags as a limitation of its own simulations:
+/// "it works with virtual addresses whereas the L2 cache uses physical
+/// addresses".
+#[derive(Clone, Debug)]
+pub struct Mmu {
+    mapper: PageMapper,
+    tlb: Tlb,
+}
+
+impl Mmu {
+    /// Creates an MMU with the given mapping policy and TLB shape.
+    pub fn new(mapper: PageMapper, tlb_entries: usize) -> Self {
+        let page = mapper.page_size();
+        Mmu {
+            mapper,
+            tlb: Tlb::new(tlb_entries, page),
+        }
+    }
+}
+
+/// Geometry of a two-level hierarchy: a (split) L1 data cache backed by
+/// a unified L2.
+///
+/// Both paper machines have split first-level caches and a unified
+/// second-level cache. Only the *data* side of L1 is simulated; the
+/// instruction stream is accounted analytically (see the `memtrace`
+/// crate docs and DESIGN.md).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// First-level data cache.
+    pub l1d: CacheConfig,
+    /// Unified second-level cache.
+    pub l2: CacheConfig,
+    /// Optional third-level cache (absent on the paper's machines;
+    /// present on any modern part).
+    pub l3: Option<CacheConfig>,
+}
+
+impl HierarchyConfig {
+    /// Creates a two-level hierarchy config (the paper's machines).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the L2 line size is smaller than the L1 line size
+    /// (fills could not be satisfied line-at-a-time).
+    pub fn new(l1d: CacheConfig, l2: CacheConfig) -> Self {
+        assert!(
+            l2.line() >= l1d.line(),
+            "L2 line ({}) must be >= L1 line ({})",
+            l2.line(),
+            l1d.line()
+        );
+        HierarchyConfig { l1d, l2, l3: None }
+    }
+
+    /// Creates a three-level hierarchy config (a modern machine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any level's line size is smaller than the level
+    /// above it.
+    pub fn new3(l1d: CacheConfig, l2: CacheConfig, l3: CacheConfig) -> Self {
+        let mut config = HierarchyConfig::new(l1d, l2);
+        assert!(
+            l3.line() >= l2.line(),
+            "L3 line ({}) must be >= L2 line ({})",
+            l3.line(),
+            l2.line()
+        );
+        config.l3 = Some(l3);
+        config
+    }
+}
+
+/// A simulated L1-data + unified-L2 hierarchy with 3C classification of
+/// the L2 reference stream.
+///
+/// Semantics (matching DineroIII's copy-back / write-allocate default,
+/// which the paper used):
+///
+/// * every byte access is split into L1-line touches;
+/// * an L1 miss sends a demand fetch to the L2;
+/// * a dirty L1 victim sends a write-back to the L2;
+/// * every L2 reference — fetch or write-back — updates the classifier,
+///   so `classes().total() == l2_stats().misses()` always holds;
+/// * dirty L2 victims count as memory write-backs.
+///
+/// # Examples
+///
+/// ```
+/// use cachesim::{CacheConfig, Hierarchy, HierarchyConfig};
+/// use memtrace::{Access, Addr};
+///
+/// let mut h = Hierarchy::new(HierarchyConfig::new(
+///     CacheConfig::new(1 << 14, 32, 1)?,
+///     CacheConfig::new(1 << 21, 128, 4)?,
+/// ));
+/// h.access(Access::read(Addr::new(0x1000_0000), 8));
+/// assert_eq!(h.l1_stats().misses(), 1);
+/// assert_eq!(h.l2_stats().misses(), 1);
+/// assert_eq!(h.classes().compulsory, 1);
+/// # Ok::<(), cachesim::CacheConfigError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    l1d: Cache,
+    l2: Cache,
+    l3: Option<Cache>,
+    /// 3C classifier over the DRAM-facing (last) level's stream.
+    classifier: MissClassifier,
+    l1_line: u64,
+    l2_line_shift: u32,
+    l3_line_shift: u32,
+    mmu: Option<Mmu>,
+    memory_reads: u64,
+    memory_writebacks: u64,
+}
+
+impl Hierarchy {
+    /// Creates an empty hierarchy with virtual-address indexing at both
+    /// levels (the paper's own simulation methodology).
+    pub fn new(config: HierarchyConfig) -> Self {
+        let last_level = config.l3.unwrap_or(config.l2);
+        Hierarchy {
+            l1d: Cache::new(config.l1d),
+            l2: Cache::new(config.l2),
+            l3: config.l3.map(Cache::new),
+            classifier: MissClassifier::new(&last_level),
+            l1_line: config.l1d.line(),
+            l2_line_shift: config.l2.line().trailing_zeros(),
+            l3_line_shift: last_level.line().trailing_zeros(),
+            mmu: None,
+            memory_reads: 0,
+            memory_writebacks: 0,
+        }
+    }
+
+    /// Creates a hierarchy with virtual memory simulated: the TLB is
+    /// consulted per access and the L2 is physically indexed through
+    /// the MMU's page mapping.
+    pub fn with_mmu(config: HierarchyConfig, mmu: Mmu) -> Self {
+        let mut h = Hierarchy::new(config);
+        h.mmu = Some(mmu);
+        h
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> HierarchyConfig {
+        HierarchyConfig {
+            l1d: *self.l1d.config(),
+            l2: *self.l2.config(),
+            l3: self.l3.as_ref().map(|c| *c.config()),
+        }
+    }
+
+    /// Feeds one byte-granular access, splitting it across L1 lines.
+    #[inline]
+    pub fn access(&mut self, access: Access) {
+        if let Some(mmu) = &mut self.mmu {
+            mmu.tlb.access(access.addr);
+        }
+        let is_write = access.kind == AccessKind::Write;
+        let first_line = access.addr.raw() >> self.l1_line.trailing_zeros();
+        let last_byte = access.addr.raw() + u64::from(access.size.max(1)) - 1;
+        let last_line = last_byte >> self.l1_line.trailing_zeros();
+        let mut line = first_line;
+        loop {
+            self.touch_l1_line(line, is_write);
+            if line == last_line {
+                break;
+            }
+            line += 1;
+        }
+    }
+
+    /// Maps a virtual L1 line index to the L2 line index that backs it
+    /// — through the page mapping when an MMU is attached.
+    #[inline]
+    fn l2_line_of(&self, l1_line: u64) -> u64 {
+        let vaddr = l1_line * self.l1_line;
+        match &self.mmu {
+            Some(mmu) => mmu.mapper.translate(Addr::new(vaddr)).raw() >> self.l2_line_shift,
+            None => vaddr >> self.l2_line_shift,
+        }
+    }
+
+    #[inline]
+    fn touch_l1_line(&mut self, l1_line: u64, is_write: bool) {
+        let write_through =
+            self.l1d.config().write_policy() == crate::WritePolicy::WriteThroughNoAllocate;
+        let outcome = self.l1d.access_line(l1_line, is_write);
+        if is_write && write_through {
+            // Every write propagates immediately; a write miss does
+            // not fetch (no write-allocate).
+            let l2_line = self.l2_line_of(l1_line);
+            self.reference_l2(l2_line, true);
+        } else if !outcome.hit {
+            // Demand fetch from L2 (write-allocate: fetch even on a
+            // write miss; the L2 reference itself is a read).
+            let l2_line = self.l2_line_of(l1_line);
+            self.reference_l2(l2_line, false);
+        }
+        if let Some(victim) = outcome.writeback {
+            // Dirty L1 victim written back to L2.
+            let l2_line = self.l2_line_of(victim);
+            self.reference_l2(l2_line, true);
+        }
+    }
+
+    #[inline]
+    fn reference_l2(&mut self, l2_line: u64, is_write: bool) {
+        let outcome = self.l2.access_line(l2_line, is_write);
+        match &mut self.l3 {
+            None => {
+                // The L2 is the DRAM-facing level: classify its stream.
+                if outcome.hit {
+                    self.classifier.note_hit(l2_line);
+                } else {
+                    self.classifier.classify_miss(l2_line);
+                    self.memory_reads += 1;
+                }
+                if outcome.writeback.is_some() {
+                    self.memory_writebacks += 1;
+                }
+            }
+            Some(_) => {
+                let ratio = self.l3_line_shift - self.l2_line_shift;
+                if !outcome.hit {
+                    self.reference_l3(l2_line >> ratio, false);
+                }
+                if let Some(victim) = outcome.writeback {
+                    self.reference_l3(victim >> ratio, true);
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn reference_l3(&mut self, l3_line: u64, is_write: bool) {
+        let l3 = self.l3.as_mut().expect("only called with an L3");
+        let outcome = l3.access_line(l3_line, is_write);
+        if outcome.hit {
+            self.classifier.note_hit(l3_line);
+        } else {
+            self.classifier.classify_miss(l3_line);
+            self.memory_reads += 1;
+        }
+        if outcome.writeback.is_some() {
+            self.memory_writebacks += 1;
+        }
+    }
+
+    /// L1 data-cache statistics.
+    pub fn l1_stats(&self) -> &CacheStats {
+        self.l1d.stats()
+    }
+
+    /// L2 statistics (reference stream = L1 misses + L1 write-backs).
+    pub fn l2_stats(&self) -> &CacheStats {
+        self.l2.stats()
+    }
+
+    /// L3 statistics, if a third level is configured.
+    pub fn l3_stats(&self) -> Option<&CacheStats> {
+        self.l3.as_ref().map(|c| c.stats())
+    }
+
+    /// 3C classification of the DRAM-facing (last) level's misses.
+    pub fn classes(&self) -> MissClassCounts {
+        self.classifier.counts()
+    }
+
+    /// Misses of the DRAM-facing level (L3 if present, else L2).
+    pub fn llc_misses(&self) -> u64 {
+        match &self.l3 {
+            Some(l3) => l3.stats().misses(),
+            None => self.l2.stats().misses(),
+        }
+    }
+
+    /// TLB statistics (zero if no MMU is attached).
+    pub fn tlb_stats(&self) -> TlbStats {
+        self.mmu.as_ref().map(|m| m.tlb.stats()).unwrap_or_default()
+    }
+
+    /// Demand fetches that reached main memory.
+    pub fn memory_reads(&self) -> u64 {
+        self.memory_reads
+    }
+
+    /// Dirty L2 lines written back to main memory.
+    pub fn memory_writebacks(&self) -> u64 {
+        self.memory_writebacks
+    }
+
+    /// Zeroes all statistics while keeping cache contents warm
+    /// (excludes warm-up, as the paper's simulations exclude program
+    /// initialization).
+    pub fn reset_stats(&mut self) {
+        self.l1d.reset_stats();
+        self.l2.reset_stats();
+        if let Some(l3) = &mut self.l3 {
+            l3.reset_stats();
+        }
+        self.classifier.reset_counts();
+        if let Some(mmu) = &mut self.mmu {
+            mmu.tlb.reset_stats();
+        }
+        self.memory_reads = 0;
+        self.memory_writebacks = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtrace::Addr;
+
+    fn small_hierarchy() -> Hierarchy {
+        // L1: 256 B direct-mapped, 32 B lines. L2: 2 KiB 2-way, 64 B lines.
+        Hierarchy::new(HierarchyConfig::new(
+            CacheConfig::new(256, 32, 1).unwrap(),
+            CacheConfig::new(2048, 64, 2).unwrap(),
+        ))
+    }
+
+    #[test]
+    fn l2_sees_only_l1_misses() {
+        let mut h = small_hierarchy();
+        // Two accesses to the same L1 line: one L1 miss, one hit.
+        h.access(Access::read(Addr::new(0), 8));
+        h.access(Access::read(Addr::new(8), 8));
+        assert_eq!(h.l1_stats().references(), 2);
+        assert_eq!(h.l1_stats().misses(), 1);
+        assert_eq!(h.l2_stats().references(), 1);
+    }
+
+    #[test]
+    fn classes_always_partition_l2_misses() {
+        let mut h = small_hierarchy();
+        let mut state = 99u64;
+        for _ in 0..5000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let addr = (state >> 30) % 16384;
+            let write = state.is_multiple_of(3);
+            let access = if write {
+                Access::write(Addr::new(addr), 8)
+            } else {
+                Access::read(Addr::new(addr), 8)
+            };
+            h.access(access);
+        }
+        assert_eq!(h.classes().total(), h.l2_stats().misses());
+    }
+
+    #[test]
+    fn access_spanning_l1_lines_touches_both() {
+        let mut h = small_hierarchy();
+        // 16 bytes starting 8 before a 32-byte boundary.
+        h.access(Access::read(Addr::new(24), 16));
+        assert_eq!(h.l1_stats().references(), 2);
+    }
+
+    #[test]
+    fn zero_size_access_touches_one_line() {
+        let mut h = small_hierarchy();
+        h.access(Access::read(Addr::new(0), 0));
+        assert_eq!(h.l1_stats().references(), 1);
+    }
+
+    #[test]
+    fn dirty_l1_victim_writes_back_to_l2() {
+        // L1 has 8 sets; addresses 0 and 256 collide in L1 set 0.
+        let mut h = small_hierarchy();
+        h.access(Access::write(Addr::new(0), 8)); // L1 miss, dirty
+        h.access(Access::read(Addr::new(256), 8)); // evicts dirty line 0
+                                                   // L2 references: fetch(0), fetch(256), writeback(0).
+        assert_eq!(h.l2_stats().references(), 3);
+        assert_eq!(h.l2_stats().writes, 1);
+        // The write-back hits in L2 (line 0 still resident).
+        assert_eq!(h.l2_stats().misses(), 2);
+    }
+
+    #[test]
+    fn working_set_within_l2_stops_missing_after_warmup() {
+        let mut h = small_hierarchy();
+        // 1 KiB working set (fits 2 KiB L2, overflows 256 B L1).
+        for _round in 0..4 {
+            for off in (0..1024).step_by(8) {
+                h.access(Access::read(Addr::new(off), 8));
+            }
+        }
+        // After the first pass, L2 never misses again.
+        assert_eq!(h.l2_stats().misses(), 1024 / 64);
+        assert_eq!(h.classes().compulsory, 1024 / 64);
+        assert_eq!(h.classes().capacity, 0);
+        // But the L1 keeps missing (working set 4x its size).
+        assert!(h.l1_stats().misses() > 1024 / 32);
+    }
+
+    #[test]
+    fn working_set_exceeding_l2_causes_capacity_misses() {
+        let mut h = small_hierarchy();
+        // 8 KiB working set cycled: 4x the 2 KiB L2.
+        for _round in 0..3 {
+            for off in (0..8192).step_by(8) {
+                h.access(Access::read(Addr::new(off), 8));
+            }
+        }
+        let classes = h.classes();
+        assert_eq!(classes.compulsory, 8192 / 64);
+        assert_eq!(classes.capacity, 2 * 8192 / 64, "every revisit misses");
+        assert_eq!(classes.conflict, 0);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents_warm() {
+        let mut h = small_hierarchy();
+        for off in (0..1024).step_by(8) {
+            h.access(Access::read(Addr::new(off), 8));
+        }
+        h.reset_stats();
+        assert_eq!(h.l1_stats().references(), 0);
+        assert_eq!(h.classes().total(), 0);
+        // Second pass: L2-resident, so zero L2 misses — and crucially
+        // not re-counted as compulsory.
+        for off in (0..1024).step_by(8) {
+            h.access(Access::read(Addr::new(off), 8));
+        }
+        assert_eq!(h.l2_stats().misses(), 0);
+    }
+
+    #[test]
+    fn mmu_identity_matches_no_mmu_on_l2() {
+        use crate::paging::{PageMapper, PagePolicy};
+        let config = HierarchyConfig::new(
+            CacheConfig::new(256, 32, 1).unwrap(),
+            CacheConfig::new(2048, 64, 2).unwrap(),
+        );
+        let mut plain = Hierarchy::new(config);
+        let mut mapped = Hierarchy::with_mmu(
+            config,
+            Mmu::new(PageMapper::new(PagePolicy::Identity, 4096), 8),
+        );
+        let mut state = 7u64;
+        for _ in 0..3000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let access = Access::read(Addr::new((state >> 33) % 32768), 8);
+            plain.access(access);
+            mapped.access(access);
+        }
+        assert_eq!(plain.l2_stats(), mapped.l2_stats());
+        assert_eq!(plain.tlb_stats().accesses, 0, "no MMU, no TLB traffic");
+        assert_eq!(mapped.tlb_stats().accesses, 3000);
+    }
+
+    #[test]
+    fn random_page_mapping_changes_l2_conflicts() {
+        use crate::paging::{PageMapper, PagePolicy};
+        // A pathological virtual stride: cache-sized strides all alias
+        // one set of a 512 KiB direct-mapped L2 (128 page colors at
+        // 4 KiB pages).
+        let config = HierarchyConfig::new(
+            CacheConfig::new(256, 32, 1).unwrap(),
+            CacheConfig::new(512 << 10, 64, 1).unwrap(),
+        );
+        let run = |mmu: Option<Mmu>| {
+            let mut h = match mmu {
+                Some(m) => Hierarchy::with_mmu(config, m),
+                None => Hierarchy::new(config),
+            };
+            for _round in 0..20 {
+                for i in 0..16u64 {
+                    h.access(Access::read(Addr::new(i * (512 << 10)), 8));
+                }
+            }
+            h.classes().conflict
+        };
+        let aliased = run(None);
+        let randomized = run(Some(Mmu::new(
+            PageMapper::new(PagePolicy::RandomSeeded(3), 4096),
+            64,
+        )));
+        // 16 lines cycling one set: heavy conflicts; random frames
+        // scatter them (Bershad et al.'s dynamic page recoloring
+        // argument, reference [8] of the paper).
+        assert!(aliased > 200, "expected alias storm, got {aliased}");
+        assert!(
+            randomized < aliased / 2,
+            "random mapping should break the alias storm: {randomized} vs {aliased}"
+        );
+    }
+
+    #[test]
+    fn tlb_counts_page_walks() {
+        use crate::paging::{PageMapper, PagePolicy};
+        let config = HierarchyConfig::new(
+            CacheConfig::new(256, 32, 1).unwrap(),
+            CacheConfig::new(2048, 64, 2).unwrap(),
+        );
+        let mut h = Hierarchy::with_mmu(
+            config,
+            Mmu::new(PageMapper::new(PagePolicy::Identity, 4096), 2),
+        );
+        // Walk 4 pages cyclically with a 2-entry TLB: all misses.
+        for _round in 0..5 {
+            for page in 0..4u64 {
+                h.access(Access::read(Addr::new(page * 4096), 8));
+            }
+        }
+        assert_eq!(h.tlb_stats().misses, 20);
+    }
+
+    #[test]
+    fn write_through_l1_propagates_every_write() {
+        use crate::WritePolicy;
+        let config = HierarchyConfig::new(
+            CacheConfig::new(256, 32, 1)
+                .unwrap()
+                .with_write_policy(WritePolicy::WriteThroughNoAllocate),
+            CacheConfig::new(2048, 64, 2).unwrap(),
+        );
+        let mut h = Hierarchy::new(config);
+        // Ten writes to the same address: each one reaches the L2.
+        for _ in 0..10 {
+            h.access(Access::write(Addr::new(0), 8));
+        }
+        assert_eq!(h.l2_stats().writes, 10);
+        // And none of them allocated in L1 (no read yet): all misses.
+        assert_eq!(h.l1_stats().misses(), 10);
+        // A write-back L1 sends only the eventual writeback.
+        let mut wb = Hierarchy::new(HierarchyConfig::new(
+            CacheConfig::new(256, 32, 1).unwrap(),
+            CacheConfig::new(2048, 64, 2).unwrap(),
+        ));
+        for _ in 0..10 {
+            wb.access(Access::write(Addr::new(0), 8));
+        }
+        assert_eq!(wb.l2_stats().writes, 0, "dirty line still resident");
+        assert_eq!(wb.l1_stats().misses(), 1);
+    }
+
+    #[test]
+    fn three_level_hierarchy_classifies_the_last_level() {
+        let config = HierarchyConfig::new3(
+            CacheConfig::new(256, 32, 1).unwrap(),
+            CacheConfig::new(1024, 64, 2).unwrap(),
+            CacheConfig::new(8192, 64, 4).unwrap(),
+        );
+        let mut h = Hierarchy::new(config);
+        // 4 KiB working set: overflows L1 and L2, fits the 8 KiB L3.
+        for _round in 0..4 {
+            for off in (0..4096).step_by(8) {
+                h.access(Access::read(Addr::new(off), 8));
+            }
+        }
+        let l3 = *h.l3_stats().expect("three levels");
+        assert_eq!(l3.misses(), 4096 / 64, "L3 only cold-misses");
+        assert_eq!(h.classes().compulsory, 4096 / 64);
+        assert_eq!(h.classes().capacity, 0, "fits the L3");
+        assert_eq!(h.llc_misses(), l3.misses());
+        assert!(h.l2_stats().misses() > l3.misses(), "L2 keeps missing");
+        assert_eq!(h.memory_reads(), l3.misses());
+    }
+
+    #[test]
+    fn three_level_capacity_misses_when_l3_overflows() {
+        let config = HierarchyConfig::new3(
+            CacheConfig::new(256, 32, 1).unwrap(),
+            CacheConfig::new(1024, 64, 2).unwrap(),
+            CacheConfig::new(4096, 64, 4).unwrap(),
+        );
+        let mut h = Hierarchy::new(config);
+        // 16 KiB cycled: 4x the L3.
+        for _round in 0..3 {
+            for off in (0..16384).step_by(8) {
+                h.access(Access::read(Addr::new(off), 8));
+            }
+        }
+        assert_eq!(h.classes().compulsory, 16384 / 64);
+        assert_eq!(h.classes().capacity, 2 * 16384 / 64);
+        assert_eq!(h.classes().total(), h.llc_misses());
+    }
+
+    #[test]
+    #[should_panic(expected = "L3 line")]
+    fn l3_line_smaller_than_l2_line_is_rejected() {
+        let _ = HierarchyConfig::new3(
+            CacheConfig::new(256, 32, 1).unwrap(),
+            CacheConfig::new(1024, 64, 2).unwrap(),
+            CacheConfig::new(4096, 32, 4).unwrap(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >=")]
+    fn l2_line_smaller_than_l1_line_is_rejected() {
+        let _ = HierarchyConfig::new(
+            CacheConfig::new(256, 64, 1).unwrap(),
+            CacheConfig::new(2048, 32, 2).unwrap(),
+        );
+    }
+}

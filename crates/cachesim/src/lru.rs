@@ -1,0 +1,215 @@
+//! An O(1) bounded LRU set over `u64` keys.
+//!
+//! Backs the fully-associative capacity model of the 3C classifier,
+//! where the "set" holds tens of thousands of lines and a linear scan
+//! per reference would be prohibitive.
+
+use std::collections::HashMap;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    key: u64,
+    prev: u32,
+    next: u32,
+}
+
+/// A fixed-capacity set of `u64` keys with least-recently-used eviction,
+/// O(1) per operation.
+///
+/// # Examples
+///
+/// ```ignore
+/// let mut lru = LruSet::new(2);
+/// assert!(!lru.touch(1)); // miss, inserted
+/// assert!(!lru.touch(2)); // miss, inserted
+/// assert!(lru.touch(1));  // hit
+/// assert!(!lru.touch(3)); // miss, evicts 2
+/// assert!(!lru.touch(2)); // miss again
+/// ```
+#[derive(Clone, Debug)]
+pub(crate) struct LruSet {
+    nodes: Vec<Node>,
+    index: HashMap<u64, u32>,
+    head: u32,
+    tail: u32,
+    capacity: usize,
+}
+
+impl LruSet {
+    /// Creates a set holding at most `capacity` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU capacity must be nonzero");
+        LruSet {
+            nodes: Vec::with_capacity(capacity.min(1 << 20)),
+            index: HashMap::with_capacity(capacity.min(1 << 20)),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of keys currently resident. (Test-only helper.)
+    #[allow(dead_code)]
+    pub(crate) fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// References `key`: returns `true` on hit. On miss the key is
+    /// inserted, evicting the least-recently-used key if full. Either
+    /// way `key` becomes most-recently-used.
+    pub(crate) fn touch(&mut self, key: u64) -> bool {
+        if let Some(&slot) = self.index.get(&key) {
+            self.unlink(slot);
+            self.push_front(slot);
+            return true;
+        }
+        let slot = if self.index.len() == self.capacity {
+            // Reuse the LRU node.
+            let victim = self.tail;
+            self.unlink(victim);
+            let old_key = self.nodes[victim as usize].key;
+            self.index.remove(&old_key);
+            self.nodes[victim as usize].key = key;
+            victim
+        } else {
+            let slot = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                key,
+                prev: NIL,
+                next: NIL,
+            });
+            slot
+        };
+        self.index.insert(key, slot);
+        self.push_front(slot);
+        false
+    }
+
+    /// Returns `true` if `key` is resident, without updating recency.
+    /// (Test-only helper.)
+    #[allow(dead_code)]
+    pub(crate) fn contains(&self, key: u64) -> bool {
+        self.index.contains_key(&key)
+    }
+
+    fn unlink(&mut self, slot: u32) {
+        let (prev, next) = {
+            let n = &self.nodes[slot as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else if self.head == slot {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else if self.tail == slot {
+            self.tail = prev;
+        }
+        self.nodes[slot as usize].prev = NIL;
+        self.nodes[slot as usize].next = NIL;
+    }
+
+    fn push_front(&mut self, slot: u32) {
+        self.nodes[slot as usize].prev = NIL;
+        self.nodes[slot as usize].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head as usize].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_hit_miss_evict() {
+        let mut lru = LruSet::new(2);
+        assert!(!lru.touch(1));
+        assert!(!lru.touch(2));
+        assert!(lru.touch(1)); // 1 now MRU, 2 LRU
+        assert!(!lru.touch(3)); // evicts 2
+        assert!(lru.contains(1));
+        assert!(!lru.contains(2));
+        assert!(lru.contains(3));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut lru = LruSet::new(1);
+        assert!(!lru.touch(7));
+        assert!(lru.touch(7));
+        assert!(!lru.touch(8));
+        assert!(!lru.touch(7));
+    }
+
+    #[test]
+    fn sequential_stream_larger_than_capacity_never_hits() {
+        let mut lru = LruSet::new(4);
+        for round in 0..3 {
+            for key in 0..8u64 {
+                assert!(!lru.touch(key), "round {round} key {key} unexpectedly hit");
+            }
+        }
+    }
+
+    #[test]
+    fn working_set_within_capacity_always_hits_after_warmup() {
+        let mut lru = LruSet::new(8);
+        for key in 0..8u64 {
+            lru.touch(key);
+        }
+        for _ in 0..10 {
+            for key in 0..8u64 {
+                assert!(lru.touch(key));
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_model_on_random_stream() {
+        use std::collections::VecDeque;
+        // Naive O(n) LRU as the oracle.
+        let mut oracle: VecDeque<u64> = VecDeque::new();
+        let capacity = 16;
+        let mut lru = LruSet::new(capacity);
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        for _ in 0..10_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let key = state % 40;
+            let oracle_hit = if let Some(pos) = oracle.iter().position(|&k| k == key) {
+                oracle.remove(pos);
+                oracle.push_front(key);
+                true
+            } else {
+                if oracle.len() == capacity {
+                    oracle.pop_back();
+                }
+                oracle.push_front(key);
+                false
+            };
+            assert_eq!(lru.touch(key), oracle_hit);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_capacity_panics() {
+        let _ = LruSet::new(0);
+    }
+}

@@ -1,0 +1,315 @@
+//! Models of the paper's two evaluation machines.
+
+use crate::paging::{PageMapper, PagePolicy};
+use crate::{CacheConfig, Hierarchy, HierarchyConfig, Mmu, TimingModel};
+use std::fmt;
+
+/// A machine model: cache geometry plus the paper's crude timing
+/// parameters.
+///
+/// The paper evaluates on an SGI Power Indigo2 (MIPS R8000) and an SGI
+/// Indigo2 IMPACT (MIPS R10000) and analyses its results with a crude
+/// model — one instruction per cycle, a 7-cycle L1-miss penalty, and a
+/// measured L2-miss penalty (Table 1: 1.06 µs on the R8000, 0.85 µs on
+/// the R10000). This type packages the same parameters.
+///
+/// # Examples
+///
+/// ```
+/// use cachesim::MachineModel;
+///
+/// let m = MachineModel::r8000();
+/// assert_eq!(m.l2_config().size(), 2 << 20);
+/// // Scale the caches down 16x for a scaled-problem experiment:
+/// let small = m.scaled(1.0 / 16.0);
+/// assert_eq!(small.l2_config().size(), 128 << 10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MachineModel {
+    name: String,
+    clock_hz: f64,
+    instructions_per_cycle: f64,
+    l1_miss_penalty_cycles: f64,
+    l2_miss_penalty_ns: f64,
+    hierarchy: HierarchyConfig,
+    /// Per-thread fork+run overhead (paper Table 1), in nanoseconds.
+    thread_overhead_ns: f64,
+    /// Fully-associative TLB entries (both MIPS parts: 64 dual entries).
+    tlb_entries: usize,
+    /// Cycles per TLB miss (software-refilled on MIPS).
+    tlb_miss_penalty_cycles: f64,
+    /// Virtual memory page size.
+    page_size: u64,
+}
+
+impl MachineModel {
+    /// SGI Power Indigo2: 75 MHz MIPS R8000.
+    ///
+    /// 16 KB direct-mapped L1 data cache with 32-byte lines; unified
+    /// 2 MB 4-way L2 with 128-byte lines; L1-miss penalty 7 cycles
+    /// (paper §4.2, citing the R8000 design paper); L2-miss penalty
+    /// 1.06 µs (Table 1). Thread overhead 1.60 µs (Table 1).
+    pub fn r8000() -> Self {
+        MachineModel {
+            name: "R8000".to_owned(),
+            clock_hz: 75e6,
+            instructions_per_cycle: 1.0,
+            l1_miss_penalty_cycles: 7.0,
+            l2_miss_penalty_ns: 1060.0,
+            hierarchy: HierarchyConfig::new(
+                CacheConfig::new(16 << 10, 32, 1).expect("static config"),
+                CacheConfig::new(2 << 20, 128, 4).expect("static config"),
+            ),
+            thread_overhead_ns: 1600.0,
+            tlb_entries: 64,
+            tlb_miss_penalty_cycles: 40.0,
+            page_size: 4096,
+        }
+    }
+
+    /// SGI Indigo2 IMPACT: 195 MHz MIPS R10000.
+    ///
+    /// 32 KB 2-way L1 data cache with 32-byte lines; unified 1 MB 2-way
+    /// L2 with 128-byte lines; L2-miss penalty 0.85 µs (Table 1).
+    /// The paper does not state an R10000 L1-miss penalty; we use 8
+    /// cycles (the R10000 user's-manual L2 load-to-use latency), which
+    /// only affects the crude timing model, not any cache statistic.
+    /// Thread overhead 1.09 µs (Table 1).
+    pub fn r10000() -> Self {
+        MachineModel {
+            name: "R10000".to_owned(),
+            clock_hz: 195e6,
+            instructions_per_cycle: 1.0,
+            l1_miss_penalty_cycles: 8.0,
+            l2_miss_penalty_ns: 850.0,
+            hierarchy: HierarchyConfig::new(
+                CacheConfig::new(32 << 10, 32, 2).expect("static config"),
+                CacheConfig::new(1 << 20, 128, 2).expect("static config"),
+            ),
+            thread_overhead_ns: 1090.0,
+            tlb_entries: 64,
+            tlb_miss_penalty_cycles: 40.0,
+            page_size: 4096,
+        }
+    }
+
+    /// A plausible 2020s desktop core, for "does the technique still
+    /// matter" studies: 4 GHz, 4-wide, 32 KB/8-way L1D, 512 KB/8-way
+    /// private L2, 32 MB/16-way shared L3 (64-byte lines throughout),
+    /// ~12-cycle L1-miss penalty and ~80 ns DRAM penalty. Thread
+    /// overhead uses this crate's measured Rust fork+run cost (~30 ns,
+    /// Table 1 on a modern host).
+    pub fn modern() -> Self {
+        MachineModel {
+            name: "Modern".to_owned(),
+            clock_hz: 4e9,
+            instructions_per_cycle: 4.0,
+            l1_miss_penalty_cycles: 12.0,
+            l2_miss_penalty_ns: 80.0,
+            hierarchy: HierarchyConfig::new3(
+                CacheConfig::new(32 << 10, 64, 8).expect("static config"),
+                CacheConfig::new(512 << 10, 64, 8).expect("static config"),
+                CacheConfig::new(32 << 20, 64, 16).expect("static config"),
+            ),
+            thread_overhead_ns: 30.0,
+            tlb_entries: 1536,
+            tlb_miss_penalty_cycles: 20.0,
+            page_size: 4096,
+        }
+    }
+
+    /// A custom machine model.
+    pub fn custom(
+        name: impl Into<String>,
+        clock_hz: f64,
+        instructions_per_cycle: f64,
+        l1_miss_penalty_cycles: f64,
+        l2_miss_penalty_ns: f64,
+        hierarchy: HierarchyConfig,
+        thread_overhead_ns: f64,
+    ) -> Self {
+        MachineModel {
+            name: name.into(),
+            clock_hz,
+            instructions_per_cycle,
+            l1_miss_penalty_cycles,
+            l2_miss_penalty_ns,
+            hierarchy,
+            thread_overhead_ns,
+            tlb_entries: 64,
+            tlb_miss_penalty_cycles: 40.0,
+            page_size: 4096,
+        }
+    }
+
+    /// Returns this machine with both cache capacities multiplied by
+    /// `factor` (timing parameters unchanged).
+    ///
+    /// Scaled machines pair with scaled problem sizes to preserve the
+    /// paper's data-set : cache ratios while keeping trace-driven
+    /// simulation affordable; see EXPERIMENTS.md.
+    pub fn scaled(&self, factor: f64) -> MachineModel {
+        self.scaled_split(factor, factor)
+    }
+
+    /// Returns this machine with the L1 capacity scaled by `l1_factor`
+    /// and the L2 capacity by `l2_factor`.
+    ///
+    /// Scaled-problem experiments shrink a 2-D problem's *side* by
+    /// √factor while its *area* shrinks by factor; working sets that
+    /// live in the L1 (a few matrix columns) scale with the side, while
+    /// the L2-level working set (whole arrays) scales with the area. So
+    /// the ratio-preserving choice is `l1_factor = √l2_factor`; see
+    /// EXPERIMENTS.md.
+    pub fn scaled_split(&self, l1_factor: f64, l2_factor: f64) -> MachineModel {
+        let mut scaled = self.clone();
+        scaled.name = format!("{}/{:.3}x", self.name, l2_factor);
+        scaled.hierarchy = HierarchyConfig::new(
+            self.hierarchy.l1d.scaled(l1_factor),
+            self.hierarchy.l2.scaled(l2_factor),
+        );
+        scaled.hierarchy.l3 = self.hierarchy.l3.map(|l3| l3.scaled(l2_factor));
+        scaled
+    }
+
+    /// Machine name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Cache hierarchy geometry.
+    pub fn hierarchy_config(&self) -> HierarchyConfig {
+        self.hierarchy
+    }
+
+    /// L1 data-cache geometry.
+    pub fn l1_config(&self) -> CacheConfig {
+        self.hierarchy.l1d
+    }
+
+    /// L2 geometry.
+    pub fn l2_config(&self) -> CacheConfig {
+        self.hierarchy.l2
+    }
+
+    /// Creates a fresh, empty simulated hierarchy for this machine,
+    /// with virtual indexing throughout (the paper's own methodology).
+    pub fn hierarchy(&self) -> Hierarchy {
+        Hierarchy::new(self.hierarchy)
+    }
+
+    /// Creates a hierarchy with virtual memory simulated: the machine's
+    /// TLB in front, and a physically-indexed L2 through the given page
+    /// mapping policy — the effect the paper flags as missing from its
+    /// own simulations (§6).
+    pub fn hierarchy_with_paging(&self, policy: PagePolicy) -> Hierarchy {
+        Hierarchy::with_mmu(
+            self.hierarchy,
+            Mmu::new(PageMapper::new(policy, self.page_size), self.tlb_entries),
+        )
+    }
+
+    /// Cycles charged per TLB miss by the timing model.
+    pub fn tlb_miss_penalty_cycles(&self) -> f64 {
+        self.tlb_miss_penalty_cycles
+    }
+
+    /// Virtual memory page size in bytes.
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+
+    /// The crude timing model for this machine.
+    pub fn timing(&self) -> TimingModel {
+        TimingModel::new(
+            self.clock_hz,
+            self.instructions_per_cycle,
+            self.l1_miss_penalty_cycles,
+            self.l2_miss_penalty_ns,
+        )
+    }
+
+    /// Clock rate in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_hz
+    }
+
+    /// L2-miss penalty in nanoseconds (paper Table 1's "L2 Miss" row).
+    pub fn l2_miss_penalty_ns(&self) -> f64 {
+        self.l2_miss_penalty_ns
+    }
+
+    /// Per-thread fork+run overhead in nanoseconds (paper Table 1).
+    pub fn thread_overhead_ns(&self) -> f64 {
+        self.thread_overhead_ns
+    }
+
+    /// Replaces the modeled thread overhead (e.g. with a value measured
+    /// for this Rust implementation on the host).
+    pub fn with_thread_overhead_ns(mut self, ns: f64) -> Self {
+        self.thread_overhead_ns = ns;
+        self
+    }
+}
+
+impl fmt::Display for MachineModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({:.0} MHz, L1D {}, L2 {})",
+            self.name,
+            self.clock_hz / 1e6,
+            self.hierarchy.l1d,
+            self.hierarchy.l2
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r8000_matches_paper_geometry() {
+        let m = MachineModel::r8000();
+        assert_eq!(m.l1_config().size(), 16 << 10);
+        assert_eq!(m.l1_config().line(), 32);
+        assert_eq!(m.l1_config().assoc(), 1);
+        assert_eq!(m.l2_config().size(), 2 << 20);
+        assert_eq!(m.l2_config().line(), 128);
+        assert_eq!(m.l2_config().assoc(), 4);
+        assert_eq!(m.l2_miss_penalty_ns(), 1060.0);
+    }
+
+    #[test]
+    fn r10000_matches_paper_geometry() {
+        let m = MachineModel::r10000();
+        assert_eq!(m.l1_config().size(), 32 << 10);
+        assert_eq!(m.l1_config().assoc(), 2);
+        assert_eq!(m.l2_config().size(), 1 << 20);
+        assert_eq!(m.l2_config().assoc(), 2);
+        assert_eq!(m.l2_miss_penalty_ns(), 850.0);
+    }
+
+    #[test]
+    fn scaling_scales_both_levels() {
+        let m = MachineModel::r8000().scaled(0.25);
+        assert_eq!(m.l2_config().size(), 512 << 10);
+        assert_eq!(m.l1_config().size(), 4 << 10);
+        assert_eq!(m.l2_config().line(), 128, "line size preserved");
+        assert!(m.name().contains("R8000"));
+    }
+
+    #[test]
+    fn display_mentions_geometry() {
+        let s = MachineModel::r8000().to_string();
+        assert!(s.contains("R8000"), "{s}");
+        assert!(s.contains("2MB"), "{s}");
+    }
+
+    #[test]
+    fn thread_overhead_override() {
+        let m = MachineModel::r8000().with_thread_overhead_ns(500.0);
+        assert_eq!(m.thread_overhead_ns(), 500.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! End-to-end test of the `dinero` trace-replay tool.
+
+use memtrace::{Addr, TraceFileWriter, TraceSink};
+use std::process::Command;
+
+fn write_trace(path: &std::path::Path) {
+    let file = std::fs::File::create(path).expect("create trace");
+    let mut writer = TraceFileWriter::new(file);
+    // Two passes over 64 KiB: second pass hits a 2 MB L2.
+    for _pass in 0..2 {
+        for off in (0..65536u64).step_by(8) {
+            writer.read(Addr::new(0x1000_0000 + off), 8);
+        }
+    }
+    writer.instructions(100_000);
+    writer.finish().expect("flush trace");
+}
+
+fn dinero() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dinero"))
+}
+
+#[test]
+fn replays_a_trace_and_prints_the_report() {
+    let dir = std::env::temp_dir().join(format!("dinero-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.bin");
+    write_trace(&trace);
+
+    let output = dinero().arg(&trace).output().expect("run dinero");
+    assert!(output.status.success(), "{output:?}");
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.contains("D references"), "{stdout}");
+    assert!(stdout.contains("16385 events"), "{stdout}");
+    assert!(stdout.contains("L2 compulsory"), "{stdout}");
+    assert!(stdout.contains("modeled on R8000"), "{stdout}");
+
+    // Custom geometry: an L2 too small for the working set shows
+    // capacity misses; the default does not.
+    let output = dinero()
+        .args(["--l2", "16K:128:4"])
+        .arg(&trace)
+        .output()
+        .expect("run dinero");
+    assert!(output.status.success());
+    let small = String::from_utf8(output.stdout).unwrap();
+    assert!(small.contains("16KB/4-way/128B-line"), "{small}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn rejects_bad_arguments() {
+    let output = dinero().output().expect("run dinero");
+    assert!(!output.status.success(), "no trace file must fail");
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(stderr.contains("usage"), "{stderr}");
+
+    let output = dinero()
+        .args(["--l2", "banana"])
+        .arg("/nonexistent")
+        .output()
+        .expect("run dinero");
+    assert!(!output.status.success());
+
+    let output = dinero().arg("/nonexistent-trace-file").output().unwrap();
+    assert!(!output.status.success());
+    let stderr = String::from_utf8(output.stderr).unwrap();
+    assert!(stderr.contains("cannot open"), "{stderr}");
+}
+
+#[test]
+fn mmu_and_write_policy_flags_work() {
+    let dir = std::env::temp_dir().join(format!("dinero-test2-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.bin");
+    write_trace(&trace);
+
+    for flags in [
+        vec!["--mmu", "random"],
+        vec!["--mmu", "identity"],
+        vec!["--mmu", "binhop"],
+        vec!["--write-through-l1"],
+        vec!["--machine", "r10000"],
+    ] {
+        let output = dinero().args(&flags).arg(&trace).output().unwrap();
+        assert!(output.status.success(), "{flags:?}: {output:?}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,193 @@
+//! Baseline schedulers for comparison experiments.
+
+use crate::scheduler::{ThreadScheduler, ThreadSpec};
+use crate::stats::RunStats;
+use crate::{Hints, RunMode, ThreadFn};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A scheduler that ignores hints and runs threads in fork (FIFO)
+/// order.
+///
+/// Running a threaded program under `FifoScheduler` reproduces the
+/// memory-reference order of the original loop nest (plus thread
+/// overhead); it is the "what does binning buy over doing nothing"
+/// baseline in the ablation benches.
+///
+/// # Examples
+///
+/// ```
+/// use locality_sched::{FifoScheduler, Hints, RunMode, ThreadScheduler};
+///
+/// fn body(out: &mut Vec<usize>, i: usize, _j: usize) { out.push(i); }
+///
+/// let mut sched = FifoScheduler::new();
+/// for i in 0..3 {
+///     sched.fork(body, i, 0, Hints::none());
+/// }
+/// let mut out = Vec::new();
+/// sched.run(&mut out, RunMode::Consume);
+/// assert_eq!(out, vec![0, 1, 2]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FifoScheduler<C> {
+    specs: Vec<ThreadSpec<C>>,
+}
+
+impl<C> FifoScheduler<C> {
+    /// Creates an empty FIFO scheduler.
+    pub fn new() -> Self {
+        FifoScheduler { specs: Vec::new() }
+    }
+}
+
+impl<C> Default for FifoScheduler<C> {
+    fn default() -> Self {
+        FifoScheduler::new()
+    }
+}
+
+impl<C> ThreadScheduler<C> for FifoScheduler<C> {
+    fn fork(&mut self, func: ThreadFn<C>, arg1: usize, arg2: usize, _hints: Hints) {
+        self.specs.push(ThreadSpec { func, arg1, arg2 });
+    }
+
+    fn run(&mut self, ctx: &mut C, mode: RunMode) -> RunStats {
+        for spec in &self.specs {
+            (spec.func)(ctx, spec.arg1, spec.arg2);
+        }
+        let stats = RunStats {
+            threads_run: self.specs.len() as u64,
+            bins_visited: usize::from(!self.specs.is_empty()),
+        };
+        if mode == RunMode::Consume {
+            self.specs.clear();
+        }
+        stats
+    }
+
+    fn pending(&self) -> u64 {
+        self.specs.len() as u64
+    }
+}
+
+/// A scheduler that ignores hints and runs threads in seeded random
+/// order — the adversarial locality baseline (any reference locality in
+/// fork order is destroyed).
+#[derive(Clone, Debug)]
+pub struct RandomScheduler<C> {
+    specs: Vec<ThreadSpec<C>>,
+    seed: u64,
+}
+
+impl<C> RandomScheduler<C> {
+    /// Creates an empty random scheduler with the given shuffle seed.
+    pub fn new(seed: u64) -> Self {
+        RandomScheduler {
+            specs: Vec::new(),
+            seed,
+        }
+    }
+}
+
+impl<C> ThreadScheduler<C> for RandomScheduler<C> {
+    fn fork(&mut self, func: ThreadFn<C>, arg1: usize, arg2: usize, _hints: Hints) {
+        self.specs.push(ThreadSpec { func, arg1, arg2 });
+    }
+
+    fn run(&mut self, ctx: &mut C, mode: RunMode) -> RunStats {
+        let mut order: Vec<usize> = (0..self.specs.len()).collect();
+        order.shuffle(&mut SmallRng::seed_from_u64(self.seed));
+        for idx in order {
+            let spec = &self.specs[idx];
+            (spec.func)(ctx, spec.arg1, spec.arg2);
+        }
+        let stats = RunStats {
+            threads_run: self.specs.len() as u64,
+            bins_visited: usize::from(!self.specs.is_empty()),
+        };
+        if mode == RunMode::Consume {
+            self.specs.clear();
+        }
+        stats
+    }
+
+    fn pending(&self) -> u64 {
+        self.specs.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtrace::Addr;
+
+    type Log = Vec<usize>;
+
+    fn body(log: &mut Log, i: usize, _j: usize) {
+        log.push(i);
+    }
+
+    #[test]
+    fn fifo_preserves_fork_order() {
+        let mut sched: FifoScheduler<Log> = FifoScheduler::new();
+        for i in 0..20 {
+            sched.fork(body, i, 0, Hints::one(Addr::new(i as u64 * 1_000_000)));
+        }
+        assert_eq!(sched.pending(), 20);
+        let mut log = Log::new();
+        let stats = sched.run(&mut log, RunMode::Consume);
+        assert_eq!(stats.threads_run, 20);
+        assert_eq!(log, (0..20).collect::<Vec<_>>());
+        assert_eq!(sched.pending(), 0);
+    }
+
+    #[test]
+    fn fifo_retain_re_runs() {
+        let mut sched: FifoScheduler<Log> = FifoScheduler::new();
+        sched.fork(body, 1, 0, Hints::none());
+        let mut log = Log::new();
+        sched.run(&mut log, RunMode::Retain);
+        sched.run(&mut log, RunMode::Consume);
+        assert_eq!(log, vec![1, 1]);
+    }
+
+    #[test]
+    fn random_runs_all_threads_permuted() {
+        let mut sched: RandomScheduler<Log> = RandomScheduler::new(99);
+        for i in 0..100 {
+            sched.fork(body, i, 0, Hints::none());
+        }
+        let mut log = Log::new();
+        let stats = sched.run(&mut log, RunMode::Consume);
+        assert_eq!(stats.threads_run, 100);
+        let mut sorted = log.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(log, sorted, "a 100-element shuffle is ordered w.p. 1/100!");
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut a_log = Log::new();
+        let mut b_log = Log::new();
+        for log in [&mut a_log, &mut b_log] {
+            let mut sched: RandomScheduler<Log> = RandomScheduler::new(7);
+            for i in 0..50 {
+                sched.fork(body, i, 0, Hints::none());
+            }
+            sched.run(log, RunMode::Consume);
+        }
+        assert_eq!(a_log, b_log);
+    }
+
+    #[test]
+    fn empty_baselines_are_noops() {
+        let mut log = Log::new();
+        let mut fifo: FifoScheduler<Log> = FifoScheduler::default();
+        assert_eq!(fifo.run(&mut log, RunMode::Consume).bins_visited, 0);
+        let mut random: RandomScheduler<Log> = RandomScheduler::new(0);
+        assert_eq!(random.run(&mut log, RunMode::Consume).threads_run, 0);
+    }
+}

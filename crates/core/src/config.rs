@@ -1,0 +1,373 @@
+//! Scheduler configuration (the paper's `th_init`).
+
+use crate::hint::MAX_DIMS;
+use crate::{Hints, Tour};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a [`SchedulerConfig`] is invalid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid scheduler configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Configuration of a locality [`Scheduler`](crate::Scheduler):
+/// block sizes, hash-table size, symmetric-hint folding, and bin tour.
+///
+/// The paper's `th_init(blocksize, hashsize)` sets a single block size
+/// used in every dimension; [`SchedulerConfigBuilder::block_size`] does
+/// the same, and [`block_sizes`](SchedulerConfigBuilder::block_sizes)
+/// additionally allows per-dimension sizes. Block sizes must be powers
+/// of two because the default hash "simply performs a shift and a mask
+/// operation on each hint" (§3.2) — the shift is `log2(block size)`.
+///
+/// # Examples
+///
+/// ```
+/// use locality_sched::SchedulerConfig;
+///
+/// // Paper default for a 2 MB L2 and 2-D hints: each block dimension is
+/// // half the cache, so the dimensions sum to the cache size.
+/// let config = SchedulerConfig::for_cache(2 << 20, 2)?;
+/// assert_eq!(config.block_size(0), 1 << 20);
+/// assert_eq!(config.block_size(1), 1 << 20);
+/// # Ok::<(), locality_sched::ConfigError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    block_sizes: [u64; MAX_DIMS],
+    shifts: [u32; MAX_DIMS],
+    hash_size: usize,
+    symmetric: bool,
+    tour: Tour,
+}
+
+/// Builder for [`SchedulerConfig`].
+#[derive(Clone, Copy, Debug)]
+pub struct SchedulerConfigBuilder {
+    block_sizes: [u64; MAX_DIMS],
+    hash_size: usize,
+    symmetric: bool,
+    tour: Tour,
+}
+
+/// Default block dimension: one third of a 2 MB L2, rounded down to a
+/// power of two — the paper's 3-D default rule applied to its larger
+/// test machine. Override with
+/// [`SchedulerConfig::for_cache`] for a specific machine.
+const DEFAULT_BLOCK: u64 = 512 << 10;
+
+/// Default hash-table size per dimension.
+const DEFAULT_HASH_SIZE: usize = 16;
+
+impl Default for SchedulerConfigBuilder {
+    fn default() -> Self {
+        SchedulerConfigBuilder {
+            block_sizes: [DEFAULT_BLOCK; MAX_DIMS],
+            hash_size: DEFAULT_HASH_SIZE,
+            symmetric: false,
+            tour: Tour::AllocationOrder,
+        }
+    }
+}
+
+impl SchedulerConfigBuilder {
+    /// Sets the same block size (bytes) for every dimension, like the
+    /// paper's `th_init(blocksize, …)`. Must be a power of two.
+    pub fn block_size(mut self, bytes: u64) -> Self {
+        self.block_sizes = [bytes; MAX_DIMS];
+        self
+    }
+
+    /// Sets per-dimension block sizes (bytes); each must be a power of
+    /// two.
+    pub fn block_sizes(mut self, bytes: [u64; MAX_DIMS]) -> Self {
+        self.block_sizes = bytes;
+        self
+    }
+
+    /// Sets the hash-table size per dimension (the table has
+    /// `hash_size⁴` buckets). Must be a power of two, at most 32.
+    pub fn hash_size(mut self, size: usize) -> Self {
+        self.hash_size = size;
+        self
+    }
+
+    /// Enables symmetric-hint folding: hints `(hᵢ, hⱼ)` and `(hⱼ, hᵢ)`
+    /// land in the same bin "since they reference the same pieces of
+    /// data", halving the bin count (§2.3).
+    pub fn symmetric(mut self, symmetric: bool) -> Self {
+        self.symmetric = symmetric;
+        self
+    }
+
+    /// Sets the bin traversal order (default:
+    /// [`Tour::AllocationOrder`], the paper's implementation).
+    pub fn tour(mut self, tour: Tour) -> Self {
+        self.tour = tour;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any block size or the hash size is zero or
+    /// not a power of two.
+    pub fn build(self) -> Result<SchedulerConfig, ConfigError> {
+        let mut shifts = [0u32; MAX_DIMS];
+        for (dim, &size) in self.block_sizes.iter().enumerate() {
+            if size == 0 || !size.is_power_of_two() {
+                return Err(ConfigError::new(format!(
+                    "block size {size} in dimension {dim} is not a nonzero power of two"
+                )));
+            }
+            shifts[dim] = size.trailing_zeros();
+        }
+        if self.hash_size == 0 || !self.hash_size.is_power_of_two() {
+            return Err(ConfigError::new(format!(
+                "hash size {} is not a nonzero power of two",
+                self.hash_size
+            )));
+        }
+        if self.hash_size > 32 {
+            return Err(ConfigError::new(format!(
+                "hash size {} exceeds 32 (the bucket array is hash_size^{MAX_DIMS})",
+                self.hash_size
+            )));
+        }
+        Ok(SchedulerConfig {
+            block_sizes: self.block_sizes,
+            shifts,
+            hash_size: self.hash_size,
+            symmetric: self.symmetric,
+            tour: self.tour,
+        })
+    }
+}
+
+impl SchedulerConfig {
+    /// Starts building a configuration from the defaults.
+    pub fn builder() -> SchedulerConfigBuilder {
+        SchedulerConfigBuilder::default()
+    }
+
+    /// The paper's default rule: block dimensions sized so that `dims`
+    /// of them sum to `cache_size` (each rounded down to a power of
+    /// two). "The default dimension sizes of the block are set such
+    /// that their sum are the same as the second-level cache size"
+    /// (§3.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dims` is zero or exceeds
+    /// [`MAX_DIMS`](crate::Hints), or if `cache_size / dims` rounds to
+    /// zero.
+    pub fn for_cache(cache_size: u64, dims: usize) -> Result<Self, ConfigError> {
+        if dims == 0 || dims > MAX_DIMS {
+            return Err(ConfigError::new(format!(
+                "hint dimensionality {dims} out of range 1..={MAX_DIMS}"
+            )));
+        }
+        let per_dim = cache_size / dims as u64;
+        if per_dim == 0 {
+            return Err(ConfigError::new(format!(
+                "cache size {cache_size} too small for {dims} dimensions"
+            )));
+        }
+        let block = prev_power_of_two(per_dim);
+        SchedulerConfig::builder().block_size(block).build()
+    }
+
+    /// Block size in bytes for dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim >= MAX_DIMS`.
+    pub fn block_size(&self, dim: usize) -> u64 {
+        self.block_sizes[dim]
+    }
+
+    /// Hash-table size per dimension.
+    pub fn hash_size(&self) -> usize {
+        self.hash_size
+    }
+
+    /// Whether symmetric-hint folding is enabled.
+    pub fn symmetric(&self) -> bool {
+        self.symmetric
+    }
+
+    /// The configured bin tour.
+    pub fn tour(&self) -> Tour {
+        self.tour
+    }
+
+    /// Maps hints to block coordinates in the scheduling space: each
+    /// hint address divided by its dimension's block size, with
+    /// symmetric folding applied if configured.
+    #[inline]
+    pub fn block_coords(&self, hints: Hints) -> [u64; MAX_DIMS] {
+        let addrs = hints.as_array();
+        let mut coords = [
+            addrs[0].raw() >> self.shifts[0],
+            addrs[1].raw() >> self.shifts[1],
+            addrs[2].raw() >> self.shifts[2],
+            addrs[3].raw() >> self.shifts[3],
+        ];
+        if self.symmetric {
+            // Canonicalize the coordinate multiset; descending order
+            // keeps null (zero) coordinates in the trailing dimensions.
+            coords.sort_unstable_by(|a, b| b.cmp(a));
+        }
+        coords
+    }
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig::builder()
+            .build()
+            .expect("default configuration is valid")
+    }
+}
+
+impl fmt::Display for SchedulerConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "blocks [{}, {}, {}, {}] hash {}^4{}{}",
+            self.block_sizes[0],
+            self.block_sizes[1],
+            self.block_sizes[2],
+            self.block_sizes[3],
+            self.hash_size,
+            if self.symmetric { " symmetric" } else { "" },
+            match self.tour {
+                Tour::AllocationOrder => "",
+                _ => " (custom tour)",
+            }
+        )
+    }
+}
+
+fn prev_power_of_two(x: u64) -> u64 {
+    debug_assert!(x > 0);
+    1 << (63 - x.leading_zeros())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtrace::Addr;
+
+    #[test]
+    fn builder_defaults_are_valid() {
+        let c = SchedulerConfig::default();
+        assert_eq!(c.block_size(0), 512 << 10);
+        assert_eq!(c.hash_size(), 16);
+        assert!(!c.symmetric());
+        assert_eq!(c.tour(), Tour::AllocationOrder);
+    }
+
+    #[test]
+    fn for_cache_follows_paper_rule() {
+        // 2 MB cache, 2-D: each dim 1 MB (dims sum to cache size).
+        let c = SchedulerConfig::for_cache(2 << 20, 2).unwrap();
+        assert_eq!(c.block_size(0), 1 << 20);
+        // 2 MB cache, 3-D: 2M/3 = 699050 -> 512 KiB.
+        let c = SchedulerConfig::for_cache(2 << 20, 3).unwrap();
+        assert_eq!(c.block_size(0), 512 << 10);
+    }
+
+    #[test]
+    fn for_cache_rejects_bad_dims() {
+        assert!(SchedulerConfig::for_cache(1 << 20, 0).is_err());
+        assert!(
+            SchedulerConfig::for_cache(1 << 20, 4).is_ok(),
+            "4-D is supported"
+        );
+        assert!(SchedulerConfig::for_cache(1 << 20, 5).is_err());
+        assert!(SchedulerConfig::for_cache(2, 3).is_err());
+    }
+
+    #[test]
+    fn build_rejects_non_power_of_two() {
+        assert!(SchedulerConfig::builder().block_size(3000).build().is_err());
+        assert!(SchedulerConfig::builder().block_size(0).build().is_err());
+        assert!(SchedulerConfig::builder().hash_size(12).build().is_err());
+        assert!(SchedulerConfig::builder().hash_size(0).build().is_err());
+        assert!(SchedulerConfig::builder().hash_size(64).build().is_err());
+        assert!(SchedulerConfig::builder().hash_size(32).build().is_ok());
+    }
+
+    #[test]
+    fn block_coords_shift_by_block_size() {
+        let c = SchedulerConfig::builder().block_size(1024).build().unwrap();
+        let coords = c.block_coords(Hints::two(Addr::new(4096), Addr::new(1023)));
+        assert_eq!(coords, [4, 0, 0, 0]);
+    }
+
+    #[test]
+    fn per_dimension_block_sizes() {
+        let c = SchedulerConfig::builder()
+            .block_sizes([1024, 2048, 4096, 8192])
+            .build()
+            .unwrap();
+        let coords = c.block_coords(Hints::four(
+            Addr::new(4096),
+            Addr::new(4096),
+            Addr::new(4096),
+            Addr::new(16384),
+        ));
+        assert_eq!(coords, [4, 2, 1, 2]);
+    }
+
+    #[test]
+    fn symmetric_folding_canonicalizes() {
+        let c = SchedulerConfig::builder()
+            .block_size(1024)
+            .symmetric(true)
+            .build()
+            .unwrap();
+        let ab = c.block_coords(Hints::two(Addr::new(1024), Addr::new(2048)));
+        let ba = c.block_coords(Hints::two(Addr::new(2048), Addr::new(1024)));
+        assert_eq!(ab, ba);
+        assert_eq!(ab, [2, 1, 0, 0]);
+    }
+
+    #[test]
+    fn asymmetric_keeps_order() {
+        let c = SchedulerConfig::builder().block_size(1024).build().unwrap();
+        let ab = c.block_coords(Hints::two(Addr::new(1024), Addr::new(2048)));
+        let ba = c.block_coords(Hints::two(Addr::new(2048), Addr::new(1024)));
+        assert_ne!(ab, ba);
+    }
+
+    #[test]
+    fn error_display_is_meaningful() {
+        let err = SchedulerConfig::builder()
+            .block_size(3)
+            .build()
+            .unwrap_err();
+        let s = err.to_string();
+        assert!(s.contains("power of two"), "{s}");
+        assert!(s.starts_with("invalid scheduler configuration"), "{s}");
+    }
+}

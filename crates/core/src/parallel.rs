@@ -1,0 +1,289 @@
+//! Symmetric-multiprocessor extension — the paper's SMP future work
+//! (§7).
+//!
+//! "It appears that the idea proposed in this paper can be extended in
+//! a straightforward manner to improve performance on symmetric
+//! multiprocessors, but this remains to be demonstrated."
+//!
+//! [`ParScheduler`] is that demonstration: hints bin threads exactly
+//! as in the sequential [`Scheduler`](crate::Scheduler), and
+//! [`run`](ParScheduler::run) hands out *whole bins* to worker OS
+//! threads. A bin is the unit of work distribution because it is the
+//! unit of locality: every thread of a bin runs on the same core, so
+//! the bin's cache-sized working set is loaded once into that core's
+//! cache — per-core locality scheduling plus cache-affinity placement
+//! in one mechanism (compare Squillante & Lazowska's affinity
+//! scheduling, reference [38] of the paper).
+//!
+//! Because threads now run concurrently, bodies take the context by
+//! *shared* reference (`fn(&C, usize, usize)`) and the context must be
+//! [`Sync`]; writes go through interior mutability (atomics, or
+//! disjoint-index cells the caller vouches for). Threads remain
+//! independent and run-to-completion; there is no synchronization
+//! between them beyond the final join.
+
+use crate::stats::{RunStats, SchedulerStats};
+use crate::table::BinTable;
+use crate::{Hints, SchedulerConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A thread body for parallel execution: shared context plus the two
+/// word-sized arguments.
+pub type ParThreadFn<C> = fn(&C, usize, usize);
+
+#[derive(Clone, Copy, Debug)]
+struct ParSpec<C> {
+    func: ParThreadFn<C>,
+    arg1: usize,
+    arg2: usize,
+}
+
+/// A locality scheduler whose `run` executes bins on multiple worker
+/// threads.
+///
+/// # Examples
+///
+/// ```
+/// use locality_sched::{Hints, ParScheduler, SchedulerConfig};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// struct Ctx {
+///     sums: Vec<AtomicU64>,
+/// }
+/// fn body(ctx: &Ctx, slot: usize, value: usize) {
+///     ctx.sums[slot].fetch_add(value as u64, Ordering::Relaxed);
+/// }
+///
+/// let mut sched = ParScheduler::new(SchedulerConfig::default());
+/// for i in 0..100usize {
+///     sched.fork(body, i % 4, i, Hints::one((i as u64 * 100_000).into()));
+/// }
+/// let ctx = Ctx {
+///     sums: (0..4).map(|_| AtomicU64::new(0)).collect(),
+/// };
+/// let stats = sched.run(&ctx, 4);
+/// assert_eq!(stats.threads_run, 100);
+/// let total: u64 = ctx.sums.iter().map(|s| s.load(Ordering::Relaxed)).sum();
+/// assert_eq!(total, (0..100).sum::<usize>() as u64);
+/// ```
+#[derive(Debug)]
+pub struct ParScheduler<C> {
+    config: SchedulerConfig,
+    table: BinTable,
+    bins: Vec<Vec<ParSpec<C>>>,
+    threads: u64,
+}
+
+impl<C: Sync> ParScheduler<C> {
+    /// Creates an empty parallel scheduler.
+    pub fn new(config: SchedulerConfig) -> Self {
+        ParScheduler {
+            table: BinTable::new(config.hash_size()),
+            bins: Vec::new(),
+            threads: 0,
+            config,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Creates and schedules a thread to call `func(ctx, arg1, arg2)`,
+    /// binned by `hints`.
+    pub fn fork(&mut self, func: ParThreadFn<C>, arg1: usize, arg2: usize, hints: Hints) {
+        let key = self.config.block_coords(hints);
+        let (id, created) = self.table.lookup_or_insert(key);
+        if created {
+            self.bins.push(Vec::new());
+        }
+        self.bins[id as usize].push(ParSpec { func, arg1, arg2 });
+        self.threads += 1;
+    }
+
+    /// Number of threads currently scheduled.
+    pub fn pending(&self) -> u64 {
+        self.threads
+    }
+
+    /// Number of bins currently allocated.
+    pub fn bins(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Distribution statistics over the current schedule.
+    pub fn stats(&self) -> SchedulerStats {
+        SchedulerStats::from_bin_counts(self.bins.iter().map(|b| b.len() as u64).collect())
+    }
+
+    /// Runs and consumes every scheduled thread on `workers` OS
+    /// threads. Bins are claimed atomically in tour order; each bin is
+    /// executed to completion by one worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero, or propagates a panic from a thread
+    /// body.
+    pub fn run(&mut self, ctx: &C, workers: usize) -> RunStats {
+        assert!(workers > 0, "need at least one worker");
+        let order = self.config.tour().order(self.table.keys());
+        let bins = &self.bins;
+        let cursor = AtomicUsize::new(0);
+        let threads_run: u64 = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let order = &order;
+                    let cursor = &cursor;
+                    scope.spawn(move || {
+                        let mut ran = 0u64;
+                        loop {
+                            let next = cursor.fetch_add(1, Ordering::Relaxed);
+                            if next >= order.len() {
+                                return ran;
+                            }
+                            let bin = &bins[order[next] as usize];
+                            for spec in bin {
+                                (spec.func)(ctx, spec.arg1, spec.arg2);
+                            }
+                            ran += bin.len() as u64;
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .sum()
+        });
+        let bins_visited = self.bins.iter().filter(|b| !b.is_empty()).count();
+        self.table.clear();
+        self.bins.clear();
+        self.threads = 0;
+        RunStats {
+            threads_run,
+            bins_visited,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtrace::Addr;
+    use std::sync::atomic::AtomicU64;
+
+    struct Counters {
+        slots: Vec<AtomicU64>,
+    }
+
+    fn bump(ctx: &Counters, slot: usize, value: usize) {
+        ctx.slots[slot].fetch_add(value as u64, Ordering::Relaxed);
+    }
+
+    fn config() -> SchedulerConfig {
+        SchedulerConfig::builder().block_size(4096).build().unwrap()
+    }
+
+    fn counters(n: usize) -> Counters {
+        Counters {
+            slots: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    #[test]
+    fn every_thread_runs_exactly_once_in_parallel() {
+        for workers in [1, 2, 4, 8] {
+            let mut sched: ParScheduler<Counters> = ParScheduler::new(config());
+            for i in 0..1000usize {
+                sched.fork(
+                    bump,
+                    i % 10,
+                    1,
+                    Hints::one(Addr::new((i as u64 % 64) * 100_000)),
+                );
+            }
+            assert_eq!(sched.pending(), 1000);
+            let ctx = counters(10);
+            let stats = sched.run(&ctx, workers);
+            assert_eq!(stats.threads_run, 1000, "workers = {workers}");
+            let total: u64 = ctx.slots.iter().map(|s| s.load(Ordering::Relaxed)).sum();
+            assert_eq!(total, 1000);
+            assert_eq!(sched.pending(), 0);
+        }
+    }
+
+    #[test]
+    fn single_worker_matches_sequential_semantics() {
+        // With one worker, bins run in tour order just like the
+        // sequential scheduler.
+        struct OrderLog {
+            order: std::sync::Mutex<Vec<usize>>,
+        }
+        fn log_it(ctx: &OrderLog, i: usize, _j: usize) {
+            ctx.order.lock().unwrap().push(i);
+        }
+        let mut sched: ParScheduler<OrderLog> = ParScheduler::new(config());
+        for i in 0..6usize {
+            let addr = if i % 2 == 0 { 0u64 } else { 1 << 30 };
+            sched.fork(log_it, i, 0, Hints::one(Addr::new(addr)));
+        }
+        let ctx = OrderLog {
+            order: std::sync::Mutex::new(Vec::new()),
+        };
+        sched.run(&ctx, 1);
+        assert_eq!(*ctx.order.lock().unwrap(), vec![0, 2, 4, 1, 3, 5]);
+    }
+
+    #[test]
+    fn bins_never_split_across_workers() {
+        // Tag each thread with its bin; assert all threads of a bin saw
+        // the same worker (thread id).
+        struct BinWorkers {
+            seen: Vec<std::sync::Mutex<Option<std::thread::ThreadId>>>,
+            violations: AtomicU64,
+        }
+        fn check(ctx: &BinWorkers, bin: usize, _j: usize) {
+            let me = std::thread::current().id();
+            let mut slot = ctx.seen[bin].lock().unwrap();
+            match *slot {
+                None => *slot = Some(me),
+                Some(owner) => {
+                    if owner != me {
+                        ctx.violations.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        let bins = 16usize;
+        let mut sched: ParScheduler<BinWorkers> = ParScheduler::new(config());
+        for i in 0..800usize {
+            let bin = i % bins;
+            sched.fork(check, bin, 0, Hints::one(Addr::new(bin as u64 * 1_000_000)));
+        }
+        let ctx = BinWorkers {
+            seen: (0..bins).map(|_| std::sync::Mutex::new(None)).collect(),
+            violations: AtomicU64::new(0),
+        };
+        sched.run(&ctx, 4);
+        assert_eq!(ctx.violations.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn more_workers_than_bins_is_fine() {
+        let mut sched: ParScheduler<Counters> = ParScheduler::new(config());
+        sched.fork(bump, 0, 5, Hints::none());
+        let ctx = counters(1);
+        let stats = sched.run(&ctx, 16);
+        assert_eq!(stats.threads_run, 1);
+        assert_eq!(ctx.slots[0].load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let mut sched: ParScheduler<Counters> = ParScheduler::new(config());
+        let ctx = counters(1);
+        let _ = sched.run(&ctx, 0);
+    }
+}

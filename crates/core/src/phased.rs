@@ -1,0 +1,233 @@
+//! Phase-ordered locality scheduling — the paper's dependency future
+//! work (§6).
+//!
+//! "The thread package supports only independent, run-to-completion
+//! threads. … It would not be convenient to program algorithms that
+//! have complex dependencies. Methods to specify dependencies and ways
+//! to implement them efficiently remain to be demonstrated."
+//!
+//! [`PhasedScheduler`] demonstrates the simplest useful dependence
+//! discipline: *barrier phases*. Every thread belongs to a phase;
+//! phases execute in ascending order with an implicit barrier between
+//! them, and within a phase threads are locality-scheduled exactly as
+//! in the flat [`Scheduler`]. This covers the dominant dependence
+//! shape of the paper's own benchmarks — iteration `t+1` of a solver
+//! depends on iteration `t` — without per-thread dependence edges, and
+//! it composes with every hint/tour/block configuration.
+
+use crate::stats::{RunStats, SchedulerStats};
+use crate::{Hints, RunMode, Scheduler, SchedulerConfig, ThreadFn};
+
+/// A locality scheduler with barrier-ordered phases.
+///
+/// # Examples
+///
+/// An iterative solver forks all iterations up front; the phase
+/// barrier keeps iteration order while the scheduler still groups each
+/// phase's threads by data block:
+///
+/// ```
+/// use locality_sched::{Hints, PhasedScheduler, RunMode, SchedulerConfig};
+///
+/// fn body(log: &mut Vec<(u32, usize)>, col: usize, phase: usize) {
+///     log.push((phase as u32, col));
+/// }
+///
+/// let mut sched = PhasedScheduler::new(SchedulerConfig::default());
+/// for phase in 0..3u32 {
+///     for col in 0..4usize {
+///         let addr = 0x1000_0000 + col as u64 * 8192;
+///         sched.fork(phase, body, col, phase as usize, Hints::one(addr.into()));
+///     }
+/// }
+/// let mut log = Vec::new();
+/// let stats = sched.run(&mut log, RunMode::Consume);
+/// assert_eq!(stats.threads_run, 12);
+/// // All of phase 0 precedes all of phase 1, and so on.
+/// let phases: Vec<u32> = log.iter().map(|&(p, _)| p).collect();
+/// assert!(phases.windows(2).all(|w| w[0] <= w[1]));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PhasedScheduler<C> {
+    config: SchedulerConfig,
+    /// Per-phase schedulers, sparse in phase number.
+    phases: Vec<(u32, Scheduler<C>)>,
+    threads: u64,
+}
+
+impl<C> PhasedScheduler<C> {
+    /// Creates an empty phased scheduler; every phase inherits
+    /// `config`.
+    pub fn new(config: SchedulerConfig) -> Self {
+        PhasedScheduler {
+            config,
+            phases: Vec::new(),
+            threads: 0,
+        }
+    }
+
+    /// The configuration used by every phase.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Creates and schedules a thread in `phase`. Threads of phase
+    /// `p` run strictly before any thread of phase `p + 1`.
+    pub fn fork(&mut self, phase: u32, func: ThreadFn<C>, arg1: usize, arg2: usize, hints: Hints) {
+        let scheduler = match self.phases.binary_search_by_key(&phase, |&(p, _)| p) {
+            Ok(pos) => &mut self.phases[pos].1,
+            Err(pos) => {
+                self.phases
+                    .insert(pos, (phase, Scheduler::new(self.config)));
+                &mut self.phases[pos].1
+            }
+        };
+        scheduler.fork(func, arg1, arg2, hints);
+        self.threads += 1;
+    }
+
+    /// Number of threads currently scheduled across all phases.
+    pub fn pending(&self) -> u64 {
+        self.threads
+    }
+
+    /// Number of non-empty phases.
+    pub fn phases(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// Distribution statistics for one phase, if it exists.
+    pub fn phase_stats(&self, phase: u32) -> Option<SchedulerStats> {
+        self.phases
+            .binary_search_by_key(&phase, |&(p, _)| p)
+            .ok()
+            .map(|pos| self.phases[pos].1.stats())
+    }
+
+    /// Runs every phase in ascending order, draining each phase
+    /// completely (the barrier) before the next begins.
+    pub fn run(&mut self, ctx: &mut C, mode: RunMode) -> RunStats {
+        let mut total = RunStats::default();
+        for (_phase, scheduler) in &mut self.phases {
+            let stats = scheduler.run(ctx, mode);
+            total.threads_run += stats.threads_run;
+            total.bins_visited += stats.bins_visited;
+        }
+        if mode == RunMode::Consume {
+            self.phases.clear();
+            self.threads = 0;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtrace::Addr;
+
+    type Log = Vec<(usize, usize)>;
+
+    fn record(log: &mut Log, a: usize, b: usize) {
+        log.push((a, b));
+    }
+
+    fn config() -> SchedulerConfig {
+        SchedulerConfig::builder().block_size(4096).build().unwrap()
+    }
+
+    #[test]
+    fn phases_run_in_order_with_barriers() {
+        let mut sched: PhasedScheduler<Log> = PhasedScheduler::new(config());
+        // Fork phases interleaved and out of order.
+        for col in 0..8 {
+            sched.fork(
+                2,
+                record,
+                2,
+                col,
+                Hints::one(Addr::new(col as u64 * 100_000)),
+            );
+            sched.fork(
+                0,
+                record,
+                0,
+                col,
+                Hints::one(Addr::new(col as u64 * 100_000)),
+            );
+            sched.fork(
+                1,
+                record,
+                1,
+                col,
+                Hints::one(Addr::new(col as u64 * 100_000)),
+            );
+        }
+        assert_eq!(sched.phases(), 3);
+        assert_eq!(sched.pending(), 24);
+        let mut log = Log::new();
+        let stats = sched.run(&mut log, RunMode::Consume);
+        assert_eq!(stats.threads_run, 24);
+        let phases: Vec<usize> = log.iter().map(|&(p, _)| p).collect();
+        assert!(phases.windows(2).all(|w| w[0] <= w[1]), "{phases:?}");
+        assert_eq!(sched.pending(), 0);
+        assert_eq!(sched.phases(), 0);
+    }
+
+    #[test]
+    fn locality_grouping_within_each_phase() {
+        let mut sched: PhasedScheduler<Log> = PhasedScheduler::new(config());
+        // Two blocks (addresses 0 and far); interleaved fork order.
+        for i in 0..6 {
+            let addr = if i % 2 == 0 { 0u64 } else { 1 << 30 };
+            sched.fork(0, record, 0, i, Hints::one(Addr::new(addr)));
+        }
+        let mut log = Log::new();
+        sched.run(&mut log, RunMode::Consume);
+        let order: Vec<usize> = log.iter().map(|&(_, i)| i).collect();
+        assert_eq!(order, vec![0, 2, 4, 1, 3, 5], "binned within the phase");
+    }
+
+    #[test]
+    fn retain_re_runs_all_phases() {
+        let mut sched: PhasedScheduler<Log> = PhasedScheduler::new(config());
+        sched.fork(0, record, 0, 0, Hints::none());
+        sched.fork(1, record, 1, 0, Hints::none());
+        let mut log = Log::new();
+        sched.run(&mut log, RunMode::Retain);
+        assert_eq!(sched.pending(), 2);
+        sched.run(&mut log, RunMode::Consume);
+        assert_eq!(log.len(), 4);
+        assert_eq!(&log[..2], &log[2..]);
+    }
+
+    #[test]
+    fn sparse_phase_numbers_are_fine() {
+        let mut sched: PhasedScheduler<Log> = PhasedScheduler::new(config());
+        sched.fork(1000, record, 1000, 0, Hints::none());
+        sched.fork(3, record, 3, 0, Hints::none());
+        let mut log = Log::new();
+        sched.run(&mut log, RunMode::Consume);
+        assert_eq!(log, vec![(3, 0), (1000, 0)]);
+    }
+
+    #[test]
+    fn phase_stats_report_per_phase() {
+        let mut sched: PhasedScheduler<Log> = PhasedScheduler::new(config());
+        for i in 0..5 {
+            sched.fork(7, record, i, 0, Hints::one(Addr::new(i as u64 * 1_000_000)));
+        }
+        let stats = sched.phase_stats(7).unwrap();
+        assert_eq!(stats.threads(), 5);
+        assert_eq!(stats.bins(), 5);
+        assert!(sched.phase_stats(8).is_none());
+    }
+
+    #[test]
+    fn empty_run_is_noop() {
+        let mut sched: PhasedScheduler<Log> = PhasedScheduler::new(config());
+        let mut log = Log::new();
+        let stats = sched.run(&mut log, RunMode::Consume);
+        assert_eq!(stats.threads_run, 0);
+    }
+}

@@ -1,0 +1,687 @@
+//! The locality scheduler (paper §2.3, §3).
+
+use crate::stats::{RunStats, SchedulerStats};
+use crate::table::BinTable;
+use crate::{Hints, SchedulerConfig};
+use memtrace::{Addr, TraceSink};
+
+/// A thread body: a plain function pointer taking the shared context
+/// and the two word-sized arguments supplied at fork time — the same
+/// record layout as the paper's `th_fork(f, arg1, arg2, …)`.
+///
+/// Keeping bodies as `fn` pointers (not closures) keeps a thread record
+/// at three words, so forking cannot allocate per thread or touch
+/// unbounded memory — a precondition of the paper's claim that "thread
+/// creation doesn't cause cache misses". For an ergonomic closure-based
+/// front end accepting captures, see
+/// [`ClosureScheduler`](crate::ClosureScheduler).
+pub type ThreadFn<C> = fn(&mut C, usize, usize);
+
+/// What `run` does with the thread specifications afterwards, mirroring
+/// the paper's `th_run(keep)` flag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunMode {
+    /// Destroy the thread specifications after running (paper:
+    /// `keep = 0`).
+    Consume,
+    /// Retain the specifications so the same schedule can be re-run
+    /// (paper: `keep != 0`; used by iterative solvers that re-execute
+    /// an identical sweep every iteration).
+    Retain,
+}
+
+/// One scheduled thread: function pointer plus two arguments.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ThreadSpec<C> {
+    pub(crate) func: ThreadFn<C>,
+    pub(crate) arg1: usize,
+    pub(crate) arg2: usize,
+}
+
+/// Threads per thread-group chunk. "The thread group data structure
+/// represents a number of threads within a bin; by grouping threads
+/// together in this way, amortization reduces the cost of thread
+/// structure management" (§3.2).
+const GROUP_CAPACITY: usize = 256;
+
+/// One thread group: a chunk of thread records plus the synthetic
+/// address of its storage (null when package-memory tracing is off).
+#[derive(Clone, Debug)]
+struct Group<C> {
+    specs: Vec<ThreadSpec<C>>,
+    base: Addr,
+}
+
+/// A bin: the chain of thread groups for one block of the scheduling
+/// space.
+#[derive(Clone, Debug)]
+struct Bin<C> {
+    groups: Vec<Group<C>>,
+    threads: u64,
+    /// Synthetic address of the bin record (null when tracing is off).
+    header: Addr,
+}
+
+impl<C> Bin<C> {
+    fn new(header: Addr) -> Self {
+        Bin {
+            groups: Vec::new(),
+            threads: 0,
+            header,
+        }
+    }
+}
+
+/// Bytes of one thread record: function pointer + two word arguments
+/// (the paper's three-word spec).
+const SPEC_BYTES: u64 = 24;
+/// Bytes of a bin record: "three link fields and a search key" (§3.2).
+const BIN_HEADER_BYTES: u64 = 48;
+/// Bytes of a thread-group header: count + next pointer.
+const GROUP_HEADER_BYTES: u64 = 16;
+/// Bytes of one hash bucket (a pointer).
+const BUCKET_BYTES: u64 = 8;
+
+/// Synthetic addresses for the package's own data structures, so their
+/// cache traffic shows up in traces (Pixie instrumented the thread
+/// package along with the application — the visible difference between
+/// the paper's threaded and cache-conscious PDE columns in Table 5).
+#[derive(Clone, Debug)]
+struct MetaTrace {
+    /// The hash table's bucket array.
+    table_base: Addr,
+    /// Bump pointer for bin records and thread groups, mimicking an
+    /// arena allocator.
+    bump: Addr,
+    arena_base: Addr,
+    end: Addr,
+}
+
+impl MetaTrace {
+    fn alloc(&mut self, bytes: u64) -> Addr {
+        let addr = self.bump;
+        assert!(
+            addr.raw() + bytes <= self.end.raw(),
+            "scheduler meta-trace region exhausted"
+        );
+        self.bump = addr + bytes;
+        addr
+    }
+}
+
+/// A scheduler that can fork run-to-completion threads and run them in
+/// some order. Implemented by the locality [`Scheduler`] and by the
+/// [`FifoScheduler`](crate::FifoScheduler) /
+/// [`RandomScheduler`](crate::RandomScheduler) baselines, so
+/// experiments can swap policies generically.
+pub trait ThreadScheduler<C> {
+    /// Creates and schedules a thread to call `func(ctx, arg1, arg2)`.
+    fn fork(&mut self, func: ThreadFn<C>, arg1: usize, arg2: usize, hints: Hints);
+
+    /// Runs all scheduled threads and returns what ran.
+    fn run(&mut self, ctx: &mut C, mode: RunMode) -> RunStats;
+
+    /// Number of threads currently scheduled.
+    fn pending(&self) -> u64;
+}
+
+/// The hint-based locality scheduler.
+///
+/// Threads are placed into bins by their block coordinates (hint
+/// address ÷ block size per dimension); [`run`](Scheduler::run) visits
+/// bins along the configured [`Tour`](crate::Tour) — allocation order
+/// by default, as in the paper — draining each bin completely. Threads
+/// within a bin run in fork order ("the scheduling order of threads in
+/// the same bin can be arbitrary", §2.3).
+///
+/// See the [crate docs](crate) for a complete example.
+#[derive(Clone, Debug)]
+pub struct Scheduler<C> {
+    config: SchedulerConfig,
+    table: BinTable,
+    bins: Vec<Bin<C>>,
+    threads: u64,
+    meta: Option<MetaTrace>,
+}
+
+impl<C> Scheduler<C> {
+    /// Creates an empty scheduler (the paper's `th_init`).
+    pub fn new(config: SchedulerConfig) -> Self {
+        Scheduler {
+            table: BinTable::new(config.hash_size()),
+            bins: Vec::new(),
+            threads: 0,
+            config,
+            meta: None,
+        }
+    }
+
+    /// Enables tracing of the package's *own* memory traffic through
+    /// [`fork_traced`](Self::fork_traced) /
+    /// [`run_traced`](Self::run_traced): hash-bucket probes, bin
+    /// records, and thread-group reads/writes are emitted at synthetic
+    /// addresses, the way Pixie's whole-binary instrumentation captured
+    /// the paper's package.
+    ///
+    /// The package region lives at a fixed high address (as an mmap'd
+    /// allocator's would), far above `memtrace::AddressSpace` data
+    /// regions; successive scheduler instances therefore *reuse* the
+    /// same region, exactly like the real package reusing its heap
+    /// across iterations.
+    pub fn trace_package_memory(&mut self) {
+        /// Fixed base of the package's synthetic memory.
+        const PACKAGE_BASE: u64 = 0x7f00_0000_0000;
+        let buckets = (self.config.hash_size() as u64).pow(4) * BUCKET_BYTES;
+        let table_base = Addr::new(PACKAGE_BASE);
+        let bump = (table_base + buckets).align_up(128);
+        // A generous arena for bin records and thread groups; synthetic
+        // addresses cost nothing to reserve.
+        let arena = 1u64 << 30;
+        self.meta = Some(MetaTrace {
+            table_base,
+            bump,
+            arena_base: bump,
+            end: bump + arena,
+        });
+    }
+
+    /// Creates a scheduler with the default configuration.
+    pub fn with_defaults() -> Self {
+        Scheduler::new(SchedulerConfig::default())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SchedulerConfig {
+        &self.config
+    }
+
+    /// Replaces the configuration — the paper's `th_init` "can be
+    /// called more than once to change those sizes".
+    ///
+    /// # Errors
+    ///
+    /// Returns the scheduler's pending thread count if threads are
+    /// scheduled: bins cannot be re-derived without the original hints,
+    /// so reconfiguration is only possible while empty (between runs),
+    /// which is when the paper's interface allowed it too.
+    pub fn reconfigure(&mut self, config: SchedulerConfig) -> Result<(), u64> {
+        if self.threads > 0 {
+            return Err(self.threads);
+        }
+        self.table = BinTable::new(config.hash_size());
+        self.bins.clear();
+        self.config = config;
+        // The synthetic hash-table region was sized for the old
+        // configuration; re-enable tracing afterwards if needed.
+        self.meta = None;
+        Ok(())
+    }
+
+    /// Creates and schedules a thread to call `func(ctx, arg1, arg2)`,
+    /// binned by `hints` (the paper's `th_fork`).
+    #[inline]
+    pub fn fork(&mut self, func: ThreadFn<C>, arg1: usize, arg2: usize, hints: Hints) {
+        self.fork_traced(func, arg1, arg2, hints, &mut memtrace::NullSink);
+    }
+
+    /// Like [`fork`](Self::fork), additionally emitting the package's
+    /// own memory references into `sink` if
+    /// [`trace_package_memory`](Self::trace_package_memory) was called:
+    /// the hash-bucket probe, the thread-record store, and the
+    /// bin-header update.
+    #[inline]
+    pub fn fork_traced<S: TraceSink>(
+        &mut self,
+        func: ThreadFn<C>,
+        arg1: usize,
+        arg2: usize,
+        hints: Hints,
+        sink: &mut S,
+    ) {
+        let key = self.config.block_coords(hints);
+        let (id, created) = self.table.lookup_or_insert(key);
+        if let Some(meta) = &mut self.meta {
+            // Hash probe.
+            let bucket = self.table.bucket_index(key) as u64;
+            sink.read(meta.table_base + bucket * BUCKET_BYTES, BUCKET_BYTES as u32);
+        }
+        if created {
+            let header = match &mut self.meta {
+                Some(meta) => {
+                    let header = meta.alloc(BIN_HEADER_BYTES);
+                    // Initialize the bin record and link it into the
+                    // bucket chain and the ready list.
+                    sink.write(header, BIN_HEADER_BYTES as u32);
+                    header
+                }
+                None => Addr::NULL,
+            };
+            self.bins.push(Bin::new(header));
+        }
+        let bin = &mut self.bins[id as usize];
+        let needs_group = match bin.groups.last() {
+            Some(group) => group.specs.len() >= GROUP_CAPACITY,
+            None => true,
+        };
+        if needs_group {
+            let base = match &mut self.meta {
+                Some(meta) => {
+                    let base = meta.alloc(GROUP_HEADER_BYTES + GROUP_CAPACITY as u64 * SPEC_BYTES);
+                    sink.write(base, GROUP_HEADER_BYTES as u32);
+                    base
+                }
+                None => Addr::NULL,
+            };
+            bin.groups.push(Group {
+                specs: Vec::with_capacity(GROUP_CAPACITY),
+                base,
+            });
+        }
+        let group = bin.groups.last_mut().expect("group just ensured");
+        let slot = group.specs.len() as u64;
+        group.specs.push(ThreadSpec { func, arg1, arg2 });
+        if self.meta.is_some() {
+            // Store the three-word thread record and bump the group's
+            // count field.
+            sink.write(
+                group.base + GROUP_HEADER_BYTES + slot * SPEC_BYTES,
+                SPEC_BYTES as u32,
+            );
+            sink.write(group.base, 8);
+        }
+        bin.threads += 1;
+        self.threads += 1;
+    }
+
+    /// Runs every scheduled thread, visiting bins in tour order and
+    /// draining each bin before moving on (the paper's `th_run`).
+    ///
+    /// With [`RunMode::Retain`] the schedule survives and can be re-run
+    /// (or extended with further forks); with [`RunMode::Consume`] the
+    /// scheduler is left empty.
+    pub fn run(&mut self, ctx: &mut C, mode: RunMode) -> RunStats {
+        let order = self.config.tour().order(self.table.keys());
+        let mut threads_run = 0u64;
+        let mut bins_visited = 0usize;
+        for id in order {
+            let bin = &self.bins[id as usize];
+            if bin.threads == 0 {
+                continue;
+            }
+            bins_visited += 1;
+            for group in &bin.groups {
+                for spec in &group.specs {
+                    (spec.func)(ctx, spec.arg1, spec.arg2);
+                }
+            }
+            threads_run += bin.threads;
+        }
+        if mode == RunMode::Consume {
+            self.clear();
+        }
+        RunStats {
+            threads_run,
+            bins_visited,
+        }
+    }
+
+    /// Like [`run`](Self::run), additionally emitting the package's
+    /// dispatch-time memory references (ready-list walk, bin headers,
+    /// thread-record loads) if
+    /// [`trace_package_memory`](Self::trace_package_memory) was called.
+    ///
+    /// `sink_of` borrows the sink out of the context between thread
+    /// invocations (thread bodies usually own the sink through the same
+    /// context).
+    pub fn run_traced<S, F>(&mut self, ctx: &mut C, mode: RunMode, mut sink_of: F) -> RunStats
+    where
+        S: TraceSink,
+        F: FnMut(&mut C) -> &mut S,
+    {
+        let order = self.config.tour().order(self.table.keys());
+        let tracing = self.meta.is_some();
+        let mut threads_run = 0u64;
+        let mut bins_visited = 0usize;
+        for id in order {
+            let bin = &self.bins[id as usize];
+            if bin.threads == 0 {
+                continue;
+            }
+            bins_visited += 1;
+            if tracing {
+                // Ready-list step: load the bin record.
+                sink_of(ctx).read(bin.header, BIN_HEADER_BYTES as u32);
+            }
+            for group in &bin.groups {
+                if tracing {
+                    // Group header: count + next pointer.
+                    sink_of(ctx).read(group.base, GROUP_HEADER_BYTES as u32);
+                }
+                for (slot, spec) in group.specs.iter().enumerate() {
+                    if tracing {
+                        sink_of(ctx).read(
+                            group.base + GROUP_HEADER_BYTES + slot as u64 * SPEC_BYTES,
+                            SPEC_BYTES as u32,
+                        );
+                    }
+                    (spec.func)(ctx, spec.arg1, spec.arg2);
+                }
+            }
+            threads_run += bin.threads;
+        }
+        if mode == RunMode::Consume {
+            self.clear();
+        }
+        RunStats {
+            threads_run,
+            bins_visited,
+        }
+    }
+
+    /// Number of threads currently scheduled.
+    pub fn pending(&self) -> u64 {
+        self.threads
+    }
+
+    /// Number of bins currently allocated.
+    pub fn bins(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Distribution statistics over the current schedule (the paper
+    /// reports these per benchmark: threads, bins, threads per bin).
+    pub fn stats(&self) -> SchedulerStats {
+        SchedulerStats::from_bin_counts(self.bins.iter().map(|b| b.threads).collect())
+    }
+
+    /// Removes all scheduled threads and bins (the arena of a traced
+    /// package is recycled, as a real allocator would).
+    pub fn clear(&mut self) {
+        self.table.clear();
+        self.bins.clear();
+        self.threads = 0;
+        if let Some(meta) = &mut self.meta {
+            meta.bump = meta.arena_base;
+        }
+    }
+}
+
+impl<C> ThreadScheduler<C> for Scheduler<C> {
+    fn fork(&mut self, func: ThreadFn<C>, arg1: usize, arg2: usize, hints: Hints) {
+        Scheduler::fork(self, func, arg1, arg2, hints);
+    }
+
+    fn run(&mut self, ctx: &mut C, mode: RunMode) -> RunStats {
+        Scheduler::run(self, ctx, mode)
+    }
+
+    fn pending(&self) -> u64 {
+        Scheduler::pending(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtrace::Addr;
+
+    type Log = Vec<(usize, usize)>;
+
+    fn record(log: &mut Log, a: usize, b: usize) {
+        log.push((a, b));
+    }
+
+    fn config(block: u64) -> SchedulerConfig {
+        SchedulerConfig::builder()
+            .block_size(block)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn runs_every_thread_exactly_once() {
+        let mut sched: Scheduler<Log> = Scheduler::new(config(1024));
+        for i in 0..100 {
+            sched.fork(record, i, i * 2, Hints::one(Addr::new((i as u64) * 333)));
+        }
+        assert_eq!(sched.pending(), 100);
+        let mut log = Log::new();
+        let stats = sched.run(&mut log, RunMode::Consume);
+        assert_eq!(stats.threads_run, 100);
+        assert_eq!(log.len(), 100);
+        let mut seen: Vec<usize> = log.iter().map(|&(a, _)| a).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+        assert_eq!(sched.pending(), 0);
+    }
+
+    #[test]
+    fn threads_with_same_block_run_adjacently() {
+        let mut sched: Scheduler<Log> = Scheduler::new(config(1024));
+        // Interleave forks into two far-apart blocks.
+        for i in 0..10 {
+            sched.fork(record, 0, i, Hints::one(Addr::new(0)));
+            sched.fork(record, 1, i, Hints::one(Addr::new(1 << 30)));
+        }
+        let mut log = Log::new();
+        sched.run(&mut log, RunMode::Consume);
+        // All block-0 threads must precede all block-1 threads
+        // (allocation order: block 0 was allocated first).
+        let first_of_b1 = log.iter().position(|&(a, _)| a == 1).unwrap();
+        assert!(log[..first_of_b1].iter().all(|&(a, _)| a == 0));
+        assert_eq!(
+            log[first_of_b1..].iter().filter(|&&(a, _)| a == 1).count(),
+            10
+        );
+    }
+
+    #[test]
+    fn within_bin_order_is_fork_order() {
+        let mut sched: Scheduler<Log> = Scheduler::new(config(1024));
+        for i in 0..(GROUP_CAPACITY * 2 + 7) {
+            sched.fork(record, i, 0, Hints::one(Addr::new(4)));
+        }
+        let mut log = Log::new();
+        sched.run(&mut log, RunMode::Consume);
+        let order: Vec<usize> = log.iter().map(|&(a, _)| a).collect();
+        assert_eq!(order, (0..GROUP_CAPACITY * 2 + 7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn retain_re_runs_the_same_schedule() {
+        let mut sched: Scheduler<Log> = Scheduler::new(config(1024));
+        for i in 0..5 {
+            sched.fork(record, i, 0, Hints::one(Addr::new(i as u64 * 10_000)));
+        }
+        let mut log = Log::new();
+        let s1 = sched.run(&mut log, RunMode::Retain);
+        assert_eq!(sched.pending(), 5, "retained");
+        let s2 = sched.run(&mut log, RunMode::Consume);
+        assert_eq!(s1.threads_run, s2.threads_run);
+        assert_eq!(log.len(), 10);
+        assert_eq!(&log[..5], &log[5..], "identical re-execution");
+        assert_eq!(sched.pending(), 0);
+    }
+
+    #[test]
+    fn paper_2_4_example_binning() {
+        // 4x4 matmul, cache = 4 vectors, block dim = half the cache:
+        // threads (i,j) with hints (a_i, b_j) fall into 4 bins of 4.
+        let vec_bytes = 1024u64;
+        let a_base = 0u64; // A's columns at 0..4*vec_bytes
+        let b_base = 1 << 20; // B's columns elsewhere
+        let cfg = SchedulerConfig::builder()
+            .block_size(2 * vec_bytes)
+            .build()
+            .unwrap();
+        let mut sched: Scheduler<Log> = Scheduler::new(cfg);
+        for i in 0..4usize {
+            for j in 0..4usize {
+                sched.fork(
+                    record,
+                    i,
+                    j,
+                    Hints::two(
+                        Addr::new(a_base + i as u64 * vec_bytes),
+                        Addr::new(b_base + j as u64 * vec_bytes),
+                    ),
+                );
+            }
+        }
+        assert_eq!(sched.bins(), 4);
+        let stats = sched.stats();
+        assert_eq!(stats.max_threads_per_bin(), 4);
+        assert_eq!(stats.min_threads_per_bin(), 4);
+        let mut log = Log::new();
+        sched.run(&mut log, RunMode::Consume);
+        // Each consecutive run of 4 threads shares the bin's two vector
+        // pairs: i in {0,1} x j in {0,1}, etc.
+        for chunk in log.chunks(4) {
+            let i_block = chunk[0].0 / 2;
+            let j_block = chunk[0].1 / 2;
+            for &(i, j) in chunk {
+                assert_eq!(i / 2, i_block);
+                assert_eq!(j / 2, j_block);
+            }
+        }
+    }
+
+    #[test]
+    fn symmetric_config_folds_mirrored_hints() {
+        let cfg = SchedulerConfig::builder()
+            .block_size(1024)
+            .symmetric(true)
+            .build()
+            .unwrap();
+        let mut sched: Scheduler<Log> = Scheduler::new(cfg);
+        sched.fork(record, 0, 0, Hints::two(Addr::new(0), Addr::new(1 << 20)));
+        sched.fork(record, 1, 0, Hints::two(Addr::new(1 << 20), Addr::new(0)));
+        assert_eq!(sched.bins(), 1, "mirrored hints share a bin");
+    }
+
+    #[test]
+    fn no_hint_threads_run_in_fork_order() {
+        let mut sched: Scheduler<Log> = Scheduler::new(config(1024));
+        for i in 0..10 {
+            sched.fork(record, i, 0, Hints::none());
+        }
+        let mut log = Log::new();
+        sched.run(&mut log, RunMode::Consume);
+        assert_eq!(
+            log.iter().map(|&(a, _)| a).collect::<Vec<_>>(),
+            (0..10).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn run_on_empty_scheduler_is_a_noop() {
+        let mut sched: Scheduler<Log> = Scheduler::with_defaults();
+        let mut log = Log::new();
+        let stats = sched.run(&mut log, RunMode::Consume);
+        assert_eq!(stats.threads_run, 0);
+        assert_eq!(stats.bins_visited, 0);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn fork_after_consume_starts_fresh() {
+        let mut sched: Scheduler<Log> = Scheduler::new(config(1024));
+        sched.fork(record, 0, 0, Hints::one(Addr::new(0)));
+        let mut log = Log::new();
+        sched.run(&mut log, RunMode::Consume);
+        sched.fork(record, 1, 1, Hints::one(Addr::new(0)));
+        let stats = sched.run(&mut log, RunMode::Consume);
+        assert_eq!(stats.threads_run, 1);
+        assert_eq!(log, vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn package_memory_tracing_emits_references() {
+        use memtrace::CountingSink;
+        let mut sched: Scheduler<Log> = Scheduler::new(config(1024));
+        sched.trace_package_memory();
+        let mut fork_sink = CountingSink::new();
+        for i in 0..10 {
+            sched.fork_traced(
+                record,
+                i,
+                0,
+                Hints::one(Addr::new(i as u64 * 100_000)),
+                &mut fork_sink,
+            );
+        }
+        // Per fork: bucket probe (read) + spec store + count bump; per
+        // new bin: header init; per new group: header init.
+        assert_eq!(fork_sink.reads(), 10, "one hash probe per fork");
+        assert_eq!(
+            fork_sink.writes(),
+            10 * 2 + 10 + 10,
+            "records+counts+bins+groups"
+        );
+
+        struct Ctx {
+            log: Log,
+            sink: CountingSink,
+        }
+        fn traced_record(ctx: &mut Ctx, a: usize, b: usize) {
+            ctx.log.push((a, b));
+        }
+        let mut sched2: Scheduler<Ctx> = Scheduler::new(config(1024));
+        sched2.trace_package_memory();
+        let mut fork_sink = CountingSink::new();
+        for i in 0..10 {
+            sched2.fork_traced(
+                traced_record,
+                i,
+                0,
+                Hints::one(Addr::new(i as u64 * 100_000)),
+                &mut fork_sink,
+            );
+        }
+        let mut ctx = Ctx {
+            log: Log::new(),
+            sink: CountingSink::new(),
+        };
+        let stats = sched2.run_traced(&mut ctx, RunMode::Consume, |c| &mut c.sink);
+        assert_eq!(stats.threads_run, 10);
+        assert_eq!(ctx.log.len(), 10);
+        // Per bin: header read + group header read; per thread: one
+        // record read. 10 bins here (distinct blocks).
+        assert_eq!(ctx.sink.reads(), 10 + 10 + 10);
+    }
+
+    #[test]
+    fn tracing_disabled_emits_nothing() {
+        use memtrace::CountingSink;
+        let mut sched: Scheduler<Log> = Scheduler::new(config(1024));
+        let mut sink = CountingSink::new();
+        sched.fork_traced(record, 0, 0, Hints::none(), &mut sink);
+        assert_eq!(sink.data_references(), 0);
+    }
+
+    #[test]
+    fn reconfigure_between_runs() {
+        let mut sched: Scheduler<Log> = Scheduler::new(config(1024));
+        sched.fork(record, 0, 0, Hints::one(Addr::new(5000)));
+        // Occupied: reconfiguration refused, count reported.
+        assert_eq!(sched.reconfigure(config(4096)), Err(1));
+        let mut log = Log::new();
+        sched.run(&mut log, RunMode::Consume);
+        // Empty: accepted, and the new block size takes effect.
+        assert_eq!(sched.reconfigure(config(1 << 16)), Ok(()));
+        sched.fork(record, 0, 0, Hints::one(Addr::new(0)));
+        sched.fork(record, 1, 0, Hints::one(Addr::new(5000)));
+        assert_eq!(sched.bins(), 1, "5000 < 64 KiB: same block now");
+    }
+
+    #[test]
+    fn trait_object_compatible_generics() {
+        fn drive<S: ThreadScheduler<Log>>(sched: &mut S) -> u64 {
+            sched.fork(record, 7, 7, Hints::none());
+            let mut log = Log::new();
+            sched.run(&mut log, RunMode::Consume).threads_run
+        }
+        let mut sched: Scheduler<Log> = Scheduler::with_defaults();
+        assert_eq!(drive(&mut sched), 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! The bin hash table and ready list (paper §3.2).
+//!
+//! "The hash table organizes the bins. Hash collisions are resolved by
+//! chaining, and the table is simply a three-dimensional array of
+//! pointers to bins" — here four-dimensional, matching `MAX_DIMS`.
+//! "… The ready list is a simple linked list
+//! containing all allocated bins. Each time a new bin is allocated, it
+//! is added to the end of this list."
+//!
+//! Bins are identified by dense `u32` ids. Because ids are assigned in
+//! allocation order, the ready list is simply `0..len` — the id space
+//! *is* the list — while the buckets array plus per-bin chain links
+//! reproduce the paper's collision structure exactly.
+
+use crate::hint::MAX_DIMS;
+
+/// Identifier of a bin, dense in allocation (= ready-list) order.
+pub(crate) type BinId = u32;
+
+const NIL: BinId = BinId::MAX;
+
+/// Hash table mapping block coordinates to bin ids, with chained
+/// collision resolution over a fixed `hash_size⁴` bucket array.
+#[derive(Clone, Debug)]
+pub(crate) struct BinTable {
+    /// Head bin id per bucket.
+    buckets: Vec<BinId>,
+    /// Block coordinates of each allocated bin (indexed by bin id).
+    keys: Vec<[u64; MAX_DIMS]>,
+    /// Next bin in the same bucket's chain (indexed by bin id).
+    next: Vec<BinId>,
+    mask: u64,
+    dim_bits: u32,
+}
+
+impl BinTable {
+    /// Creates a table with `hash_size` buckets per dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hash_size` is not a power of two (validated upstream
+    /// by `SchedulerConfig`).
+    pub(crate) fn new(hash_size: usize) -> Self {
+        assert!(hash_size.is_power_of_two());
+        BinTable {
+            buckets: vec![NIL; hash_size.pow(MAX_DIMS as u32)],
+            keys: Vec::new(),
+            next: Vec::new(),
+            mask: hash_size as u64 - 1,
+            dim_bits: hash_size.trailing_zeros(),
+        }
+    }
+
+    /// The default hash: "a shift and a mask operation on each hint"
+    /// (the shift already happened when hints became block coords).
+    #[inline]
+    fn bucket_of(&self, key: [u64; MAX_DIMS]) -> usize {
+        let mut bucket = 0u64;
+        for coord in key {
+            bucket = (bucket << self.dim_bits) | (coord & self.mask);
+        }
+        bucket as usize
+    }
+
+    /// Finds the bin for `key`, allocating a new id if absent.
+    ///
+    /// Returns `(id, created)`.
+    #[inline]
+    pub(crate) fn lookup_or_insert(&mut self, key: [u64; MAX_DIMS]) -> (BinId, bool) {
+        let bucket = self.bucket_of(key);
+        let mut id = self.buckets[bucket];
+        while id != NIL {
+            if self.keys[id as usize] == key {
+                return (id, false);
+            }
+            id = self.next[id as usize];
+        }
+        let new_id = self.keys.len() as BinId;
+        assert!(new_id != NIL, "bin id space exhausted");
+        self.keys.push(key);
+        self.next.push(self.buckets[bucket]);
+        self.buckets[bucket] = new_id;
+        (new_id, true)
+    }
+
+    /// Public (crate) view of the bucket a key hashes to, for the
+    /// package-memory tracer.
+    #[inline]
+    pub(crate) fn bucket_index(&self, key: [u64; MAX_DIMS]) -> usize {
+        self.bucket_of(key)
+    }
+
+    /// Number of allocated bins.
+    pub(crate) fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Block coordinates of every allocated bin, indexed by bin id
+    /// (i.e. in ready-list order).
+    pub(crate) fn keys(&self) -> &[[u64; MAX_DIMS]] {
+        &self.keys
+    }
+
+    /// Removes all bins, keeping the bucket array allocation.
+    pub(crate) fn clear(&mut self) {
+        self.buckets.fill(NIL);
+        self.keys.clear();
+        self.next.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_same_bin() {
+        let mut t = BinTable::new(4);
+        let (a, created_a) = t.lookup_or_insert([1, 2, 3, 0]);
+        let (b, created_b) = t.lookup_or_insert([1, 2, 3, 0]);
+        assert_eq!(a, b);
+        assert!(created_a);
+        assert!(!created_b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_allocation_ordered() {
+        let mut t = BinTable::new(4);
+        let (a, _) = t.lookup_or_insert([0, 0, 0, 0]);
+        let (b, _) = t.lookup_or_insert([1, 0, 0, 0]);
+        let (c, _) = t.lookup_or_insert([2, 0, 0, 0]);
+        assert_eq!((a, b, c), (0, 1, 2));
+        assert_eq!(t.keys()[1], [1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn colliding_keys_get_distinct_bins() {
+        // hash_size 4: coords 1 and 5 mask to the same bucket index.
+        let mut t = BinTable::new(4);
+        let (a, _) = t.lookup_or_insert([1, 0, 0, 0]);
+        let (b, _) = t.lookup_or_insert([5, 0, 0, 0]);
+        assert_ne!(a, b, "chained collision must preserve distinct blocks");
+        // Both keys still resolve to their own bin.
+        assert_eq!(t.lookup_or_insert([1, 0, 0, 0]).0, a);
+        assert_eq!(t.lookup_or_insert([5, 0, 0, 0]).0, b);
+    }
+
+    #[test]
+    fn clear_empties_the_table() {
+        let mut t = BinTable::new(4);
+        t.lookup_or_insert([1, 2, 3, 0]);
+        t.clear();
+        assert_eq!(t.len(), 0);
+        let (id, created) = t.lookup_or_insert([1, 2, 3, 0]);
+        assert_eq!(id, 0);
+        assert!(created);
+    }
+
+    #[test]
+    fn dense_key_space_allocates_many_bins() {
+        let mut t = BinTable::new(2); // only 8 buckets, heavy chaining
+        for x in 0..10u64 {
+            for y in 0..10u64 {
+                t.lookup_or_insert([x, y, 0, 0]);
+            }
+        }
+        assert_eq!(t.len(), 100);
+        // Every key resolves back to a unique id.
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..10u64 {
+            for y in 0..10u64 {
+                let (id, created) = t.lookup_or_insert([x, y, 0, 0]);
+                assert!(!created);
+                assert!(seen.insert(id));
+            }
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Bin traversal orders.
+
+use crate::hint::MAX_DIMS;
+use crate::table::BinId;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The order in which `run` visits non-empty bins.
+///
+/// The paper (§2.3): "Scheduling involves traversing the bins along
+/// some path, preferably the shortest one", and its implementation
+/// (§3.2) visits bins in ready-list (allocation) order. The
+/// alternatives here let the ablation benches quantify how much the
+/// tour matters once threads are binned:
+///
+/// * [`AllocationOrder`](Tour::AllocationOrder) — the paper's
+///   implementation; for loop-nest workloads, creation order already
+///   yields a near-monotone walk of the scheduling plane.
+/// * [`SortedKey`](Tour::SortedKey) — lexicographic over block
+///   coordinates (row-major walk of the plane).
+/// * [`Hilbert`](Tour::Hilbert) — Hilbert space-filling curve over the
+///   first two dimensions: an O(1)-per-bin approximation of the
+///   "shortest tour" the paper gestures at, guaranteeing adjacent bins
+///   differ in one block step.
+/// * [`Morton`](Tour::Morton) — Z-order over all three dimensions.
+/// * [`Random`](Tour::Random) — seeded random order; the adversarial
+///   baseline (destroys inter-bin locality while keeping intra-bin
+///   locality).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tour {
+    /// Visit bins in allocation order (paper's ready list).
+    AllocationOrder,
+    /// Visit bins in lexicographic block-coordinate order.
+    SortedKey,
+    /// Visit bins along a 2-D Hilbert curve over dimensions 0 and 1
+    /// (dimension 2 breaks ties).
+    Hilbert,
+    /// Visit bins in 3-D Morton (Z-curve) order.
+    Morton,
+    /// Visit bins in seeded random order.
+    Random(u64),
+}
+
+impl Tour {
+    /// Computes the visit order over bins whose block coordinates are
+    /// `keys` (indexed by bin id).
+    pub(crate) fn order(&self, keys: &[[u64; MAX_DIMS]]) -> Vec<BinId> {
+        let mut ids: Vec<BinId> = (0..keys.len() as BinId).collect();
+        match *self {
+            Tour::AllocationOrder => {}
+            Tour::SortedKey => {
+                ids.sort_unstable_by_key(|&id| keys[id as usize]);
+            }
+            Tour::Hilbert => {
+                ids.sort_unstable_by_key(|&id| {
+                    let k = keys[id as usize];
+                    (hilbert_d(k[0], k[1]), k[2], k[3])
+                });
+            }
+            Tour::Morton => {
+                ids.sort_unstable_by_key(|&id| {
+                    let k = keys[id as usize];
+                    morton3(k[0], k[1], k[2])
+                });
+            }
+            Tour::Random(seed) => {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                ids.shuffle(&mut rng);
+            }
+        }
+        ids
+    }
+}
+
+/// Bits per coordinate for the space-filling curves. Block coordinates
+/// are addresses divided by block sizes of at least 2⁶, so 29 bits
+/// cover a 2³⁵-byte hint space — far beyond any workload here.
+const CURVE_BITS: u32 = 29;
+
+/// Maps (x, y) to its distance along a 2-D Hilbert curve of order
+/// [`CURVE_BITS`]. Coordinates beyond the curve's extent are clamped.
+fn hilbert_d(x: u64, y: u64) -> u64 {
+    let n: u64 = 1 << CURVE_BITS;
+    let mut x = x.min(n - 1);
+    let mut y = y.min(n - 1);
+    let mut d: u64 = 0;
+    let mut s: u64 = n / 2;
+    while s > 0 {
+        let rx = u64::from((x & s) > 0);
+        let ry = u64::from((y & s) > 0);
+        d += s * s * ((3 * rx) ^ ry);
+        // Rotate the quadrant (classic xy2d rotation).
+        if ry == 0 {
+            if rx == 1 {
+                x = n - 1 - x;
+                y = n - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s /= 2;
+    }
+    d
+}
+
+/// Interleaves the low 21 bits of three coordinates into a Morton code.
+fn morton3(x: u64, y: u64, z: u64) -> u64 {
+    fn spread(v: u64) -> u64 {
+        let mut v = v & 0x1f_ffff; // 21 bits
+        v = (v | (v << 32)) & 0x1f00000000ffff;
+        v = (v | (v << 16)) & 0x1f0000ff0000ff;
+        v = (v | (v << 8)) & 0x100f00f00f00f00f;
+        v = (v | (v << 4)) & 0x10c30c30c30c30c3;
+        v = (v | (v << 2)) & 0x1249249249249249;
+        v
+    }
+    spread(x) | (spread(y) << 1) | (spread(z) << 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_keys(n: u64) -> Vec<[u64; MAX_DIMS]> {
+        let mut keys = Vec::new();
+        for x in 0..n {
+            for y in 0..n {
+                keys.push([x, y, 0, 0]);
+            }
+        }
+        keys
+    }
+
+    fn is_permutation(order: &[BinId], len: usize) -> bool {
+        let mut seen = vec![false; len];
+        for &id in order {
+            if seen[id as usize] {
+                return false;
+            }
+            seen[id as usize] = true;
+        }
+        order.len() == len
+    }
+
+    #[test]
+    fn every_tour_is_a_permutation() {
+        let keys = grid_keys(7);
+        for tour in [
+            Tour::AllocationOrder,
+            Tour::SortedKey,
+            Tour::Hilbert,
+            Tour::Morton,
+            Tour::Random(42),
+        ] {
+            let order = tour.order(&keys);
+            assert!(is_permutation(&order, keys.len()), "{tour:?}");
+        }
+    }
+
+    #[test]
+    fn allocation_order_is_identity() {
+        let keys = grid_keys(3);
+        let order = Tour::AllocationOrder.order(&keys);
+        assert_eq!(order, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sorted_key_is_lexicographic() {
+        let keys = vec![[2, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 0], [1, 5, 0, 0]];
+        let order = Tour::SortedKey.order(&keys);
+        assert_eq!(order, vec![2, 1, 3, 0]);
+    }
+
+    #[test]
+    fn random_is_seeded_deterministic() {
+        let keys = grid_keys(5);
+        let a = Tour::Random(7).order(&keys);
+        let b = Tour::Random(7).order(&keys);
+        let c = Tour::Random(8).order(&keys);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should differ (w.h.p.)");
+    }
+
+    #[test]
+    fn hilbert_visits_neighbours() {
+        // On a full 2^k x 2^k grid the Hilbert tour moves exactly one
+        // step (Manhattan distance 1) between consecutive bins.
+        let n = 8;
+        let keys = grid_keys(n);
+        let order = Tour::Hilbert.order(&keys);
+        for pair in order.windows(2) {
+            let a = keys[pair[0] as usize];
+            let b = keys[pair[1] as usize];
+            let dist = a[0].abs_diff(b[0]) + a[1].abs_diff(b[1]);
+            assert_eq!(dist, 1, "{a:?} -> {b:?}");
+        }
+    }
+
+    #[test]
+    fn hilbert_distance_is_injective_on_grid() {
+        let mut seen = std::collections::HashSet::new();
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                assert!(seen.insert(hilbert_d(x, y)), "collision at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn morton_interleaves() {
+        assert_eq!(morton3(0, 0, 0), 0);
+        assert_eq!(morton3(1, 0, 0), 0b001);
+        assert_eq!(morton3(0, 1, 0), 0b010);
+        assert_eq!(morton3(0, 0, 1), 0b100);
+        assert_eq!(morton3(3, 0, 0), 0b001001);
+    }
+
+    #[test]
+    fn tours_on_empty_bin_set() {
+        for tour in [Tour::AllocationOrder, Tour::Hilbert, Tour::Random(1)] {
+            assert!(tour.order(&[]).is_empty(), "{tour:?}");
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Property-based tests of the locality scheduler's invariants.
+
+use locality_sched::{
+    Addr, FifoScheduler, Hints, RandomScheduler, RunMode, Scheduler, SchedulerConfig,
+    ThreadScheduler, Tour,
+};
+use proptest::prelude::*;
+
+type Log = Vec<(usize, usize)>;
+
+fn record(log: &mut Log, a: usize, b: usize) {
+    log.push((a, b));
+}
+
+/// Arbitrary hint tuples over a bounded address space.
+fn arb_hints() -> impl Strategy<Value = Hints> {
+    let addr = 0u64..(1 << 26);
+    prop_oneof![
+        Just(Hints::none()),
+        addr.clone().prop_map(|a| Hints::one(Addr::new(a))),
+        (addr.clone(), addr.clone()).prop_map(|(a, b)| Hints::two(Addr::new(a), Addr::new(b))),
+        (addr.clone(), addr.clone(), addr.clone()).prop_map(|(a, b, c)| Hints::three(
+            Addr::new(a),
+            Addr::new(b),
+            Addr::new(c)
+        )),
+        (addr.clone(), addr.clone(), addr.clone(), addr).prop_map(|(a, b, c, d)| {
+            Hints::four(Addr::new(a), Addr::new(b), Addr::new(c), Addr::new(d))
+        }),
+    ]
+}
+
+fn arb_tour() -> impl Strategy<Value = Tour> {
+    prop_oneof![
+        Just(Tour::AllocationOrder),
+        Just(Tour::SortedKey),
+        Just(Tour::Hilbert),
+        Just(Tour::Morton),
+        any::<u64>().prop_map(Tour::Random),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = SchedulerConfig> {
+    (6u32..24, 1usize..6, any::<bool>(), arb_tour()).prop_map(
+        |(block_log2, hash_log2, symmetric, tour)| {
+            SchedulerConfig::builder()
+                .block_size(1 << block_log2)
+                .hash_size(1 << hash_log2)
+                .symmetric(symmetric)
+                .tour(tour)
+                .build()
+                .expect("generated configs are valid")
+        },
+    )
+}
+
+proptest! {
+    /// Every forked thread runs exactly once, under any configuration,
+    /// tour, and hint mixture.
+    #[test]
+    fn every_thread_runs_exactly_once(
+        config in arb_config(),
+        hints in prop::collection::vec(arb_hints(), 0..300),
+    ) {
+        let mut sched: Scheduler<Log> = Scheduler::new(config);
+        for (i, h) in hints.iter().enumerate() {
+            sched.fork(record, i, 0, *h);
+        }
+        let mut log = Log::new();
+        let stats = sched.run(&mut log, RunMode::Consume);
+        prop_assert_eq!(stats.threads_run, hints.len() as u64);
+        let mut ids: Vec<usize> = log.iter().map(|&(a, _)| a).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..hints.len()).collect::<Vec<_>>());
+    }
+
+    /// Threads sharing a bin run contiguously: for any two threads with
+    /// identical hints, no thread with a different bin runs between
+    /// them.
+    #[test]
+    fn identical_hints_run_contiguously(
+        config in arb_config(),
+        hints in prop::collection::vec(arb_hints(), 1..100),
+        picks in prop::collection::vec(0usize..100, 2..50),
+    ) {
+        // Fork threads whose hints repeat (tagged by hint index).
+        let mut sched: Scheduler<Log> = Scheduler::new(config);
+        let assignments: Vec<usize> =
+            picks.iter().map(|&p| p % hints.len()).collect();
+        for (i, &which) in assignments.iter().enumerate() {
+            sched.fork(record, i, which, hints[which]);
+        }
+        let mut log = Log::new();
+        sched.run(&mut log, RunMode::Consume);
+        // Threads sharing a *block key* (bin) must form one contiguous
+        // run in the log — the scheduler drains each bin completely.
+        for target in 0..hints.len() {
+            let target_key = config.block_coords(hints[target]);
+            let positions: Vec<usize> = log
+                .iter()
+                .enumerate()
+                .filter(|(_, &(_, w))| config.block_coords(hints[w]) == target_key)
+                .map(|(pos, _)| pos)
+                .collect();
+            if let (Some(&first), Some(&last)) = (positions.first(), positions.last()) {
+                prop_assert_eq!(
+                    last - first + 1,
+                    positions.len(),
+                    "bin {:?} scattered", target_key
+                );
+            }
+        }
+    }
+
+    /// Retained schedules re-run identically.
+    #[test]
+    fn retain_is_deterministic(
+        config in arb_config(),
+        hints in prop::collection::vec(arb_hints(), 0..100),
+    ) {
+        let mut sched: Scheduler<Log> = Scheduler::new(config);
+        for (i, h) in hints.iter().enumerate() {
+            sched.fork(record, i, 0, *h);
+        }
+        let mut log = Log::new();
+        sched.run(&mut log, RunMode::Retain);
+        let first: Log = log.clone();
+        log.clear();
+        sched.run(&mut log, RunMode::Consume);
+        prop_assert_eq!(first, log);
+    }
+
+    /// Symmetric folding: mirrored two-dimensional hints land in the
+    /// same bin (§2.3's 50% bin saving), for any pair of addresses.
+    #[test]
+    fn symmetric_folding_merges_mirrored_pairs(
+        a in 0u64..(1 << 30),
+        b in 0u64..(1 << 30),
+        block_log2 in 6u32..20,
+    ) {
+        let config = SchedulerConfig::builder()
+            .block_size(1 << block_log2)
+            .symmetric(true)
+            .build()
+            .unwrap();
+        let mut sched: Scheduler<Log> = Scheduler::new(config);
+        sched.fork(record, 0, 0, Hints::two(Addr::new(a), Addr::new(b)));
+        sched.fork(record, 1, 0, Hints::two(Addr::new(b), Addr::new(a)));
+        prop_assert_eq!(sched.bins(), 1);
+    }
+
+    /// Block assignment matches the arithmetic definition: hints whose
+    /// per-dimension blocks all match share a bin; hints differing in
+    /// any dimension's block do not (symmetric folding off).
+    #[test]
+    fn bin_sharing_matches_block_arithmetic(
+        a in 0u64..(1 << 26),
+        b in 0u64..(1 << 26),
+        block_log2 in 6u32..20,
+    ) {
+        let block = 1u64 << block_log2;
+        let config = SchedulerConfig::builder().block_size(block).build().unwrap();
+        let mut sched: Scheduler<Log> = Scheduler::new(config);
+        sched.fork(record, 0, 0, Hints::one(Addr::new(a)));
+        sched.fork(record, 1, 0, Hints::one(Addr::new(b)));
+        let same_block = (a / block) == (b / block);
+        prop_assert_eq!(sched.bins(), if same_block { 1 } else { 2 });
+    }
+
+    /// All scheduler policies run the same thread multiset.
+    #[test]
+    fn baselines_run_the_same_threads(
+        hints in prop::collection::vec(arb_hints(), 0..100),
+        seed in any::<u64>(),
+    ) {
+        let mut reference: Vec<usize> = (0..hints.len()).collect();
+        reference.sort_unstable();
+
+        let mut locality: Scheduler<Log> = Scheduler::with_defaults();
+        let mut fifo: FifoScheduler<Log> = FifoScheduler::new();
+        let mut random: RandomScheduler<Log> = RandomScheduler::new(seed);
+        for (i, h) in hints.iter().enumerate() {
+            ThreadScheduler::fork(&mut locality, record, i, 0, *h);
+            fifo.fork(record, i, 0, *h);
+            random.fork(record, i, 0, *h);
+        }
+        for sched in [
+            &mut locality as &mut dyn ThreadScheduler<Log>,
+            &mut fifo,
+            &mut random,
+        ] {
+            let mut log = Log::new();
+            sched.run(&mut log, RunMode::Consume);
+            let mut ids: Vec<usize> = log.iter().map(|&(a, _)| a).collect();
+            ids.sort_unstable();
+            prop_assert_eq!(&ids, &reference);
+        }
+    }
+
+    /// The parallel scheduler runs every thread exactly once for any
+    /// worker count and hint distribution.
+    #[test]
+    fn parallel_runs_every_thread_once(
+        hints in prop::collection::vec(arb_hints(), 1..200),
+        workers in 1usize..9,
+    ) {
+        use locality_sched::ParScheduler;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        struct Ctx {
+            counts: Vec<AtomicU64>,
+        }
+        fn bump(ctx: &Ctx, i: usize, _j: usize) {
+            ctx.counts[i].fetch_add(1, Ordering::Relaxed);
+        }
+
+        let mut sched: ParScheduler<Ctx> = ParScheduler::new(SchedulerConfig::default());
+        for (i, h) in hints.iter().enumerate() {
+            sched.fork(bump, i, 0, *h);
+        }
+        let ctx = Ctx {
+            counts: (0..hints.len()).map(|_| AtomicU64::new(0)).collect(),
+        };
+        let stats = sched.run(&ctx, workers);
+        prop_assert_eq!(stats.threads_run, hints.len() as u64);
+        for (i, c) in ctx.counts.iter().enumerate() {
+            prop_assert_eq!(c.load(Ordering::Relaxed), 1, "thread {} ran wrong count", i);
+        }
+    }
+
+    /// Phased scheduling never lets a later phase overtake an earlier
+    /// one, while still binning within phases.
+    #[test]
+    fn phases_never_interleave(
+        hints in prop::collection::vec(arb_hints(), 1..60),
+        phases in prop::collection::vec(0u32..5, 1..60),
+    ) {
+        use locality_sched::PhasedScheduler;
+        let mut sched: PhasedScheduler<Log> = PhasedScheduler::new(SchedulerConfig::default());
+        let n = hints.len().min(phases.len());
+        for i in 0..n {
+            sched.fork(phases[i], record, phases[i] as usize, i, hints[i]);
+        }
+        let mut log = Log::new();
+        let stats = sched.run(&mut log, RunMode::Consume);
+        prop_assert_eq!(stats.threads_run, n as u64);
+        let seen: Vec<usize> = log.iter().map(|&(p, _)| p).collect();
+        prop_assert!(seen.windows(2).all(|w| w[0] <= w[1]), "{:?}", seen);
+    }
+
+    /// Scheduler stats are consistent with what fork recorded.
+    #[test]
+    fn stats_are_consistent(
+        config in arb_config(),
+        hints in prop::collection::vec(arb_hints(), 0..200),
+    ) {
+        let mut sched: Scheduler<Log> = Scheduler::new(config);
+        for (i, h) in hints.iter().enumerate() {
+            sched.fork(record, i, 0, *h);
+        }
+        let stats = sched.stats();
+        prop_assert_eq!(stats.threads(), hints.len() as u64);
+        prop_assert_eq!(stats.bins(), sched.bins());
+        prop_assert_eq!(
+            stats.threads_per_bin().iter().sum::<u64>(),
+            hints.len() as u64
+        );
+        if !hints.is_empty() {
+            prop_assert!(stats.max_threads_per_bin() >= 1);
+            prop_assert!(stats.min_threads_per_bin() >= 1);
+        }
+    }
+}

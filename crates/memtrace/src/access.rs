@@ -1,0 +1,267 @@
+//! Addresses and individual memory references.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A virtual byte address in a traced program's address space.
+///
+/// `Addr` is a newtype over `u64`, so address arithmetic must be explicit
+/// — a raw `u64` offset cannot silently be used where an address is
+/// expected. Addresses double as the *scheduling hints* of the locality
+/// scheduler, exactly as in the paper (§2.3: "the k addresses associated
+/// with a thread act as hints to the scheduler").
+///
+/// # Examples
+///
+/// ```
+/// use memtrace::Addr;
+///
+/// let base = Addr::new(0x1000);
+/// assert_eq!(base + 8, Addr::new(0x1008));
+/// assert_eq!((base + 8) - base, 8);
+/// assert_eq!(base.align_up(64), Addr::new(0x1000));
+/// assert_eq!(Addr::new(0x1001).align_up(64), Addr::new(0x1040));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// The null address. Used by the scheduler to mean "no hint in this
+    /// dimension", mirroring the paper's `th_fork(..., hint3 = 0)`.
+    pub const NULL: Addr = Addr(0);
+
+    /// Creates an address from a raw byte value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// Returns the raw byte value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if this is the null address.
+    #[inline]
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Rounds this address up to the next multiple of `align`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    #[inline]
+    pub fn align_up(self, align: u64) -> Self {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        Addr((self.0 + align - 1) & !(align - 1))
+    }
+
+    /// Returns the cache-line index of this address for `line_size`-byte
+    /// lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_size` is not a power of two.
+    #[inline]
+    pub fn line(self, line_size: u64) -> u64 {
+        debug_assert!(line_size.is_power_of_two());
+        self.0 / line_size
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+impl From<Addr> for u64 {
+    fn from(addr: Addr) -> Self {
+        addr.0
+    }
+}
+
+impl Add<u64> for Addr {
+    type Output = Addr;
+
+    #[inline]
+    fn add(self, offset: u64) -> Addr {
+        Addr(self.0 + offset)
+    }
+}
+
+impl AddAssign<u64> for Addr {
+    #[inline]
+    fn add_assign(&mut self, offset: u64) {
+        self.0 += offset;
+    }
+}
+
+impl Sub<Addr> for Addr {
+    type Output = u64;
+
+    /// Byte distance between two addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `rhs > self`.
+    #[inline]
+    fn sub(self, rhs: Addr) -> u64 {
+        debug_assert!(self.0 >= rhs.0, "address subtraction underflow");
+        self.0 - rhs.0
+    }
+}
+
+/// Whether a memory reference reads or writes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A data load.
+    Read,
+    /// A data store.
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Read => f.write_str("read"),
+            AccessKind::Write => f.write_str("write"),
+        }
+    }
+}
+
+/// One memory reference: an address, a size in bytes, and a kind.
+///
+/// This is the unit a [`TraceSink`](crate::TraceSink) consumes — the
+/// same information one record of a Pixie data-reference trace carried.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// First byte touched.
+    pub addr: Addr,
+    /// Number of bytes touched. Accesses may span cache lines; simulators
+    /// must split them.
+    pub size: u32,
+    /// Load or store.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// Creates a read access.
+    #[inline]
+    pub const fn read(addr: Addr, size: u32) -> Self {
+        Access {
+            addr,
+            size,
+            kind: AccessKind::Read,
+        }
+    }
+
+    /// Creates a write access.
+    #[inline]
+    pub const fn write(addr: Addr, size: u32) -> Self {
+        Access {
+            addr,
+            size,
+            kind: AccessKind::Write,
+        }
+    }
+
+    /// Address one past the last byte touched.
+    #[inline]
+    pub fn end(self) -> Addr {
+        self.addr + u64::from(self.size)
+    }
+}
+
+impl fmt::Display for Access {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:#x}+{}", self.kind, self.addr, self.size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_arithmetic() {
+        let a = Addr::new(100);
+        assert_eq!((a + 28).raw(), 128);
+        assert_eq!((a + 28) - a, 28);
+        let mut b = a;
+        b += 4;
+        assert_eq!(b.raw(), 104);
+    }
+
+    #[test]
+    fn addr_align_up() {
+        assert_eq!(Addr::new(0).align_up(64), Addr::new(0));
+        assert_eq!(Addr::new(1).align_up(64), Addr::new(64));
+        assert_eq!(Addr::new(64).align_up(64), Addr::new(64));
+        assert_eq!(Addr::new(65).align_up(128), Addr::new(128));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn addr_align_up_rejects_non_power_of_two() {
+        let _ = Addr::new(1).align_up(48);
+    }
+
+    #[test]
+    fn addr_line_index() {
+        assert_eq!(Addr::new(0).line(128), 0);
+        assert_eq!(Addr::new(127).line(128), 0);
+        assert_eq!(Addr::new(128).line(128), 1);
+    }
+
+    #[test]
+    fn addr_null() {
+        assert!(Addr::NULL.is_null());
+        assert!(!Addr::new(1).is_null());
+        assert_eq!(Addr::default(), Addr::NULL);
+    }
+
+    #[test]
+    fn addr_display_is_hex() {
+        assert_eq!(Addr::new(255).to_string(), "0xff");
+        assert_eq!(format!("{:x}", Addr::new(255)), "ff");
+    }
+
+    #[test]
+    fn addr_conversions() {
+        let a: Addr = 42u64.into();
+        let r: u64 = a.into();
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn access_constructors() {
+        let r = Access::read(Addr::new(8), 8);
+        assert_eq!(r.kind, AccessKind::Read);
+        assert_eq!(r.end(), Addr::new(16));
+        let w = Access::write(Addr::new(0), 4);
+        assert_eq!(w.kind, AccessKind::Write);
+        assert_eq!(w.end(), Addr::new(4));
+    }
+
+    #[test]
+    fn access_display() {
+        let a = Access::read(Addr::new(16), 8);
+        assert_eq!(a.to_string(), "read 0x10+8");
+    }
+}

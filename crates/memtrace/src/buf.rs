@@ -1,0 +1,259 @@
+//! A traced buffer of `Copy` records.
+
+use crate::{Addr, AddressSpace, TraceSink};
+
+/// A fixed-length buffer of `Copy` records living at a stable virtual
+/// address, with traced element access.
+///
+/// Where [`TracedMatrix`](crate::TracedMatrix) covers the dense `f64`
+/// arrays of the linear-algebra benchmarks, `TracedBuf` covers record
+/// data — the N-body benchmark's body vector and Barnes–Hut tree nodes.
+/// A traced [`get`](TracedBuf::get)/[`set`](TracedBuf::set) covers the
+/// whole record; field-granular tracing is available through
+/// [`read_field`](TracedBuf::read_field) /
+/// [`write_field`](TracedBuf::write_field).
+///
+/// Multi-word touches are emitted as one access per machine word
+/// (8 bytes), because that is what the instrumented loads/stores of a
+/// Pixie-style trace would contain — reference counts stay comparable
+/// with per-element traced containers.
+///
+/// # Examples
+///
+/// ```
+/// use memtrace::{AddressSpace, CountingSink, TracedBuf};
+///
+/// let mut space = AddressSpace::new();
+/// let mut buf: TracedBuf<[f64; 3]> = TracedBuf::new(&mut space, 10);
+/// let mut sink = CountingSink::new();
+/// buf.set(3, [1.0, 2.0, 3.0], &mut sink);
+/// assert_eq!(buf.get(3, &mut sink)[1], 2.0);
+/// assert_eq!(sink.bytes(), 48); // 24 bytes touched each way
+/// assert_eq!(sink.reads(), 3); // emitted as word-sized loads
+/// ```
+#[derive(Clone, Debug)]
+pub struct TracedBuf<T> {
+    data: Vec<T>,
+    base: Addr,
+}
+
+impl<T: Copy + Default> TracedBuf<T> {
+    /// Allocates a buffer of `len` default-valued records in `space`.
+    pub fn new(space: &mut AddressSpace, len: usize) -> Self {
+        TracedBuf::from_vec(space, vec![T::default(); len])
+    }
+}
+
+impl<T: Copy> TracedBuf<T> {
+    /// Wraps an existing vector, allocating a region for it in `space`.
+    pub fn from_vec(space: &mut AddressSpace, data: Vec<T>) -> Self {
+        let bytes = (data.len() as u64) * Self::stride();
+        let base = space.alloc_named("buf", bytes, 128);
+        TracedBuf { data, base }
+    }
+
+    /// Bytes per element.
+    #[inline]
+    pub fn stride() -> u64 {
+        std::mem::size_of::<T>() as u64
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Base virtual address of element 0.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Virtual address of element `index`.
+    #[inline]
+    pub fn addr_of(&self, index: usize) -> Addr {
+        self.base + (index as u64) * Self::stride()
+    }
+
+    /// Emits word-sized accesses covering `[addr, addr + len)`.
+    #[inline]
+    fn emit<S: TraceSink>(addr: Addr, len: u32, write: bool, sink: &mut S) {
+        let mut off = 0;
+        while off < len {
+            let size = (len - off).min(8);
+            if write {
+                sink.write(addr + u64::from(off), size);
+            } else {
+                sink.read(addr + u64::from(off), size);
+            }
+            off += size;
+        }
+    }
+
+    /// Traced load of the whole record at `index` (one access per
+    /// word).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[inline]
+    pub fn get<S: TraceSink>(&self, index: usize, sink: &mut S) -> T {
+        Self::emit(self.addr_of(index), Self::stride() as u32, false, sink);
+        self.data[index]
+    }
+
+    /// Traced store of the whole record at `index` (one access per
+    /// word).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[inline]
+    pub fn set<S: TraceSink>(&mut self, index: usize, value: T, sink: &mut S) {
+        Self::emit(self.addr_of(index), Self::stride() as u32, true, sink);
+        self.data[index] = value;
+    }
+
+    /// Emits a read of `len` bytes at byte offset `offset` within the
+    /// record at `index`, and returns a shared reference to the record.
+    ///
+    /// Use this when a workload touches only part of a record (e.g. the
+    /// mass and centre-of-mass of a tree node but not its child
+    /// pointers), so the simulated traffic matches what the real code
+    /// would do.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds; debug-panics if the field
+    /// range exceeds the record.
+    #[inline]
+    pub fn read_field<S: TraceSink>(
+        &self,
+        index: usize,
+        offset: u64,
+        len: u32,
+        sink: &mut S,
+    ) -> &T {
+        debug_assert!(
+            offset + u64::from(len) <= Self::stride(),
+            "field out of record bounds"
+        );
+        Self::emit(self.addr_of(index) + offset, len, false, sink);
+        &self.data[index]
+    }
+
+    /// Emits a write of `len` bytes at byte offset `offset` within the
+    /// record at `index`, and returns an exclusive reference to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds; debug-panics if the field
+    /// range exceeds the record.
+    #[inline]
+    pub fn write_field<S: TraceSink>(
+        &mut self,
+        index: usize,
+        offset: u64,
+        len: u32,
+        sink: &mut S,
+    ) -> &mut T {
+        debug_assert!(
+            offset + u64::from(len) <= Self::stride(),
+            "field out of record bounds"
+        );
+        Self::emit(self.addr_of(index) + offset, len, true, sink);
+        &mut self.data[index]
+    }
+
+    /// Untraced shared access, for initialization and verification.
+    #[inline]
+    pub fn at(&self, index: usize) -> &T {
+        &self.data[index]
+    }
+
+    /// Untraced exclusive access, for initialization and verification.
+    #[inline]
+    pub fn at_mut(&mut self, index: usize) -> &mut T {
+        &mut self.data[index]
+    }
+
+    /// Untraced view of the whole buffer.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CountingSink, VecSink};
+
+    #[test]
+    fn addresses_follow_stride() {
+        let mut space = AddressSpace::new();
+        let buf: TracedBuf<[f64; 4]> = TracedBuf::new(&mut space, 8);
+        assert_eq!(TracedBuf::<[f64; 4]>::stride(), 32);
+        assert_eq!(buf.addr_of(0), buf.base());
+        assert_eq!(buf.addr_of(3), buf.base() + 96);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut space = AddressSpace::new();
+        let mut buf: TracedBuf<u64> = TracedBuf::new(&mut space, 4);
+        let mut sink = CountingSink::new();
+        buf.set(2, 99, &mut sink);
+        assert_eq!(buf.get(2, &mut sink), 99);
+        assert_eq!(sink.reads(), 1);
+        assert_eq!(sink.writes(), 1);
+        assert_eq!(sink.bytes(), 16);
+    }
+
+    #[test]
+    fn field_access_emits_partial_reference() {
+        let mut space = AddressSpace::new();
+        let mut buf: TracedBuf<[f64; 4]> = TracedBuf::new(&mut space, 2);
+        *buf.at_mut(1) = [1.0, 2.0, 3.0, 4.0];
+        let mut sink = VecSink::new();
+        let rec = buf.read_field(1, 8, 16, &mut sink);
+        assert_eq!(rec[1], 2.0);
+        // 16 bytes are emitted as two word-sized loads.
+        let trace = sink.accesses();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].addr, buf.addr_of(1) + 8);
+        assert_eq!(trace[0].size, 8);
+        assert_eq!(trace[1].addr, buf.addr_of(1) + 16);
+        assert_eq!(trace[1].size, 8);
+    }
+
+    #[test]
+    fn write_field_mutates() {
+        let mut space = AddressSpace::new();
+        let mut buf: TracedBuf<[f64; 2]> = TracedBuf::new(&mut space, 2);
+        let mut sink = CountingSink::new();
+        buf.write_field(0, 0, 8, &mut sink)[0] = 7.0;
+        assert_eq!(buf.at(0)[0], 7.0);
+        assert_eq!(sink.writes(), 1);
+    }
+
+    #[test]
+    fn from_vec_preserves_contents() {
+        let mut space = AddressSpace::new();
+        let buf = TracedBuf::from_vec(&mut space, vec![10u32, 20, 30]);
+        assert_eq!(buf.as_slice(), &[10, 20, 30]);
+        assert_eq!(buf.len(), 3);
+        assert!(!buf.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_get_panics() {
+        let mut space = AddressSpace::new();
+        let buf: TracedBuf<u64> = TracedBuf::new(&mut space, 1);
+        let _ = buf.get(1, &mut CountingSink::new());
+    }
+}

@@ -1,0 +1,51 @@
+//! Memory-reference tracing substrate (the reproduction's stand-in for
+//! Pixie binary instrumentation).
+//!
+//! The ASPLOS'96 paper generated address traces of its benchmark binaries
+//! with Pixie and fed them to a modified DineroIII simulator. This crate
+//! provides the equivalent information source for pure-Rust workloads:
+//!
+//! * [`Addr`] / [`Access`] — a virtual address and one memory reference.
+//! * [`AddressSpace`] — a bump allocator handing out non-overlapping
+//!   virtual regions, so traced data structures live at realistic,
+//!   stable addresses (matrix columns really are contiguous, distinct
+//!   arrays really are disjoint).
+//! * [`TraceSink`] — the consumer interface. A workload runs generically
+//!   over `S: TraceSink`; instantiating it with [`NullSink`] gives native
+//!   speed, with a cache simulator (see the `cachesim` crate) gives the
+//!   paper's trace-driven simulation, with [`VecSink`] gives a recorded
+//!   trace for tests.
+//! * Traced containers ([`TracedMatrix`], [`TracedBuf`]) that emit one
+//!   [`Access`] per element touch, plus analytic instruction accounting
+//!   via [`TraceSink::instructions`].
+//!
+//! # Examples
+//!
+//! ```
+//! use memtrace::{AddressSpace, CountingSink, MatrixLayout, TracedMatrix};
+//!
+//! let mut space = AddressSpace::new();
+//! let mut m = TracedMatrix::zeros(&mut space, 4, 4, MatrixLayout::ColMajor);
+//! let mut sink = CountingSink::new();
+//! m.set(0, 0, 1.0, &mut sink);
+//! let v = m.get(0, 0, &mut sink);
+//! assert_eq!(v, 1.0);
+//! assert_eq!(sink.reads(), 1);
+//! assert_eq!(sink.writes(), 1);
+//! ```
+
+mod access;
+mod buf;
+mod matrix;
+mod regions;
+mod sink;
+mod space;
+mod tracefile;
+
+pub use access::{Access, AccessKind, Addr};
+pub use buf::TracedBuf;
+pub use matrix::{MatrixLayout, TracedMatrix};
+pub use regions::{RegionSink, RegionTraffic};
+pub use sink::{CountingSink, FnSink, NullSink, TeeSink, TraceSink, VecSink};
+pub use space::AddressSpace;
+pub use tracefile::{TraceEvent, TraceFileReader, TraceFileWriter};

@@ -1,0 +1,372 @@
+//! Trace consumers.
+
+use crate::{Access, Addr};
+
+/// A consumer of memory-reference traces.
+///
+/// Workloads are written once, generically over `S: TraceSink`, and the
+/// sink decides what tracing costs:
+///
+/// * [`NullSink`] — everything inlines to nothing; the workload runs at
+///   native speed (used for wall-clock Criterion benches).
+/// * `cachesim::SimSink` — feeds an online cache-hierarchy simulation
+///   (the paper's Pixie → DineroIII pipeline, without the intermediate
+///   trace file).
+/// * [`VecSink`] — records the trace for inspection in tests.
+/// * [`CountingSink`] — counts references only.
+///
+/// Implementations also receive *instruction counts* via
+/// [`instructions`](TraceSink::instructions): workloads account the
+/// instructions of each inner-loop iteration analytically (the paper
+/// reports these counts per version in §4.2), which replaces Pixie's
+/// I-fetch stream.
+pub trait TraceSink {
+    /// Consumes one memory reference.
+    fn access(&mut self, access: Access);
+
+    /// Accounts `count` executed instructions.
+    fn instructions(&mut self, count: u64);
+
+    /// Convenience: consumes a read of `size` bytes at `addr`.
+    #[inline]
+    fn read(&mut self, addr: Addr, size: u32) {
+        self.access(Access::read(addr, size));
+    }
+
+    /// Convenience: consumes a write of `size` bytes at `addr`.
+    #[inline]
+    fn write(&mut self, addr: Addr, size: u32) {
+        self.access(Access::write(addr, size));
+    }
+}
+
+impl<S: TraceSink + ?Sized> TraceSink for &mut S {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        (**self).access(access);
+    }
+
+    #[inline]
+    fn instructions(&mut self, count: u64) {
+        (**self).instructions(count);
+    }
+}
+
+/// A sink that discards everything; traced code runs at native speed.
+///
+/// # Examples
+///
+/// ```
+/// use memtrace::{Access, Addr, NullSink, TraceSink};
+///
+/// let mut sink = NullSink;
+/// sink.access(Access::read(Addr::new(0x10), 8));
+/// sink.instructions(100);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl NullSink {
+    /// Creates a new null sink.
+    pub fn new() -> Self {
+        NullSink
+    }
+}
+
+impl TraceSink for NullSink {
+    #[inline]
+    fn access(&mut self, _access: Access) {}
+
+    #[inline]
+    fn instructions(&mut self, _count: u64) {}
+}
+
+/// A sink that counts references and instructions without storing them.
+///
+/// # Examples
+///
+/// ```
+/// use memtrace::{Access, Addr, CountingSink, TraceSink};
+///
+/// let mut sink = CountingSink::new();
+/// sink.read(Addr::new(0), 8);
+/// sink.write(Addr::new(8), 8);
+/// sink.instructions(10);
+/// assert_eq!(sink.reads(), 1);
+/// assert_eq!(sink.writes(), 1);
+/// assert_eq!(sink.data_references(), 2);
+/// assert_eq!(sink.instructions_executed(), 10);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CountingSink {
+    reads: u64,
+    writes: u64,
+    bytes: u64,
+    instructions: u64,
+}
+
+impl CountingSink {
+    /// Creates a sink with all counters at zero.
+    pub fn new() -> Self {
+        CountingSink::default()
+    }
+
+    /// Number of read references seen.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of write references seen.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total references seen (reads + writes).
+    pub fn data_references(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Total bytes touched.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total instructions accounted.
+    pub fn instructions_executed(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = CountingSink::default();
+    }
+}
+
+impl TraceSink for CountingSink {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        match access.kind {
+            crate::AccessKind::Read => self.reads += 1,
+            crate::AccessKind::Write => self.writes += 1,
+        }
+        self.bytes += u64::from(access.size);
+    }
+
+    #[inline]
+    fn instructions(&mut self, count: u64) {
+        self.instructions += count;
+    }
+}
+
+/// A sink that records the full trace in memory.
+///
+/// Only suitable for small traces (tests, debugging); the paper-scale
+/// experiments stream into the simulator instead.
+#[derive(Clone, Debug, Default)]
+pub struct VecSink {
+    accesses: Vec<Access>,
+    instructions: u64,
+}
+
+impl VecSink {
+    /// Creates an empty recording sink.
+    pub fn new() -> Self {
+        VecSink::default()
+    }
+
+    /// The recorded references, in program order.
+    pub fn accesses(&self) -> &[Access] {
+        &self.accesses
+    }
+
+    /// Total instructions accounted.
+    pub fn instructions_executed(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Consumes the sink, returning the recorded trace.
+    pub fn into_accesses(self) -> Vec<Access> {
+        self.accesses
+    }
+}
+
+impl TraceSink for VecSink {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        self.accesses.push(access);
+    }
+
+    #[inline]
+    fn instructions(&mut self, count: u64) {
+        self.instructions += count;
+    }
+}
+
+/// A sink that forwards every event to two underlying sinks.
+///
+/// # Examples
+///
+/// ```
+/// use memtrace::{Addr, CountingSink, TeeSink, TraceSink, VecSink};
+///
+/// let mut tee = TeeSink::new(CountingSink::new(), VecSink::new());
+/// tee.read(Addr::new(0), 8);
+/// assert_eq!(tee.first().reads(), 1);
+/// assert_eq!(tee.second().accesses().len(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TeeSink<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A, B> TeeSink<A, B> {
+    /// Creates a tee over two sinks.
+    pub fn new(first: A, second: B) -> Self {
+        TeeSink { first, second }
+    }
+
+    /// The first underlying sink.
+    pub fn first(&self) -> &A {
+        &self.first
+    }
+
+    /// The second underlying sink.
+    pub fn second(&self) -> &B {
+        &self.second
+    }
+
+    /// Consumes the tee, returning both sinks.
+    pub fn into_inner(self) -> (A, B) {
+        (self.first, self.second)
+    }
+}
+
+impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        self.first.access(access);
+        self.second.access(access);
+    }
+
+    #[inline]
+    fn instructions(&mut self, count: u64) {
+        self.first.instructions(count);
+        self.second.instructions(count);
+    }
+}
+
+/// A sink that invokes a closure on every reference (instruction counts
+/// are tallied but not forwarded).
+///
+/// Handy in tests for asserting properties of a trace without storing it.
+pub struct FnSink<F> {
+    callback: F,
+    instructions: u64,
+}
+
+impl<F: FnMut(Access)> FnSink<F> {
+    /// Creates a sink calling `callback` for every access.
+    pub fn new(callback: F) -> Self {
+        FnSink {
+            callback,
+            instructions: 0,
+        }
+    }
+
+    /// Total instructions accounted.
+    pub fn instructions_executed(&self) -> u64 {
+        self.instructions
+    }
+}
+
+impl<F> std::fmt::Debug for FnSink<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnSink")
+            .field("instructions", &self.instructions)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<F: FnMut(Access)> TraceSink for FnSink<F> {
+    #[inline]
+    fn access(&mut self, access: Access) {
+        (self.callback)(access);
+    }
+
+    #[inline]
+    fn instructions(&mut self, count: u64) {
+        self.instructions += count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AccessKind;
+
+    #[test]
+    fn counting_sink_counts() {
+        let mut sink = CountingSink::new();
+        sink.read(Addr::new(0), 8);
+        sink.read(Addr::new(8), 4);
+        sink.write(Addr::new(16), 8);
+        sink.instructions(3);
+        sink.instructions(4);
+        assert_eq!(sink.reads(), 2);
+        assert_eq!(sink.writes(), 1);
+        assert_eq!(sink.data_references(), 3);
+        assert_eq!(sink.bytes(), 20);
+        assert_eq!(sink.instructions_executed(), 7);
+        sink.reset();
+        assert_eq!(sink.data_references(), 0);
+        assert_eq!(sink.instructions_executed(), 0);
+    }
+
+    #[test]
+    fn vec_sink_records_in_order() {
+        let mut sink = VecSink::new();
+        sink.read(Addr::new(0), 8);
+        sink.write(Addr::new(8), 8);
+        let trace = sink.into_accesses();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].kind, AccessKind::Read);
+        assert_eq!(trace[1].kind, AccessKind::Write);
+        assert_eq!(trace[1].addr, Addr::new(8));
+    }
+
+    #[test]
+    fn tee_sink_forwards_to_both() {
+        let mut tee = TeeSink::new(CountingSink::new(), CountingSink::new());
+        tee.read(Addr::new(0), 8);
+        tee.instructions(5);
+        let (a, b) = tee.into_inner();
+        assert_eq!(a.reads(), 1);
+        assert_eq!(b.reads(), 1);
+        assert_eq!(a.instructions_executed(), 5);
+        assert_eq!(b.instructions_executed(), 5);
+    }
+
+    #[test]
+    fn fn_sink_invokes_callback() {
+        let mut seen = Vec::new();
+        {
+            let mut sink = FnSink::new(|a| seen.push(a));
+            sink.read(Addr::new(4), 4);
+            sink.instructions(2);
+            assert_eq!(sink.instructions_executed(), 2);
+        }
+        assert_eq!(seen, vec![Access::read(Addr::new(4), 4)]);
+    }
+
+    #[test]
+    fn mut_ref_is_a_sink() {
+        fn takes_sink<S: TraceSink>(mut s: S) {
+            s.read(Addr::new(0), 8);
+        }
+        let mut counting = CountingSink::new();
+        takes_sink(&mut counting);
+        takes_sink(&mut counting);
+        assert_eq!(counting.reads(), 2);
+    }
+}

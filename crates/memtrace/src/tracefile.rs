@@ -1,0 +1,280 @@
+//! Binary trace files — the literal equivalent of the paper's Pixie
+//! output ("by directly reading the binary Pixie trace output").
+//!
+//! The in-process [`SimSink`](crate::TraceSink) pipeline never needs a
+//! trace file, but decoupled workflows do: record a workload once,
+//! replay it through many cache configurations. The format is a flat
+//! little-endian record stream:
+//!
+//! ```text
+//! 0x01 addr:u64 size:u32          read
+//! 0x02 addr:u64 size:u32          write
+//! 0x03 count:u64                  instructions
+//! ```
+
+use crate::{Access, AccessKind, Addr, TraceSink};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+
+const TAG_READ: u8 = 0x01;
+const TAG_WRITE: u8 = 0x02;
+const TAG_INSTR: u8 = 0x03;
+
+/// One record of a trace file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A memory reference.
+    Access(Access),
+    /// An instruction-count batch.
+    Instructions(u64),
+}
+
+/// A [`TraceSink`] that serializes the trace to a writer.
+///
+/// # Examples
+///
+/// ```
+/// use memtrace::{Addr, TraceFileReader, TraceFileWriter, TraceSink, VecSink};
+///
+/// let mut buffer = Vec::new();
+/// {
+///     let mut writer = TraceFileWriter::new(&mut buffer);
+///     writer.read(Addr::new(0x100), 8);
+///     writer.instructions(5);
+///     writer.finish()?;
+/// }
+/// // Replay into any sink.
+/// let mut sink = VecSink::new();
+/// TraceFileReader::new(buffer.as_slice()).replay(&mut sink)?;
+/// assert_eq!(sink.accesses().len(), 1);
+/// assert_eq!(sink.instructions_executed(), 5);
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct TraceFileWriter<W: Write> {
+    out: BufWriter<W>,
+    /// First I/O error encountered (writing is infallible per event;
+    /// check at `finish`).
+    error: Option<io::Error>,
+    events: u64,
+}
+
+impl<W: Write> TraceFileWriter<W> {
+    /// Creates a writer over `out` (buffered internally; pass the raw
+    /// writer).
+    pub fn new(out: W) -> Self {
+        TraceFileWriter {
+            out: BufWriter::new(out),
+            error: None,
+            events: 0,
+        }
+    }
+
+    /// Events written so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    fn emit(&mut self, bytes: &[u8]) {
+        if self.error.is_none() {
+            if let Err(e) = self.out.write_all(bytes) {
+                self.error = Some(e);
+            } else {
+                self.events += 1;
+            }
+        }
+    }
+
+    /// Flushes the stream and surfaces any deferred I/O error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error encountered while writing or flushing.
+    pub fn finish(mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()
+    }
+}
+
+impl<W: Write> TraceSink for TraceFileWriter<W> {
+    fn access(&mut self, access: Access) {
+        let tag = match access.kind {
+            AccessKind::Read => TAG_READ,
+            AccessKind::Write => TAG_WRITE,
+        };
+        let mut record = [0u8; 13];
+        record[0] = tag;
+        record[1..9].copy_from_slice(&access.addr.raw().to_le_bytes());
+        record[9..13].copy_from_slice(&access.size.to_le_bytes());
+        self.emit(&record);
+    }
+
+    fn instructions(&mut self, count: u64) {
+        let mut record = [0u8; 9];
+        record[0] = TAG_INSTR;
+        record[1..9].copy_from_slice(&count.to_le_bytes());
+        self.emit(&record);
+    }
+}
+
+/// Reads a trace file back as an iterator of [`TraceEvent`]s.
+#[derive(Debug)]
+pub struct TraceFileReader<R: Read> {
+    input: BufReader<R>,
+}
+
+impl<R: Read> TraceFileReader<R> {
+    /// Creates a reader over `input` (buffered internally).
+    pub fn new(input: R) -> Self {
+        TraceFileReader {
+            input: BufReader::new(input),
+        }
+    }
+
+    /// Reads the next event, `Ok(None)` at clean end-of-stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure, a truncated record, or an
+    /// unknown tag.
+    pub fn next_event(&mut self) -> io::Result<Option<TraceEvent>> {
+        let mut tag = [0u8; 1];
+        match self.input.read_exact(&mut tag) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        match tag[0] {
+            TAG_READ | TAG_WRITE => {
+                let mut payload = [0u8; 12];
+                self.input.read_exact(&mut payload)?;
+                let addr = u64::from_le_bytes(payload[0..8].try_into().expect("8 bytes"));
+                let size = u32::from_le_bytes(payload[8..12].try_into().expect("4 bytes"));
+                let access = if tag[0] == TAG_READ {
+                    Access::read(Addr::new(addr), size)
+                } else {
+                    Access::write(Addr::new(addr), size)
+                };
+                Ok(Some(TraceEvent::Access(access)))
+            }
+            TAG_INSTR => {
+                let mut payload = [0u8; 8];
+                self.input.read_exact(&mut payload)?;
+                Ok(Some(TraceEvent::Instructions(u64::from_le_bytes(payload))))
+            }
+            unknown => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown trace record tag {unknown:#04x}"),
+            )),
+        }
+    }
+
+    /// Replays the whole trace into `sink`, returning the event count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the stream is corrupt or truncated.
+    pub fn replay<S: TraceSink>(mut self, sink: &mut S) -> io::Result<u64> {
+        let mut events = 0;
+        while let Some(event) = self.next_event()? {
+            match event {
+                TraceEvent::Access(a) => sink.access(a),
+                TraceEvent::Instructions(n) => sink.instructions(n),
+            }
+            events += 1;
+        }
+        Ok(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CountingSink, VecSink};
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let mut buffer = Vec::new();
+        {
+            let mut writer = TraceFileWriter::new(&mut buffer);
+            writer.read(Addr::new(0x1000), 8);
+            writer.write(Addr::new(0x2000), 4);
+            writer.instructions(42);
+            writer.read(Addr::new(u64::MAX - 7), 1);
+            assert_eq!(writer.events(), 4);
+            writer.finish().unwrap();
+        }
+        let mut sink = VecSink::new();
+        let events = TraceFileReader::new(buffer.as_slice())
+            .replay(&mut sink)
+            .unwrap();
+        assert_eq!(events, 4);
+        assert_eq!(
+            sink.accesses(),
+            &[
+                Access::read(Addr::new(0x1000), 8),
+                Access::write(Addr::new(0x2000), 4),
+                Access::read(Addr::new(u64::MAX - 7), 1),
+            ]
+        );
+        assert_eq!(sink.instructions_executed(), 42);
+    }
+
+    #[test]
+    fn empty_trace_replays_cleanly() {
+        let buffer: Vec<u8> = Vec::new();
+        let mut sink = CountingSink::new();
+        let events = TraceFileReader::new(buffer.as_slice())
+            .replay(&mut sink)
+            .unwrap();
+        assert_eq!(events, 0);
+        assert_eq!(sink.data_references(), 0);
+    }
+
+    #[test]
+    fn truncated_record_is_an_error() {
+        let mut buffer = Vec::new();
+        {
+            let mut writer = TraceFileWriter::new(&mut buffer);
+            writer.read(Addr::new(0x1000), 8);
+            writer.finish().unwrap();
+        }
+        buffer.truncate(buffer.len() - 3);
+        let err = TraceFileReader::new(buffer.as_slice())
+            .replay(&mut CountingSink::new())
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn unknown_tag_is_an_error() {
+        let buffer = vec![0xffu8, 0, 0];
+        let err = TraceFileReader::new(buffer.as_slice())
+            .replay(&mut CountingSink::new())
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("0xff"));
+    }
+
+    #[test]
+    fn large_trace_roundtrips_by_count() {
+        let mut buffer = Vec::new();
+        {
+            let mut writer = TraceFileWriter::new(&mut buffer);
+            for i in 0..10_000u64 {
+                writer.read(Addr::new(i * 8), 8);
+                if i % 10 == 0 {
+                    writer.instructions(3);
+                }
+            }
+            writer.finish().unwrap();
+        }
+        let mut sink = CountingSink::new();
+        TraceFileReader::new(buffer.as_slice())
+            .replay(&mut sink)
+            .unwrap();
+        assert_eq!(sink.reads(), 10_000);
+        assert_eq!(sink.instructions_executed(), 3_000);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests of the tracing substrate.
+
+use memtrace::{
+    AccessKind, AddressSpace, CountingSink, MatrixLayout, TracedBuf, TracedMatrix, VecSink,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Matrix element addressing is a bijection into the matrix's
+    /// region: distinct indices map to distinct, in-bounds addresses.
+    #[test]
+    fn matrix_addressing_is_bijective(
+        rows in 1usize..20,
+        cols in 1usize..20,
+        row_major in any::<bool>(),
+    ) {
+        let layout = if row_major { MatrixLayout::RowMajor } else { MatrixLayout::ColMajor };
+        let mut space = AddressSpace::new();
+        let m = TracedMatrix::zeros(&mut space, rows, cols, layout);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..rows {
+            for j in 0..cols {
+                let addr = m.addr_of(i, j);
+                prop_assert!(addr >= m.base());
+                prop_assert!(addr.raw() + 8 <= m.base().raw() + m.size_bytes());
+                prop_assert!(seen.insert(addr), "duplicate address for ({i},{j})");
+            }
+        }
+    }
+
+    /// A traced get/set emits exactly one access at the element's
+    /// address with the element's size and the right kind.
+    #[test]
+    fn traced_accesses_match_addresses(
+        rows in 1usize..16,
+        cols in 1usize..16,
+        i in 0usize..16,
+        j in 0usize..16,
+        value in any::<f64>(),
+    ) {
+        prop_assume!(i < rows && j < cols);
+        let mut space = AddressSpace::new();
+        let mut m = TracedMatrix::zeros(&mut space, rows, cols, MatrixLayout::ColMajor);
+        let mut sink = VecSink::new();
+        m.set(i, j, value, &mut sink);
+        let got = m.get(i, j, &mut sink);
+        if !value.is_nan() {
+            prop_assert_eq!(got, value);
+        }
+        let trace = sink.accesses();
+        prop_assert_eq!(trace.len(), 2);
+        prop_assert_eq!(trace[0].kind, AccessKind::Write);
+        prop_assert_eq!(trace[1].kind, AccessKind::Read);
+        for a in trace {
+            prop_assert_eq!(a.addr, m.addr_of(i, j));
+            prop_assert_eq!(a.size, 8);
+        }
+    }
+
+    /// Address-space allocations never overlap, whatever the sequence
+    /// of sizes and alignments.
+    #[test]
+    fn allocations_never_overlap(
+        requests in prop::collection::vec((1u64..10_000, 0u32..8), 1..50),
+    ) {
+        let mut space = AddressSpace::new();
+        let mut regions = Vec::new();
+        for &(len, align_log2) in &requests {
+            let base = space.alloc(len, 1 << align_log2);
+            regions.push((base.raw(), base.raw() + len));
+        }
+        regions.sort_unstable();
+        for pair in regions.windows(2) {
+            prop_assert!(pair[0].1 <= pair[1].0, "overlap: {pair:?}");
+        }
+    }
+
+    /// Counting sinks agree with recording sinks on totals.
+    #[test]
+    fn counting_matches_recording(
+        ops in prop::collection::vec((0u64..100_000, any::<bool>(), 1u32..64), 0..200),
+    ) {
+        use memtrace::{Access, Addr, TraceSink};
+        let mut counting = CountingSink::new();
+        let mut vec = VecSink::new();
+        for &(addr, write, size) in &ops {
+            let access = if write {
+                Access::write(Addr::new(addr), size)
+            } else {
+                Access::read(Addr::new(addr), size)
+            };
+            counting.access(access);
+            vec.access(access);
+        }
+        prop_assert_eq!(counting.data_references() as usize, vec.accesses().len());
+        prop_assert_eq!(
+            counting.reads() as usize,
+            vec.accesses().iter().filter(|a| a.kind == AccessKind::Read).count()
+        );
+        prop_assert_eq!(
+            counting.bytes(),
+            vec.accesses().iter().map(|a| u64::from(a.size)).sum::<u64>()
+        );
+    }
+
+    /// Trace files round-trip arbitrary event streams exactly.
+    #[test]
+    fn trace_file_roundtrip(
+        ops in prop::collection::vec(
+            (0u64..u64::MAX / 2, any::<bool>(), 0u32..1024, 0u64..1_000_000),
+            0..300
+        ),
+    ) {
+        use memtrace::{Access, Addr, TraceFileReader, TraceFileWriter, TraceSink, VecSink};
+        let mut buffer = Vec::new();
+        let mut expected = VecSink::new();
+        {
+            let mut writer = TraceFileWriter::new(&mut buffer);
+            for &(addr, write, size, instr) in &ops {
+                let access = if write {
+                    Access::write(Addr::new(addr), size)
+                } else {
+                    Access::read(Addr::new(addr), size)
+                };
+                writer.access(access);
+                expected.access(access);
+                if instr % 3 == 0 {
+                    writer.instructions(instr);
+                    expected.instructions(instr);
+                }
+            }
+            writer.finish().expect("in-memory write");
+        }
+        let mut replayed = VecSink::new();
+        TraceFileReader::new(buffer.as_slice())
+            .replay(&mut replayed)
+            .expect("well-formed stream");
+        prop_assert_eq!(replayed.accesses(), expected.accesses());
+        prop_assert_eq!(
+            replayed.instructions_executed(),
+            expected.instructions_executed()
+        );
+    }
+
+    /// Buffer record addressing has constant stride and field accesses
+    /// stay within the record.
+    #[test]
+    fn buf_field_access_in_bounds(
+        len in 1usize..64,
+        index in 0usize..64,
+        offset in 0u64..24,
+        field_len in 1u32..8,
+    ) {
+        prop_assume!(index < len);
+        let mut space = AddressSpace::new();
+        let buf: TracedBuf<[f64; 4]> = TracedBuf::new(&mut space, len);
+        let mut sink = VecSink::new();
+        buf.read_field(index, offset, field_len, &mut sink);
+        let access = sink.accesses()[0];
+        prop_assert!(access.addr >= buf.addr_of(index));
+        prop_assert!(access.end().raw() <= buf.addr_of(index + 1).raw().min(buf.base().raw() + 32 * len as u64));
+    }
+}

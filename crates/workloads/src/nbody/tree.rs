@@ -1,0 +1,479 @@
+//! The Barnes–Hut octree (reference [6] of the paper): build,
+//! centre-of-mass computation, and θ-opening force evaluation, all
+//! traced through the node arena.
+
+use super::{Body, ACC_OFFSET, BODY_POS_MASS_BYTES};
+use memtrace::{AddressSpace, TraceSink, TracedBuf};
+
+/// Bodies a leaf can hold before splitting (stored in the `children`
+/// slots).
+pub const LEAF_CAPACITY: usize = 8;
+
+/// Maximum insertion depth; exceeding it means two bodies coincide.
+const MAX_DEPTH: usize = 64;
+
+const NIL: u32 = u32::MAX;
+
+/// One octree node. Layout is fixed (`repr(C)`) because traced field
+/// accesses name byte offsets.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct Node {
+    /// Centre of mass of the subtree.
+    pub com: [f64; 3],
+    /// Total mass of the subtree.
+    pub mass: f64,
+    /// Geometric centre of the cell.
+    pub center: [f64; 3],
+    /// Half the cell's side length.
+    pub half: f64,
+    /// Child node ids for internal nodes; resident body ids for leaves.
+    pub children: [u32; 8],
+    /// Bodies in the subtree (for a leaf: bodies resident).
+    pub count: u32,
+    /// 1 if this node is a leaf.
+    pub leaf: u32,
+    /// Pads the node to exactly one 128-byte L2 line, so a node visit
+    /// never straddles two lines — the alignment any performance-aware
+    /// arena allocator would choose.
+    pad: [u64; 3],
+}
+
+impl Default for Node {
+    fn default() -> Self {
+        Node {
+            com: [0.0; 3],
+            mass: 0.0,
+            center: [0.0; 3],
+            half: 0.0,
+            children: [NIL; 8],
+            count: 0,
+            leaf: 1,
+            pad: [0; 3],
+        }
+    }
+}
+
+/// Byte offset of the `com`+`mass` group (read on every interaction).
+const COM_MASS_OFFSET: u64 = 0;
+const COM_MASS_BYTES: u32 = 32;
+/// Byte offset of the `center`+`half` group (read by the opening test
+/// and insertion descent).
+const GEOM_OFFSET: u64 = 32;
+const GEOM_BYTES: u32 = 32;
+/// Byte offset of the `children` array.
+const CHILDREN_OFFSET: u64 = 64;
+const CHILDREN_BYTES: u32 = 32;
+/// Byte offset of the `count`+`leaf` metadata.
+const META_OFFSET: u64 = 96;
+const META_BYTES: u32 = 8;
+
+/// Instructions charged per node visited during insertion descent.
+pub const INSERT_STEP_INSTRUCTIONS: u64 = 12;
+/// Instructions charged per node whose centre of mass is combined.
+pub const COM_INSTRUCTIONS: u64 = 14;
+/// Instructions charged per opening test during force traversal.
+pub const OPEN_TEST_INSTRUCTIONS: u64 = 14;
+/// Instructions charged per accepted gravitational interaction
+/// (distance, square root, accumulate).
+pub const INTERACTION_INSTRUCTIONS: u64 = 28;
+
+/// A Barnes–Hut octree over a fixed-capacity traced node arena.
+///
+/// The arena is allocated once and reused across timesteps ("the BH
+/// tree is rebuilt for each iteration"), so node addresses are stable
+/// — as they would be with a real arena allocator.
+#[derive(Clone, Debug)]
+pub struct BhTree {
+    nodes: TracedBuf<Node>,
+    len: usize,
+}
+
+impl BhTree {
+    /// Allocates an arena able to hold the tree of `max_bodies` bodies.
+    pub fn with_capacity(space: &mut AddressSpace, max_bodies: usize) -> Self {
+        // With leaf capacity 8, internal nodes number well under the
+        // body count; 4x is comfortable for clustered distributions.
+        let capacity = (4 * max_bodies).max(64);
+        BhTree {
+            nodes: TracedBuf::new(space, capacity),
+            len: 0,
+        }
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Root node id.
+    pub fn root(&self) -> u32 {
+        0
+    }
+
+    fn alloc_node<S: TraceSink>(&mut self, center: [f64; 3], half: f64, sink: &mut S) -> u32 {
+        assert!(
+            self.len < self.nodes.len(),
+            "tree arena exhausted ({} nodes); raise the arena capacity",
+            self.len
+        );
+        let id = self.len as u32;
+        self.len += 1;
+        {
+            let node = self
+                .nodes
+                .write_field(id as usize, GEOM_OFFSET, GEOM_BYTES, sink);
+            *node = Node::default();
+            node.center = center;
+            node.half = half;
+        }
+        // Children + metadata initialization (contiguous 40 bytes).
+        let _ = self.nodes.write_field(
+            id as usize,
+            CHILDREN_OFFSET,
+            CHILDREN_BYTES + META_BYTES,
+            sink,
+        );
+        id
+    }
+
+    /// Rebuilds the tree over `bodies` (a fresh root each call), using
+    /// the bounding cube `center ± half`.
+    pub fn build<S: TraceSink>(
+        &mut self,
+        bodies: &TracedBuf<Body>,
+        center: [f64; 3],
+        half: f64,
+        sink: &mut S,
+    ) {
+        self.len = 0;
+        self.alloc_node(center, half, sink);
+        for i in 0..bodies.len() {
+            let pos = {
+                let b = bodies.read_field(i, 0, BODY_POS_MASS_BYTES, sink);
+                b.pos
+            };
+            self.insert(i as u32, pos, bodies, sink);
+        }
+        self.compute_mass(0, bodies, sink);
+    }
+
+    fn insert<S: TraceSink>(
+        &mut self,
+        body: u32,
+        pos: [f64; 3],
+        bodies: &TracedBuf<Body>,
+        sink: &mut S,
+    ) {
+        self.insert_from(0, body, pos, bodies, sink);
+    }
+
+    /// Inserts `body` by descending from node `start`. Splitting a full
+    /// leaf redistributes its residents recursively from the split
+    /// node.
+    fn insert_from<S: TraceSink>(
+        &mut self,
+        start: u32,
+        body: u32,
+        pos: [f64; 3],
+        bodies: &TracedBuf<Body>,
+        sink: &mut S,
+    ) {
+        let mut cur = start;
+        for _depth in 0..MAX_DEPTH {
+            sink.instructions(INSERT_STEP_INSTRUCTIONS);
+            let (is_leaf, count, center, half) = {
+                let node = self
+                    .nodes
+                    .read_field(cur as usize, META_OFFSET, META_BYTES, sink);
+                (node.leaf == 1, node.count, node.center, node.half)
+            };
+            let _ = self
+                .nodes
+                .read_field(cur as usize, GEOM_OFFSET, GEOM_BYTES, sink);
+            if is_leaf {
+                if (count as usize) < LEAF_CAPACITY {
+                    let node =
+                        self.nodes
+                            .write_field(cur as usize, CHILDREN_OFFSET, CHILDREN_BYTES, sink);
+                    node.children[count as usize] = body;
+                    node.count = count + 1;
+                    let _ = self
+                        .nodes
+                        .write_field(cur as usize, META_OFFSET, META_BYTES, sink);
+                    return;
+                }
+                // Split: convert to an internal node and reinsert the
+                // residents below.
+                let residents = {
+                    let node =
+                        self.nodes
+                            .read_field(cur as usize, CHILDREN_OFFSET, CHILDREN_BYTES, sink);
+                    node.children
+                };
+                {
+                    let node =
+                        self.nodes
+                            .write_field(cur as usize, CHILDREN_OFFSET, CHILDREN_BYTES, sink);
+                    node.children = [NIL; 8];
+                    node.leaf = 0;
+                    let _ = self
+                        .nodes
+                        .write_field(cur as usize, META_OFFSET, META_BYTES, sink);
+                }
+                let _ = (center, half);
+                for resident in residents.iter().take(count as usize) {
+                    let rpos = {
+                        let b = bodies.read_field(*resident as usize, 0, BODY_POS_MASS_BYTES, sink);
+                        b.pos
+                    };
+                    self.insert_from(cur, *resident, rpos, bodies, sink);
+                }
+                // Fall through: `cur` is now internal; continue the
+                // descent for the new body on the next loop turn.
+                continue;
+            }
+            // Internal: descend into (or create) the octant child.
+            let octant = octant_of(center, pos);
+            let child = {
+                let node =
+                    self.nodes
+                        .read_field(cur as usize, CHILDREN_OFFSET, CHILDREN_BYTES, sink);
+                node.children[octant]
+            };
+            if child == NIL {
+                let (ccenter, chalf) = child_cell(center, half, octant);
+                let new_child = self.alloc_node(ccenter, chalf, sink);
+                {
+                    let node =
+                        self.nodes
+                            .write_field(cur as usize, CHILDREN_OFFSET, CHILDREN_BYTES, sink);
+                    node.children[octant] = new_child;
+                }
+                let leaf = self.nodes.write_field(
+                    new_child as usize,
+                    CHILDREN_OFFSET,
+                    CHILDREN_BYTES,
+                    sink,
+                );
+                leaf.children[0] = body;
+                leaf.count = 1;
+                let _ = self
+                    .nodes
+                    .write_field(new_child as usize, META_OFFSET, META_BYTES, sink);
+                return;
+            }
+            cur = child;
+        }
+        panic!("octree insertion exceeded depth {MAX_DEPTH}: coincident bodies?");
+    }
+
+    fn compute_mass<S: TraceSink>(
+        &mut self,
+        id: u32,
+        bodies: &TracedBuf<Body>,
+        sink: &mut S,
+    ) -> (f64, [f64; 3]) {
+        sink.instructions(COM_INSTRUCTIONS);
+        let (is_leaf, count, children) = {
+            let node = self
+                .nodes
+                .read_field(id as usize, META_OFFSET, META_BYTES, sink);
+            (node.leaf == 1, node.count, node.children)
+        };
+        let _ = self
+            .nodes
+            .read_field(id as usize, CHILDREN_OFFSET, CHILDREN_BYTES, sink);
+        let mut mass = 0.0;
+        let mut weighted = [0.0f64; 3];
+        if is_leaf {
+            for body in children.iter().take(count as usize) {
+                let (bpos, bmass) = {
+                    let b = bodies.read_field(*body as usize, 0, BODY_POS_MASS_BYTES, sink);
+                    (b.pos, b.mass)
+                };
+                mass += bmass;
+                for d in 0..3 {
+                    weighted[d] += bmass * bpos[d];
+                }
+                sink.instructions(8);
+            }
+        } else {
+            for child in children {
+                if child == NIL {
+                    continue;
+                }
+                let (cmass, ccom) = self.compute_mass(child, bodies, sink);
+                mass += cmass;
+                for d in 0..3 {
+                    weighted[d] += cmass * ccom[d];
+                }
+            }
+        }
+        let com = if mass > 0.0 {
+            [weighted[0] / mass, weighted[1] / mass, weighted[2] / mass]
+        } else {
+            [0.0; 3]
+        };
+        {
+            let node = self
+                .nodes
+                .write_field(id as usize, COM_MASS_OFFSET, COM_MASS_BYTES, sink);
+            node.mass = mass;
+            node.com = com;
+        }
+        (mass, com)
+    }
+
+    /// Computes the gravitational acceleration on `body` by traversing
+    /// the tree with opening angle `theta` and Plummer softening `eps`,
+    /// and stores it into the body's `acc` field (traced).
+    pub fn accelerate<S: TraceSink>(
+        &self,
+        body: usize,
+        bodies: &mut TracedBuf<Body>,
+        theta: f64,
+        eps: f64,
+        sink: &mut S,
+    ) {
+        let (pos, _mass) = {
+            let b = bodies.read_field(body, 0, BODY_POS_MASS_BYTES, sink);
+            (b.pos, b.mass)
+        };
+        sink.instructions(10);
+        let mut acc = [0.0f64; 3];
+        let mut stack: Vec<u32> = vec![0];
+        while let Some(id) = stack.pop() {
+            sink.instructions(OPEN_TEST_INSTRUCTIONS);
+            let (com, mass, half, is_leaf, count, children) = {
+                let node =
+                    self.nodes
+                        .read_field(id as usize, COM_MASS_OFFSET, COM_MASS_BYTES, sink);
+                (
+                    node.com,
+                    node.mass,
+                    node.half,
+                    node.leaf == 1,
+                    node.count,
+                    node.children,
+                )
+            };
+            let _ = self
+                .nodes
+                .read_field(id as usize, GEOM_OFFSET + 24, 8, sink); // half
+            if mass <= 0.0 {
+                continue;
+            }
+            let dx = com[0] - pos[0];
+            let dy = com[1] - pos[1];
+            let dz = com[2] - pos[2];
+            let dist2 = dx * dx + dy * dy + dz * dz;
+            if is_leaf {
+                let _ = self
+                    .nodes
+                    .read_field(id as usize, CHILDREN_OFFSET, CHILDREN_BYTES, sink);
+                for other in children.iter().take(count as usize) {
+                    if *other as usize == body {
+                        continue;
+                    }
+                    let (opos, omass) = {
+                        let b = bodies.read_field(*other as usize, 0, BODY_POS_MASS_BYTES, sink);
+                        (b.pos, b.mass)
+                    };
+                    accumulate(&mut acc, pos, opos, omass, eps);
+                    sink.instructions(INTERACTION_INSTRUCTIONS);
+                }
+            } else if (2.0 * half) * (2.0 * half) < theta * theta * dist2 {
+                // Accept: interact with the aggregate.
+                accumulate(&mut acc, pos, com, mass, eps);
+                sink.instructions(INTERACTION_INSTRUCTIONS);
+            } else {
+                let _ = self
+                    .nodes
+                    .read_field(id as usize, CHILDREN_OFFSET, CHILDREN_BYTES, sink);
+                for child in children {
+                    if child != NIL {
+                        stack.push(child);
+                    }
+                }
+            }
+        }
+        {
+            let b = bodies.write_field(body, ACC_OFFSET, 24, sink);
+            b.acc = acc;
+        }
+        sink.instructions(6);
+    }
+
+    /// Collects every body id stored in leaves (test/verification
+    /// helper; untraced).
+    pub fn collect_bodies(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut stack = vec![0u32];
+        while let Some(id) = stack.pop() {
+            let node = self.nodes.at(id as usize);
+            if node.leaf == 1 {
+                out.extend_from_slice(&node.children[..node.count as usize]);
+            } else {
+                for child in node.children {
+                    if child != NIL {
+                        stack.push(child);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Root subtree mass (untraced test helper).
+    pub fn total_mass(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.nodes.at(0).mass
+        }
+    }
+
+    /// Root centre of mass (untraced test helper).
+    pub fn root_com(&self) -> [f64; 3] {
+        self.nodes.at(0).com
+    }
+}
+
+/// Newtonian attraction of `pos` toward a point mass at `other`.
+#[inline]
+fn accumulate(acc: &mut [f64; 3], pos: [f64; 3], other: [f64; 3], mass: f64, eps: f64) {
+    let dx = other[0] - pos[0];
+    let dy = other[1] - pos[1];
+    let dz = other[2] - pos[2];
+    let dist2 = dx * dx + dy * dy + dz * dz + eps * eps;
+    let inv = 1.0 / (dist2 * dist2.sqrt());
+    acc[0] += mass * dx * inv;
+    acc[1] += mass * dy * inv;
+    acc[2] += mass * dz * inv;
+}
+
+#[inline]
+fn octant_of(center: [f64; 3], pos: [f64; 3]) -> usize {
+    usize::from(pos[0] >= center[0])
+        | (usize::from(pos[1] >= center[1]) << 1)
+        | (usize::from(pos[2] >= center[2]) << 2)
+}
+
+#[inline]
+fn child_cell(center: [f64; 3], half: f64, octant: usize) -> ([f64; 3], f64) {
+    let q = half / 2.0;
+    (
+        [
+            center[0] + if octant & 1 != 0 { q } else { -q },
+            center[1] + if octant & 2 != 0 { q } else { -q },
+            center[2] + if octant & 4 != 0 { q } else { -q },
+        ],
+        q,
+    )
+}

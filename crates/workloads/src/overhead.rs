@@ -1,0 +1,50 @@
+//! Instruction-accounting constants for the thread package itself.
+//!
+//! Pixie instrumented the whole binary, thread package included; our
+//! analytic accounting must therefore charge the package's instructions
+//! too. The constants below are calibrated so that the threaded matmul
+//! total instruction count lands where the paper's Table 3 puts it
+//! (inner loops 3,758M of 3,930M total; the ~170M remainder is
+//! transposes, fork loops, and package code for 1,048,576 threads).
+//!
+//! The paper's measured per-thread *time* overhead (Table 1: 1.60 µs on
+//! the R8000 ≈ 120 cycles at 75 MHz, part of which is cache effects) is
+//! charged separately by the timing model via
+//! `MachineModel::thread_overhead_ns`.
+
+/// Instructions charged per `th_fork`: hint hashing, bin lookup, and
+/// appending a three-word thread record to a thread group.
+pub const FORK_INSTRUCTIONS: u64 = 80;
+
+/// Instructions charged per thread dispatched by `th_run`: ready-list
+/// walking and the indirect call/return.
+pub const RUN_INSTRUCTIONS: u64 = 20;
+
+/// Total package instructions for forking and running `threads`
+/// threads.
+pub fn package_instructions(threads: u64) -> u64 {
+    threads * (FORK_INSTRUCTIONS + RUN_INSTRUCTIONS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn package_cost_is_linear() {
+        assert_eq!(package_instructions(0), 0);
+        assert_eq!(
+            package_instructions(10),
+            10 * (FORK_INSTRUCTIONS + RUN_INSTRUCTIONS)
+        );
+    }
+
+    #[test]
+    fn calibration_matches_table_3_remainder() {
+        // 1,048,576 threads should cost on the order of 100M
+        // instructions — the slack between the paper's inner-loop
+        // accounting (3,758M) and its measured total (3,930M).
+        let cost = package_instructions(1 << 20);
+        assert!(cost > 50_000_000 && cost < 170_000_000, "{cost}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Per-run workload metadata.
+
+use locality_sched::SchedulerStats;
+use std::fmt;
+
+/// What a workload run reports besides the trace it emitted: identity,
+/// a result checksum for cross-version verification, and — for threaded
+/// versions — the scheduling statistics the paper quotes per benchmark
+/// (threads, bins, threads per bin).
+#[derive(Clone, Debug, Default)]
+pub struct WorkloadReport {
+    /// Workload and version, e.g. `"matmul/threaded"`.
+    pub name: String,
+    /// Threads forked and run (0 for unthreaded versions). Feed this to
+    /// `SimSink::add_threads` so the timing model charges the paper's
+    /// per-thread overhead.
+    pub threads: u64,
+    /// Scheduler distribution statistics, if the version is threaded.
+    pub sched: Option<SchedulerStats>,
+    /// A checksum of the numerical result, for cheap cross-version
+    /// comparison in tests and harnesses.
+    pub checksum: f64,
+}
+
+impl WorkloadReport {
+    /// Creates a report for an unthreaded version.
+    pub fn unthreaded(name: impl Into<String>, checksum: f64) -> Self {
+        WorkloadReport {
+            name: name.into(),
+            threads: 0,
+            sched: None,
+            checksum,
+        }
+    }
+
+    /// Creates a report for a threaded version.
+    pub fn threaded(name: impl Into<String>, checksum: f64, sched: SchedulerStats) -> Self {
+        WorkloadReport {
+            name: name.into(),
+            threads: sched.threads(),
+            sched: Some(sched),
+            checksum,
+        }
+    }
+}
+
+impl fmt::Display for WorkloadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)?;
+        if let Some(sched) = &self.sched {
+            write!(f, " [{sched}]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unthreaded_report_has_no_sched() {
+        let r = WorkloadReport::unthreaded("matmul/interchanged", 1.5);
+        assert_eq!(r.threads, 0);
+        assert!(r.sched.is_none());
+        assert_eq!(r.to_string(), "matmul/interchanged");
+    }
+}

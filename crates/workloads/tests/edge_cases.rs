@@ -1,0 +1,147 @@
+//! Edge-case and failure-injection tests for the workloads.
+
+use locality_sched::SchedulerConfig;
+use memtrace::{AddressSpace, CountingSink, NullSink};
+use workloads::{matmul, nbody, pde, sor};
+
+fn sched() -> SchedulerConfig {
+    SchedulerConfig::builder().block_size(4096).build().unwrap()
+}
+
+#[test]
+fn matmul_n1_works_in_every_version() {
+    let mut space = AddressSpace::new();
+    let mut data = matmul::MatMulData::new(&mut space, 1, 1);
+    let expected = data.a.at(0, 0) * data.b.at(0, 0);
+    matmul::interchanged(&mut data, &mut NullSink);
+    assert_eq!(data.c.at(0, 0), expected);
+    data.reset();
+    matmul::transposed(&mut data, &mut NullSink);
+    assert_eq!(data.c.at(0, 0), expected);
+    data.reset();
+    matmul::tiled_interchanged(
+        &mut data,
+        matmul::TileConfig::default(),
+        &mut space,
+        &mut NullSink,
+    );
+    assert_eq!(data.c.at(0, 0), expected);
+    data.reset();
+    let report = matmul::threaded(&mut data, sched(), &mut NullSink);
+    assert_eq!(data.c.at(0, 0), expected);
+    assert_eq!(report.threads, 1);
+}
+
+#[test]
+fn matmul_odd_sizes_agree() {
+    // Odd n exercises the dot-product unroll remainder and microkernel
+    // edge blocks simultaneously.
+    for n in [3, 7, 13] {
+        let mut space = AddressSpace::new();
+        let mut data = matmul::MatMulData::new(&mut space, n, 5);
+        matmul::transposed(&mut data, &mut NullSink);
+        assert!(data.max_error_vs_naive() < 1e-12, "n = {n}");
+    }
+}
+
+#[test]
+fn sor_minimum_grid() {
+    let mut space = AddressSpace::new();
+    let mut data = sor::SorData::new(&mut space, 3, 1);
+    let before = data.a.at(1, 1);
+    sor::untiled(&mut data, 1, &mut NullSink);
+    assert_ne!(data.a.at(1, 1), before, "the single interior point relaxed");
+    // Tiled with a tile larger than the problem still matches.
+    let mut space = AddressSpace::new();
+    let mut a = sor::SorData::new(&mut space, 3, 1);
+    let mut b = sor::SorData::new(&mut space, 3, 1);
+    b.restore(&a.snapshot());
+    sor::untiled(&mut a, 4, &mut NullSink);
+    sor::hand_tiled(&mut b, 4, 100, &mut NullSink);
+    assert_eq!(a.snapshot(), b.snapshot());
+}
+
+#[test]
+fn sor_zero_sweeps_is_identity() {
+    let mut space = AddressSpace::new();
+    let mut data = sor::SorData::new(&mut space, 9, 1);
+    let before = data.snapshot();
+    let mut sink = CountingSink::new();
+    sor::untiled(&mut data, 0, &mut sink);
+    assert_eq!(data.snapshot(), before);
+    assert_eq!(sink.data_references(), 0);
+    // Threaded with zero sweeps forks zero threads.
+    let report = sor::threaded(&mut data, 0, sched(), &mut NullSink);
+    assert_eq!(report.threads, 0);
+}
+
+#[test]
+fn pde_zero_iterations_still_computes_residual() {
+    let mut space = AddressSpace::new();
+    let mut data = pde::PdeData::new(&mut space, 9, 1);
+    pde::regular(&mut data, 0, &mut NullSink);
+    // u untouched (zero), r = b at interior points.
+    for i in 1..8 {
+        for j in 1..8 {
+            assert_eq!(data.u.at(i, j), 0.0);
+            assert_eq!(data.r.at(i, j), data.b.at(i, j));
+        }
+    }
+}
+
+#[test]
+fn nbody_zero_and_one_body() {
+    let mut space = AddressSpace::new();
+    let mut empty = nbody::NBodyData::new(&mut space, 0, 1);
+    let report = nbody::unthreaded(&mut empty, 2, nbody::NBodyParams::default(), &mut NullSink);
+    assert_eq!(report.checksum, 0.0);
+
+    let mut single = nbody::NBodyData::new(&mut space, 1, 1);
+    let params = nbody::NBodyParams::default();
+    let pos_before = single.bodies.at(0).pos;
+    let vel = single.bodies.at(0).vel;
+    nbody::unthreaded(&mut single, 1, params, &mut NullSink);
+    let pos_after = single.bodies.at(0).pos;
+    // No other bodies: acceleration 0, pure drift.
+    for d in 0..3 {
+        assert!((pos_after[d] - (pos_before[d] + vel[d] * params.dt)).abs() < 1e-15);
+    }
+}
+
+#[test]
+#[should_panic(expected = "arena exhausted")]
+fn tree_arena_exhaustion_is_detected() {
+    let mut space = AddressSpace::new();
+    // Tiny arena, many maximally-clustered bodies: the octree runs out
+    // of nodes and must fail loudly, not corrupt memory.
+    let mut tree = nbody::BhTree::with_capacity(&mut space, 1);
+    let bodies: Vec<nbody::Body> = (0..4096)
+        .map(|i| nbody::Body {
+            pos: [
+                0.5 + (i % 64) as f64 / 1e3,
+                0.5 + (i / 64) as f64 / 1e3,
+                0.5,
+            ],
+            mass: 1.0,
+            vel: [0.0; 3],
+            acc: [0.0; 3],
+        })
+        .collect();
+    let buf = memtrace::TracedBuf::from_vec(&mut space, bodies);
+    tree.build(&buf, [0.5; 3], 0.5, &mut NullSink);
+}
+
+#[test]
+fn threaded_pde_handles_single_iteration() {
+    let mut space = AddressSpace::new();
+    let mut a = pde::PdeData::new(&mut space, 17, 3);
+    let mut b = pde::PdeData::new(&mut space, 17, 3);
+    pde::regular(&mut a, 1, &mut NullSink);
+    pde::threaded(&mut b, 1, sched(), &mut NullSink);
+    for i in 0..17 {
+        for j in 0..17 {
+            assert_eq!(a.u.at(i, j), b.u.at(i, j));
+            assert_eq!(a.r.at(i, j), b.r.at(i, j));
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! The application the paper's PDE kernel lives in: a multigrid V-cycle
+//! Poisson solver, with the smoother in each of the paper's three
+//! flavours — same bits out, different cache traffic.
+//!
+//! Run with: `cargo run --release --example multigrid_solver`
+
+use thread_locality::apps::multigrid::{Multigrid, Smoother};
+use thread_locality::sched::SchedulerConfig;
+use thread_locality::sim::{MachineModel, SimSink};
+use thread_locality::trace::{AddressSpace, NullSink};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 513;
+    let machine = MachineModel::r8000().scaled_split(1.0, 1.0 / 16.0);
+    println!("machine: {machine}");
+    println!("problem: -∇²u = f on {n}x{n}, V(2,2) cycles\n");
+
+    // Convergence: the V-cycle's raison d'être.
+    let mut space = AddressSpace::new();
+    let mut mg = Multigrid::new(&mut space, n, 7);
+    println!("levels: {}", mg.levels());
+    let mut norm = mg.residual_norm(&mut NullSink);
+    println!("residual inf-norm per V-cycle:");
+    print!("  {norm:9.2e}");
+    for _ in 0..6 {
+        mg.v_cycle(2, 2, Smoother::CacheConscious, &mut NullSink);
+        norm = mg.residual_norm(&mut NullSink);
+        print!(" -> {norm:9.2e}");
+    }
+    println!("\n");
+
+    // Cache behaviour of one V-cycle under each smoother.
+    println!(
+        "{:<16} {:>10} {:>12} {:>10}",
+        "smoother", "L2 misses", "L2 capacity", "modeled"
+    );
+    let sched_config = SchedulerConfig::for_cache(machine.l2_config().size(), 1)?;
+    for (name, smoother) in [
+        ("regular", Smoother::Regular),
+        ("cache-conscious", Smoother::CacheConscious),
+        ("threaded", Smoother::Threaded(sched_config)),
+    ] {
+        let mut space = AddressSpace::new();
+        let mut mg = Multigrid::new(&mut space, n, 7);
+        let mut sim = SimSink::new(machine.hierarchy());
+        mg.v_cycle(2, 2, smoother, &mut sim);
+        let checksum = mg.checksum();
+        let report = sim.finish();
+        println!(
+            "{:<16} {:>10} {:>12} {:>9.3}s   (checksum {checksum:+.6e})",
+            name,
+            report.l2.misses(),
+            report.classes.capacity,
+            report.time_on(&machine).total()
+        );
+    }
+    println!("\nIdentical checksums: the fused and threaded smoothers change only");
+    println!("the order in which the same arithmetic happens — and the misses.");
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Extension workload: sparse matrix–vector product with a shuffled
+//! work list. The access pattern is entirely data-dependent — the case
+//! the paper's introduction motivates ("data might be allocated
+//! dynamically or accessed indirectly") — and a one-address hint per
+//! row is enough for the scheduler to restore the matrix's band
+//! structure.
+//!
+//! Run with: `cargo run --release --example spmv_irregular`
+
+use thread_locality::apps::spmv;
+use thread_locality::sched::SchedulerConfig;
+use thread_locality::sim::{MachineModel, SimSink};
+use thread_locality::trace::AddressSpace;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 65_536; // x = 512 KiB
+    let band = 64;
+    let machine = MachineModel::r8000().scaled_split(1.0, 1.0 / 32.0); // 64 KiB L2
+    println!("machine: {machine}");
+    println!("problem: {n}x{n} banded CSR (half-width {band}), shuffled work list\n");
+
+    // Baseline: rows in work-list order.
+    let mut space = AddressSpace::new();
+    let mut data = spmv::SpmvData::banded(&mut space, n, band, 6, 9);
+    println!("nonzeros: {}", data.nnz());
+    let mut sim = SimSink::new(machine.hierarchy());
+    spmv::worklist(&mut data, &mut sim);
+    let baseline = sim.finish();
+    let reference = data.checksum();
+
+    // Threaded: one thread per row, hinted by its x segment.
+    let mut space = AddressSpace::new();
+    let mut data = spmv::SpmvData::banded(&mut space, n, band, 6, 9);
+    let mut sim = SimSink::new(machine.hierarchy());
+    let config = SchedulerConfig::builder()
+        .block_size(machine.l2_config().size() / 4)
+        .build()?;
+    let report = spmv::threaded(&mut data, config, &mut sim);
+    sim.add_threads(report.threads);
+    let binned = sim.finish();
+
+    assert_eq!(data.checksum(), reference, "same product either way");
+    println!("scheduling: {}\n", report.sched.as_ref().expect("threaded"));
+    println!(
+        "L2 misses   work-list {:>9}   binned {:>9}   ({:.2}x fewer)",
+        baseline.l2.misses(),
+        binned.l2.misses(),
+        baseline.l2.misses() as f64 / binned.l2.misses() as f64
+    );
+    println!(
+        "L2 capacity work-list {:>9}   binned {:>9}",
+        baseline.classes.capacity, binned.classes.capacity
+    );
+    println!(
+        "modeled     work-list {:>8.3}s   binned {:>8.3}s",
+        baseline.time_on(&machine).total(),
+        binned.time_on(&machine).total()
+    );
+    println!("\nOne address per row — the first x entry it reads — was enough to");
+    println!("recover the band structure the shuffled work list destroyed.");
+    Ok(())
+}

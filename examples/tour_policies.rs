@@ -1,0 +1,54 @@
+//! Ablation of a design choice the paper leaves open: the bin *tour*.
+//! "Scheduling involves traversing the bins along some path, preferably
+//! the shortest one" — the implementation used allocation order. This
+//! example compares allocation order against sorted, Hilbert-curve,
+//! Morton, and random tours on the threaded matrix multiply.
+//!
+//! Run with: `cargo run --release --example tour_policies`
+
+use thread_locality::apps::matmul;
+use thread_locality::sched::{SchedulerConfig, Tour};
+use thread_locality::sim::{MachineModel, SimSink};
+use thread_locality::trace::AddressSpace;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 160;
+    let machine = MachineModel::r8000().scaled_split(1.0, 1.0 / 32.0);
+    println!("machine: {machine}");
+    println!("threaded matmul, n = {n}; block = L2/2; varying the bin tour:\n");
+    println!(
+        "{:>18}  {:>10}  {:>12}  {:>9}",
+        "tour", "L2 misses", "L2 capacity", "modeled"
+    );
+
+    let block = machine.l2_config().size() / 2;
+    for (name, tour) in [
+        ("allocation-order", Tour::AllocationOrder),
+        ("sorted-key", Tour::SortedKey),
+        ("hilbert", Tour::Hilbert),
+        ("morton", Tour::Morton),
+        ("random", Tour::Random(42)),
+    ] {
+        let config = SchedulerConfig::builder()
+            .block_size(block.next_power_of_two() / 2)
+            .tour(tour)
+            .build()?;
+        let mut space = AddressSpace::new();
+        let mut data = matmul::MatMulData::new(&mut space, n, 9);
+        let mut sim = SimSink::new(machine.hierarchy());
+        let report = matmul::threaded(&mut data, config, &mut sim);
+        sim.add_threads(report.threads);
+        let sim_report = sim.finish();
+        println!(
+            "{:>18}  {:>10}  {:>12}  {:>8.3}s",
+            name,
+            sim_report.l2.misses(),
+            sim_report.classes.capacity,
+            sim_report.time_on(&machine).total()
+        );
+    }
+    println!("\nIntra-bin locality does most of the work (even the random tour");
+    println!("keeps each bin's working set resident); smarter tours shave the");
+    println!("inter-bin transitions, worth one block reload per step.");
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Record a workload's memory-reference trace to a file (the Pixie
+//! step) and replay it through different cache configurations (the
+//! DineroIII step) — the paper's decoupled measurement pipeline.
+//!
+//! Run with: `cargo run --release --example trace_replay`
+//!
+//! The same replay is available as a standalone tool:
+//! `cargo run -p cachesim --bin dinero -- --l2 256K:128:4 /tmp/pde.trace`
+
+use thread_locality::apps::pde;
+use thread_locality::sim::{CacheConfig, Hierarchy, HierarchyConfig, SimSink};
+use thread_locality::trace::{AddressSpace, TraceFileReader, TraceFileWriter};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let path = std::env::temp_dir().join("thread-locality-pde.trace");
+
+    // 1. Record: run the PDE kernel once, writing the trace file.
+    {
+        let file = std::fs::File::create(&path)?;
+        let mut writer = TraceFileWriter::new(file);
+        let mut space = AddressSpace::new();
+        let mut data = pde::PdeData::new(&mut space, 129, 7);
+        pde::regular(&mut data, 3, &mut writer);
+        println!("recorded {} events to {}", writer.events(), path.display());
+        writer.finish()?;
+    }
+    let bytes = std::fs::metadata(&path)?.len();
+    println!("trace file: {:.1} MiB\n", bytes as f64 / (1 << 20) as f64);
+
+    // 2. Replay through a sweep of L2 sizes — no re-execution needed.
+    println!(
+        "{:>8}  {:>10}  {:>12}  {:>12}",
+        "L2", "L2 misses", "capacity", "compulsory"
+    );
+    for l2_kib in [32u64, 64, 128, 256, 512] {
+        let hierarchy = Hierarchy::new(HierarchyConfig::new(
+            CacheConfig::new(16 << 10, 32, 1)?,
+            CacheConfig::new(l2_kib << 10, 128, 4)?,
+        ));
+        let mut sim = SimSink::new(hierarchy);
+        let file = std::fs::File::open(&path)?;
+        TraceFileReader::new(file).replay(&mut sim)?;
+        let report = sim.finish();
+        println!(
+            "{:>7}K  {:>10}  {:>12}  {:>12}",
+            l2_kib,
+            report.l2.misses(),
+            report.classes.capacity,
+            report.classes.compulsory
+        );
+    }
+    println!("\nCapacity misses vanish once the working set fits; compulsory");
+    println!("misses are invariant — the 3C structure, straight from one trace.");
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! Validates the scaled-experiment methodology: two different
+//! problem/machine scales with the same data : L2 ratio must exhibit
+//! the same *per-reference* miss behaviour. This is the assumption that
+//! lets the harness stand in for the paper's full-size runs.
+
+use thread_locality::apps::{matmul, sor};
+use thread_locality::sched::SchedulerConfig;
+use thread_locality::sim::{MachineModel, SimReport, SimSink};
+use thread_locality::trace::AddressSpace;
+
+fn rel_close(a: f64, b: f64, tolerance: f64) -> bool {
+    if a == 0.0 && b == 0.0 {
+        return true;
+    }
+    (a - b).abs() / a.abs().max(b.abs()) < tolerance
+}
+
+fn sor_untiled(n: usize, l2_factor: f64, sweeps: usize) -> SimReport {
+    let machine = MachineModel::r8000().scaled_split(1.0, l2_factor);
+    let mut space = AddressSpace::new();
+    let mut data = sor::SorData::new(&mut space, n, 3);
+    let mut sim = SimSink::new(machine.hierarchy());
+    sor::untiled(&mut data, sweeps, &mut sim);
+    sim.finish()
+}
+
+#[test]
+fn sor_capacity_rate_is_scale_invariant() {
+    // Both configurations have array : L2 = 8 : 1, and both keep the
+    // L2 well above the (unscaled) L1 — shrinking the L2 to the L1's
+    // size degenerates the hierarchy, which is itself a scaling limit
+    // this test originally discovered.
+    // (362² ≈ 1 MiB data vs 128 KiB; 512² = 2 MiB vs 256 KiB.)
+    let small = sor_untiled(362, 1.0 / 16.0, 8);
+    let large = sor_untiled(512, 1.0 / 8.0, 8);
+    let small_rate = small.classes.capacity as f64 / small.data_references() as f64;
+    let large_rate = large.classes.capacity as f64 / large.data_references() as f64;
+    assert!(
+        rel_close(small_rate, large_rate, 0.15),
+        "capacity rate {small_rate:.5} vs {large_rate:.5}"
+    );
+}
+
+fn matmul_l2_misses(n: usize, l2_factor: f64, threaded: bool) -> SimReport {
+    let machine = MachineModel::r8000().scaled_split(1.0, l2_factor);
+    let mut space = AddressSpace::new();
+    let mut data = matmul::MatMulData::new(&mut space, n, 42);
+    let mut sim = SimSink::new(machine.hierarchy());
+    if threaded {
+        let config = SchedulerConfig::for_cache(machine.l2_config().size(), 2).unwrap();
+        let report = matmul::threaded(&mut data, config, &mut sim);
+        sim.add_threads(report.threads);
+    } else {
+        matmul::interchanged(&mut data, &mut sim);
+    }
+    sim.finish()
+}
+
+#[test]
+fn matmul_untiled_miss_rate_is_scale_invariant() {
+    // Both configurations have matrices : L2 = 12 : 1 (the paper's
+    // ratio): 3·96²·8 ≈ 216 KiB vs 16 KiB... we use powers of two that
+    // keep the ratio equal across the pair.
+    let small = matmul_l2_misses(96, 1.0 / 114.0, false); // L2 ~ 16 KiB
+    let large = matmul_l2_misses(192, 1.0 / 28.5, false); // L2 ~ 64 KiB
+    let small_rate = small.l2.misses() as f64 / small.data_references() as f64;
+    let large_rate = large.l2.misses() as f64 / large.data_references() as f64;
+    assert!(
+        rel_close(small_rate, large_rate, 0.2),
+        "L2 miss rate {small_rate:.5} vs {large_rate:.5}"
+    );
+}
+
+#[test]
+fn matmul_threaded_speaks_the_same_at_two_scales() {
+    // The threaded-vs-untiled capacity reduction factor should agree
+    // across scales with the same ratio.
+    let factor = |n: usize, l2_factor: f64| {
+        let untiled = matmul_l2_misses(n, l2_factor, false);
+        let threaded = matmul_l2_misses(n, l2_factor, true);
+        untiled.classes.capacity as f64 / threaded.classes.capacity.max(1) as f64
+    };
+    // Matrices : L2 ≈ 12 : 1 at both scales, L2 ≥ 4x the L1.
+    let small = factor(181, 1.0 / 32.0); // ~786 KiB data vs 64 KiB L2
+    let large = factor(256, 1.0 / 16.0); // 1.5 MiB data vs 128 KiB L2
+    assert!(
+        small > 3.0 && large > 3.0,
+        "threading wins at both scales: {small:.1} and {large:.1}"
+    );
+    assert!(
+        rel_close(small.ln(), large.ln(), 0.35),
+        "reduction factors {small:.2} vs {large:.2} diverge"
+    );
+}

@@ -1,0 +1,52 @@
+//! Trace-file round trip: recording a workload to a Pixie-style trace
+//! file and replaying it through the simulator must match the online
+//! simulation exactly — the decoupling the paper's original
+//! Pixie → DineroIII pipeline relied on.
+
+use thread_locality::apps::matmul;
+use thread_locality::sim::{MachineModel, SimSink};
+use thread_locality::trace::{AddressSpace, TeeSink, TraceFileReader, TraceFileWriter};
+
+#[test]
+fn recorded_trace_replays_to_identical_simulation() {
+    let machine = MachineModel::r10000().scaled_split(1.0, 1.0 / 32.0);
+
+    // Online simulation, while simultaneously recording the trace.
+    let mut buffer: Vec<u8> = Vec::new();
+    let online = {
+        let mut space = AddressSpace::new();
+        let mut data = matmul::MatMulData::new(&mut space, 48, 3);
+        let mut tee = TeeSink::new(
+            SimSink::new(machine.hierarchy()),
+            TraceFileWriter::new(&mut buffer),
+        );
+        matmul::transposed(&mut data, &mut tee);
+        let (sim, writer) = tee.into_inner();
+        writer.finish().expect("flush trace");
+        sim.finish()
+    };
+
+    // Offline replay of the recorded file into a fresh simulator.
+    let mut replayed_sim = SimSink::new(machine.hierarchy());
+    let events = TraceFileReader::new(buffer.as_slice())
+        .replay(&mut replayed_sim)
+        .expect("replay trace");
+    let replayed = replayed_sim.finish();
+
+    assert!(events > 0);
+    assert_eq!(online, replayed, "online and replayed simulations diverge");
+}
+
+#[test]
+fn trace_bytes_are_deterministic() {
+    let record = || {
+        let mut buffer: Vec<u8> = Vec::new();
+        let mut space = AddressSpace::new();
+        let mut data = matmul::MatMulData::new(&mut space, 24, 9);
+        let mut writer = TraceFileWriter::new(&mut buffer);
+        matmul::interchanged(&mut data, &mut writer);
+        writer.finish().unwrap();
+        buffer
+    };
+    assert_eq!(record(), record());
+}
