@@ -5,7 +5,9 @@
 //! 1. bin tour policy (paper §2.3's "preferably the shortest path"),
 //! 2. symmetric-hint folding (§2.3's 50% bin saving),
 //! 3. page-mapping policy under a physically-indexed L2 (§6),
-//! 4. N-body hint dimensionality (§6: "limited to 3 address hints").
+//! 4. N-body hint dimensionality (§6: "limited to 3 address hints"),
+//! 5. SMP steal policy (§7's future work), measured in host
+//!    wall-clock and exported to `BENCH_steal.json`.
 //!
 //! Flags: `--full`, `--smoke` (problem scale, as for the tables).
 
@@ -23,6 +25,18 @@ fn main() {
     symmetric_ablation();
     paging_ablation(&scale);
     hint_dims_ablation(&scale);
+    steal_policy_ablation(&scale);
+}
+
+fn steal_policy_ablation(scale: &repro::ExpScale) {
+    println!("\nAblation 5: SMP steal policy (windowed-sum workload, host wall-clock)\n");
+    let result = repro::experiments::steal(scale);
+    repro::print::steal(&result);
+    let path = "BENCH_steal.json";
+    match std::fs::write(path, result.to_json()) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(err) => eprintln!("could not write {path}: {err}"),
+    }
 }
 
 fn tour_ablation(scale: &repro::ExpScale) {

@@ -6,7 +6,8 @@ use crate::{paper, print};
 /// Runs one named experiment at the scale selected by the process's
 /// command-line flags (`--full`, `--smoke`, default scaled).
 ///
-/// Recognised names: `table1` … `table9`, `figure4`.
+/// Recognised names: `table1` … `table9`, `figure4`, `steal` (which
+/// also writes `BENCH_steal.json`).
 pub fn run(experiment: &str) {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(args);
@@ -77,6 +78,15 @@ pub fn run_at(experiment: &str, scale: &crate::ExpScale) {
             "",
         ),
         "figure4" => print::figure4(&crate::figure4(scale)),
+        "steal" => {
+            let result = crate::experiments::steal(scale);
+            print::steal(&result);
+            let path = "BENCH_steal.json";
+            match std::fs::write(path, result.to_json()) {
+                Ok(()) => println!("\nwrote {path}"),
+                Err(err) => eprintln!("could not write {path}: {err}"),
+            }
+        }
         other => eprintln!("unknown experiment: {other}"),
     }
     println!();

@@ -22,7 +22,7 @@ pub mod print;
 pub mod scale;
 
 pub use experiments::{
-    figure4, table1, table2, table3, table4, table5, table6, table7, table8, table9, Figure4Result,
-    MissRow, Table1Result, TimeRow,
+    figure4, steal_ablation, table1, table2, table3, table4, table5, table6, table7, table8,
+    table9, Figure4Result, MissRow, StealAblationResult, StealRow, Table1Result, TimeRow,
 };
 pub use scale::ExpScale;

@@ -1,8 +1,9 @@
 //! Rendering of experiment results next to the paper's numbers.
 
-use crate::experiments::{Figure4Result, MissRow, Table1Result, TimeRow};
+use crate::experiments::{Figure4Result, MissRow, StealAblationResult, Table1Result, TimeRow};
 use crate::fmt::{ratio, secs, thousands, TextTable};
 use crate::paper;
+use locality_sched::StealPolicy;
 
 /// Prints Table 1: measured host overhead vs the paper's per-machine
 /// values.
@@ -179,6 +180,65 @@ pub fn paper_columns2(rows: &[(&str, u64, u64)]) -> Vec<Vec<u64>> {
         cols[1].push(row.2);
     }
     cols
+}
+
+/// Prints the steal-policy ablation: per (workers, policy) the
+/// critical path in deterministic work units, its modeled time,
+/// speedups over `StealPolicy::None`, and aggregate steal counters.
+pub fn steal(result: &StealAblationResult) {
+    println!(
+        "Steal-policy ablation: windowed-sum, {} bins, {} threads, triangular per-thread cost (best of 3 by critical path)\n",
+        result.bins, result.threads
+    );
+    let mut t = TextTable::new(vec![
+        "workers",
+        "policy",
+        "crit path (units)",
+        "modeled (ms)",
+        "wall (ms)",
+        "Kthreads/s",
+        "vs none",
+        "steals succ/att",
+        "parked (us)",
+    ]);
+    for &workers in &result.worker_counts {
+        for policy in [
+            StealPolicy::None,
+            StealPolicy::Random,
+            StealPolicy::LocalityAware,
+        ] {
+            let Some(row) = result.row(policy, workers) else {
+                continue;
+            };
+            let parked_us: u64 = row
+                .report
+                .stats
+                .workers()
+                .iter()
+                .map(|w| w.parked_ns)
+                .sum::<u64>()
+                / 1000;
+            t.row(vec![
+                workers.to_string(),
+                policy.to_string(),
+                row.makespan_units.to_string(),
+                format!("{:.3}", row.modeled_ns as f64 / 1e6),
+                format!("{:.3}", row.wall_ns as f64 / 1e6),
+                format!("{:.1}", row.threads_per_sec / 1e3),
+                ratio(result.speedup_vs_none(policy, workers)),
+                format!(
+                    "{}/{}",
+                    row.report.stats.steals_succeeded(),
+                    row.report.stats.steals_attempted()
+                ),
+                parked_us.to_string(),
+            ]);
+        }
+    }
+    print!("{}", t.render());
+    println!(
+        "\nCritical path = max per-worker sum of known per-bin costs (work\nunits), i.e. the makespan under ideal parallel execution; modeled\ntime converts it at the single-worker calibration rate. Wall-clock\nadditionally depends on how many physical cores the host has. The\nstatic partition balances thread *counts*, not thread *cost*; stealing\nabsorbs the resulting tail, and locality-aware victim selection does\nso while keeping each worker's tour segment contiguous."
+    );
 }
 
 /// Prints the Figure 4 sweep as a text table plus an ASCII plot.

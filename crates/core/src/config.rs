@@ -27,6 +27,53 @@ impl fmt::Display for ConfigError {
 
 impl Error for ConfigError {}
 
+/// How idle [`ParScheduler`](crate::ParScheduler) workers acquire more
+/// bins once their own deque drains.
+///
+/// The initial schedule partitions the bin tour contiguously across
+/// workers, so each worker starts with a contiguous stretch of
+/// scheduling space. Stealing trades that contiguity for load balance;
+/// the policy controls *how much* locality each steal gives up:
+///
+/// - [`None`](StealPolicy::None): never steal. Workers exit when their
+///   own deque drains; load imbalance translates directly into idle
+///   cores, but every bin runs on the worker whose tour segment it was
+///   assigned to.
+/// - [`Random`](StealPolicy::Random): steal from a uniformly random
+///   victim, the classic Cilk/ABP discipline. Balances load but is
+///   oblivious to scheduling-space distance.
+/// - [`LocalityAware`](StealPolicy::LocalityAware): prefer the victim
+///   whose *cold end* (the back of its deque — the work it will reach
+///   last) is farthest in scheduling space from the bin that victim is
+///   currently executing. Stolen bins are the ones least likely to
+///   share cache-sized working set with the victim's near-term work,
+///   so the steal costs the victim the least locality.
+///
+/// Both stealing policies take half the victim's deque from the back
+/// (cold end), preserving tour order within each fragment.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum StealPolicy {
+    /// Never steal; static contiguous partition only.
+    None,
+    /// Steal from a uniformly random victim (seeded deterministically
+    /// per worker).
+    Random,
+    /// Steal from the victim whose cold end is farthest (Manhattan
+    /// distance over block coordinates) from its current bin.
+    #[default]
+    LocalityAware,
+}
+
+impl fmt::Display for StealPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            StealPolicy::None => "none",
+            StealPolicy::Random => "random",
+            StealPolicy::LocalityAware => "locality-aware",
+        })
+    }
+}
+
 /// Configuration of a locality [`Scheduler`](crate::Scheduler):
 /// block sizes, hash-table size, symmetric-hint folding, and bin tour.
 ///
@@ -56,6 +103,7 @@ pub struct SchedulerConfig {
     hash_size: usize,
     symmetric: bool,
     tour: Tour,
+    steal: StealPolicy,
 }
 
 /// Builder for [`SchedulerConfig`].
@@ -65,6 +113,7 @@ pub struct SchedulerConfigBuilder {
     hash_size: usize,
     symmetric: bool,
     tour: Tour,
+    steal: StealPolicy,
 }
 
 /// Default block dimension: one third of a 2 MB L2, rounded down to a
@@ -83,6 +132,7 @@ impl Default for SchedulerConfigBuilder {
             hash_size: DEFAULT_HASH_SIZE,
             symmetric: false,
             tour: Tour::AllocationOrder,
+            steal: StealPolicy::default(),
         }
     }
 }
@@ -124,6 +174,15 @@ impl SchedulerConfigBuilder {
         self
     }
 
+    /// Sets the work-stealing policy for
+    /// [`ParScheduler`](crate::ParScheduler) (default:
+    /// [`StealPolicy::LocalityAware`]). The sequential
+    /// [`Scheduler`](crate::Scheduler) ignores this knob.
+    pub fn steal_policy(mut self, steal: StealPolicy) -> Self {
+        self.steal = steal;
+        self
+    }
+
     /// Validates and builds the configuration.
     ///
     /// # Errors
@@ -158,6 +217,7 @@ impl SchedulerConfigBuilder {
             hash_size: self.hash_size,
             symmetric: self.symmetric,
             tour: self.tour,
+            steal: self.steal,
         })
     }
 }
@@ -217,6 +277,11 @@ impl SchedulerConfig {
     /// The configured bin tour.
     pub fn tour(&self) -> Tour {
         self.tour
+    }
+
+    /// The configured work-stealing policy.
+    pub fn steal_policy(&self) -> StealPolicy {
+        self.steal
     }
 
     /// Maps hints to block coordinates in the scheduling space: each
@@ -358,6 +423,28 @@ mod tests {
         let ab = c.block_coords(Hints::two(Addr::new(1024), Addr::new(2048)));
         let ba = c.block_coords(Hints::two(Addr::new(2048), Addr::new(1024)));
         assert_ne!(ab, ba);
+    }
+
+    #[test]
+    fn steal_policy_knob_round_trips() {
+        assert_eq!(
+            SchedulerConfig::default().steal_policy(),
+            StealPolicy::LocalityAware
+        );
+        for policy in [
+            StealPolicy::None,
+            StealPolicy::Random,
+            StealPolicy::LocalityAware,
+        ] {
+            let c = SchedulerConfig::builder()
+                .steal_policy(policy)
+                .build()
+                .unwrap();
+            assert_eq!(c.steal_policy(), policy);
+        }
+        assert_eq!(StealPolicy::None.to_string(), "none");
+        assert_eq!(StealPolicy::Random.to_string(), "random");
+        assert_eq!(StealPolicy::LocalityAware.to_string(), "locality-aware");
     }
 
     #[test]

@@ -80,12 +80,12 @@ mod tour;
 
 pub use baseline::{FifoScheduler, RandomScheduler};
 pub use closure::ClosureScheduler;
-pub use config::{ConfigError, SchedulerConfig, SchedulerConfigBuilder};
+pub use config::{ConfigError, SchedulerConfig, SchedulerConfigBuilder, StealPolicy};
 pub use hint::Hints;
-pub use parallel::{ParScheduler, ParThreadFn};
+pub use parallel::{ParRunReport, ParScheduler, ParThreadFn};
 pub use phased::PhasedScheduler;
 pub use scheduler::{RunMode, Scheduler, ThreadFn, ThreadScheduler};
-pub use stats::{RunStats, SchedulerStats};
+pub use stats::{RunStats, SchedulerStats, WorkerStats};
 pub use tour::Tour;
 
 /// Hint addresses are virtual addresses, shared with the tracing crate.

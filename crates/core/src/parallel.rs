@@ -15,17 +15,48 @@
 //! in one mechanism (compare Squillante & Lazowska's affinity
 //! scheduling, reference [38] of the paper).
 //!
+//! # Work distribution and stealing
+//!
+//! The bin tour is split into one *contiguous* segment per worker,
+//! balanced by thread count, so each core starts with a contiguous
+//! stretch of scheduling space — adjacent bins share block boundaries,
+//! and a core walking its segment front-to-back replays the sequential
+//! scheduler's locality within its slice. Each segment lives in a
+//! per-worker deque of tour positions. An owner pops from the *front*
+//! (the hot end, nearest its current bin); a worker whose deque drains
+//! steals *half* a victim's deque from the *back* (the cold end, the
+//! work the victim would reach last) according to the configured
+//! [`StealPolicy`]. Stealing whole bins from the cold end keeps both
+//! parties contiguous: the victim keeps the half adjacent to what it
+//! is executing, and the thief receives an unbroken run of tour
+//! positions. [`StealPolicy::LocalityAware`] additionally picks the
+//! victim whose cold end is *farthest* (Manhattan distance over block
+//! coordinates) from that victim's currently-executing bin — the bins
+//! least likely to share a cache-sized working set with the victim's
+//! near-term work, so the transfer costs the victim the least reuse.
+//!
+//! # Concurrency contract
+//!
 //! Because threads now run concurrently, bodies take the context by
 //! *shared* reference (`fn(&C, usize, usize)`) and the context must be
 //! [`Sync`]; writes go through interior mutability (atomics, or
 //! disjoint-index cells the caller vouches for). Threads remain
 //! independent and run-to-completion; there is no synchronization
-//! between them beyond the final join.
+//! between them beyond deque transfers and the final join. Work only
+//! ever moves *between deques* (under their mutexes), so every forked
+//! thread is executed exactly once by exactly one worker regardless of
+//! how steals interleave.
 
-use crate::stats::{RunStats, SchedulerStats};
-use crate::table::BinTable;
+use crate::config::StealPolicy;
+use crate::hint::MAX_DIMS;
+use crate::stats::{RunStats, SchedulerStats, WorkerStats};
+use crate::table::{BinId, BinTable};
 use crate::{Hints, SchedulerConfig};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// A thread body for parallel execution: shared context plus the two
 /// word-sized arguments.
@@ -36,6 +67,87 @@ struct ParSpec<C> {
     func: ParThreadFn<C>,
     arg1: usize,
     arg2: usize,
+}
+
+/// Sentinel for "this worker is not executing any bin".
+const NO_BIN: usize = usize::MAX;
+
+/// One worker's share of the tour: a deque of tour positions guarded
+/// by a mutex (owner pops front, thieves split the back), plus the
+/// tour position the worker is currently executing, published so
+/// locality-aware thieves can score this worker as a victim. `current`
+/// may lag by one bin while the owner is between pops; victim scoring
+/// tolerates that staleness.
+struct WorkerQueue {
+    deque: Mutex<VecDeque<u32>>,
+    current: AtomicUsize,
+}
+
+impl WorkerQueue {
+    fn new() -> Self {
+        WorkerQueue {
+            deque: Mutex::new(VecDeque::new()),
+            current: AtomicUsize::new(NO_BIN),
+        }
+    }
+}
+
+/// Everything one parallel run did: the aggregate [`RunStats`], the
+/// consumed schedule's bin distribution, and per-worker steal /
+/// execution counters. Produced by [`ParScheduler::run_report`];
+/// serializable with [`to_json`](ParRunReport::to_json) for benchmark
+/// harnesses.
+#[derive(Clone, Debug)]
+pub struct ParRunReport {
+    /// Steal policy the run used.
+    pub policy: StealPolicy,
+    /// Number of worker threads the run was asked to use.
+    pub workers: usize,
+    /// Aggregate outcome, identical to what [`ParScheduler::run`]
+    /// returns.
+    pub run: RunStats,
+    /// Bin distribution of the consumed schedule, with one
+    /// [`WorkerStats`] entry per worker.
+    pub stats: SchedulerStats,
+}
+
+impl ParRunReport {
+    /// Serializes the report as a single-line JSON object with
+    /// aggregate fields and a `per_worker` array.
+    pub fn to_json(&self) -> String {
+        let mut json = format!(
+            "{{\"policy\":\"{}\",\"workers\":{},\"threads_run\":{},\"bins_visited\":{},\
+             \"steals_attempted\":{},\"steals_succeeded\":{},\"makespan_ns\":{},\
+             \"per_worker\":[",
+            self.policy,
+            self.workers,
+            self.run.threads_run,
+            self.run.bins_visited,
+            self.stats.steals_attempted(),
+            self.stats.steals_succeeded(),
+            self.stats.makespan_ns(),
+        );
+        for (i, w) in self.stats.workers().iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            write!(
+                json,
+                "{{\"worker\":{i},\"bins_executed\":{},\"threads_executed\":{},\
+                 \"steals_attempted\":{},\"steals_succeeded\":{},\"busy_ns\":{},\
+                 \"parked_ns\":{}}}",
+                w.bins_executed,
+                w.threads_executed,
+                w.steals_attempted,
+                w.steals_succeeded,
+                w.busy_ns,
+                w.parked_ns,
+            )
+            .expect("writing to String cannot fail");
+        }
+        json.push_str("]}");
+        json
+    }
 }
 
 /// A locality scheduler whose `run` executes bins on multiple worker
@@ -118,52 +230,257 @@ impl<C: Sync> ParScheduler<C> {
     }
 
     /// Runs and consumes every scheduled thread on `workers` OS
-    /// threads. Bins are claimed atomically in tour order; each bin is
-    /// executed to completion by one worker.
+    /// threads. The bin tour is partitioned contiguously across
+    /// per-worker deques (balanced by thread count); idle workers
+    /// steal per the configured
+    /// [`steal_policy`](SchedulerConfig::steal_policy). Each bin is
+    /// executed to completion by exactly one worker.
     ///
     /// # Panics
     ///
     /// Panics if `workers` is zero, or propagates a panic from a thread
     /// body.
     pub fn run(&mut self, ctx: &C, workers: usize) -> RunStats {
+        self.run_report(ctx, workers).run
+    }
+
+    /// Like [`run`](ParScheduler::run), but returns the full
+    /// [`ParRunReport`] with per-worker steal and execution counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero, or propagates a panic from a thread
+    /// body.
+    pub fn run_report(&mut self, ctx: &C, workers: usize) -> ParRunReport {
         assert!(workers > 0, "need at least one worker");
+        let policy = self.config.steal_policy();
+        let mut stats = self.stats();
         let order = self.config.tour().order(self.table.keys());
+        // Block coordinates per *tour position*, for victim scoring.
+        let keys: Vec<[u64; MAX_DIMS]> =
+            order.iter().map(|&id| self.table.key(id)).collect();
         let bins = &self.bins;
-        let cursor = AtomicUsize::new(0);
-        let threads_run: u64 = std::thread::scope(|scope| {
+
+        // Contiguous partition of the tour, balanced by thread count:
+        // worker w's segment ends once the cumulative thread count
+        // reaches w+1 fair shares.
+        let total = self.threads;
+        let queues: Vec<WorkerQueue> = (0..workers).map(|_| WorkerQueue::new()).collect();
+        {
+            let mut cum = 0u64;
+            let mut w = 0usize;
+            for (pos, &id) in order.iter().enumerate() {
+                while w + 1 < workers && cum * workers as u64 >= (w as u64 + 1) * total {
+                    w += 1;
+                }
+                queues[w]
+                    .deque
+                    .lock()
+                    .expect("deque poisoned")
+                    .push_back(pos as u32);
+                cum += bins[id as usize].len() as u64;
+            }
+        }
+
+        let per_worker: Vec<WorkerStats> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
+                .map(|me| {
+                    let queues = &queues;
                     let order = &order;
-                    let cursor = &cursor;
-                    scope.spawn(move || {
-                        let mut ran = 0u64;
-                        loop {
-                            let next = cursor.fetch_add(1, Ordering::Relaxed);
-                            if next >= order.len() {
-                                return ran;
-                            }
-                            let bin = &bins[order[next] as usize];
-                            for spec in bin {
-                                (spec.func)(ctx, spec.arg1, spec.arg2);
-                            }
-                            ran += bin.len() as u64;
-                        }
-                    })
+                    let keys = &keys;
+                    scope.spawn(move || worker_loop(me, queues, order, keys, bins, policy, ctx))
                 })
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("worker panicked"))
-                .sum()
+                .collect()
         });
-        let bins_visited = self.bins.iter().filter(|b| !b.is_empty()).count();
+
+        let threads_run: u64 = per_worker.iter().map(|w| w.threads_executed).sum();
+        let bins_visited: usize = per_worker.iter().map(|w| w.bins_executed).sum::<u64>() as usize;
         self.table.clear();
         self.bins.clear();
         self.threads = 0;
-        RunStats {
-            threads_run,
-            bins_visited,
+        stats.set_workers(per_worker);
+        ParRunReport {
+            policy,
+            workers,
+            run: RunStats {
+                threads_run,
+                bins_visited,
+            },
+            stats,
         }
+    }
+}
+
+/// One worker: drain the own deque front-to-back; once empty, steal
+/// per `policy` or exit.
+fn worker_loop<C: Sync>(
+    me: usize,
+    queues: &[WorkerQueue],
+    order: &[BinId],
+    keys: &[[u64; MAX_DIMS]],
+    bins: &[Vec<ParSpec<C>>],
+    policy: StealPolicy,
+    ctx: &C,
+) -> WorkerStats {
+    let mut stats = WorkerStats::default();
+    let mut rng = XorShift64::for_worker(me);
+    loop {
+        let next = queues[me].deque.lock().expect("deque poisoned").pop_front();
+        if let Some(pos) = next {
+            queues[me].current.store(pos as usize, Ordering::Relaxed);
+            let bin = &bins[order[pos as usize] as usize];
+            let busy = Instant::now();
+            for spec in bin {
+                (spec.func)(ctx, spec.arg1, spec.arg2);
+            }
+            stats.busy_ns += busy.elapsed().as_nanos() as u64;
+            stats.bins_executed += 1;
+            stats.threads_executed += bin.len() as u64;
+            continue;
+        }
+        if policy == StealPolicy::None {
+            return stats;
+        }
+        let parked = Instant::now();
+        let got = match policy {
+            StealPolicy::None => unreachable!("handled above"),
+            StealPolicy::Random => steal_random(me, queues, &mut rng, &mut stats),
+            StealPolicy::LocalityAware => steal_locality(me, queues, keys, &mut stats),
+        };
+        stats.parked_ns += parked.elapsed().as_nanos() as u64;
+        if !got {
+            // No victim has stealable work; the only remaining bins
+            // are in flight on other workers and cannot move. Done.
+            return stats;
+        }
+    }
+}
+
+/// Moves up to half of `victim`'s deque (back half, at least one
+/// entry) onto the back of `me`'s deque. Returns the number of tour
+/// positions moved (0 if the victim's deque was empty). Never holds
+/// two deque locks at once, so steals cannot deadlock.
+fn steal_half(queues: &[WorkerQueue], victim: usize, me: usize) -> u64 {
+    let stolen: VecDeque<u32> = {
+        let mut dq = queues[victim].deque.lock().expect("deque poisoned");
+        let len = dq.len();
+        if len == 0 {
+            return 0;
+        }
+        let take = (len / 2).max(1);
+        dq.split_off(len - take)
+    };
+    let count = stolen.len() as u64;
+    queues[me]
+        .deque
+        .lock()
+        .expect("deque poisoned")
+        .extend(stolen);
+    count
+}
+
+/// Random policy: visit every other worker once, starting from a
+/// random rotation, and steal from the first with a non-empty deque.
+fn steal_random(
+    me: usize,
+    queues: &[WorkerQueue],
+    rng: &mut XorShift64,
+    stats: &mut WorkerStats,
+) -> bool {
+    let n = queues.len();
+    if n <= 1 {
+        return false;
+    }
+    let start = (rng.next() as usize) % (n - 1);
+    for i in 0..n - 1 {
+        let victim = (me + 1 + (start + i) % (n - 1)) % n;
+        stats.steals_attempted += 1;
+        if steal_half(queues, victim, me) > 0 {
+            stats.steals_succeeded += 1;
+            return true;
+        }
+    }
+    false
+}
+
+/// Locality-aware policy: score every victim by the Manhattan distance
+/// (over block coordinates) between its cold-end bin and the bin it is
+/// currently executing, and steal from the farthest — the victim that
+/// loses the least locality by giving up its back half. Ties break
+/// toward the larger backlog, then the lower worker index.
+fn steal_locality(
+    me: usize,
+    queues: &[WorkerQueue],
+    keys: &[[u64; MAX_DIMS]],
+    stats: &mut WorkerStats,
+) -> bool {
+    loop {
+        let mut best: Option<(u64, usize, usize)> = None; // (distance, backlog, victim)
+        for (victim, queue) in queues.iter().enumerate() {
+            if victim == me {
+                continue;
+            }
+            let (back, front, backlog) = {
+                let dq = queue.deque.lock().expect("deque poisoned");
+                (dq.back().copied(), dq.front().copied(), dq.len())
+            };
+            let Some(back) = back else { continue };
+            let current = queue.current.load(Ordering::Relaxed);
+            // A victim that has not started yet anchors at its front.
+            let anchor = if current == NO_BIN {
+                front.expect("non-empty deque has a front") as usize
+            } else {
+                current
+            };
+            let distance = manhattan(keys[back as usize], keys[anchor]);
+            if best.is_none_or(|(d, b, _)| (distance, backlog) > (d, b)) {
+                best = Some((distance, backlog, victim));
+            }
+        }
+        let Some((_, _, victim)) = best else {
+            return false;
+        };
+        stats.steals_attempted += 1;
+        if steal_half(queues, victim, me) > 0 {
+            stats.steals_succeeded += 1;
+            return true;
+        }
+        // The chosen victim drained between scoring and stealing;
+        // rescan (total work shrinks monotonically, so this ends).
+    }
+}
+
+/// Manhattan distance between two block-coordinate keys.
+#[inline]
+fn manhattan(a: [u64; MAX_DIMS], b: [u64; MAX_DIMS]) -> u64 {
+    let mut sum = 0u64;
+    for dim in 0..MAX_DIMS {
+        sum = sum.saturating_add(a[dim].abs_diff(b[dim]));
+    }
+    sum
+}
+
+/// Deterministic per-worker PRNG (xorshift64*) for random victim
+/// rotation; seeded from the worker index so runs are reproducible
+/// modulo OS scheduling.
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn for_worker(me: usize) -> Self {
+        XorShift64((me as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
     }
 }
 
@@ -185,60 +502,80 @@ mod tests {
         SchedulerConfig::builder().block_size(4096).build().unwrap()
     }
 
+    fn config_with(policy: StealPolicy) -> SchedulerConfig {
+        SchedulerConfig::builder()
+            .block_size(4096)
+            .steal_policy(policy)
+            .build()
+            .unwrap()
+    }
+
     fn counters(n: usize) -> Counters {
         Counters {
             slots: (0..n).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
+    const ALL_POLICIES: [StealPolicy; 3] = [
+        StealPolicy::None,
+        StealPolicy::Random,
+        StealPolicy::LocalityAware,
+    ];
+
     #[test]
     fn every_thread_runs_exactly_once_in_parallel() {
-        for workers in [1, 2, 4, 8] {
-            let mut sched: ParScheduler<Counters> = ParScheduler::new(config());
-            for i in 0..1000usize {
-                sched.fork(
-                    bump,
-                    i % 10,
-                    1,
-                    Hints::one(Addr::new((i as u64 % 64) * 100_000)),
-                );
+        for policy in ALL_POLICIES {
+            for workers in [1, 2, 4, 8] {
+                let mut sched: ParScheduler<Counters> = ParScheduler::new(config_with(policy));
+                for i in 0..1000usize {
+                    sched.fork(
+                        bump,
+                        i % 10,
+                        1,
+                        Hints::one(Addr::new((i as u64 % 64) * 100_000)),
+                    );
+                }
+                assert_eq!(sched.pending(), 1000);
+                let ctx = counters(10);
+                let stats = sched.run(&ctx, workers);
+                assert_eq!(stats.threads_run, 1000, "workers = {workers} {policy}");
+                let total: u64 = ctx.slots.iter().map(|s| s.load(Ordering::Relaxed)).sum();
+                assert_eq!(total, 1000);
+                assert_eq!(sched.pending(), 0);
             }
-            assert_eq!(sched.pending(), 1000);
-            let ctx = counters(10);
-            let stats = sched.run(&ctx, workers);
-            assert_eq!(stats.threads_run, 1000, "workers = {workers}");
-            let total: u64 = ctx.slots.iter().map(|s| s.load(Ordering::Relaxed)).sum();
-            assert_eq!(total, 1000);
-            assert_eq!(sched.pending(), 0);
         }
     }
 
     #[test]
     fn single_worker_matches_sequential_semantics() {
         // With one worker, bins run in tour order just like the
-        // sequential scheduler.
+        // sequential scheduler — under every steal policy, because a
+        // lone worker has no victims.
         struct OrderLog {
             order: std::sync::Mutex<Vec<usize>>,
         }
         fn log_it(ctx: &OrderLog, i: usize, _j: usize) {
             ctx.order.lock().unwrap().push(i);
         }
-        let mut sched: ParScheduler<OrderLog> = ParScheduler::new(config());
-        for i in 0..6usize {
-            let addr = if i % 2 == 0 { 0u64 } else { 1 << 30 };
-            sched.fork(log_it, i, 0, Hints::one(Addr::new(addr)));
+        for policy in ALL_POLICIES {
+            let mut sched: ParScheduler<OrderLog> = ParScheduler::new(config_with(policy));
+            for i in 0..6usize {
+                let addr = if i % 2 == 0 { 0u64 } else { 1 << 30 };
+                sched.fork(log_it, i, 0, Hints::one(Addr::new(addr)));
+            }
+            let ctx = OrderLog {
+                order: std::sync::Mutex::new(Vec::new()),
+            };
+            sched.run(&ctx, 1);
+            assert_eq!(*ctx.order.lock().unwrap(), vec![0, 2, 4, 1, 3, 5], "{policy}");
         }
-        let ctx = OrderLog {
-            order: std::sync::Mutex::new(Vec::new()),
-        };
-        sched.run(&ctx, 1);
-        assert_eq!(*ctx.order.lock().unwrap(), vec![0, 2, 4, 1, 3, 5]);
     }
 
     #[test]
     fn bins_never_split_across_workers() {
         // Tag each thread with its bin; assert all threads of a bin saw
-        // the same worker (thread id).
+        // the same worker (thread id). Bins are the unit of transfer,
+        // so this must hold even while stealing.
         struct BinWorkers {
             seen: Vec<std::sync::Mutex<Option<std::thread::ThreadId>>>,
             violations: AtomicU64,
@@ -255,18 +592,20 @@ mod tests {
                 }
             }
         }
-        let bins = 16usize;
-        let mut sched: ParScheduler<BinWorkers> = ParScheduler::new(config());
-        for i in 0..800usize {
-            let bin = i % bins;
-            sched.fork(check, bin, 0, Hints::one(Addr::new(bin as u64 * 1_000_000)));
+        for policy in ALL_POLICIES {
+            let bins = 16usize;
+            let mut sched: ParScheduler<BinWorkers> = ParScheduler::new(config_with(policy));
+            for i in 0..800usize {
+                let bin = i % bins;
+                sched.fork(check, bin, 0, Hints::one(Addr::new(bin as u64 * 1_000_000)));
+            }
+            let ctx = BinWorkers {
+                seen: (0..bins).map(|_| std::sync::Mutex::new(None)).collect(),
+                violations: AtomicU64::new(0),
+            };
+            sched.run(&ctx, 4);
+            assert_eq!(ctx.violations.load(Ordering::Relaxed), 0, "{policy}");
         }
-        let ctx = BinWorkers {
-            seen: (0..bins).map(|_| std::sync::Mutex::new(None)).collect(),
-            violations: AtomicU64::new(0),
-        };
-        sched.run(&ctx, 4);
-        assert_eq!(ctx.violations.load(Ordering::Relaxed), 0);
     }
 
     #[test]
@@ -285,5 +624,120 @@ mod tests {
         let mut sched: ParScheduler<Counters> = ParScheduler::new(config());
         let ctx = counters(1);
         let _ = sched.run(&ctx, 0);
+    }
+
+    #[test]
+    fn report_counters_are_consistent() {
+        for policy in ALL_POLICIES {
+            for workers in [1, 2, 4, 8] {
+                let mut sched: ParScheduler<Counters> = ParScheduler::new(config_with(policy));
+                for i in 0..500usize {
+                    sched.fork(bump, 0, 1, Hints::one(Addr::new((i as u64 % 32) * 1_000_000)));
+                }
+                let ctx = counters(1);
+                let report = sched.run_report(&ctx, workers);
+                assert_eq!(report.policy, policy);
+                assert_eq!(report.workers, workers);
+                assert_eq!(report.stats.workers().len(), workers);
+                assert_eq!(report.run.threads_run, 500);
+                let by_worker: u64 = report
+                    .stats
+                    .workers()
+                    .iter()
+                    .map(|w| w.threads_executed)
+                    .sum();
+                assert_eq!(by_worker, report.run.threads_run);
+                let bins_by_worker: u64 = report
+                    .stats
+                    .workers()
+                    .iter()
+                    .map(|w| w.bins_executed)
+                    .sum();
+                assert_eq!(bins_by_worker as usize, report.run.bins_visited);
+                for w in report.stats.workers() {
+                    assert!(
+                        w.steals_succeeded <= w.steals_attempted,
+                        "{policy} workers={workers}: {w}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_steals_under_none_policy() {
+        let mut sched: ParScheduler<Counters> =
+            ParScheduler::new(config_with(StealPolicy::None));
+        for i in 0..400usize {
+            sched.fork(bump, 0, 1, Hints::one(Addr::new((i as u64 % 16) * 1_000_000)));
+        }
+        let ctx = counters(1);
+        let report = sched.run_report(&ctx, 4);
+        assert_eq!(report.stats.steals_attempted(), 0);
+        assert_eq!(report.stats.steals_succeeded(), 0);
+        assert_eq!(
+            report.stats.workers().iter().map(|w| w.parked_ns).sum::<u64>(),
+            0,
+            "None-policy workers never park to search for victims"
+        );
+    }
+
+    #[test]
+    fn idle_workers_attempt_steals_under_random_policy() {
+        // One bin, four workers: three start empty and must each log
+        // at least one steal attempt before exiting.
+        let mut sched: ParScheduler<Counters> =
+            ParScheduler::new(config_with(StealPolicy::Random));
+        for _ in 0..50 {
+            sched.fork(bump, 0, 1, Hints::none());
+        }
+        let ctx = counters(1);
+        let report = sched.run_report(&ctx, 4);
+        assert_eq!(report.run.threads_run, 50);
+        assert!(
+            report.stats.steals_attempted() >= 1,
+            "{}",
+            report.to_json()
+        );
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let mut sched: ParScheduler<Counters> =
+            ParScheduler::new(config_with(StealPolicy::LocalityAware));
+        for i in 0..100usize {
+            sched.fork(bump, 0, 1, Hints::one(Addr::new((i as u64 % 8) * 1_000_000)));
+        }
+        let ctx = counters(1);
+        let report = sched.run_report(&ctx, 2);
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"policy\":\"locality-aware\""), "{json}");
+        assert!(json.contains("\"workers\":2"), "{json}");
+        assert!(json.contains("\"threads_run\":100"), "{json}");
+        assert!(json.contains("\"per_worker\":[{\"worker\":0,"), "{json}");
+        assert!(json.contains("\"worker\":1,"), "{json}");
+        assert!(json.contains("\"makespan_ns\":"), "{json}");
+        assert!(json.contains("\"busy_ns\":"), "{json}");
+        assert!(json.contains("\"parked_ns\":"), "{json}");
+    }
+
+    #[test]
+    fn contiguous_partition_balances_by_thread_count() {
+        // 4 equal bins over 2 workers with stealing off: each worker
+        // executes exactly 2 bins / half the threads.
+        let mut sched: ParScheduler<Counters> =
+            ParScheduler::new(config_with(StealPolicy::None));
+        for bin in 0..4u64 {
+            for _ in 0..25 {
+                sched.fork(bump, 0, 1, Hints::one(Addr::new(bin * 1_000_000)));
+            }
+        }
+        let ctx = counters(1);
+        let report = sched.run_report(&ctx, 2);
+        for w in report.stats.workers() {
+            assert_eq!(w.bins_executed, 2, "{}", report.to_json());
+            assert_eq!(w.threads_executed, 50, "{}", report.to_json());
+        }
     }
 }

@@ -101,6 +101,17 @@ impl BinTable {
         &self.keys
     }
 
+    /// Block coordinates of one bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by
+    /// [`lookup_or_insert`](BinTable::lookup_or_insert).
+    #[inline]
+    pub(crate) fn key(&self, id: BinId) -> [u64; MAX_DIMS] {
+        self.keys[id as usize]
+    }
+
     /// Removes all bins, keeping the bucket array allocation.
     pub(crate) fn clear(&mut self) {
         self.buckets.fill(NIL);

@@ -30,6 +30,15 @@ fn arb_hints() -> impl Strategy<Value = Hints> {
     ]
 }
 
+fn arb_policy() -> impl Strategy<Value = locality_sched::StealPolicy> {
+    use locality_sched::StealPolicy;
+    prop_oneof![
+        Just(StealPolicy::None),
+        Just(StealPolicy::Random),
+        Just(StealPolicy::LocalityAware),
+    ]
+}
+
 fn arb_tour() -> impl Strategy<Value = Tour> {
     prop_oneof![
         Just(Tour::AllocationOrder),
@@ -198,11 +207,14 @@ proptest! {
     }
 
     /// The parallel scheduler runs every thread exactly once for any
-    /// worker count and hint distribution.
+    /// worker count, steal policy, and hint distribution — the
+    /// workers-racing-and-stealing analogue of
+    /// `every_thread_runs_exactly_once`.
     #[test]
     fn parallel_runs_every_thread_once(
         hints in prop::collection::vec(arb_hints(), 1..200),
         workers in 1usize..9,
+        policy in arb_policy(),
     ) {
         use locality_sched::ParScheduler;
         use std::sync::atomic::{AtomicU64, Ordering};
@@ -214,7 +226,8 @@ proptest! {
             ctx.counts[i].fetch_add(1, Ordering::Relaxed);
         }
 
-        let mut sched: ParScheduler<Ctx> = ParScheduler::new(SchedulerConfig::default());
+        let config = SchedulerConfig::builder().steal_policy(policy).build().unwrap();
+        let mut sched: ParScheduler<Ctx> = ParScheduler::new(config);
         for (i, h) in hints.iter().enumerate() {
             sched.fork(bump, i, 0, *h);
         }
@@ -225,6 +238,54 @@ proptest! {
         prop_assert_eq!(stats.threads_run, hints.len() as u64);
         for (i, c) in ctx.counts.iter().enumerate() {
             prop_assert_eq!(c.load(Ordering::Relaxed), 1, "thread {} ran wrong count", i);
+        }
+    }
+
+    /// Per-worker steal counters stay coherent for any run: the
+    /// per-worker execution counts sum to the run totals, a worker
+    /// never succeeds more often than it attempts, and under
+    /// `StealPolicy::None` nobody attempts (or is parked) at all.
+    #[test]
+    fn steal_counters_are_consistent(
+        hints in prop::collection::vec(arb_hints(), 1..200),
+        workers in 1usize..9,
+        policy in arb_policy(),
+    ) {
+        use locality_sched::{ParScheduler, StealPolicy};
+
+        fn nop(_ctx: &(), _i: usize, _j: usize) {}
+
+        let config = SchedulerConfig::builder().steal_policy(policy).build().unwrap();
+        let mut sched: ParScheduler<()> = ParScheduler::new(config);
+        for (i, h) in hints.iter().enumerate() {
+            sched.fork(nop, i, 0, *h);
+        }
+        let report = sched.run_report(&(), workers);
+        prop_assert_eq!(report.policy, policy);
+        prop_assert_eq!(report.workers, workers);
+        prop_assert_eq!(report.stats.workers().len(), workers);
+        let threads: u64 = report.stats.workers().iter().map(|w| w.threads_executed).sum();
+        let bins: u64 = report.stats.workers().iter().map(|w| w.bins_executed).sum();
+        prop_assert_eq!(threads, report.run.threads_run);
+        prop_assert_eq!(bins, report.run.bins_visited as u64);
+        for w in report.stats.workers() {
+            prop_assert!(
+                w.steals_succeeded <= w.steals_attempted,
+                "worker succeeded {} of {} attempts",
+                w.steals_succeeded,
+                w.steals_attempted
+            );
+        }
+        if policy == StealPolicy::None {
+            prop_assert_eq!(report.stats.steals_attempted(), 0);
+            prop_assert_eq!(report.stats.steals_succeeded(), 0);
+            for w in report.stats.workers() {
+                prop_assert_eq!(w.parked_ns, 0);
+            }
+        }
+        if workers == 1 {
+            // A lone worker has no victims: it owns every bin.
+            prop_assert_eq!(report.stats.steals_succeeded(), 0);
         }
     }
 

@@ -1,0 +1,195 @@
+//! Workspace-local stand-in for the parts of the crates.io `criterion`
+//! API this repository's benches use.
+//!
+//! The build environment has no network access to a crates registry, so
+//! the workspace vendors a minimal wall-clock bench harness with
+//! criterion's interface: benchmark groups, `sample_size`,
+//! `throughput`, `bench_function`, `Bencher::iter` /
+//! `iter_batched`, and the `criterion_group!` / `criterion_main!`
+//! macros. It reports median / mean per-iteration time and derived
+//! throughput to stdout. There is no statistical regression analysis,
+//! no warm-up tuning, and no HTML report — comparisons within one run
+//! on one host remain meaningful, which is all the ablation and
+//! overhead benches here need.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration throughput denominator for a benchmark.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How much setup output to batch per measured routine call in
+/// [`Bencher::iter_batched`]; sizing hints only — this harness always
+/// sets up one input per call.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The top-level bench context handed to every bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let mut group = self.benchmark_group("ungrouped");
+        group.bench_function(name, f);
+        group.finish();
+    }
+}
+
+/// A named group of benchmarks sharing sample and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-iteration throughput denominator.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measurement-time hint; accepted for interface compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Warm-up-time hint; accepted for interface compatibility.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        let name = name.into();
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        // One untimed warm-up sample.
+        let mut bencher = Bencher { elapsed_ns: 0.0 };
+        f(&mut bencher);
+        for _ in 0..self.sample_size {
+            let mut bencher = Bencher { elapsed_ns: 0.0 };
+            f(&mut bencher);
+            samples_ns.push(bencher.elapsed_ns);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = samples_ns[samples_ns.len() / 2];
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if median > 0.0 => {
+                format!("  {:.3} Melem/s", n as f64 / median * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if median > 0.0 => {
+                format!("  {:.3} MiB/s", n as f64 / median * 1e9 / (1 << 20) as f64)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{name}: median {} mean {} ({} samples){rate}",
+            self.name,
+            fmt_ns(median),
+            fmt_ns(mean),
+            samples_ns.len(),
+        );
+    }
+
+    /// Ends the group (printing nothing extra; reports are per-bench).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Times closures for one sample.
+pub struct Bencher {
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed_ns = start.elapsed().as_nanos() as f64;
+    }
+
+    /// Times `routine` on fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed_ns = start.elapsed().as_nanos() as f64;
+    }
+}
+
+/// Bundles bench functions into one callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            println!();
+        }
+    };
+}

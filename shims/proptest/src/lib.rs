@@ -1,0 +1,167 @@
+//! Workspace-local stand-in for the parts of the crates.io `proptest`
+//! API this repository uses.
+//!
+//! The build environment has no network access to a crates registry, so
+//! the workspace vendors the *interface* its property tests need: the
+//! [`Strategy`] trait with `prop_map` / `prop_filter_map`, range and
+//! tuple strategies, [`collection::vec`], [`any`], `prop_oneof!`, and
+//! the `proptest!` / `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its seed and case index;
+//!   re-running is deterministic, so the failure reproduces exactly.
+//! * **Fixed case count** (default 64, `PROPTEST_CASES` overrides) —
+//!   chosen so the whole suite stays fast in debug builds.
+//! * `prop_assume!` skips the current case rather than resampling.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub mod collection;
+
+/// The RNG handed to strategies.
+pub type TestRng = SmallRng;
+
+/// Number of cases per property (env `PROPTEST_CASES`, default 64).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Deterministic base seed for a named property.
+pub fn seed_for(name: &str) -> u64 {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The RNG for one case of one property.
+pub fn test_rng(seed: u64, case: u32) -> TestRng {
+    SmallRng::seed_from_u64(seed ^ ((case as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+}
+
+/// Generators for "any value of this type".
+pub trait Arbitrary: Sized {
+    /// Samples an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                use rand::RngCore;
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        use rand::RngCore;
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        use rand::RngCore;
+        // Raw bit patterns: exercises subnormals, infinities, NaNs.
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        use rand::RngCore;
+        f32::from_bits(rng.next_u32())
+    }
+}
+
+/// Strategy producing arbitrary values of `T` (proptest's `any`).
+pub fn any<T: Arbitrary>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{any, Arbitrary};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(binding in strategy, …) { … }`
+/// expands to a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cases = $crate::cases();
+                let __seed = $crate::seed_for(stringify!($name));
+                for __case in 0..__cases {
+                    let mut __rng = $crate::test_rng(__seed, __case);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                    let __run = move || { $body };
+                    __run();
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (plain `assert!` here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (plain `assert_eq!` here).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property (plain `assert_ne!` here).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Picks uniformly among the listed strategies (all must share a value
+/// type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
