@@ -1,0 +1,49 @@
+//! Where does simulation time go? Times one workload against a
+//! no-op sink (workload floor), the exhaustive hierarchy, and the
+//! fast-path hierarchy.
+
+use cachesim::SimSink;
+use memtrace::{AddressSpace, CountingSink};
+use repro::experiments::machines;
+use repro::ExpScale;
+use std::time::Instant;
+use workloads::matmul;
+
+fn main() {
+    let scale = ExpScale::default_scaled();
+    let machine = machines(scale.matmul_factor).0;
+    let n = scale.matmul_n;
+
+    let time = |label: &str, f: &mut dyn FnMut()| {
+        let mut best = u64::MAX;
+        for _ in 0..3 {
+            let start = Instant::now();
+            f();
+            best = best.min(start.elapsed().as_nanos() as u64);
+        }
+        println!("{label:24} {:9.2} ms", best as f64 / 1e6);
+    };
+
+    time("counting (floor)", &mut || {
+        let mut space = AddressSpace::new();
+        let mut data = matmul::MatMulData::new(&mut space, n, 42);
+        let mut sink = CountingSink::new();
+        matmul::interchanged(&mut data, &mut sink);
+        std::hint::black_box(sink.reads());
+    });
+    time("sim slow", &mut || {
+        let mut space = AddressSpace::new();
+        let mut data = matmul::MatMulData::new(&mut space, n, 42);
+        let mut sim = SimSink::new(machine.hierarchy());
+        sim.set_fast_path(false);
+        matmul::interchanged(&mut data, &mut sim);
+        std::hint::black_box(sim.report().l1.misses());
+    });
+    time("sim fast", &mut || {
+        let mut space = AddressSpace::new();
+        let mut data = matmul::MatMulData::new(&mut space, n, 42);
+        let mut sim = SimSink::new(machine.hierarchy());
+        matmul::interchanged(&mut data, &mut sim);
+        std::hint::black_box(sim.report().l1.misses());
+    });
+}

@@ -1,0 +1,5 @@
+//! Fast-path simulation throughput benchmark (writes `BENCH_sim.json`).
+
+fn main() {
+    repro::cli::run("simbench");
+}

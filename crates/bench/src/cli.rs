@@ -78,6 +78,15 @@ pub fn run_at(experiment: &str, scale: &crate::ExpScale) {
             "",
         ),
         "figure4" => print::figure4(&crate::figure4(scale)),
+        "simbench" => {
+            let result = crate::simbench::simbench(scale, 3);
+            print::simbench(&result);
+            let path = "BENCH_sim.json";
+            match std::fs::write(path, result.to_json()) {
+                Ok(()) => println!("\nwrote {path}"),
+                Err(err) => eprintln!("could not write {path}: {err}"),
+            }
+        }
         "steal" => {
             let result = crate::experiments::steal(scale);
             print::steal(&result);

@@ -43,87 +43,123 @@ pub fn sched_config_for(workload: &str, machine: &MachineModel) -> SchedulerConf
 }
 
 // ---------------------------------------------------------------------
-// Workload suites: run every version of one workload on one machine and
-// collect simulation reports.
+// Parallel experiment driver: every (workload version × machine)
+// combination of the paper tables is an independent simulation, so the
+// suites build self-contained cells that a scoped-thread driver can fan
+// out — with a join-in-spawn-order reduce that keeps the output
+// identical to the sequential driver's.
 // ---------------------------------------------------------------------
 
-/// Runs the five matmul versions of Table 2 on `machine`.
-pub fn matmul_suite(scale: &ExpScale, machine: &MachineModel) -> Vec<(String, SimReport)> {
+/// One independent simulation cell: a (workload version × machine)
+/// combination owning all of its state, returning its table entry.
+pub type Cell = Box<dyn FnOnce() -> (String, SimReport) + Send>;
+
+/// How a batch of independent [`Cell`]s executes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Driver {
+    /// One after another on the calling thread (the reference order).
+    Sequential,
+    /// One OS thread per cell via [`std::thread::scope`], results
+    /// collected by joining handles in spawn order.
+    #[default]
+    Parallel,
+}
+
+/// Runs `cells` under `driver`, returning results in cell order.
+///
+/// Determinism: each cell owns its address space, workload data and
+/// [`SimSink`], shares nothing mutable with its siblings, and the
+/// reduce joins handles in spawn order — so the result vector is
+/// *identical* to the sequential driver's regardless of how the OS
+/// interleaves cell completion (see DESIGN.md).
+pub fn run_cells(cells: Vec<Cell>, driver: Driver) -> Vec<(String, SimReport)> {
+    match driver {
+        Driver::Sequential => cells.into_iter().map(|cell| cell()).collect(),
+        Driver::Parallel => std::thread::scope(|scope| {
+            let handles: Vec<_> = cells.into_iter().map(|cell| scope.spawn(cell)).collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("simulation cell panicked"))
+                .collect()
+        }),
+    }
+}
+
+/// Wraps one workload run as a [`Cell`]: fresh address space and sink
+/// over a clone of `machine`, report collected on completion.
+fn cell<F>(machine: &MachineModel, run: F) -> Cell
+where
+    F: FnOnce(&mut AddressSpace, &mut SimSink) -> workloads::WorkloadReport + Send + 'static,
+{
+    let machine = machine.clone();
+    Box::new(move || {
+        let mut space = AddressSpace::new();
+        let mut sim = SimSink::new(machine.hierarchy());
+        let report = run(&mut space, &mut sim);
+        sim.add_threads(report.threads);
+        (report.name.clone(), sim.finish())
+    })
+}
+
+// ---------------------------------------------------------------------
+// Workload suites: one cell per version of one workload on one machine.
+// ---------------------------------------------------------------------
+
+/// The five matmul versions of Table 2 on `machine`, as cells.
+pub fn matmul_cells(scale: &ExpScale, machine: &MachineModel) -> Vec<Cell> {
     let n = scale.matmul_n;
     let tiles =
         matmul::TileConfig::for_caches(machine.l1_config().size(), machine.l2_config().size());
     let sched = sched_config_for("matmul", machine);
-    let mut out = Vec::new();
-    type MatMulRun<'a> = &'a mut dyn FnMut(
-        &mut matmul::MatMulData,
-        &mut AddressSpace,
-        &mut SimSink,
-    ) -> workloads::WorkloadReport;
-    let mut run = |f: MatMulRun<'_>| {
-        let mut space = AddressSpace::new();
-        let mut data = matmul::MatMulData::new(&mut space, n, 42);
-        let mut sim = SimSink::new(machine.hierarchy());
-        let report = f(&mut data, &mut space, &mut sim);
-        sim.add_threads(report.threads);
-        out.push((report.name.clone(), sim.finish()));
-    };
-    run(&mut |d, _sp, s| matmul::interchanged(d, s));
-    run(&mut |d, _sp, s| matmul::transposed(d, s));
-    run(&mut |d, sp, s| matmul::tiled_interchanged(d, tiles, sp, s));
-    run(&mut |d, sp, s| matmul::tiled_transposed(d, tiles, sp, s));
-    run(&mut |d, _sp, s| matmul::threaded(d, sched, s));
-    out
+    let data = move |space: &mut AddressSpace| matmul::MatMulData::new(space, n, 42);
+    vec![
+        cell(machine, move |sp, s| matmul::interchanged(&mut data(sp), s)),
+        cell(machine, move |sp, s| matmul::transposed(&mut data(sp), s)),
+        cell(machine, move |sp, s| {
+            matmul::tiled_interchanged(&mut data(sp), tiles, sp, s)
+        }),
+        cell(machine, move |sp, s| {
+            matmul::tiled_transposed(&mut data(sp), tiles, sp, s)
+        }),
+        cell(machine, move |sp, s| matmul::threaded(&mut data(sp), sched, s)),
+    ]
 }
 
-/// Runs the three PDE versions of Table 4 on `machine`.
-pub fn pde_suite(scale: &ExpScale, machine: &MachineModel) -> Vec<(String, SimReport)> {
+/// The three PDE versions of Table 4 on `machine`, as cells.
+pub fn pde_cells(scale: &ExpScale, machine: &MachineModel) -> Vec<Cell> {
     let n = scale.pde_n;
     let iters = scale.pde_iters;
     let sched = sched_config_for("pde", machine);
-    let mut out = Vec::new();
-    let mut run =
-        |f: &mut dyn FnMut(&mut pde::PdeData, &mut SimSink) -> workloads::WorkloadReport| {
-            let mut space = AddressSpace::new();
-            let mut data = pde::PdeData::new(&mut space, n, 7);
-            let mut sim = SimSink::new(machine.hierarchy());
-            let report = f(&mut data, &mut sim);
-            sim.add_threads(report.threads);
-            out.push((report.name.clone(), sim.finish()));
-        };
-    run(&mut |d, s| pde::regular(d, iters, s));
-    run(&mut |d, s| pde::cache_conscious(d, iters, s));
-    run(&mut |d, s| pde::threaded(d, iters, sched, s));
-    out
+    let data = move |space: &mut AddressSpace| pde::PdeData::new(space, n, 7);
+    vec![
+        cell(machine, move |sp, s| pde::regular(&mut data(sp), iters, s)),
+        cell(machine, move |sp, s| {
+            pde::cache_conscious(&mut data(sp), iters, s)
+        }),
+        cell(machine, move |sp, s| {
+            pde::threaded(&mut data(sp), iters, sched, s)
+        }),
+    ]
 }
 
-/// Runs the three SOR versions of Table 6 on `machine`.
-pub fn sor_suite(scale: &ExpScale, machine: &MachineModel) -> Vec<(String, SimReport)> {
+/// The three SOR versions of Table 6 on `machine`, as cells.
+pub fn sor_cells(scale: &ExpScale, machine: &MachineModel) -> Vec<Cell> {
     let n = scale.sor_n;
     let t = scale.sor_t;
     let tile = scale.sor_tile;
     let sched = sched_config_for("sor", machine);
-    let mut out = Vec::new();
-    let mut run =
-        |f: &mut dyn FnMut(&mut sor::SorData, &mut SimSink) -> workloads::WorkloadReport| {
-            let mut space = AddressSpace::new();
-            let mut data = sor::SorData::new(&mut space, n, 99);
-            let mut sim = SimSink::new(machine.hierarchy());
-            let report = f(&mut data, &mut sim);
-            sim.add_threads(report.threads);
-            out.push((report.name.clone(), sim.finish()));
-        };
-    run(&mut |d, s| sor::untiled(d, t, s));
-    run(&mut |d, s| sor::hand_tiled(d, t, tile, s));
-    run(&mut |d, s| sor::threaded(d, t, sched, s));
-    out
+    let data = move |space: &mut AddressSpace| sor::SorData::new(space, n, 99);
+    vec![
+        cell(machine, move |sp, s| sor::untiled(&mut data(sp), t, s)),
+        cell(machine, move |sp, s| {
+            sor::hand_tiled(&mut data(sp), t, tile, s)
+        }),
+        cell(machine, move |sp, s| sor::threaded(&mut data(sp), t, sched, s)),
+    ]
 }
 
-/// Runs the two N-body versions of Table 8 on `machine`.
-pub fn nbody_suite(
-    scale: &ExpScale,
-    machine: &MachineModel,
-    iterations: usize,
-) -> Vec<(String, SimReport)> {
+/// The two N-body versions of Table 8 on `machine`, as cells.
+pub fn nbody_cells(scale: &ExpScale, machine: &MachineModel, iterations: usize) -> Vec<Cell> {
     let n = scale.nbody_n;
     let params = nbody::NBodyParams {
         // Fix the scheduling plane so the default block (L2/3) cuts
@@ -132,19 +168,39 @@ pub fn nbody_suite(
         ..nbody::NBodyParams::default()
     };
     let sched = sched_config_for("nbody", machine);
-    let mut out = Vec::new();
-    let mut run =
-        |f: &mut dyn FnMut(&mut nbody::NBodyData, &mut SimSink) -> workloads::WorkloadReport| {
-            let mut space = AddressSpace::new();
-            let mut data = nbody::NBodyData::new(&mut space, n, 2024);
-            let mut sim = SimSink::new(machine.hierarchy());
-            let report = f(&mut data, &mut sim);
-            sim.add_threads(report.threads);
-            out.push((report.name.clone(), sim.finish()));
-        };
-    run(&mut |d, s| nbody::unthreaded(d, iterations, params, s));
-    run(&mut |d, s| nbody::threaded(d, iterations, params, sched, s));
-    out
+    let data = move |space: &mut AddressSpace| nbody::NBodyData::new(space, n, 2024);
+    vec![
+        cell(machine, move |sp, s| {
+            nbody::unthreaded(&mut data(sp), iterations, params, s)
+        }),
+        cell(machine, move |sp, s| {
+            nbody::threaded(&mut data(sp), iterations, params, sched, s)
+        }),
+    ]
+}
+
+/// Runs the five matmul versions of Table 2 on `machine`.
+pub fn matmul_suite(scale: &ExpScale, machine: &MachineModel) -> Vec<(String, SimReport)> {
+    run_cells(matmul_cells(scale, machine), Driver::default())
+}
+
+/// Runs the three PDE versions of Table 4 on `machine`.
+pub fn pde_suite(scale: &ExpScale, machine: &MachineModel) -> Vec<(String, SimReport)> {
+    run_cells(pde_cells(scale, machine), Driver::default())
+}
+
+/// Runs the three SOR versions of Table 6 on `machine`.
+pub fn sor_suite(scale: &ExpScale, machine: &MachineModel) -> Vec<(String, SimReport)> {
+    run_cells(sor_cells(scale, machine), Driver::default())
+}
+
+/// Runs the two N-body versions of Table 8 on `machine`.
+pub fn nbody_suite(
+    scale: &ExpScale,
+    machine: &MachineModel,
+    iterations: usize,
+) -> Vec<(String, SimReport)> {
+    run_cells(nbody_cells(scale, machine, iterations), Driver::default())
 }
 
 // ---------------------------------------------------------------------
@@ -208,7 +264,7 @@ pub fn table1(threads: u64) -> Table1Result {
 }
 
 /// One row of a timing table: modeled seconds per machine.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TimeRow {
     /// Version name.
     pub version: String,
@@ -219,7 +275,7 @@ pub struct TimeRow {
 }
 
 /// One row of a cache-miss table.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MissRow {
     /// Version name.
     pub version: String,
@@ -228,12 +284,18 @@ pub struct MissRow {
 }
 
 fn time_rows(
-    suite: impl Fn(&MachineModel) -> Vec<(String, SimReport)>,
+    cells_on: impl Fn(&MachineModel) -> Vec<Cell>,
     r8000: &MachineModel,
     r10000: &MachineModel,
+    driver: Driver,
 ) -> Vec<TimeRow> {
-    let on_r8000 = suite(r8000);
-    let on_r10000 = suite(r10000);
+    // Both machines' cells go into one batch, so a parallel driver
+    // overlaps all (version × machine) combinations at once.
+    let mut cells = cells_on(r8000);
+    let split = cells.len();
+    cells.extend(cells_on(r10000));
+    let mut on_r8000 = run_cells(cells, driver);
+    let on_r10000 = on_r8000.split_off(split);
     on_r8000
         .into_iter()
         .zip(on_r10000)
@@ -264,8 +326,14 @@ pub fn machines(factor: f64) -> (MachineModel, MachineModel) {
 
 /// Table 2: matmul modeled seconds, five versions × two machines.
 pub fn table2(scale: &ExpScale) -> Vec<TimeRow> {
+    table2_with(scale, Driver::default())
+}
+
+/// [`table2`] under an explicit [`Driver`] (the parallel and sequential
+/// drivers produce identical rows; see `tests/fastpath_equivalence.rs`).
+pub fn table2_with(scale: &ExpScale, driver: Driver) -> Vec<TimeRow> {
     let (r8000, r10000) = machines(scale.matmul_factor);
-    time_rows(|m| matmul_suite(scale, m), &r8000, &r10000)
+    time_rows(|m| matmul_cells(scale, m), &r8000, &r10000, driver)
 }
 
 /// Table 3: matmul reference/miss simulation on the scaled R8000
@@ -286,8 +354,13 @@ pub fn table3(scale: &ExpScale) -> Vec<MissRow> {
 
 /// Table 4: PDE modeled seconds.
 pub fn table4(scale: &ExpScale) -> Vec<TimeRow> {
+    table4_with(scale, Driver::default())
+}
+
+/// [`table4`] under an explicit [`Driver`].
+pub fn table4_with(scale: &ExpScale, driver: Driver) -> Vec<TimeRow> {
     let (r8000, r10000) = machines(scale.pde_factor);
-    time_rows(|m| pde_suite(scale, m), &r8000, &r10000)
+    time_rows(|m| pde_cells(scale, m), &r8000, &r10000, driver)
 }
 
 /// Table 5: PDE simulation on the scaled R8000.
@@ -301,8 +374,13 @@ pub fn table5(scale: &ExpScale) -> Vec<MissRow> {
 
 /// Table 6: SOR modeled seconds.
 pub fn table6(scale: &ExpScale) -> Vec<TimeRow> {
+    table6_with(scale, Driver::default())
+}
+
+/// [`table6`] under an explicit [`Driver`].
+pub fn table6_with(scale: &ExpScale, driver: Driver) -> Vec<TimeRow> {
     let (r8000, r10000) = machines(scale.sor_factor);
-    time_rows(|m| sor_suite(scale, m), &r8000, &r10000)
+    time_rows(|m| sor_cells(scale, m), &r8000, &r10000, driver)
 }
 
 /// Table 7: SOR simulation on the scaled R8000.
@@ -316,11 +394,17 @@ pub fn table7(scale: &ExpScale) -> Vec<MissRow> {
 
 /// Table 8: N-body modeled seconds over the full iteration count.
 pub fn table8(scale: &ExpScale) -> Vec<TimeRow> {
+    table8_with(scale, Driver::default())
+}
+
+/// [`table8`] under an explicit [`Driver`].
+pub fn table8_with(scale: &ExpScale, driver: Driver) -> Vec<TimeRow> {
     let (r8000, r10000) = machines(scale.nbody_factor);
     time_rows(
-        |m| nbody_suite(scale, m, scale.nbody_iters),
+        |m| nbody_cells(scale, m, scale.nbody_iters),
         &r8000,
         &r10000,
+        driver,
     )
 }
 
@@ -719,6 +803,39 @@ mod tests {
     #[should_panic(expected = "unknown workload")]
     fn unknown_workload_panics() {
         let _ = sched_config_for("quicksort", &MachineModel::r8000());
+    }
+
+    #[test]
+    fn parallel_driver_matches_sequential_rows() {
+        let scale = ExpScale::smoke();
+        assert_eq!(
+            table4_with(&scale, Driver::Sequential),
+            table4_with(&scale, Driver::Parallel),
+        );
+    }
+
+    #[test]
+    fn run_cells_preserves_cell_order() {
+        let cells: Vec<Cell> = (0..8)
+            .map(|i| {
+                let machine = MachineModel::r8000();
+                Box::new(move || {
+                    // Unequal work so completion order scrambles.
+                    let mut sim = SimSink::new(machine.hierarchy());
+                    for off in 0..(8 - i) * 500u64 {
+                        use memtrace::TraceSink;
+                        sim.read((off * 64).into(), 8);
+                    }
+                    (format!("cell{i}"), sim.finish())
+                }) as Cell
+            })
+            .collect();
+        let names: Vec<String> = run_cells(cells, Driver::Parallel)
+            .into_iter()
+            .map(|(name, _)| name)
+            .collect();
+        let expect: Vec<String> = (0..8).map(|i| format!("cell{i}")).collect();
+        assert_eq!(names, expect);
     }
 
     #[test]

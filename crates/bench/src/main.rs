@@ -1,7 +1,7 @@
 //! `repro` — runs any or all of the paper's tables/figures.
 //!
 //! ```text
-//! repro [all|table1|table2|...|table9|figure4|steal]... [--full|--smoke]
+//! repro [all|table1|table2|...|table9|figure4|steal|simbench]... [--full|--smoke]
 //! ```
 
 use repro::scale::scale_from_args;
@@ -17,7 +17,7 @@ fn main() {
     if wanted.is_empty() || wanted.contains(&"all") {
         wanted = vec![
             "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
-            "table9", "figure4", "steal",
+            "table9", "figure4", "steal", "simbench",
         ];
     }
     println!(

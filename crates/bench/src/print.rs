@@ -2,6 +2,7 @@
 
 use crate::experiments::{Figure4Result, MissRow, StealAblationResult, Table1Result, TimeRow};
 use crate::fmt::{ratio, secs, thousands, TextTable};
+use crate::simbench::SimBenchResult;
 use crate::paper;
 use locality_sched::StealPolicy;
 
@@ -180,6 +181,37 @@ pub fn paper_columns2(rows: &[(&str, u64, u64)]) -> Vec<Vec<u64>> {
         cols[1].push(row.2);
     }
     cols
+}
+
+/// Prints the fast-path simulation benchmark: per workload the
+/// simulated-access throughput with the fast lookup paths off and on,
+/// after the built-in check that both produce identical reports.
+pub fn simbench(result: &SimBenchResult) {
+    println!(
+        "Simulation fast-path benchmark: accesses/sec, slow (exhaustive) vs fast path, best of {} (reports verified identical)\n",
+        result.reps
+    );
+    let mut t = TextTable::new(vec![
+        "workload",
+        "accesses",
+        "slow (ms)",
+        "fast (ms)",
+        "slow Macc/s",
+        "fast Macc/s",
+        "speedup",
+    ]);
+    for row in &result.rows {
+        t.row(vec![
+            row.workload.clone(),
+            thousands(row.accesses),
+            format!("{:.2}", row.slow_ns as f64 / 1e6),
+            format!("{:.2}", row.fast_ns as f64 / 1e6),
+            format!("{:.2}", row.slow_accesses_per_sec() / 1e6),
+            format!("{:.2}", row.fast_accesses_per_sec() / 1e6),
+            ratio(row.speedup()),
+        ]);
+    }
+    print!("{}", t.render());
 }
 
 /// Prints the steal-policy ablation: per (workers, policy) the

@@ -1,0 +1,202 @@
+//! `simbench`: throughput benchmark of the fast-path simulation
+//! pipeline, with a built-in differential check.
+//!
+//! For each workload the sequential baseline version runs twice — once
+//! with the hierarchy's fast lookup paths disabled (the original,
+//! exhaustive code path) and once enabled — and the two [`SimReport`]s
+//! are asserted *equal on every field* before any timing is reported.
+//! The benchmark therefore doubles as the differential suite's
+//! release-mode leg: a fast path that drifts from the reference by a
+//! single counter aborts the run instead of publishing numbers.
+
+use crate::experiments::machines;
+use crate::ExpScale;
+use cachesim::{MachineModel, SimReport, SimSink};
+use memtrace::AddressSpace;
+use std::fmt::Write as _;
+use std::time::Instant;
+use workloads::{matmul, nbody, pde, sor};
+
+/// Before/after measurement of one workload's trace simulation.
+#[derive(Clone, Debug)]
+pub struct SimBenchRow {
+    /// Workload name (`matmul`, `pde`, `sor`, `nbody`).
+    pub workload: String,
+    /// Trace accesses per run (reads + writes, identical both ways).
+    pub accesses: u64,
+    /// Best wall time with the fast paths disabled (nanoseconds).
+    pub slow_ns: u64,
+    /// Best wall time with the fast paths enabled (nanoseconds).
+    pub fast_ns: u64,
+}
+
+impl SimBenchRow {
+    /// Accesses simulated per second with the fast paths disabled.
+    pub fn slow_accesses_per_sec(&self) -> f64 {
+        self.accesses as f64 / (self.slow_ns as f64 / 1e9)
+    }
+
+    /// Accesses simulated per second with the fast paths enabled.
+    pub fn fast_accesses_per_sec(&self) -> f64 {
+        self.accesses as f64 / (self.fast_ns as f64 / 1e9)
+    }
+
+    /// Throughput ratio, fast over slow.
+    pub fn speedup(&self) -> f64 {
+        self.slow_ns as f64 / self.fast_ns as f64
+    }
+}
+
+/// All four workloads' before/after rows (`BENCH_sim.json` payload).
+#[derive(Clone, Debug)]
+pub struct SimBenchResult {
+    /// Repetitions per (workload, path) cell; best time is kept.
+    pub reps: u32,
+    /// One row per workload.
+    pub rows: Vec<SimBenchRow>,
+}
+
+impl SimBenchResult {
+    /// Serializes the result as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut json = format!(
+            "{{\"experiment\":\"simbench\",\"reps\":{},\"rows\":[",
+            self.reps
+        );
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            write!(
+                json,
+                "{{\"workload\":\"{}\",\"accesses\":{},\"slow_ns\":{},\"fast_ns\":{},\
+                 \"slow_accesses_per_sec\":{:.1},\"fast_accesses_per_sec\":{:.1},\
+                 \"speedup\":{:.3}}}",
+                row.workload,
+                row.accesses,
+                row.slow_ns,
+                row.fast_ns,
+                row.slow_accesses_per_sec(),
+                row.fast_accesses_per_sec(),
+                row.speedup(),
+            )
+            .expect("writing to String cannot fail");
+        }
+        json.push_str("]}");
+        json
+    }
+}
+
+/// Times one workload both ways, best of `reps`, asserting the reports
+/// identical before returning the row.
+fn bench<D>(
+    name: &str,
+    machine: &MachineModel,
+    reps: u32,
+    make: impl Fn(&mut AddressSpace) -> D,
+    run: impl Fn(&mut D, &mut AddressSpace, &mut SimSink),
+) -> SimBenchRow {
+    let time = |fast: bool| -> (SimReport, u64) {
+        let mut best = u64::MAX;
+        let mut report: Option<SimReport> = None;
+        for _ in 0..reps.max(1) {
+            let mut space = AddressSpace::new();
+            let mut data = make(&mut space);
+            let mut sim = SimSink::new(machine.hierarchy());
+            sim.set_fast_path(fast);
+            let start = Instant::now();
+            run(&mut data, &mut space, &mut sim);
+            best = best.min((start.elapsed().as_nanos() as u64).max(1));
+            let this = sim.finish();
+            if let Some(prev) = &report {
+                assert_eq!(prev, &this, "{name}: repetition not deterministic");
+            }
+            report = Some(this);
+        }
+        (report.expect("at least one repetition"), best)
+    };
+    let (slow_report, slow_ns) = time(false);
+    let (fast_report, fast_ns) = time(true);
+    assert_eq!(
+        slow_report, fast_report,
+        "{name}: fast path diverged from the exhaustive reference"
+    );
+    SimBenchRow {
+        workload: name.to_owned(),
+        accesses: slow_report.reads + slow_report.writes,
+        slow_ns,
+        fast_ns,
+    }
+}
+
+/// Runs the benchmark: each workload's sequential baseline version on
+/// its table's scaled R8000, fast vs slow, best of `reps`.
+pub fn simbench(scale: &ExpScale, reps: u32) -> SimBenchResult {
+    let mut rows = Vec::new();
+    let n = scale.matmul_n;
+    rows.push(bench(
+        "matmul",
+        &machines(scale.matmul_factor).0,
+        reps,
+        |space| matmul::MatMulData::new(space, n, 42),
+        |data, _sp, sim| {
+            matmul::interchanged(data, sim);
+        },
+    ));
+    let (pn, iters) = (scale.pde_n, scale.pde_iters);
+    rows.push(bench(
+        "pde",
+        &machines(scale.pde_factor).0,
+        reps,
+        |space| pde::PdeData::new(space, pn, 7),
+        |data, _sp, sim| {
+            pde::regular(data, iters, sim);
+        },
+    ));
+    let (sn, t) = (scale.sor_n, scale.sor_t);
+    rows.push(bench(
+        "sor",
+        &machines(scale.sor_factor).0,
+        reps,
+        |space| sor::SorData::new(space, sn, 99),
+        |data, _sp, sim| {
+            sor::untiled(data, t, sim);
+        },
+    ));
+    let bn = scale.nbody_n;
+    let nbody_machine = machines(scale.nbody_factor).0;
+    let params = nbody::NBodyParams {
+        plane_extent: 4 * (nbody_machine.l2_config().size() / 3),
+        ..nbody::NBodyParams::default()
+    };
+    rows.push(bench(
+        "nbody",
+        &nbody_machine,
+        reps,
+        |space| nbody::NBodyData::new(space, bn, 2024),
+        |data, _sp, sim| {
+            nbody::unthreaded(data, 1, params, sim);
+        },
+    ));
+    SimBenchResult { reps, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simbench_smoke_checks_identity_and_reports_json() {
+        let result = simbench(&ExpScale::smoke(), 1);
+        assert_eq!(result.rows.len(), 4);
+        for row in &result.rows {
+            assert!(row.accesses > 0, "{}", row.workload);
+            assert!(row.speedup() > 0.0);
+            assert!(row.fast_accesses_per_sec() > 0.0);
+        }
+        let json = result.to_json();
+        assert!(json.contains("\"experiment\":\"simbench\""), "{json}");
+        assert!(json.contains("\"workload\":\"nbody\""), "{json}");
+        assert!(json.contains("\"speedup\":"), "{json}");
+    }
+}

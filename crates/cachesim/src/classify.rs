@@ -1,5 +1,6 @@
 //! One-pass compulsory/capacity/conflict miss classification.
 
+use crate::linehash::LineHashState;
 use crate::lru::LruSet;
 use crate::CacheConfig;
 use std::collections::HashSet;
@@ -70,22 +71,43 @@ impl MissClassCounts {
 /// ```
 #[derive(Clone, Debug)]
 pub struct MissClassifier {
-    seen: HashSet<u64>,
+    seen: HashSet<u64, LineHashState>,
     fully_assoc: LruSet,
     counts: MissClassCounts,
+    fast: bool,
 }
 
 impl MissClassifier {
-    /// Creates a classifier for a cache with geometry `config`.
+    /// Creates a classifier for a cache with geometry `config`, with
+    /// the fast lookup paths enabled.
     ///
     /// The capacity model is a fully-associative LRU cache with
     /// `config.lines()` lines.
     pub fn new(config: &CacheConfig) -> Self {
         MissClassifier {
-            seen: HashSet::new(),
+            seen: HashSet::with_hasher(LineHashState::for_fast(true)),
             fully_assoc: LruSet::new(config.lines() as usize),
             counts: MissClassCounts::default(),
+            fast: true,
         }
+    }
+
+    /// Switches the fast paths (one-multiply line hashing, front-of-list
+    /// LRU scan, and elision of provably redundant `seen` updates) on or
+    /// off. Classification is bit-identical in both modes; the slow mode
+    /// is the exhaustive reference.
+    pub fn set_fast_path(&mut self, fast: bool) {
+        if self.fast == fast {
+            return;
+        }
+        self.fast = fast;
+        self.fully_assoc.set_fast(fast);
+        let mut seen = HashSet::with_capacity_and_hasher(
+            self.seen.capacity(),
+            LineHashState::for_fast(fast),
+        );
+        seen.extend(self.seen.drain());
+        self.seen = seen;
     }
 
     /// Records a reference that *hit* in the classified cache.
@@ -93,25 +115,40 @@ impl MissClassifier {
     /// Keeps the capacity model's recency state in sync.
     #[inline]
     pub fn note_hit(&mut self, line: u64) {
-        self.fully_assoc.touch(line);
-        // A hit in the real cache implies the line was referenced before,
-        // so `seen` is already up to date; but a hit can occur before the
-        // classifier saw the line if the caller resets stats mid-stream,
-        // so stay defensive:
-        self.seen.insert(line);
+        let fa_hit = self.fully_assoc.touch(line);
+        // Every insertion into the FA model (here and in
+        // `classify_miss`) is paired with a `seen` insertion, so FA ⊆
+        // seen always: when the FA model already held the line, the
+        // `seen` update is a no-op the fast path elides.
+        if !(self.fast && fa_hit) {
+            self.seen.insert(line);
+        }
     }
 
     /// Classifies a miss on `line` and updates the model state.
     #[inline]
     pub fn classify_miss(&mut self, line: u64) -> MissClass {
-        let first_touch = self.seen.insert(line);
-        let fa_hit = self.fully_assoc.touch(line);
-        let class = if first_touch {
-            MissClass::Compulsory
-        } else if !fa_hit {
-            MissClass::Capacity
+        let class = if self.fast {
+            // FA ⊆ seen (see `note_hit`): an FA hit implies the line was
+            // seen before, so the first-touch probe is needed only on an
+            // FA miss — where `insert`'s return value answers it.
+            if self.fully_assoc.touch(line) {
+                MissClass::Conflict
+            } else if self.seen.insert(line) {
+                MissClass::Compulsory
+            } else {
+                MissClass::Capacity
+            }
         } else {
-            MissClass::Conflict
+            let first_touch = self.seen.insert(line);
+            let fa_hit = self.fully_assoc.touch(line);
+            if first_touch {
+                MissClass::Compulsory
+            } else if !fa_hit {
+                MissClass::Capacity
+            } else {
+                MissClass::Conflict
+            }
         };
         self.counts.record(class);
         class
@@ -199,6 +236,29 @@ mod tests {
         assert_eq!(c.counts().total(), 0);
         // Line 0 was already seen: a new miss on it is not compulsory.
         assert_ne!(c.classify_miss(0), MissClass::Compulsory);
+    }
+
+    #[test]
+    fn fast_and_slow_classifiers_agree_class_by_class() {
+        let mut fast = classifier(8);
+        let mut slow = classifier(8);
+        slow.set_fast_path(false);
+        let mut state = 0x1234_5678u64;
+        for _ in 0..20_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let line = (state >> 33) % 24;
+            // Mimic the hierarchy's usage: hits keep recency in sync,
+            // misses get classified.
+            if state.is_multiple_of(3) {
+                fast.note_hit(line);
+                slow.note_hit(line);
+            } else {
+                assert_eq!(fast.classify_miss(line), slow.classify_miss(line));
+            }
+        }
+        assert_eq!(fast.counts(), slow.counts());
     }
 
     #[test]

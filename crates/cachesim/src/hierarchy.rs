@@ -121,6 +121,8 @@ pub struct Hierarchy {
     /// 3C classifier over the DRAM-facing (last) level's stream.
     classifier: MissClassifier,
     l1_line: u64,
+    l1_shift: u32,
+    l1_write_through: bool,
     l2_line_shift: u32,
     l3_line_shift: u32,
     mmu: Option<Mmu>,
@@ -139,6 +141,9 @@ impl Hierarchy {
             l3: config.l3.map(Cache::new),
             classifier: MissClassifier::new(&last_level),
             l1_line: config.l1d.line(),
+            l1_shift: config.l1d.line().trailing_zeros(),
+            l1_write_through: config.l1d.write_policy()
+                == crate::WritePolicy::WriteThroughNoAllocate,
             l2_line_shift: config.l2.line().trailing_zeros(),
             l3_line_shift: last_level.line().trailing_zeros(),
             mmu: None,
@@ -165,16 +170,62 @@ impl Hierarchy {
         }
     }
 
+    /// Enables or disables the fast lookup paths (same-line
+    /// short-circuit here, MRU-first probing inside each level).
+    /// Statistics are bit-identical either way; the slow path is kept
+    /// as the exhaustive reference for differential tests and the
+    /// `simbench` before/after comparison.
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.l1d.set_fast_path(enabled);
+        self.l2.set_fast_path(enabled);
+        if let Some(l3) = &mut self.l3 {
+            l3.set_fast_path(enabled);
+        }
+        self.classifier.set_fast_path(enabled);
+        if let Some(mmu) = &mut self.mmu {
+            mmu.tlb.set_fast_path(enabled);
+        }
+    }
+
+    /// Whether the fast lookup paths are enabled.
+    pub fn fast_path(&self) -> bool {
+        self.l1d.fast_path()
+    }
+
     /// Feeds one byte-granular access, splitting it across L1 lines.
     #[inline]
     pub fn access(&mut self, access: Access) {
-        if let Some(mmu) = &mut self.mmu {
-            mmu.tlb.access(access.addr);
-        }
         let is_write = access.kind == AccessKind::Write;
-        let first_line = access.addr.raw() >> self.l1_line.trailing_zeros();
-        let last_byte = access.addr.raw() + u64::from(access.size.max(1)) - 1;
-        let last_line = last_byte >> self.l1_line.trailing_zeros();
+        let addr = access.addr.raw();
+        // Trace-file replay feeds untrusted (addr, size) pairs: saturate
+        // instead of wrapping so an access ending at the top of the
+        // address space clamps its line span rather than spanning from
+        // line 0.
+        let last_byte = addr.saturating_add(u64::from(access.size.max(1)) - 1);
+        if let Some(mmu) = &mut self.mmu {
+            // One translation per page touched, not one per byte-access:
+            // an access straddling a page boundary walks every page it
+            // covers, and one contained in a single page walks just that
+            // page.
+            let shift = mmu.tlb.page_shift();
+            let mut page = addr >> shift;
+            let last_page = last_byte >> shift;
+            loop {
+                mmu.tlb.access(Addr::new(page << shift));
+                if page == last_page {
+                    break;
+                }
+                page += 1;
+            }
+        }
+        let first_line = addr >> self.l1_shift;
+        let last_line = last_byte >> self.l1_shift;
+        // Same-line short-circuit: consecutive references to one L1
+        // line (the overwhelmingly common case in loop traces) need no
+        // set lookup, no L2 traffic and no write-back bookkeeping.
+        if first_line == last_line && self.l1d.try_rehit(first_line, is_write) {
+            return;
+        }
         let mut line = first_line;
         loop {
             self.touch_l1_line(line, is_write);
@@ -198,8 +249,7 @@ impl Hierarchy {
 
     #[inline]
     fn touch_l1_line(&mut self, l1_line: u64, is_write: bool) {
-        let write_through =
-            self.l1d.config().write_policy() == crate::WritePolicy::WriteThroughNoAllocate;
+        let write_through = self.l1_write_through;
         let outcome = self.l1d.access_line(l1_line, is_write);
         if is_write && write_through {
             // Every write propagates immediately; a write miss does
@@ -221,6 +271,15 @@ impl Hierarchy {
 
     #[inline]
     fn reference_l2(&mut self, l2_line: u64, is_write: bool) {
+        // Same-line short-circuit (fast path only): a rehit implies the
+        // immediately-previous L2 reference was to this very line, so
+        // the classifier already holds it at the MRU position of the
+        // fully-associative model and in its seen-set — `note_hit`
+        // would be a structural no-op. Nothing propagates downward on a
+        // hit, so the short-circuit is complete.
+        if self.l2.try_rehit(l2_line, is_write) {
+            return;
+        }
         let outcome = self.l2.access_line(l2_line, is_write);
         match &mut self.l3 {
             None => {
@@ -250,6 +309,11 @@ impl Hierarchy {
     #[inline]
     fn reference_l3(&mut self, l3_line: u64, is_write: bool) {
         let l3 = self.l3.as_mut().expect("only called with an L3");
+        // Same-line short-circuit, with the same classifier argument as
+        // in `reference_l2`: the previous L3 reference was this line.
+        if l3.try_rehit(l3_line, is_write) {
+            return;
+        }
         let outcome = l3.access_line(l3_line, is_write);
         if outcome.hit {
             self.classifier.note_hit(l3_line);
@@ -455,15 +519,20 @@ mod tests {
             Mmu::new(PageMapper::new(PagePolicy::Identity, 4096), 8),
         );
         let mut state = 7u64;
+        let mut translations = 0u64;
         for _ in 0..3000 {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let access = Access::read(Addr::new((state >> 33) % 32768), 8);
+            let addr = (state >> 33) % 32768;
+            let access = Access::read(Addr::new(addr), 8);
             plain.access(access);
             mapped.access(access);
+            // One translation per 4 KiB page the 8-byte access touches.
+            translations += ((addr + 7) >> 12) - (addr >> 12) + 1;
         }
         assert_eq!(plain.l2_stats(), mapped.l2_stats());
         assert_eq!(plain.tlb_stats().accesses, 0, "no MMU, no TLB traffic");
-        assert_eq!(mapped.tlb_stats().accesses, 3000);
+        assert_eq!(mapped.tlb_stats().accesses, translations);
+        assert!(translations > 3000, "some accesses straddle pages");
     }
 
     #[test]
@@ -592,6 +661,78 @@ mod tests {
         assert_eq!(h.classes().compulsory, 16384 / 64);
         assert_eq!(h.classes().capacity, 2 * 16384 / 64);
         assert_eq!(h.classes().total(), h.llc_misses());
+    }
+
+    #[test]
+    fn access_near_u64_max_does_not_overflow() {
+        // A corrupt trace record can carry any (addr, size): the span
+        // arithmetic must saturate, not wrap around to line 0.
+        let mut h = small_hierarchy();
+        h.access(Access::read(Addr::new(u64::MAX), 8));
+        h.access(Access::write(Addr::new(u64::MAX - 3), 4096));
+        h.access(Access::read(Addr::new(u64::MAX - 31), u32::MAX));
+        // The clamped spans each touch exactly one L1 line (the last).
+        assert_eq!(h.l1_stats().references(), 3);
+        assert_eq!(h.l1_stats().misses(), 1, "all three hit the top line");
+    }
+
+    #[test]
+    fn page_straddling_access_walks_both_pages() {
+        use crate::paging::{PageMapper, PagePolicy};
+        let config = HierarchyConfig::new(
+            CacheConfig::new(256, 32, 1).unwrap(),
+            CacheConfig::new(2048, 64, 2).unwrap(),
+        );
+        let mut h = Hierarchy::with_mmu(
+            config,
+            Mmu::new(PageMapper::new(PagePolicy::Identity, 4096), 8),
+        );
+        // 16 bytes ending 8 into the second page: two translations.
+        h.access(Access::read(Addr::new(4096 - 8), 16));
+        assert_eq!(h.tlb_stats().accesses, 2);
+        assert_eq!(h.tlb_stats().misses, 2);
+        // Contained in one page: one translation.
+        h.access(Access::read(Addr::new(100), 8));
+        assert_eq!(h.tlb_stats().accesses, 3);
+        // Spanning three pages: three translations (two already mapped).
+        h.access(Access::read(Addr::new(4000), 2 * 4096));
+        assert_eq!(h.tlb_stats().accesses, 6);
+        assert_eq!(h.tlb_stats().misses, 3);
+    }
+
+    #[test]
+    fn fast_and_slow_hierarchies_agree_on_everything() {
+        let config = HierarchyConfig::new(
+            CacheConfig::new(256, 32, 1).unwrap(),
+            CacheConfig::new(2048, 64, 2).unwrap(),
+        );
+        let mut fast = Hierarchy::new(config);
+        let mut slow = Hierarchy::new(config);
+        slow.set_fast_path(false);
+        assert!(fast.fast_path());
+        assert!(!slow.fast_path());
+        let mut state = 42u64;
+        for i in 0..30_000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            // Mix strided sweeps (rehit-heavy) with random references.
+            let addr = if i % 2 == 0 {
+                (i * 4) % 16384
+            } else {
+                (state >> 30) % 16384
+            };
+            let access = if state.is_multiple_of(3) {
+                Access::write(Addr::new(addr), 8)
+            } else {
+                Access::read(Addr::new(addr), 8)
+            };
+            fast.access(access);
+            slow.access(access);
+        }
+        assert_eq!(fast.l1_stats(), slow.l1_stats());
+        assert_eq!(fast.l2_stats(), slow.l2_stats());
+        assert_eq!(fast.classes(), slow.classes());
+        assert_eq!(fast.memory_reads(), slow.memory_reads());
+        assert_eq!(fast.memory_writebacks(), slow.memory_writebacks());
     }
 
     #[test]

@@ -48,6 +48,7 @@ mod cache;
 mod classify;
 mod config;
 mod hierarchy;
+mod linehash;
 mod lru;
 mod machine;
 mod paging;

@@ -4,9 +4,16 @@
 //! where the "set" holds tens of thousands of lines and a linear scan
 //! per reference would be prohibitive.
 
+use crate::linehash::LineHashState;
 use std::collections::HashMap;
 
 const NIL: u32 = u32::MAX;
+
+/// How many recency positions [`LruSet::touch`] scans (pointer-chasing
+/// from the MRU end) before falling back to the hash index, in fast
+/// mode. Loop traces interleave a handful of arrays, so the line just
+/// referenced is almost always within the first few positions.
+const FRONT_SCAN: u32 = 6;
 
 #[derive(Clone, Copy, Debug)]
 struct Node {
@@ -31,14 +38,16 @@ struct Node {
 #[derive(Clone, Debug)]
 pub(crate) struct LruSet {
     nodes: Vec<Node>,
-    index: HashMap<u64, u32>,
+    index: HashMap<u64, u32, LineHashState>,
     head: u32,
     tail: u32,
     capacity: usize,
+    fast: bool,
 }
 
 impl LruSet {
-    /// Creates a set holding at most `capacity` keys.
+    /// Creates a set holding at most `capacity` keys, with the fast
+    /// lookup path enabled.
     ///
     /// # Panics
     ///
@@ -47,11 +56,30 @@ impl LruSet {
         assert!(capacity > 0, "LRU capacity must be nonzero");
         LruSet {
             nodes: Vec::with_capacity(capacity.min(1 << 20)),
-            index: HashMap::with_capacity(capacity.min(1 << 20)),
+            index: HashMap::with_capacity_and_hasher(
+                capacity.min(1 << 20),
+                LineHashState::for_fast(true),
+            ),
             head: NIL,
             tail: NIL,
             capacity,
+            fast: true,
         }
+    }
+
+    /// Switches the fast lookup path (front-of-list scan + one-multiply
+    /// hashing) on or off. Hit/miss/eviction behaviour is identical in
+    /// both modes; the slow mode is the exhaustive SipHash reference.
+    pub(crate) fn set_fast(&mut self, fast: bool) {
+        if self.fast == fast {
+            return;
+        }
+        self.fast = fast;
+        // Bucket positions depend on the hash function: rebuild.
+        let mut index =
+            HashMap::with_capacity_and_hasher(self.index.capacity(), LineHashState::for_fast(fast));
+        index.extend(self.index.drain());
+        self.index = index;
     }
 
     /// Number of keys currently resident. (Test-only helper.)
@@ -64,6 +92,25 @@ impl LruSet {
     /// inserted, evicting the least-recently-used key if full. Either
     /// way `key` becomes most-recently-used.
     pub(crate) fn touch(&mut self, key: u64) -> bool {
+        if self.fast {
+            // A key near the MRU end is found by chasing a few `next`
+            // pointers, with no hashing at all — and at position 0 the
+            // touch is a structural no-op.
+            let mut slot = self.head;
+            for depth in 0..FRONT_SCAN {
+                if slot == NIL {
+                    break;
+                }
+                if self.nodes[slot as usize].key == key {
+                    if depth > 0 {
+                        self.unlink(slot);
+                        self.push_front(slot);
+                    }
+                    return true;
+                }
+                slot = self.nodes[slot as usize].next;
+            }
+        }
         if let Some(&slot) = self.index.get(&key) {
             self.unlink(slot);
             self.push_front(slot);
@@ -179,15 +226,20 @@ mod tests {
         }
     }
 
-    #[test]
-    fn matches_naive_model_on_random_stream() {
+    /// Drives an [`LruSet`] against a naive O(n) oracle. `toggle_every`
+    /// switches the fast path on/off periodically when nonzero.
+    fn check_against_oracle(initial_fast: bool, toggle_every: usize) {
         use std::collections::VecDeque;
-        // Naive O(n) LRU as the oracle.
         let mut oracle: VecDeque<u64> = VecDeque::new();
         let capacity = 16;
         let mut lru = LruSet::new(capacity);
+        lru.set_fast(initial_fast);
         let mut state = 0x2545_f491_4f6c_dd1du64;
-        for _ in 0..10_000 {
+        for step in 0..10_000usize {
+            if toggle_every > 0 && step.is_multiple_of(toggle_every) {
+                let fast = lru.fast;
+                lru.set_fast(!fast);
+            }
             state ^= state << 13;
             state ^= state >> 7;
             state ^= state << 17;
@@ -203,8 +255,24 @@ mod tests {
                 oracle.push_front(key);
                 false
             };
-            assert_eq!(lru.touch(key), oracle_hit);
+            assert_eq!(lru.touch(key), oracle_hit, "step {step}");
         }
+    }
+
+    #[test]
+    fn matches_naive_model_on_random_stream() {
+        check_against_oracle(true, 0);
+    }
+
+    #[test]
+    fn slow_mode_matches_naive_model() {
+        check_against_oracle(false, 0);
+    }
+
+    #[test]
+    fn toggling_fast_mode_mid_stream_preserves_contents() {
+        // The index rebuild on toggle must carry every resident key.
+        check_against_oracle(true, 97);
     }
 
     #[test]

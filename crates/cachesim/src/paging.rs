@@ -187,6 +187,18 @@ impl Tlb {
         hit
     }
 
+    /// Log2 of the page size (for computing page numbers of a span).
+    pub fn page_shift(&self) -> u32 {
+        self.page_shift
+    }
+
+    /// Switches the entry set's fast lookup path on or off (see
+    /// [`Hierarchy::set_fast_path`](crate::Hierarchy::set_fast_path)).
+    /// Hit/miss behaviour is identical in both modes.
+    pub fn set_fast_path(&mut self, fast: bool) {
+        self.entries.set_fast(fast);
+    }
+
     /// Accumulated statistics.
     pub fn stats(&self) -> TlbStats {
         self.stats

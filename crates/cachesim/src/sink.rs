@@ -50,6 +50,17 @@ impl SimSink {
         self.threads += count;
     }
 
+    /// Enables or disables the hierarchy's fast lookup paths; reports
+    /// are bit-identical either way (see [`Hierarchy::set_fast_path`]).
+    pub fn set_fast_path(&mut self, enabled: bool) {
+        self.hierarchy.set_fast_path(enabled);
+    }
+
+    /// Whether the fast lookup paths are enabled.
+    pub fn fast_path(&self) -> bool {
+        self.hierarchy.fast_path()
+    }
+
     /// The underlying hierarchy (e.g. for mid-run inspection).
     pub fn hierarchy(&self) -> &Hierarchy {
         &self.hierarchy
@@ -101,6 +112,22 @@ impl TraceSink for SimSink {
     }
 
     #[inline]
+    fn access_batch(&mut self, accesses: &[Access]) {
+        // Count reads/writes in one pass, then drive the hierarchy
+        // without re-dispatching through the trait per element. Exactly
+        // equivalent to element-wise delivery.
+        let mut writes = 0u64;
+        for access in accesses {
+            writes += u64::from(access.kind == AccessKind::Write);
+        }
+        self.writes += writes;
+        self.reads += accesses.len() as u64 - writes;
+        for &access in accesses {
+            self.hierarchy.access(access);
+        }
+    }
+
+    #[inline]
     fn instructions(&mut self, count: u64) {
         self.instructions += count;
     }
@@ -144,6 +171,38 @@ mod tests {
         assert_eq!(r.l2.misses(), 0, "no compulsory misses in measured region");
         assert_eq!(r.classes.compulsory, 0);
         assert_eq!(r.writes, 0, "init writes excluded");
+    }
+
+    #[test]
+    fn batch_delivery_equals_element_wise() {
+        let mut one = SimSink::new(MachineModel::r8000().hierarchy());
+        let mut many = SimSink::new(MachineModel::r8000().hierarchy());
+        let accesses: Vec<Access> = (0..1000u64)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Access::write(Addr::new(i * 16), 8)
+                } else {
+                    Access::read(Addr::new((i * 56) % 4096), 8)
+                }
+            })
+            .collect();
+        for &access in &accesses {
+            one.access(access);
+        }
+        // Ragged chunks so batch boundaries land everywhere.
+        for chunk in accesses.chunks(13) {
+            many.access_batch(chunk);
+        }
+        assert_eq!(one.finish(), many.finish());
+    }
+
+    #[test]
+    fn fast_path_knob_reaches_the_hierarchy() {
+        let mut sim = SimSink::new(MachineModel::r8000().hierarchy());
+        assert!(sim.fast_path());
+        sim.set_fast_path(false);
+        assert!(!sim.fast_path());
+        assert!(!sim.hierarchy().fast_path());
     }
 
     #[test]

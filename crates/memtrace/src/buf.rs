@@ -1,6 +1,6 @@
 //! A traced buffer of `Copy` records.
 
-use crate::{Addr, AddressSpace, TraceSink};
+use crate::{Access, Addr, AddressSpace, TraceSink};
 
 /// A fixed-length buffer of `Copy` records living at a stable virtual
 /// address, with traced element access.
@@ -16,7 +16,12 @@ use crate::{Addr, AddressSpace, TraceSink};
 /// Multi-word touches are emitted as one access per machine word
 /// (8 bytes), because that is what the instrumented loads/stores of a
 /// Pixie-style trace would contain — reference counts stay comparable
-/// with per-element traced containers.
+/// with per-element traced containers. Chunk boundaries are aligned to
+/// 8-byte word boundaries of the *address*, so a field starting
+/// mid-word emits a short head access up to the next word boundary
+/// (exactly the loads a real machine would issue), and the whole touch
+/// is delivered to the sink as one
+/// [`access_batch`](TraceSink::access_batch).
 ///
 /// # Examples
 ///
@@ -79,18 +84,39 @@ impl<T: Copy> TracedBuf<T> {
         self.base + (index as u64) * Self::stride()
     }
 
-    /// Emits word-sized accesses covering `[addr, addr + len)`.
+    /// Emits word-granular accesses covering `[addr, addr + len)`,
+    /// delivered to the sink as one batch.
+    ///
+    /// Chunk boundaries fall on 8-byte machine-word boundaries of the
+    /// *address*, not at multiples of 8 from the field's start: a field
+    /// touch straddling a word boundary costs two loads on a real
+    /// machine, and an instrumented (Pixie-style) trace records both.
+    /// Chunking from the field offset instead would merge them into one
+    /// fictitious straddling access, undercounting references and line
+    /// crossings.
     #[inline]
     fn emit<S: TraceSink>(addr: Addr, len: u32, write: bool, sink: &mut S) {
-        let mut off = 0;
+        const WORD: u64 = 8;
+        let make: fn(Addr, u32) -> Access = if write { Access::write } else { Access::read };
+        let mut batch = [Access::read(addr, 0); 16];
+        let mut fill = 0usize;
+        let mut off = 0u64;
+        let len = u64::from(len);
         while off < len {
-            let size = (len - off).min(8);
-            if write {
-                sink.write(addr + u64::from(off), size);
-            } else {
-                sink.read(addr + u64::from(off), size);
+            let at = addr + off;
+            // Clip the chunk to the enclosing machine word.
+            let to_word_end = WORD - (at.raw() % WORD);
+            let size = (len - off).min(to_word_end);
+            batch[fill] = make(at, size as u32);
+            fill += 1;
+            if fill == batch.len() {
+                sink.access_batch(&batch);
+                fill = 0;
             }
             off += size;
+        }
+        if fill > 0 {
+            sink.access_batch(&batch[..fill]);
         }
     }
 
@@ -228,6 +254,46 @@ mod tests {
         assert_eq!(trace[0].size, 8);
         assert_eq!(trace[1].addr, buf.addr_of(1) + 16);
         assert_eq!(trace[1].size, 8);
+    }
+
+    #[test]
+    fn unaligned_field_splits_at_word_boundaries() {
+        // read_field(i, 4, 8) touches bytes [4, 12): two machine words.
+        // A chunking that starts at the field offset would emit one
+        // 8-byte access straddling the word boundary at 8.
+        let mut space = AddressSpace::new();
+        let buf: TracedBuf<[u64; 2]> = TracedBuf::new(&mut space, 2);
+        let mut sink = VecSink::new();
+        let _ = buf.read_field(0, 4, 8, &mut sink);
+        let trace = sink.accesses();
+        assert_eq!(trace.len(), 2, "straddle must cost two loads");
+        assert_eq!(trace[0].addr, buf.base() + 4);
+        assert_eq!(trace[0].size, 4);
+        assert_eq!(trace[1].addr, buf.base() + 8);
+        assert_eq!(trace[1].size, 4);
+        // No access crosses a word boundary.
+        for a in trace {
+            assert_eq!(
+                a.addr.raw() / 8,
+                (a.addr.raw() + u64::from(a.size) - 1) / 8,
+                "access {a:?} straddles a machine word"
+            );
+        }
+    }
+
+    #[test]
+    fn long_record_flushes_in_batches() {
+        // 24 u64 words = 192 bytes: one full 16-access batch + 8 more.
+        let mut space = AddressSpace::new();
+        let mut buf: TracedBuf<[u64; 24]> = TracedBuf::new(&mut space, 1);
+        let mut sink = VecSink::new();
+        buf.set(0, [7u64; 24], &mut sink);
+        let trace = sink.accesses();
+        assert_eq!(trace.len(), 24);
+        for (w, a) in trace.iter().enumerate() {
+            assert_eq!(a.addr, buf.base() + 8 * w as u64);
+            assert_eq!(a.size, 8);
+        }
     }
 
     #[test]

@@ -24,6 +24,25 @@ pub trait TraceSink {
     /// Consumes one memory reference.
     fn access(&mut self, access: Access);
 
+    /// Consumes a run of memory references in program order.
+    ///
+    /// Semantically identical to calling [`access`](TraceSink::access)
+    /// once per element — the default does exactly that — but sinks
+    /// with per-call overhead (an online cache simulation, a trace-file
+    /// writer) can override it to amortize dispatch across the batch.
+    /// Traced containers emit batches from their inner loops, so the
+    /// hot simulation path sees slices instead of single references.
+    ///
+    /// Overrides must preserve exact equivalence: a batched delivery
+    /// and an element-wise delivery of the same stream must leave the
+    /// sink in the same state (see `tests/fastpath_equivalence.rs`).
+    #[inline]
+    fn access_batch(&mut self, accesses: &[Access]) {
+        for &access in accesses {
+            self.access(access);
+        }
+    }
+
     /// Accounts `count` executed instructions.
     fn instructions(&mut self, count: u64);
 
@@ -44,6 +63,11 @@ impl<S: TraceSink + ?Sized> TraceSink for &mut S {
     #[inline]
     fn access(&mut self, access: Access) {
         (**self).access(access);
+    }
+
+    #[inline]
+    fn access_batch(&mut self, accesses: &[Access]) {
+        (**self).access_batch(accesses);
     }
 
     #[inline]
@@ -76,6 +100,9 @@ impl NullSink {
 impl TraceSink for NullSink {
     #[inline]
     fn access(&mut self, _access: Access) {}
+
+    #[inline]
+    fn access_batch(&mut self, _accesses: &[Access]) {}
 
     #[inline]
     fn instructions(&mut self, _count: u64) {}
@@ -153,6 +180,17 @@ impl TraceSink for CountingSink {
     }
 
     #[inline]
+    fn access_batch(&mut self, accesses: &[Access]) {
+        for access in accesses {
+            match access.kind {
+                crate::AccessKind::Read => self.reads += 1,
+                crate::AccessKind::Write => self.writes += 1,
+            }
+            self.bytes += u64::from(access.size);
+        }
+    }
+
+    #[inline]
     fn instructions(&mut self, count: u64) {
         self.instructions += count;
     }
@@ -194,6 +232,11 @@ impl TraceSink for VecSink {
     #[inline]
     fn access(&mut self, access: Access) {
         self.accesses.push(access);
+    }
+
+    #[inline]
+    fn access_batch(&mut self, accesses: &[Access]) {
+        self.accesses.extend_from_slice(accesses);
     }
 
     #[inline]
@@ -247,6 +290,12 @@ impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
     fn access(&mut self, access: Access) {
         self.first.access(access);
         self.second.access(access);
+    }
+
+    #[inline]
+    fn access_batch(&mut self, accesses: &[Access]) {
+        self.first.access_batch(accesses);
+        self.second.access_batch(accesses);
     }
 
     #[inline]
@@ -357,6 +406,31 @@ mod tests {
             assert_eq!(sink.instructions_executed(), 2);
         }
         assert_eq!(seen, vec![Access::read(Addr::new(4), 4)]);
+    }
+
+    #[test]
+    fn batched_delivery_equals_element_wise() {
+        let batch = [
+            Access::read(Addr::new(0), 8),
+            Access::write(Addr::new(8), 4),
+            Access::read(Addr::new(64), 8),
+        ];
+        let mut one_by_one = CountingSink::new();
+        for &a in &batch {
+            one_by_one.access(a);
+        }
+        let mut batched = CountingSink::new();
+        batched.access_batch(&batch);
+        assert_eq!(batched, one_by_one);
+
+        let mut vec_batched = VecSink::new();
+        vec_batched.access_batch(&batch);
+        assert_eq!(vec_batched.accesses(), &batch);
+
+        let mut tee = TeeSink::new(CountingSink::new(), VecSink::new());
+        tee.access_batch(&batch);
+        assert_eq!(tee.first().data_references(), 3);
+        assert_eq!(tee.second().accesses(), &batch);
     }
 
     #[test]

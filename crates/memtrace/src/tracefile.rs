@@ -11,6 +11,21 @@
 //! 0x02 addr:u64 size:u32          write
 //! 0x03 count:u64                  instructions
 //! ```
+//!
+//! # Word-alignment convention
+//!
+//! Traced containers split multi-word touches into machine-word
+//! (8-byte) chunks whose boundaries fall on 8-byte boundaries of the
+//! *address* (see [`TracedBuf`](crate::TracedBuf)): no access record
+//! they produce straddles an 8-byte word, exactly as the instrumented
+//! loads/stores of a real Pixie trace cannot. The format itself does
+//! not enforce this — foreign or hand-written traces may carry
+//! arbitrary `(addr, size)` pairs, including sizes that span many cache
+//! lines and addresses near `u64::MAX`. Consumers must therefore treat
+//! records as untrusted: the simulator clamps line spans instead of
+//! trusting `addr + size` not to overflow, and
+//! [`TraceFileReader::replay`] reports truncation or unknown tags as
+//! errors, never panics.
 
 use crate::{Access, AccessKind, Addr, TraceSink};
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -97,17 +112,37 @@ impl<W: Write> TraceFileWriter<W> {
     }
 }
 
+fn encode_access(access: Access) -> [u8; 13] {
+    let tag = match access.kind {
+        AccessKind::Read => TAG_READ,
+        AccessKind::Write => TAG_WRITE,
+    };
+    let mut record = [0u8; 13];
+    record[0] = tag;
+    record[1..9].copy_from_slice(&access.addr.raw().to_le_bytes());
+    record[9..13].copy_from_slice(&access.size.to_le_bytes());
+    record
+}
+
 impl<W: Write> TraceSink for TraceFileWriter<W> {
     fn access(&mut self, access: Access) {
-        let tag = match access.kind {
-            AccessKind::Read => TAG_READ,
-            AccessKind::Write => TAG_WRITE,
-        };
-        let mut record = [0u8; 13];
-        record[0] = tag;
-        record[1..9].copy_from_slice(&access.addr.raw().to_le_bytes());
-        record[9..13].copy_from_slice(&access.size.to_le_bytes());
-        self.emit(&record);
+        self.emit(&encode_access(access));
+    }
+
+    fn access_batch(&mut self, accesses: &[Access]) {
+        // Encode the whole batch into one contiguous buffer: one
+        // `write_all` on the buffered stream instead of one per record.
+        let mut encoded = Vec::with_capacity(accesses.len() * 13);
+        for &access in accesses {
+            encoded.extend_from_slice(&encode_access(access));
+        }
+        if self.error.is_none() {
+            if let Err(e) = self.out.write_all(&encoded) {
+                self.error = Some(e);
+            } else {
+                self.events += accesses.len() as u64;
+            }
+        }
     }
 
     fn instructions(&mut self, count: u64) {

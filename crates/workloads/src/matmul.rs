@@ -150,10 +150,9 @@ fn dot_column<S: TraceSink>(
     let mut acc = 0.0;
     let mut k = 0;
     while k + 2 <= n {
-        let a0 = at.get(k, i, sink);
-        let b0 = b.get(k, j, sink);
-        let a1 = at.get(k + 1, i, sink);
-        let b1 = b.get(k + 1, j, sink);
+        // Batched per matrix: both column elements in one sink call.
+        let [a0, a1] = at.get_batch([(k, i), (k + 1, i)], sink);
+        let [b0, b1] = b.get_batch([(k, j), (k + 1, j)], sink);
         acc += a0 * b0 + a1 * b1;
         sink.instructions(TRANSPOSED_INSTR_PER_2_MADDS);
         k += 2;

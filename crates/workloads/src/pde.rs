@@ -115,10 +115,12 @@ fn is_red(i2: usize, i3: usize) -> bool {
 #[inline]
 fn relax_point<S: TraceSink>(data: &mut PdeData, i2: usize, i3: usize, instr: u64, sink: &mut S) {
     let b = data.b.get(i2, i3, sink);
-    let up = data.u.get(i2 - 1, i3, sink);
-    let down = data.u.get(i2 + 1, i3, sink);
-    let left = data.u.get(i2, i3 - 1, sink);
-    let right = data.u.get(i2, i3 + 1, sink);
+    // One batched emission for the four-point stencil (same trace, one
+    // sink call instead of four).
+    let [up, down, left, right] = data.u.get_batch(
+        [(i2 - 1, i3), (i2 + 1, i3), (i2, i3 - 1), (i2, i3 + 1)],
+        sink,
+    );
     data.u
         .set(i2, i3, 0.25 * (b - up - down - left - right), sink);
     sink.instructions(instr);
@@ -144,11 +146,16 @@ fn residual_line<S: TraceSink>(data: &mut PdeData, i3: usize, sink: &mut S) {
     let n = data.n;
     for i2 in 1..n - 1 {
         let b = data.b.get(i2, i3, sink);
-        let c = data.u.get(i2, i3, sink);
-        let up = data.u.get(i2 - 1, i3, sink);
-        let down = data.u.get(i2 + 1, i3, sink);
-        let left = data.u.get(i2, i3 - 1, sink);
-        let right = data.u.get(i2, i3 + 1, sink);
+        let [c, up, down, left, right] = data.u.get_batch(
+            [
+                (i2, i3),
+                (i2 - 1, i3),
+                (i2 + 1, i3),
+                (i2, i3 - 1),
+                (i2, i3 + 1),
+            ],
+            sink,
+        );
         data.r
             .set(i2, i3, b - 4.0 * c - up - down - left - right, sink);
         sink.instructions(RESIDUAL_INSTRUCTIONS);

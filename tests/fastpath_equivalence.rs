@@ -1,0 +1,135 @@
+//! Differential testing of the fast simulation paths: with the fast
+//! lookups enabled (same-line rehits, MRU-first way probes, classifier
+//! shortcut, line-index hashing) every [`SimReport`] field must be
+//! *bit-identical* to the exhaustive reference path, on every workload,
+//! with and without an MMU attached, and regardless of how accesses are
+//! batched on their way into the sink. The reports are a pure function
+//! of the reference stream; the fast paths may only change how quickly
+//! they are computed.
+
+use thread_locality::apps::{matmul, nbody, pde, sor};
+use thread_locality::sim::{
+    CacheConfig, Hierarchy, HierarchyConfig, MachineModel, Mmu, PageMapper, PagePolicy, SimReport,
+    SimSink,
+};
+use thread_locality::trace::{AddressSpace, TraceSink, VecSink};
+
+/// A machine small enough that the toy working sets below still
+/// overflow the caches (otherwise the fast paths would never face an
+/// eviction).
+fn machine() -> MachineModel {
+    MachineModel::r8000().scaled_split(1.0 / 16.0, 1.0 / 64.0)
+}
+
+/// Runs `workload` twice — fast paths on and off — and returns both
+/// reports.
+fn both_ways(
+    machine: &MachineModel,
+    mut workload: impl FnMut(&mut SimSink),
+) -> (SimReport, SimReport) {
+    let run = |fast: bool, workload: &mut dyn FnMut(&mut SimSink)| {
+        let mut sim = SimSink::new(machine.hierarchy());
+        sim.set_fast_path(fast);
+        workload(&mut sim);
+        sim.finish()
+    };
+    (run(true, &mut workload), run(false, &mut workload))
+}
+
+#[test]
+fn matmul_fast_equals_slow() {
+    let machine = machine();
+    for variant in [matmul::interchanged, matmul::transposed] {
+        let (fast, slow) = both_ways(&machine, |sim| {
+            let mut space = AddressSpace::new();
+            let mut data = matmul::MatMulData::new(&mut space, 40, 7);
+            variant(&mut data, sim);
+        });
+        assert_eq!(fast, slow);
+        assert!(fast.l1.misses() > 0, "working set must overflow the L1");
+    }
+}
+
+#[test]
+fn pde_fast_equals_slow() {
+    let (fast, slow) = both_ways(&machine(), |sim| {
+        let mut space = AddressSpace::new();
+        let mut data = pde::PdeData::new(&mut space, 48, 3);
+        pde::regular(&mut data, 2, sim);
+    });
+    assert_eq!(fast, slow);
+}
+
+#[test]
+fn sor_fast_equals_slow() {
+    let (fast, slow) = both_ways(&machine(), |sim| {
+        let mut space = AddressSpace::new();
+        let mut data = sor::SorData::new(&mut space, 64, 11);
+        sor::untiled(&mut data, 2, sim);
+    });
+    assert_eq!(fast, slow);
+}
+
+#[test]
+fn nbody_fast_equals_slow() {
+    let (fast, slow) = both_ways(&machine(), |sim| {
+        let mut space = AddressSpace::new();
+        let mut data = nbody::NBodyData::new(&mut space, 96, 2024);
+        nbody::unthreaded(&mut data, 1, nbody::NBodyParams::default(), sim);
+    });
+    assert_eq!(fast, slow);
+    assert!(fast.classes.total() > 0, "classifier must have been hit");
+}
+
+#[test]
+fn fast_equals_slow_with_mmu_attached() {
+    // A scrambling page mapping plus a tiny TLB exercises the per-page
+    // translation walk and the TLB's LRU set in both modes.
+    let config = HierarchyConfig::new(
+        CacheConfig::new(1 << 12, 32, 1).unwrap(),
+        CacheConfig::new(1 << 16, 128, 4).unwrap(),
+    );
+    let run = |fast: bool| {
+        let mmu = Mmu::new(PageMapper::new(PagePolicy::RandomSeeded(5), 4096), 8);
+        let mut sim = SimSink::new(Hierarchy::with_mmu(config, mmu));
+        sim.set_fast_path(fast);
+        let mut space = AddressSpace::new();
+        let mut data = matmul::MatMulData::new(&mut space, 40, 9);
+        matmul::interchanged(&mut data, &mut sim);
+        sim.finish()
+    };
+    let (fast, slow) = (run(true), run(false));
+    assert_eq!(fast, slow);
+    assert!(fast.tlb.accesses > 0, "the MMU must have been consulted");
+    assert!(fast.tlb.misses > 0, "an 8-entry TLB must thrash here");
+}
+
+#[test]
+fn batched_delivery_equals_element_wise_on_a_real_trace() {
+    // Capture a real workload trace, then replay it into the simulator
+    // one access at a time and in batches of every small size: the
+    // batched sink entry point must be an exact refactoring.
+    let machine = machine();
+    let mut recorded = VecSink::new();
+    {
+        let mut space = AddressSpace::new();
+        let mut data = sor::SorData::new(&mut space, 48, 23);
+        sor::untiled(&mut data, 2, &mut recorded);
+    }
+    let accesses = recorded.accesses();
+    assert!(accesses.len() > 5_000, "trace too small to be interesting");
+    let element_wise = {
+        let mut sim = SimSink::new(machine.hierarchy());
+        for &access in accesses {
+            sim.access(access);
+        }
+        sim.finish()
+    };
+    for chunk_size in [1usize, 2, 3, 7, 16, 64, 1024] {
+        let mut sim = SimSink::new(machine.hierarchy());
+        for chunk in accesses.chunks(chunk_size) {
+            sim.access_batch(chunk);
+        }
+        assert_eq!(sim.finish(), element_wise, "chunk size {chunk_size}");
+    }
+}

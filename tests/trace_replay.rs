@@ -3,9 +3,12 @@
 //! simulation exactly — the decoupling the paper's original
 //! Pixie → DineroIII pipeline relied on.
 
+use proptest::prelude::*;
 use thread_locality::apps::matmul;
 use thread_locality::sim::{MachineModel, SimSink};
-use thread_locality::trace::{AddressSpace, TeeSink, TraceFileReader, TraceFileWriter};
+use thread_locality::trace::{
+    Access, AccessKind, Addr, AddressSpace, TeeSink, TraceFileReader, TraceFileWriter, TraceSink,
+};
 
 #[test]
 fn recorded_trace_replays_to_identical_simulation() {
@@ -35,6 +38,108 @@ fn recorded_trace_replays_to_identical_simulation() {
 
     assert!(events > 0);
     assert_eq!(online, replayed, "online and replayed simulations diverge");
+}
+
+/// A deliberately tiny machine, so even short fuzz traces cause
+/// evictions, write-backs and classifier traffic.
+fn tiny_sim() -> SimSink {
+    SimSink::new(
+        MachineModel::r8000()
+            .scaled_split(1.0 / 256.0, 1.0 / 1024.0)
+            .hierarchy(),
+    )
+}
+
+#[test]
+fn records_at_the_top_of_the_address_space_replay_without_panicking() {
+    // A trace is untrusted input: records whose (addr, size) span would
+    // wrap past u64::MAX must clamp, not overflow, and the simulation
+    // must complete. Valid-but-extreme records are an error-free case.
+    let mut buffer: Vec<u8> = Vec::new();
+    let mut writer = TraceFileWriter::new(&mut buffer);
+    writer.access(Access::read(Addr::new(u64::MAX), 8));
+    writer.access(Access::write(Addr::new(u64::MAX - 3), u32::MAX));
+    writer.access(Access::read(Addr::new(u64::MAX - 4096), u32::MAX));
+    writer.instructions(u64::MAX);
+    writer.finish().expect("flush trace");
+
+    let mut sim = tiny_sim();
+    let events = TraceFileReader::new(buffer.as_slice())
+        .replay(&mut sim)
+        .expect("extreme but well-formed records replay cleanly");
+    assert_eq!(events, 4);
+    let report = sim.finish();
+    assert_eq!(report.reads + report.writes, 3);
+    assert_eq!(report.instructions, u64::MAX);
+}
+
+proptest! {
+    /// Replaying *arbitrary bytes* never panics: every outcome is
+    /// either a clean end-of-trace or an `io::Error` (truncation,
+    /// unknown tag). Whatever does decode is simulated, so any decoded
+    /// address — including spans touching u64::MAX — must be handled by
+    /// the hierarchy's saturating span arithmetic. (Sizes are clamped
+    /// on the way in only to bound the *walk length* of this test:
+    /// random bytes decode to multi-gigabyte spans every few records.)
+    #[test]
+    fn arbitrary_bytes_never_panic_the_replay_pipeline(
+        bytes in prop::collection::vec(any::<u8>(), 0..4096),
+    ) {
+        struct ClampSink(SimSink);
+        impl TraceSink for ClampSink {
+            fn access(&mut self, access: Access) {
+                self.0.access(Access {
+                    size: access.size.min(4096),
+                    ..access
+                });
+            }
+            fn instructions(&mut self, count: u64) {
+                self.0.instructions(count);
+            }
+        }
+        let mut sink = ClampSink(tiny_sim());
+        let _ = TraceFileReader::new(bytes.as_slice()).replay(&mut sink);
+        let report = sink.0.finish();
+        // Every decoded access touches at least one L1 line.
+        prop_assert!(report.l1.references() >= report.reads + report.writes);
+    }
+
+    /// A trace of arbitrary *well-formed* records round-trips: what the
+    /// writer encodes, the reader replays verbatim, and the replayed
+    /// simulation equals feeding the records to the simulator directly.
+    #[test]
+    fn arbitrary_records_round_trip_through_the_file_format(
+        records in prop::collection::vec(
+            (any::<u64>(), 1u32..=8192, any::<bool>()),
+            0..512,
+        ),
+    ) {
+        let accesses: Vec<Access> = records
+            .iter()
+            .map(|&(addr, size, is_write)| Access {
+                addr: Addr::new(addr),
+                size,
+                kind: if is_write { AccessKind::Write } else { AccessKind::Read },
+            })
+            .collect();
+        let mut buffer: Vec<u8> = Vec::new();
+        let mut writer = TraceFileWriter::new(&mut buffer);
+        for &access in &accesses {
+            writer.access(access);
+        }
+        writer.finish().unwrap();
+
+        let mut direct = tiny_sim();
+        for &access in &accesses {
+            direct.access(access);
+        }
+        let mut replayed = tiny_sim();
+        let events = TraceFileReader::new(buffer.as_slice())
+            .replay(&mut replayed)
+            .expect("well-formed trace");
+        prop_assert_eq!(events as usize, accesses.len());
+        prop_assert_eq!(replayed.finish(), direct.finish());
+    }
 }
 
 #[test]
