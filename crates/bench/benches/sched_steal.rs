@@ -51,7 +51,12 @@ fn forked(policy: StealPolicy) -> ParScheduler<Ctx> {
     let mut thread = 0usize;
     for bin in 0..BINS {
         for _ in 0..THREADS_PER_BIN {
-            sched.fork(windowed_sum, thread, bin, Hints::one((bin as u64 * BLOCK).into()));
+            sched.fork(
+                windowed_sum,
+                thread,
+                bin,
+                Hints::one((bin as u64 * BLOCK).into()),
+            );
             thread += 1;
         }
     }

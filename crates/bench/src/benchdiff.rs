@@ -1,0 +1,650 @@
+//! `benchdiff`: field-by-field comparison of two benchmark JSON
+//! reports (`BENCH_sim.json`, `BENCH_steal.json`) for CI regression
+//! gating.
+//!
+//! Both files are flattened to `path → number` maps (array rows are
+//! labeled by their identifying field — `workload`, `policy`+`workers`,
+//! `worker` — so reordering rows never produces a spurious diff), then
+//! compared pairwise under a configurable relative threshold.
+//!
+//! Not every metric can gate CI. Absolute wall times and throughputs
+//! (`*_ns`, `*per_sec`) depend on the host machine, and the probe
+//! layer's `run_profile` counters track nondeterministic runtime
+//! behaviour (steal interleavings); those compare *informationally* —
+//! shown when they move, never failing the run — unless `--gate-all`
+//! promotes them (for same-machine A/B comparisons). What gates by
+//! default is what a checked-in baseline from another machine can
+//! promise: `speedup*` ratios (higher is better) and deterministic
+//! workload counts like `accesses` (must match within threshold in
+//! either direction).
+
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser. The repo is offline
+// (no serde); report JSON is machine-written and small, so a strict
+// ~100-line parser is enough.
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object (`None` for non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(value)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".to_owned()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number '{text}' at offset {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escaped = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_owned())?;
+                    self.pos += 1;
+                    match escaped {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| "truncated \\u escape".to_owned())?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Copy a run of plain bytes in one go.
+                    let start = self.pos;
+                    while self.peek().is_some_and(|b| b != b'"' && b != b'\\') {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| "invalid utf-8 in string")?,
+                    );
+                }
+                None => return Err("unterminated string".to_owned()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flattening: JSON tree → ordered (path, value) pairs.
+// ---------------------------------------------------------------------
+
+/// The stable label of one array row: its identifying field if it has
+/// one, else its index.
+fn row_label(row: &Json, index: usize) -> String {
+    if let Some(Json::Str(w)) = row.get("workload") {
+        return w.clone();
+    }
+    if let Some(Json::Str(p)) = row.get("policy") {
+        return match row.get("workers") {
+            Some(Json::Num(n)) => format!("{p}.w{n}"),
+            _ => p.clone(),
+        };
+    }
+    if let Some(Json::Num(w)) = row.get("worker") {
+        return format!("w{w}");
+    }
+    index.to_string()
+}
+
+/// Flattens numeric leaves to `path → value`, in document order.
+///
+/// Arrays of objects recurse with row labels (`rows[matmul].fast_ns`);
+/// arrays of anything else (histogram bucket pairs, bare number lists)
+/// are skipped — their comparable summaries (`count`, `p50`, …) are
+/// already scalar fields next to them. Strings and booleans are
+/// identity, not measurement, and are skipped too.
+pub fn flatten(value: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    walk(value, String::new(), &mut out);
+    out
+}
+
+fn walk(value: &Json, path: String, out: &mut Vec<(String, f64)>) {
+    match value {
+        Json::Num(v) => out.push((path, *v)),
+        Json::Obj(fields) => {
+            for (key, field) in fields {
+                let sub = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}.{key}")
+                };
+                walk(field, sub, out);
+            }
+        }
+        Json::Arr(items) if items.iter().all(|i| matches!(i, Json::Obj(_))) => {
+            for (index, item) in items.iter().enumerate() {
+                walk(item, format!("{path}[{}]", row_label(item, index)), out);
+            }
+        }
+        _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------
+// Comparison.
+// ---------------------------------------------------------------------
+
+/// How a metric's movement is judged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Higher is better; regression = drop beyond threshold.
+    Higher,
+    /// Lower is better; regression = rise beyond threshold.
+    Lower,
+    /// Expected stable; regression = movement beyond threshold either
+    /// way.
+    Stable,
+    /// Machine- or run-dependent; never a regression.
+    Info,
+}
+
+/// Deterministic per-leaf names a cross-machine baseline can promise:
+/// trace-derived counts that must reproduce exactly.
+const STABLE_LEAVES: &[&str] = &[
+    "accesses",
+    "reps",
+    "bins",
+    "threads",
+    "workers",
+    "threads_run",
+];
+
+/// Classifies a flattened path. `gate_all` promotes machine-dependent
+/// metrics from [`Direction::Info`] to a gated direction for
+/// same-machine A/B comparisons.
+pub fn classify(path: &str, gate_all: bool) -> Direction {
+    let leaf = path.rsplit('.').next().unwrap_or(path);
+    if leaf.starts_with("speedup") {
+        return Direction::Higher;
+    }
+    if path.contains("run_profile") {
+        // Probe counters track runtime nondeterminism (steal
+        // interleavings, wall times) — informational even under
+        // --gate-all.
+        return Direction::Info;
+    }
+    if STABLE_LEAVES.contains(&leaf) {
+        return Direction::Stable;
+    }
+    if leaf.contains("per_sec") {
+        return if gate_all {
+            Direction::Higher
+        } else {
+            Direction::Info
+        };
+    }
+    if leaf.ends_with("_ns") {
+        return if gate_all {
+            Direction::Lower
+        } else {
+            Direction::Info
+        };
+    }
+    // Remaining leaves are runtime-dependent counters (steal counts,
+    // per-worker executed totals, makespan units).
+    if gate_all {
+        Direction::Stable
+    } else {
+        Direction::Info
+    }
+}
+
+/// One compared metric.
+#[derive(Clone, Debug)]
+pub struct DiffRow {
+    /// Flattened metric path.
+    pub path: String,
+    /// Baseline value (`None` = only in current).
+    pub baseline: Option<f64>,
+    /// Current value (`None` = missing from current).
+    pub current: Option<f64>,
+    /// Relative change `(current - baseline) / |baseline|` when both
+    /// sides exist and the baseline is nonzero.
+    pub delta: Option<f64>,
+    /// How the metric is judged.
+    pub direction: Direction,
+    /// Whether this row fails the gate.
+    pub regression: bool,
+}
+
+/// The full comparison of two reports.
+#[derive(Clone, Debug)]
+pub struct DiffReport {
+    /// Every compared (or unmatched) metric, in baseline order.
+    pub rows: Vec<DiffRow>,
+    /// Relative threshold the gate used.
+    pub threshold: f64,
+}
+
+impl DiffReport {
+    /// Rows that fail the gate.
+    pub fn regressions(&self) -> impl Iterator<Item = &DiffRow> {
+        self.rows.iter().filter(|r| r.regression)
+    }
+
+    /// Whether the comparison passes.
+    pub fn passed(&self) -> bool {
+        !self.rows.iter().any(|r| r.regression)
+    }
+
+    /// Renders the comparison as a markdown summary: a table of every
+    /// gated metric plus any informational metric that moved beyond the
+    /// threshold, then a pass/fail verdict line.
+    pub fn to_markdown(&self) -> String {
+        let mut md = String::from("| metric | baseline | current | Δ | status |\n");
+        md.push_str("|---|---:|---:|---:|---|\n");
+        let mut info_total = 0usize;
+        let mut shown = 0usize;
+        for row in &self.rows {
+            let moved = row.delta.is_some_and(|d| d.abs() > self.threshold);
+            if row.direction == Direction::Info {
+                info_total += 1;
+                if !moved {
+                    continue;
+                }
+            }
+            shown += 1;
+            let fmt = |v: Option<f64>| match v {
+                Some(v) if v == v.trunc() && v.abs() < 1e15 => format!("{v}"),
+                Some(v) => format!("{v:.3}"),
+                None => "—".to_owned(),
+            };
+            let delta = match row.delta {
+                Some(d) => format!("{:+.1}%", d * 100.0),
+                None => "—".to_owned(),
+            };
+            let status = if row.regression {
+                "**REGRESSION**"
+            } else if row.direction == Direction::Info {
+                "info"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                md,
+                "| `{}` | {} | {} | {} | {} |",
+                row.path,
+                fmt(row.baseline),
+                fmt(row.current),
+                delta,
+                status
+            );
+        }
+        if shown == 0 {
+            md.push_str("| _no gated metrics_ | | | | |\n");
+        }
+        let gated = self.rows.len() - info_total;
+        let _ = writeln!(
+            md,
+            "\n{} — {gated} gated metric(s) at ±{:.0}% threshold, {info_total} informational.",
+            if self.passed() {
+                "**PASS**"
+            } else {
+                "**FAIL**"
+            },
+            self.threshold * 100.0
+        );
+        md
+    }
+}
+
+/// Compares two benchmark JSON documents.
+///
+/// Every baseline metric is matched by path. A gated metric missing
+/// from `current` is a regression (schema drift must not silently
+/// disable the gate); metrics only in `current` are informational.
+pub fn diff(
+    baseline: &str,
+    current: &str,
+    threshold: f64,
+    gate_all: bool,
+) -> Result<DiffReport, String> {
+    let base = flatten(&Json::parse(baseline).map_err(|e| format!("baseline: {e}"))?);
+    let cur = flatten(&Json::parse(current).map_err(|e| format!("current: {e}"))?);
+    let mut rows = Vec::new();
+    for (path, base_value) in &base {
+        let direction = classify(path, gate_all);
+        let current_value = cur.iter().find(|(p, _)| p == path).map(|&(_, v)| v);
+        let delta = current_value
+            .and_then(|c| (*base_value != 0.0).then(|| (c - base_value) / base_value.abs()));
+        let regression = match (direction, current_value, delta) {
+            (Direction::Info, _, _) => false,
+            (_, None, _) => true,
+            (Direction::Higher, _, Some(d)) => d < -threshold,
+            (Direction::Lower, _, Some(d)) => d > threshold,
+            (Direction::Stable, _, Some(d)) => d.abs() > threshold,
+            // Zero baseline: any nonzero current on a stable metric is
+            // movement; directional metrics can't compute a ratio and
+            // pass.
+            (Direction::Stable, Some(c), None) => c != *base_value,
+            (_, Some(_), None) => false,
+        };
+        rows.push(DiffRow {
+            path: path.clone(),
+            baseline: Some(*base_value),
+            current: current_value,
+            delta,
+            direction,
+            regression,
+        });
+    }
+    for (path, value) in &cur {
+        if !base.iter().any(|(p, _)| p == path) {
+            rows.push(DiffRow {
+                path: path.clone(),
+                baseline: None,
+                current: Some(*value),
+                delta: None,
+                direction: Direction::Info,
+                regression: false,
+            });
+        }
+    }
+    Ok(DiffReport { rows, threshold })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim_json(fast_ns: u64) -> String {
+        // Shape matches SimBenchResult::to_json.
+        format!(
+            "{{\"experiment\":\"simbench\",\"reps\":3,\"rows\":[\
+             {{\"workload\":\"matmul\",\"accesses\":1000,\"slow_ns\":200000,\
+             \"fast_ns\":{fast_ns},\"slow_accesses_per_sec\":5000000.0,\
+             \"fast_accesses_per_sec\":{:.1},\"speedup\":{:.3}}}],\
+             \"run_profile\":{{\"matmul.l1\":{{\"hits\":900,\"misses\":100}}}}}}",
+            1000.0 / (fast_ns as f64 / 1e9),
+            200000.0 / fast_ns as f64,
+        )
+    }
+
+    #[test]
+    fn parser_round_trips_report_shapes() {
+        let doc = Json::parse(&sim_json(100000)).expect("valid JSON");
+        let rows = doc.get("rows").expect("rows");
+        match rows {
+            Json::Arr(items) => assert_eq!(items.len(), 1),
+            other => panic!("rows not an array: {other:?}"),
+        }
+        assert_eq!(
+            doc.get("experiment"),
+            Some(&Json::Str("simbench".to_owned()))
+        );
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Json::parse("{\"a\":").is_err());
+        assert!(Json::parse("[1,2,]").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse("nul").is_err());
+    }
+
+    #[test]
+    fn flatten_labels_rows_by_identity() {
+        let doc = Json::parse(&sim_json(100000)).expect("valid JSON");
+        let flat = flatten(&doc);
+        let paths: Vec<&str> = flat.iter().map(|(p, _)| p.as_str()).collect();
+        assert!(paths.contains(&"rows[matmul].fast_ns"), "{paths:?}");
+        assert!(paths.contains(&"run_profile.matmul.l1.hits"), "{paths:?}");
+        assert!(!paths.iter().any(|p| p.contains("[0]")), "{paths:?}");
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let a = sim_json(100000);
+        let report = diff(&a, &a, 0.15, true).expect("diff");
+        assert!(report.passed(), "{}", report.to_markdown());
+        assert!(report.to_markdown().contains("**PASS**"));
+    }
+
+    #[test]
+    fn small_throughput_drop_is_accepted() {
+        // 5% slower fast path: under the 15% gate even with --gate-all.
+        let report = diff(&sim_json(100000), &sim_json(105000), 0.15, true).expect("diff");
+        assert!(report.passed(), "{}", report.to_markdown());
+    }
+
+    #[test]
+    fn large_throughput_drop_is_flagged_under_gate_all() {
+        // 25% slower fast path: throughput and speedup both breach 15%.
+        let report = diff(&sim_json(100000), &sim_json(125000), 0.15, true).expect("diff");
+        assert!(!report.passed());
+        let failing: Vec<&str> = report.regressions().map(|r| r.path.as_str()).collect();
+        assert!(
+            failing.contains(&"rows[matmul].fast_accesses_per_sec"),
+            "{failing:?}"
+        );
+        assert!(failing.contains(&"rows[matmul].speedup"), "{failing:?}");
+        assert!(failing.contains(&"rows[matmul].fast_ns"), "{failing:?}");
+        let md = report.to_markdown();
+        assert!(md.contains("**FAIL**"), "{md}");
+        assert!(md.contains("**REGRESSION**"), "{md}");
+    }
+
+    #[test]
+    fn machine_dependent_metrics_do_not_gate_by_default() {
+        // Same 25% wall-time swing, default gating: times and
+        // throughputs are informational (another machine is simply
+        // faster), but the speedup *ratio* still gates — and it moved
+        // beyond 15%, so the diff fails on exactly that.
+        let report = diff(&sim_json(100000), &sim_json(125000), 0.15, false).expect("diff");
+        let failing: Vec<&str> = report.regressions().map(|r| r.path.as_str()).collect();
+        assert_eq!(failing, vec!["rows[matmul].speedup"], "{failing:?}");
+    }
+
+    #[test]
+    fn stable_counts_gate_both_directions() {
+        let base = sim_json(100000);
+        let grown = base.replace("\"accesses\":1000", "\"accesses\":2000");
+        let report = diff(&base, &grown, 0.15, false).expect("diff");
+        let failing: Vec<&str> = report.regressions().map(|r| r.path.as_str()).collect();
+        assert!(failing.contains(&"rows[matmul].accesses"), "{failing:?}");
+    }
+
+    #[test]
+    fn missing_gated_metric_is_a_regression() {
+        let base = sim_json(100000);
+        let renamed = base.replace("\"speedup\"", "\"speedupX\"");
+        let report = diff(&base, &renamed, 0.15, false).expect("diff");
+        assert!(!report.passed());
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.path == "rows[matmul].speedup")
+            .expect("baseline row kept");
+        assert!(row.current.is_none() && row.regression);
+    }
+
+    #[test]
+    fn run_profile_never_gates() {
+        let base = sim_json(100000);
+        let drifted = base.replace("\"hits\":900", "\"hits\":1");
+        let report = diff(&base, &drifted, 0.15, true).expect("diff");
+        assert!(report.passed(), "{}", report.to_markdown());
+        // ... but the movement is surfaced in the table.
+        assert!(
+            report.to_markdown().contains("run_profile.matmul.l1.hits"),
+            "{}",
+            report.to_markdown()
+        );
+    }
+}

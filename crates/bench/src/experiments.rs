@@ -65,6 +65,38 @@ pub enum Driver {
     Parallel,
 }
 
+/// Driver-level probe state: per-cell wall time and the number of
+/// cells executed, accumulated across every [`run_cells`] call in the
+/// process. Process-global (const constructors make the static free)
+/// because cells run on driver-owned threads with no natural place to
+/// thread a handle through.
+struct DriverObs {
+    cells: probe::Counter,
+    cell_wall_ns: probe::Histogram,
+}
+
+static DRIVER_OBS: DriverObs = DriverObs {
+    cells: probe::Counter::new(),
+    cell_wall_ns: probe::Histogram::new(),
+};
+
+/// The driver's probe section (`"driver"`): cells executed so far and
+/// the per-cell wall-time distribution.
+pub fn driver_profile() -> probe::Section {
+    let mut section = probe::Section::new("driver");
+    section
+        .counter("cells", DRIVER_OBS.cells.get())
+        .histogram("cell_wall_ns", &DRIVER_OBS.cell_wall_ns);
+    section
+}
+
+/// Runs one cell under the driver's probes.
+fn timed_cell(cell: Cell) -> (String, SimReport) {
+    let _span = DRIVER_OBS.cell_wall_ns.span();
+    DRIVER_OBS.cells.incr();
+    cell()
+}
+
 /// Runs `cells` under `driver`, returning results in cell order.
 ///
 /// Determinism: each cell owns its address space, workload data and
@@ -74,9 +106,12 @@ pub enum Driver {
 /// interleaves cell completion (see DESIGN.md).
 pub fn run_cells(cells: Vec<Cell>, driver: Driver) -> Vec<(String, SimReport)> {
     match driver {
-        Driver::Sequential => cells.into_iter().map(|cell| cell()).collect(),
+        Driver::Sequential => cells.into_iter().map(timed_cell).collect(),
         Driver::Parallel => std::thread::scope(|scope| {
-            let handles: Vec<_> = cells.into_iter().map(|cell| scope.spawn(cell)).collect();
+            let handles: Vec<_> = cells
+                .into_iter()
+                .map(|cell| scope.spawn(move || timed_cell(cell)))
+                .collect();
             handles
                 .into_iter()
                 .map(|handle| handle.join().expect("simulation cell panicked"))
@@ -121,7 +156,9 @@ pub fn matmul_cells(scale: &ExpScale, machine: &MachineModel) -> Vec<Cell> {
         cell(machine, move |sp, s| {
             matmul::tiled_transposed(&mut data(sp), tiles, sp, s)
         }),
-        cell(machine, move |sp, s| matmul::threaded(&mut data(sp), sched, s)),
+        cell(machine, move |sp, s| {
+            matmul::threaded(&mut data(sp), sched, s)
+        }),
     ]
 }
 
@@ -154,7 +191,9 @@ pub fn sor_cells(scale: &ExpScale, machine: &MachineModel) -> Vec<Cell> {
         cell(machine, move |sp, s| {
             sor::hand_tiled(&mut data(sp), t, tile, s)
         }),
-        cell(machine, move |sp, s| sor::threaded(&mut data(sp), t, sched, s)),
+        cell(machine, move |sp, s| {
+            sor::threaded(&mut data(sp), t, sched, s)
+        }),
     ]
 }
 
@@ -572,7 +611,10 @@ impl StealAblationResult {
     /// Critical-path speedup of `policy` over [`StealPolicy::None`] at
     /// `workers` (1.0 when either cell is missing).
     pub fn speedup_vs_none(&self, policy: StealPolicy, workers: usize) -> f64 {
-        match (self.row(StealPolicy::None, workers), self.row(policy, workers)) {
+        match (
+            self.row(StealPolicy::None, workers),
+            self.row(policy, workers),
+        ) {
             (Some(none), Some(row)) if row.makespan_units > 0 => {
                 none.makespan_units as f64 / row.makespan_units as f64
             }

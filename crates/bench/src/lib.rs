@@ -14,6 +14,7 @@
 //! data-set : cache ratio the analysis depends on (see EXPERIMENTS.md);
 //! `ExpScale::full()` reproduces the paper's exact sizes.
 
+pub mod benchdiff;
 pub mod cli;
 pub mod experiments;
 pub mod fmt;

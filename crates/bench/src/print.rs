@@ -2,8 +2,8 @@
 
 use crate::experiments::{Figure4Result, MissRow, StealAblationResult, Table1Result, TimeRow};
 use crate::fmt::{ratio, secs, thousands, TextTable};
-use crate::simbench::SimBenchResult;
 use crate::paper;
+use crate::simbench::SimBenchResult;
 use locality_sched::StealPolicy;
 
 /// Prints Table 1: measured host overhead vs the paper's per-machine

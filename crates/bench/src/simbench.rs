@@ -54,6 +54,10 @@ pub struct SimBenchResult {
     pub reps: u32,
     /// One row per workload.
     pub rows: Vec<SimBenchRow>,
+    /// Probe observations of each workload's fast run (sections
+    /// namespaced `"<workload>.<layer>"`) plus the experiment driver's
+    /// section; empty when the probe layer is compiled out.
+    pub profile: probe::RunProfile,
 }
 
 impl SimBenchResult {
@@ -82,23 +86,31 @@ impl SimBenchResult {
             )
             .expect("writing to String cannot fail");
         }
-        json.push_str("]}");
+        json.push(']');
+        if probe::enabled() && !self.profile.is_empty() {
+            write!(json, ",\"run_profile\":{}", self.profile.to_json())
+                .expect("writing to String cannot fail");
+        }
+        json.push('}');
         json
     }
 }
 
 /// Times one workload both ways, best of `reps`, asserting the reports
-/// identical before returning the row.
+/// identical before returning the row plus the fast run's probe
+/// profile (per-level hit/rehit counts, miss-latency histogram,
+/// classifier verdicts).
 fn bench<D>(
     name: &str,
     machine: &MachineModel,
     reps: u32,
     make: impl Fn(&mut AddressSpace) -> D,
     run: impl Fn(&mut D, &mut AddressSpace, &mut SimSink),
-) -> SimBenchRow {
-    let time = |fast: bool| -> (SimReport, u64) {
+) -> (SimBenchRow, probe::RunProfile) {
+    let time = |fast: bool| -> (SimReport, u64, probe::RunProfile) {
         let mut best = u64::MAX;
         let mut report: Option<SimReport> = None;
+        let mut profile = probe::RunProfile::new();
         for _ in 0..reps.max(1) {
             let mut space = AddressSpace::new();
             let mut data = make(&mut space);
@@ -107,78 +119,117 @@ fn bench<D>(
             let start = Instant::now();
             run(&mut data, &mut space, &mut sim);
             best = best.min((start.elapsed().as_nanos() as u64).max(1));
+            // Capture probes before finish() consumes the sink; any
+            // repetition works — the trace is deterministic.
+            profile = sim.run_profile();
             let this = sim.finish();
             if let Some(prev) = &report {
                 assert_eq!(prev, &this, "{name}: repetition not deterministic");
             }
             report = Some(this);
         }
-        (report.expect("at least one repetition"), best)
+        (report.expect("at least one repetition"), best, profile)
     };
-    let (slow_report, slow_ns) = time(false);
-    let (fast_report, fast_ns) = time(true);
+    let (slow_report, slow_ns, _) = time(false);
+    let (fast_report, fast_ns, profile) = time(true);
     assert_eq!(
         slow_report, fast_report,
         "{name}: fast path diverged from the exhaustive reference"
     );
-    SimBenchRow {
+    let row = SimBenchRow {
         workload: name.to_owned(),
         accesses: slow_report.reads + slow_report.writes,
         slow_ns,
         fast_ns,
-    }
+    };
+    (row, profile)
 }
 
 /// Runs the benchmark: each workload's sequential baseline version on
 /// its table's scaled R8000, fast vs slow, best of `reps`.
 pub fn simbench(scale: &ExpScale, reps: u32) -> SimBenchResult {
     let mut rows = Vec::new();
+    let mut profile = probe::RunProfile::new();
+    // Namespaces one workload's sections into the merged profile
+    // (`"l1"` → `"matmul.l1"`) and keeps its row.
+    fn keep(
+        rows: &mut Vec<SimBenchRow>,
+        profile: &mut probe::RunProfile,
+        (row, run_profile): (SimBenchRow, probe::RunProfile),
+    ) {
+        for section in run_profile.into_sections() {
+            let name = format!("{}.{}", row.workload, section.name());
+            profile.push(section.renamed(name));
+        }
+        rows.push(row);
+    }
     let n = scale.matmul_n;
-    rows.push(bench(
-        "matmul",
-        &machines(scale.matmul_factor).0,
-        reps,
-        |space| matmul::MatMulData::new(space, n, 42),
-        |data, _sp, sim| {
-            matmul::interchanged(data, sim);
-        },
-    ));
+    keep(
+        &mut rows,
+        &mut profile,
+        bench(
+            "matmul",
+            &machines(scale.matmul_factor).0,
+            reps,
+            |space| matmul::MatMulData::new(space, n, 42),
+            |data, _sp, sim| {
+                matmul::interchanged(data, sim);
+            },
+        ),
+    );
     let (pn, iters) = (scale.pde_n, scale.pde_iters);
-    rows.push(bench(
-        "pde",
-        &machines(scale.pde_factor).0,
-        reps,
-        |space| pde::PdeData::new(space, pn, 7),
-        |data, _sp, sim| {
-            pde::regular(data, iters, sim);
-        },
-    ));
+    keep(
+        &mut rows,
+        &mut profile,
+        bench(
+            "pde",
+            &machines(scale.pde_factor).0,
+            reps,
+            |space| pde::PdeData::new(space, pn, 7),
+            |data, _sp, sim| {
+                pde::regular(data, iters, sim);
+            },
+        ),
+    );
     let (sn, t) = (scale.sor_n, scale.sor_t);
-    rows.push(bench(
-        "sor",
-        &machines(scale.sor_factor).0,
-        reps,
-        |space| sor::SorData::new(space, sn, 99),
-        |data, _sp, sim| {
-            sor::untiled(data, t, sim);
-        },
-    ));
+    keep(
+        &mut rows,
+        &mut profile,
+        bench(
+            "sor",
+            &machines(scale.sor_factor).0,
+            reps,
+            |space| sor::SorData::new(space, sn, 99),
+            |data, _sp, sim| {
+                sor::untiled(data, t, sim);
+            },
+        ),
+    );
     let bn = scale.nbody_n;
     let nbody_machine = machines(scale.nbody_factor).0;
     let params = nbody::NBodyParams {
         plane_extent: 4 * (nbody_machine.l2_config().size() / 3),
         ..nbody::NBodyParams::default()
     };
-    rows.push(bench(
-        "nbody",
-        &nbody_machine,
+    keep(
+        &mut rows,
+        &mut profile,
+        bench(
+            "nbody",
+            &nbody_machine,
+            reps,
+            |space| nbody::NBodyData::new(space, bn, 2024),
+            |data, _sp, sim| {
+                nbody::unthreaded(data, 1, params, sim);
+            },
+        ),
+    );
+    profile.push(crate::experiments::driver_profile());
+    SimBenchResult {
         reps,
-        |space| nbody::NBodyData::new(space, bn, 2024),
-        |data, _sp, sim| {
-            nbody::unthreaded(data, 1, params, sim);
-        },
-    ));
-    SimBenchResult { reps, rows }
+        rows,
+        profile,
+    }
 }
 
 #[cfg(test)]
@@ -198,5 +249,12 @@ mod tests {
         assert!(json.contains("\"experiment\":\"simbench\""), "{json}");
         assert!(json.contains("\"workload\":\"nbody\""), "{json}");
         assert!(json.contains("\"speedup\":"), "{json}");
+        if probe::enabled() {
+            assert!(json.contains("\"run_profile\":"), "{json}");
+            assert!(json.contains("\"matmul.l1\":"), "{json}");
+            assert!(json.contains("\"nbody.classifier\":"), "{json}");
+        } else {
+            assert!(!json.contains("run_profile"), "{json}");
+        }
     }
 }

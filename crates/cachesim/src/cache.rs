@@ -55,6 +55,19 @@ struct Way {
 
 const INVALID: u64 = u64::MAX;
 
+/// Probe observations for one cache level: which fast path served each
+/// hit. Kept out of [`CacheStats`] because the differential suite
+/// asserts fast-path and slow-path stats are bit-identical, and these
+/// counters are *expected* to differ between the two modes (the slow
+/// path never rehits by construction).
+#[derive(Clone, Debug, Default)]
+struct CacheObs {
+    /// Hits served by the same-line short-circuit ([`Cache::try_rehit`]).
+    rehits: probe::LocalCounter,
+    /// Hits served by the MRU-first probe before the full set scan.
+    mru_hits: probe::LocalCounter,
+}
+
 /// Outcome of one cache reference.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) struct LineOutcome {
@@ -111,6 +124,7 @@ pub struct Cache {
     /// differential suite and `simbench` use this as the bit-identical
     /// slow reference.
     fast_path: bool,
+    obs: CacheObs,
 }
 
 impl Cache {
@@ -138,6 +152,7 @@ impl Cache {
             last_way: 0,
             write_through: config.write_policy() == WritePolicy::WriteThroughNoAllocate,
             fast_path: true,
+            obs: CacheObs::default(),
         }
     }
 
@@ -210,6 +225,7 @@ impl Cache {
                 way.dirty |= is_write && !write_through;
                 self.last_line = line;
                 self.last_way = mru_way as u32;
+                self.obs.mru_hits.incr();
                 return LineOutcome {
                     hit: true,
                     writeback: None,
@@ -308,7 +324,22 @@ impl Cache {
         debug_assert_eq!(way.line, line);
         way.last_used = self.tick;
         way.dirty |= is_write;
+        self.obs.rehits.incr();
         true
+    }
+
+    /// Flushes this level's probe observations into a profile section:
+    /// always-on hit/miss totals plus which fast path served the hits.
+    /// Cumulative since construction; all-zero when the probe layer is
+    /// compiled out.
+    pub fn probe_section(&self, name: &str) -> probe::Section {
+        let mut section = probe::Section::new(name);
+        section
+            .counter("hits", self.stats.hits())
+            .counter("misses", self.stats.misses())
+            .counter("rehits", self.obs.rehits.get())
+            .counter("mru_hits", self.obs.mru_hits.get());
+        section
     }
 
     /// Zeroes the statistics while keeping cache contents warm.

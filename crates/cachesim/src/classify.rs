@@ -102,10 +102,8 @@ impl MissClassifier {
         }
         self.fast = fast;
         self.fully_assoc.set_fast(fast);
-        let mut seen = HashSet::with_capacity_and_hasher(
-            self.seen.capacity(),
-            LineHashState::for_fast(fast),
-        );
+        let mut seen =
+            HashSet::with_capacity_and_hasher(self.seen.capacity(), LineHashState::for_fast(fast));
         seen.extend(self.seen.drain());
         self.seen = seen;
     }

@@ -128,6 +128,14 @@ pub struct Hierarchy {
     mmu: Option<Mmu>,
     memory_reads: u64,
     memory_writebacks: u64,
+    /// Modelled service latency (ns) of each reference that left the
+    /// L1 — a probe histogram, recorded only when penalties are set
+    /// (see [`set_probe_penalties`](Hierarchy::set_probe_penalties)).
+    miss_latency_ns: probe::Histogram,
+    /// Modelled ns to service an L1 miss that hits below (0 = unset).
+    probe_l1_miss_ns: u64,
+    /// Additional modelled ns when the DRAM-facing level also misses.
+    probe_llc_miss_ns: u64,
 }
 
 impl Hierarchy {
@@ -149,6 +157,35 @@ impl Hierarchy {
             mmu: None,
             memory_reads: 0,
             memory_writebacks: 0,
+            miss_latency_ns: probe::Histogram::new(),
+            probe_l1_miss_ns: 0,
+            probe_llc_miss_ns: 0,
+        }
+    }
+
+    /// Sets the modelled per-reference penalties the probe layer uses
+    /// to build its miss-latency histogram: `l1_miss_ns` for a
+    /// reference serviced below the L1, plus `llc_miss_ns` more when
+    /// the DRAM-facing level misses too. [`MachineModel::hierarchy`]
+    /// (see `machine.rs`) derives both from the paper's Table 1
+    /// penalties. With both zero (the default) nothing is recorded.
+    ///
+    /// [`MachineModel::hierarchy`]: crate::MachineModel::hierarchy
+    pub fn set_probe_penalties(&mut self, l1_miss_ns: u64, llc_miss_ns: u64) {
+        self.probe_l1_miss_ns = l1_miss_ns;
+        self.probe_llc_miss_ns = llc_miss_ns;
+    }
+
+    /// Records the modelled latency of one reference that left the L1.
+    #[inline]
+    fn record_latency(&self, llc_hit: bool) {
+        if probe::enabled() && (self.probe_l1_miss_ns | self.probe_llc_miss_ns) != 0 {
+            let ns = if llc_hit {
+                self.probe_l1_miss_ns
+            } else {
+                self.probe_l1_miss_ns + self.probe_llc_miss_ns
+            };
+            self.miss_latency_ns.record(ns);
         }
     }
 
@@ -278,6 +315,7 @@ impl Hierarchy {
         // would be a structural no-op. Nothing propagates downward on a
         // hit, so the short-circuit is complete.
         if self.l2.try_rehit(l2_line, is_write) {
+            self.record_latency(true);
             return;
         }
         let outcome = self.l2.access_line(l2_line, is_write);
@@ -290,13 +328,16 @@ impl Hierarchy {
                     self.classifier.classify_miss(l2_line);
                     self.memory_reads += 1;
                 }
+                self.record_latency(outcome.hit);
                 if outcome.writeback.is_some() {
                     self.memory_writebacks += 1;
                 }
             }
             Some(_) => {
                 let ratio = self.l3_line_shift - self.l2_line_shift;
-                if !outcome.hit {
+                if outcome.hit {
+                    self.record_latency(true);
+                } else {
                     self.reference_l3(l2_line >> ratio, false);
                 }
                 if let Some(victim) = outcome.writeback {
@@ -312,6 +353,7 @@ impl Hierarchy {
         // Same-line short-circuit, with the same classifier argument as
         // in `reference_l2`: the previous L3 reference was this line.
         if l3.try_rehit(l3_line, is_write) {
+            self.record_latency(true);
             return;
         }
         let outcome = l3.access_line(l3_line, is_write);
@@ -321,6 +363,7 @@ impl Hierarchy {
             self.classifier.classify_miss(l3_line);
             self.memory_reads += 1;
         }
+        self.record_latency(outcome.hit);
         if outcome.writeback.is_some() {
             self.memory_writebacks += 1;
         }
@@ -367,6 +410,31 @@ impl Hierarchy {
     /// Dirty L2 lines written back to main memory.
     pub fn memory_writebacks(&self) -> u64 {
         self.memory_writebacks
+    }
+
+    /// Flushes the hierarchy's probe observations into a profile:
+    /// per-level hit/rehit/miss sections, the modelled miss-latency
+    /// histogram, and the 3C classifier's verdict counts. Cumulative
+    /// since construction; empty-ish when probes are compiled out
+    /// (callers gate embedding on [`probe::enabled`]).
+    pub fn run_profile(&self) -> probe::RunProfile {
+        let mut profile = probe::RunProfile::new();
+        profile.push(self.l1d.probe_section("l1"));
+        profile.push(self.l2.probe_section("l2"));
+        if let Some(l3) = &self.l3 {
+            profile.push(l3.probe_section("l3"));
+        }
+        let mut latency = probe::Section::new("latency");
+        latency.histogram("miss_service_ns", &self.miss_latency_ns);
+        profile.push(latency);
+        let classes = self.classifier.counts();
+        let mut verdicts = probe::Section::new("classifier");
+        verdicts
+            .counter("compulsory", classes.compulsory)
+            .counter("capacity", classes.capacity)
+            .counter("conflict", classes.conflict);
+        profile.push(verdicts);
+        profile
     }
 
     /// Zeroes all statistics while keeping cache contents warm

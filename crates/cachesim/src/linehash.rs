@@ -119,6 +119,10 @@ mod tests {
         for key in 0..256u64 {
             low_bits.insert(build.hash_one(key) & 0xFF);
         }
-        assert!(low_bits.len() > 128, "got {} distinct buckets", low_bits.len());
+        assert!(
+            low_bits.len() > 128,
+            "got {} distinct buckets",
+            low_bits.len()
+        );
     }
 }

@@ -195,7 +195,17 @@ impl MachineModel {
     /// Creates a fresh, empty simulated hierarchy for this machine,
     /// with virtual indexing throughout (the paper's own methodology).
     pub fn hierarchy(&self) -> Hierarchy {
-        Hierarchy::new(self.hierarchy)
+        let mut h = Hierarchy::new(self.hierarchy);
+        self.apply_probe_penalties(&mut h);
+        h
+    }
+
+    /// Arms the hierarchy's probe miss-latency histogram with this
+    /// machine's Table 1 penalties (L1-miss cycles at this clock, plus
+    /// the L2-miss nanoseconds on a DRAM-reaching miss).
+    fn apply_probe_penalties(&self, h: &mut Hierarchy) {
+        let l1_ns = (self.l1_miss_penalty_cycles / self.clock_hz * 1e9).round() as u64;
+        h.set_probe_penalties(l1_ns, self.l2_miss_penalty_ns.round() as u64);
     }
 
     /// Creates a hierarchy with virtual memory simulated: the machine's
@@ -203,10 +213,12 @@ impl MachineModel {
     /// mapping policy — the effect the paper flags as missing from its
     /// own simulations (§6).
     pub fn hierarchy_with_paging(&self, policy: PagePolicy) -> Hierarchy {
-        Hierarchy::with_mmu(
+        let mut h = Hierarchy::with_mmu(
             self.hierarchy,
             Mmu::new(PageMapper::new(policy, self.page_size), self.tlb_entries),
-        )
+        );
+        self.apply_probe_penalties(&mut h);
+        h
     }
 
     /// Cycles charged per TLB miss by the timing model.

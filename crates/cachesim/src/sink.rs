@@ -99,6 +99,16 @@ impl SimSink {
     pub fn finish(self) -> SimReport {
         self.report()
     }
+
+    /// Flushes the hierarchy's probe observations (per-level
+    /// hit/rehit/miss counts, modelled miss-latency histogram,
+    /// classifier verdicts) into a profile for report embedding. Kept
+    /// separate from [`report`](Self::report) on purpose: `SimReport`
+    /// is `PartialEq`-compared by the fast≡slow differential suite,
+    /// and probe counts legitimately differ between those paths.
+    pub fn run_profile(&self) -> probe::RunProfile {
+        self.hierarchy.run_profile()
+    }
 }
 
 impl TraceSink for SimSink {

@@ -92,6 +92,38 @@ impl WorkerQueue {
     }
 }
 
+/// Probe observations for one parallel run, shared by all workers
+/// (every primitive is either atomic or a no-op ZST, so `&ParObs` is
+/// `Sync` in both probe modes). Kept out of [`WorkerStats`] so the
+/// always-on report stays identical whether or not probes are compiled
+/// in; flushed into [`ParRunReport::profile`] after the join.
+#[derive(Default)]
+struct ParObs {
+    /// Tour positions moved per successful half-steal.
+    steal_size: probe::Histogram,
+    /// Deque depths observed at partition time and after each transfer
+    /// (thief's new depth, victim's remainder) — the histogram's `max`
+    /// is the run's deque-depth high-water mark.
+    deque_depth: probe::Histogram,
+    /// Wall time one worker spent draining one bin.
+    bin_run_ns: probe::Histogram,
+    /// Steals that moved at least one tour position.
+    half_steals: probe::Counter,
+}
+
+impl ParObs {
+    /// Flushes the observations into a `"par"` profile section.
+    fn section(&self) -> probe::Section {
+        let mut section = probe::Section::new("par");
+        section
+            .counter("half_steals", self.half_steals.get())
+            .histogram("steal_size", &self.steal_size)
+            .histogram("deque_depth", &self.deque_depth)
+            .histogram("bin_run_ns", &self.bin_run_ns);
+        section
+    }
+}
+
 /// Everything one parallel run did: the aggregate [`RunStats`], the
 /// consumed schedule's bin distribution, and per-worker steal /
 /// execution counters. Produced by [`ParScheduler::run_report`];
@@ -109,6 +141,9 @@ pub struct ParRunReport {
     /// Bin distribution of the consumed schedule, with one
     /// [`WorkerStats`] entry per worker.
     pub stats: SchedulerStats,
+    /// Probe observations (steal sizes, deque high-water marks,
+    /// per-bin run times). Empty when the probe layer is compiled out.
+    pub profile: probe::RunProfile,
 }
 
 impl ParRunReport {
@@ -145,7 +180,12 @@ impl ParRunReport {
             )
             .expect("writing to String cannot fail");
         }
-        json.push_str("]}");
+        json.push(']');
+        if probe::enabled() && !self.profile.is_empty() {
+            write!(json, ",\"run_profile\":{}", self.profile.to_json())
+                .expect("writing to String cannot fail");
+        }
+        json.push('}');
         json
     }
 }
@@ -257,8 +297,7 @@ impl<C: Sync> ParScheduler<C> {
         let mut stats = self.stats();
         let order = self.config.tour().order(self.table.keys());
         // Block coordinates per *tour position*, for victim scoring.
-        let keys: Vec<[u64; MAX_DIMS]> =
-            order.iter().map(|&id| self.table.key(id)).collect();
+        let keys: Vec<[u64; MAX_DIMS]> = order.iter().map(|&id| self.table.key(id)).collect();
         let bins = &self.bins;
 
         // Contiguous partition of the tour, balanced by thread count:
@@ -266,6 +305,7 @@ impl<C: Sync> ParScheduler<C> {
         // reaches w+1 fair shares.
         let total = self.threads;
         let queues: Vec<WorkerQueue> = (0..workers).map(|_| WorkerQueue::new()).collect();
+        let obs = ParObs::default();
         {
             let mut cum = 0u64;
             let mut w = 0usize;
@@ -280,6 +320,12 @@ impl<C: Sync> ParScheduler<C> {
                     .push_back(pos as u32);
                 cum += bins[id as usize].len() as u64;
             }
+            if probe::enabled() {
+                for queue in &queues {
+                    let depth = queue.deque.lock().expect("deque poisoned").len();
+                    obs.deque_depth.record(depth as u64);
+                }
+            }
         }
 
         let per_worker: Vec<WorkerStats> = std::thread::scope(|scope| {
@@ -288,7 +334,9 @@ impl<C: Sync> ParScheduler<C> {
                     let queues = &queues;
                     let order = &order;
                     let keys = &keys;
-                    scope.spawn(move || worker_loop(me, queues, order, keys, bins, policy, ctx))
+                    let obs = &obs;
+                    scope
+                        .spawn(move || worker_loop(me, queues, order, keys, bins, policy, ctx, obs))
                 })
                 .collect();
             handles
@@ -303,6 +351,8 @@ impl<C: Sync> ParScheduler<C> {
         self.bins.clear();
         self.threads = 0;
         stats.set_workers(per_worker);
+        let mut profile = probe::RunProfile::new();
+        profile.push(obs.section());
         ParRunReport {
             policy,
             workers,
@@ -311,12 +361,14 @@ impl<C: Sync> ParScheduler<C> {
                 bins_visited,
             },
             stats,
+            profile,
         }
     }
 }
 
 /// One worker: drain the own deque front-to-back; once empty, steal
 /// per `policy` or exit.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop<C: Sync>(
     me: usize,
     queues: &[WorkerQueue],
@@ -325,6 +377,7 @@ fn worker_loop<C: Sync>(
     bins: &[Vec<ParSpec<C>>],
     policy: StealPolicy,
     ctx: &C,
+    obs: &ParObs,
 ) -> WorkerStats {
     let mut stats = WorkerStats::default();
     let mut rng = XorShift64::for_worker(me);
@@ -337,7 +390,11 @@ fn worker_loop<C: Sync>(
             for spec in bin {
                 (spec.func)(ctx, spec.arg1, spec.arg2);
             }
-            stats.busy_ns += busy.elapsed().as_nanos() as u64;
+            let busy_ns = busy.elapsed().as_nanos() as u64;
+            // Reuses the busy measurement rather than opening a probe
+            // span, so no second clock read lands on the hot path.
+            obs.bin_run_ns.record(busy_ns);
+            stats.busy_ns += busy_ns;
             stats.bins_executed += 1;
             stats.threads_executed += bin.len() as u64;
             continue;
@@ -348,8 +405,8 @@ fn worker_loop<C: Sync>(
         let parked = Instant::now();
         let got = match policy {
             StealPolicy::None => unreachable!("handled above"),
-            StealPolicy::Random => steal_random(me, queues, &mut rng, &mut stats),
-            StealPolicy::LocalityAware => steal_locality(me, queues, keys, &mut stats),
+            StealPolicy::Random => steal_random(me, queues, &mut rng, &mut stats, obs),
+            StealPolicy::LocalityAware => steal_locality(me, queues, keys, &mut stats, obs),
         };
         stats.parked_ns += parked.elapsed().as_nanos() as u64;
         if !got {
@@ -364,22 +421,26 @@ fn worker_loop<C: Sync>(
 /// entry) onto the back of `me`'s deque. Returns the number of tour
 /// positions moved (0 if the victim's deque was empty). Never holds
 /// two deque locks at once, so steals cannot deadlock.
-fn steal_half(queues: &[WorkerQueue], victim: usize, me: usize) -> u64 {
-    let stolen: VecDeque<u32> = {
+fn steal_half(queues: &[WorkerQueue], victim: usize, me: usize, obs: &ParObs) -> u64 {
+    let (stolen, remainder) = {
         let mut dq = queues[victim].deque.lock().expect("deque poisoned");
         let len = dq.len();
         if len == 0 {
             return 0;
         }
         let take = (len / 2).max(1);
-        dq.split_off(len - take)
+        (dq.split_off(len - take), dq.len())
     };
     let count = stolen.len() as u64;
-    queues[me]
-        .deque
-        .lock()
-        .expect("deque poisoned")
-        .extend(stolen);
+    let depth = {
+        let mut dq = queues[me].deque.lock().expect("deque poisoned");
+        dq.extend(stolen);
+        dq.len()
+    };
+    obs.half_steals.incr();
+    obs.steal_size.record(count);
+    obs.deque_depth.record(depth as u64);
+    obs.deque_depth.record(remainder as u64);
     count
 }
 
@@ -390,6 +451,7 @@ fn steal_random(
     queues: &[WorkerQueue],
     rng: &mut XorShift64,
     stats: &mut WorkerStats,
+    obs: &ParObs,
 ) -> bool {
     let n = queues.len();
     if n <= 1 {
@@ -399,7 +461,7 @@ fn steal_random(
     for i in 0..n - 1 {
         let victim = (me + 1 + (start + i) % (n - 1)) % n;
         stats.steals_attempted += 1;
-        if steal_half(queues, victim, me) > 0 {
+        if steal_half(queues, victim, me, obs) > 0 {
             stats.steals_succeeded += 1;
             return true;
         }
@@ -417,6 +479,7 @@ fn steal_locality(
     queues: &[WorkerQueue],
     keys: &[[u64; MAX_DIMS]],
     stats: &mut WorkerStats,
+    obs: &ParObs,
 ) -> bool {
     loop {
         let mut best: Option<(u64, usize, usize)> = None; // (distance, backlog, victim)
@@ -445,7 +508,7 @@ fn steal_locality(
             return false;
         };
         stats.steals_attempted += 1;
-        if steal_half(queues, victim, me) > 0 {
+        if steal_half(queues, victim, me, obs) > 0 {
             stats.steals_succeeded += 1;
             return true;
         }
@@ -567,7 +630,11 @@ mod tests {
                 order: std::sync::Mutex::new(Vec::new()),
             };
             sched.run(&ctx, 1);
-            assert_eq!(*ctx.order.lock().unwrap(), vec![0, 2, 4, 1, 3, 5], "{policy}");
+            assert_eq!(
+                *ctx.order.lock().unwrap(),
+                vec![0, 2, 4, 1, 3, 5],
+                "{policy}"
+            );
         }
     }
 
@@ -632,7 +699,12 @@ mod tests {
             for workers in [1, 2, 4, 8] {
                 let mut sched: ParScheduler<Counters> = ParScheduler::new(config_with(policy));
                 for i in 0..500usize {
-                    sched.fork(bump, 0, 1, Hints::one(Addr::new((i as u64 % 32) * 1_000_000)));
+                    sched.fork(
+                        bump,
+                        0,
+                        1,
+                        Hints::one(Addr::new((i as u64 % 32) * 1_000_000)),
+                    );
                 }
                 let ctx = counters(1);
                 let report = sched.run_report(&ctx, workers);
@@ -647,12 +719,8 @@ mod tests {
                     .map(|w| w.threads_executed)
                     .sum();
                 assert_eq!(by_worker, report.run.threads_run);
-                let bins_by_worker: u64 = report
-                    .stats
-                    .workers()
-                    .iter()
-                    .map(|w| w.bins_executed)
-                    .sum();
+                let bins_by_worker: u64 =
+                    report.stats.workers().iter().map(|w| w.bins_executed).sum();
                 assert_eq!(bins_by_worker as usize, report.run.bins_visited);
                 for w in report.stats.workers() {
                     assert!(
@@ -666,17 +734,26 @@ mod tests {
 
     #[test]
     fn no_steals_under_none_policy() {
-        let mut sched: ParScheduler<Counters> =
-            ParScheduler::new(config_with(StealPolicy::None));
+        let mut sched: ParScheduler<Counters> = ParScheduler::new(config_with(StealPolicy::None));
         for i in 0..400usize {
-            sched.fork(bump, 0, 1, Hints::one(Addr::new((i as u64 % 16) * 1_000_000)));
+            sched.fork(
+                bump,
+                0,
+                1,
+                Hints::one(Addr::new((i as u64 % 16) * 1_000_000)),
+            );
         }
         let ctx = counters(1);
         let report = sched.run_report(&ctx, 4);
         assert_eq!(report.stats.steals_attempted(), 0);
         assert_eq!(report.stats.steals_succeeded(), 0);
         assert_eq!(
-            report.stats.workers().iter().map(|w| w.parked_ns).sum::<u64>(),
+            report
+                .stats
+                .workers()
+                .iter()
+                .map(|w| w.parked_ns)
+                .sum::<u64>(),
             0,
             "None-policy workers never park to search for victims"
         );
@@ -686,19 +763,14 @@ mod tests {
     fn idle_workers_attempt_steals_under_random_policy() {
         // One bin, four workers: three start empty and must each log
         // at least one steal attempt before exiting.
-        let mut sched: ParScheduler<Counters> =
-            ParScheduler::new(config_with(StealPolicy::Random));
+        let mut sched: ParScheduler<Counters> = ParScheduler::new(config_with(StealPolicy::Random));
         for _ in 0..50 {
             sched.fork(bump, 0, 1, Hints::none());
         }
         let ctx = counters(1);
         let report = sched.run_report(&ctx, 4);
         assert_eq!(report.run.threads_run, 50);
-        assert!(
-            report.stats.steals_attempted() >= 1,
-            "{}",
-            report.to_json()
-        );
+        assert!(report.stats.steals_attempted() >= 1, "{}", report.to_json());
     }
 
     #[test]
@@ -706,7 +778,12 @@ mod tests {
         let mut sched: ParScheduler<Counters> =
             ParScheduler::new(config_with(StealPolicy::LocalityAware));
         for i in 0..100usize {
-            sched.fork(bump, 0, 1, Hints::one(Addr::new((i as u64 % 8) * 1_000_000)));
+            sched.fork(
+                bump,
+                0,
+                1,
+                Hints::one(Addr::new((i as u64 % 8) * 1_000_000)),
+            );
         }
         let ctx = counters(1);
         let report = sched.run_report(&ctx, 2);
@@ -726,8 +803,7 @@ mod tests {
     fn contiguous_partition_balances_by_thread_count() {
         // 4 equal bins over 2 workers with stealing off: each worker
         // executes exactly 2 bins / half the threads.
-        let mut sched: ParScheduler<Counters> =
-            ParScheduler::new(config_with(StealPolicy::None));
+        let mut sched: ParScheduler<Counters> = ParScheduler::new(config_with(StealPolicy::None));
         for bin in 0..4u64 {
             for _ in 0..25 {
                 sched.fork(bump, 0, 1, Hints::one(Addr::new(bin * 1_000_000)));

@@ -97,6 +97,27 @@ struct MetaTrace {
     end: Addr,
 }
 
+/// Probe observations for one scheduler instance, cumulative across
+/// runs. Kept out of [`RunStats`]/[`SchedulerStats`] so the always-on
+/// statistics stay byte-identical whether or not probes are compiled
+/// in; flushed on demand by [`Scheduler::run_profile`].
+#[derive(Clone, Debug, Default)]
+struct SchedObs {
+    /// Threads forked.
+    forks: probe::LocalCounter,
+    /// Forks that allocated a new bin.
+    bins_created: probe::LocalCounter,
+    /// Forks whose hint mapped to an already-existing bin — the
+    /// hint-to-bin reuse the locality win depends on.
+    rebin_hits: probe::LocalCounter,
+    /// Thread count of each bin drained by `run`/`run_traced`.
+    bin_occupancy: probe::Histogram,
+    /// Wall time to drain one bin.
+    bin_drain_ns: probe::Histogram,
+    /// Wall time of one whole `run`/`run_traced` call (turnaround).
+    run_ns: probe::Histogram,
+}
+
 impl MetaTrace {
     fn alloc(&mut self, bytes: u64) -> Addr {
         let addr = self.bump;
@@ -142,6 +163,7 @@ pub struct Scheduler<C> {
     bins: Vec<Bin<C>>,
     threads: u64,
     meta: Option<MetaTrace>,
+    obs: SchedObs,
 }
 
 impl<C> Scheduler<C> {
@@ -153,6 +175,7 @@ impl<C> Scheduler<C> {
             threads: 0,
             config,
             meta: None,
+            obs: SchedObs::default(),
         }
     }
 
@@ -240,6 +263,12 @@ impl<C> Scheduler<C> {
     ) {
         let key = self.config.block_coords(hints);
         let (id, created) = self.table.lookup_or_insert(key);
+        self.obs.forks.incr();
+        if created {
+            self.obs.bins_created.incr();
+        } else {
+            self.obs.rebin_hits.incr();
+        }
         if let Some(meta) = &mut self.meta {
             // Hash probe.
             let bucket = self.table.bucket_index(key) as u64;
@@ -303,18 +332,23 @@ impl<C> Scheduler<C> {
         let order = self.config.tour().order(self.table.keys());
         let mut threads_run = 0u64;
         let mut bins_visited = 0usize;
-        for id in order {
-            let bin = &self.bins[id as usize];
-            if bin.threads == 0 {
-                continue;
-            }
-            bins_visited += 1;
-            for group in &bin.groups {
-                for spec in &group.specs {
-                    (spec.func)(ctx, spec.arg1, spec.arg2);
+        {
+            let _run_span = self.obs.run_ns.span();
+            for id in order {
+                let bin = &self.bins[id as usize];
+                if bin.threads == 0 {
+                    continue;
                 }
+                bins_visited += 1;
+                self.obs.bin_occupancy.record(bin.threads);
+                let _drain_span = self.obs.bin_drain_ns.span();
+                for group in &bin.groups {
+                    for spec in &group.specs {
+                        (spec.func)(ctx, spec.arg1, spec.arg2);
+                    }
+                }
+                threads_run += bin.threads;
             }
-            threads_run += bin.threads;
         }
         if mode == RunMode::Consume {
             self.clear();
@@ -342,32 +376,37 @@ impl<C> Scheduler<C> {
         let tracing = self.meta.is_some();
         let mut threads_run = 0u64;
         let mut bins_visited = 0usize;
-        for id in order {
-            let bin = &self.bins[id as usize];
-            if bin.threads == 0 {
-                continue;
-            }
-            bins_visited += 1;
-            if tracing {
-                // Ready-list step: load the bin record.
-                sink_of(ctx).read(bin.header, BIN_HEADER_BYTES as u32);
-            }
-            for group in &bin.groups {
+        {
+            let _run_span = self.obs.run_ns.span();
+            for id in order {
+                let bin = &self.bins[id as usize];
+                if bin.threads == 0 {
+                    continue;
+                }
+                bins_visited += 1;
+                self.obs.bin_occupancy.record(bin.threads);
+                let _drain_span = self.obs.bin_drain_ns.span();
                 if tracing {
-                    // Group header: count + next pointer.
-                    sink_of(ctx).read(group.base, GROUP_HEADER_BYTES as u32);
+                    // Ready-list step: load the bin record.
+                    sink_of(ctx).read(bin.header, BIN_HEADER_BYTES as u32);
                 }
-                for (slot, spec) in group.specs.iter().enumerate() {
+                for group in &bin.groups {
                     if tracing {
-                        sink_of(ctx).read(
-                            group.base + GROUP_HEADER_BYTES + slot as u64 * SPEC_BYTES,
-                            SPEC_BYTES as u32,
-                        );
+                        // Group header: count + next pointer.
+                        sink_of(ctx).read(group.base, GROUP_HEADER_BYTES as u32);
                     }
-                    (spec.func)(ctx, spec.arg1, spec.arg2);
+                    for (slot, spec) in group.specs.iter().enumerate() {
+                        if tracing {
+                            sink_of(ctx).read(
+                                group.base + GROUP_HEADER_BYTES + slot as u64 * SPEC_BYTES,
+                                SPEC_BYTES as u32,
+                            );
+                        }
+                        (spec.func)(ctx, spec.arg1, spec.arg2);
+                    }
                 }
+                threads_run += bin.threads;
             }
-            threads_run += bin.threads;
         }
         if mode == RunMode::Consume {
             self.clear();
@@ -392,6 +431,23 @@ impl<C> Scheduler<C> {
     /// reports these per benchmark: threads, bins, threads per bin).
     pub fn stats(&self) -> SchedulerStats {
         SchedulerStats::from_bin_counts(self.bins.iter().map(|b| b.threads).collect())
+    }
+
+    /// Flushes the probe observations accumulated so far (forks, bin
+    /// creation vs. reuse, bin occupancy/drain times, run turnaround)
+    /// into a `"sched"` profile section. Cumulative across runs; with
+    /// the probe layer compiled out (see [`probe::enabled`]) every
+    /// counter reads zero and every histogram is empty.
+    pub fn run_profile(&self) -> probe::Section {
+        let mut section = probe::Section::new("sched");
+        section
+            .counter("forks", self.obs.forks.get())
+            .counter("bins_created", self.obs.bins_created.get())
+            .counter("rebin_hits", self.obs.rebin_hits.get())
+            .histogram("bin_occupancy", &self.obs.bin_occupancy)
+            .histogram("bin_drain_ns", &self.obs.bin_drain_ns)
+            .histogram("run_ns", &self.obs.run_ns);
+        section
     }
 
     /// Removes all scheduled threads and bins (the arena of a traced

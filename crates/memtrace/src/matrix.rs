@@ -282,7 +282,10 @@ mod tests {
         let mut batched_sink = VecSink::new();
         let batched = m.get_batch(at, &mut batched_sink);
         let mut single_sink = VecSink::new();
-        let singles: Vec<f64> = at.iter().map(|&(i, j)| m.get(i, j, &mut single_sink)).collect();
+        let singles: Vec<f64> = at
+            .iter()
+            .map(|&(i, j)| m.get(i, j, &mut single_sink))
+            .collect();
         assert_eq!(batched.to_vec(), singles);
         assert_eq!(batched_sink.accesses(), single_sink.accesses());
     }

@@ -1,0 +1,75 @@
+//! Lightweight observability primitives for the thread-locality
+//! workspace.
+//!
+//! Every hot layer of the system — the sequential and parallel
+//! schedulers, the cache simulator, the experiment driver — is
+//! instrumented with the primitives in this crate:
+//!
+//! * [`Counter`] — a thread-safe monotonic counter (relaxed atomics).
+//! * [`LocalCounter`] — a single-threaded counter (`Cell`) for hot
+//!   paths that hold `&mut self` anyway.
+//! * [`Histogram`] — a log₂-bucketed value distribution with count /
+//!   sum / min / max and approximate percentiles, mergeable across
+//!   threads.
+//! * [`Histogram::span`] — a scoped timer guard that records elapsed
+//!   nanoseconds into a histogram on drop.
+//!
+//! All of the above are **compile-time gated** by the `enabled` cargo
+//! feature (on by default). With the feature off every primitive is a
+//! zero-sized type whose methods are empty `#[inline]` bodies, so the
+//! instrumented code compiles to exactly the uninstrumented machine
+//! code — the overhead budget of a disabled probe is *zero*, which is
+//! why the gate is a feature and not a runtime flag (see DESIGN.md §8).
+//!
+//! Collected metrics flush into a [`RunProfile`] — an ordered list of
+//! named [`Section`]s, serialized as one JSON object — which the
+//! workspace's report types embed under a `"run_profile"` key when
+//! [`enabled()`] is true. `RunProfile` and `Section` are *not* feature
+//! gated: they are cold-path containers, and keeping them functional in
+//! both modes lets report code build profiles unconditionally and gate
+//! only the embedding.
+//!
+//! # Examples
+//!
+//! ```
+//! let forks = probe::Counter::new();
+//! let latency = probe::Histogram::new();
+//! forks.add(3);
+//! {
+//!     let _span = latency.span(); // records elapsed ns on drop
+//! }
+//! latency.record(1500);
+//!
+//! let mut section = probe::Section::new("sched");
+//! section.counter("forks", forks.get());
+//! section.histogram("latency_ns", &latency);
+//! let mut profile = probe::RunProfile::new();
+//! profile.push(section);
+//! if probe::enabled() {
+//!     assert!(profile.to_json().contains("\"forks\":3"));
+//! }
+//! ```
+
+mod metrics;
+mod profile;
+
+pub use metrics::{Counter, Histogram, HistogramSnapshot, LocalCounter, Span};
+pub use profile::{Metric, RunProfile, Section};
+
+/// Whether the probe layer is compiled in.
+///
+/// Report types consult this to decide whether to embed a
+/// `"run_profile"` section; instrumented hot paths branch on it so the
+/// disabled branch folds away at compile time.
+#[inline(always)]
+pub const fn enabled() -> bool {
+    cfg!(feature = "enabled")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn enabled_matches_feature() {
+        assert_eq!(super::enabled(), cfg!(feature = "enabled"));
+    }
+}

@@ -1,0 +1,257 @@
+//! Report containers: named metric sections and the `RunProfile` JSON
+//! object reports embed.
+//!
+//! Unlike the collection primitives in [`metrics`](crate::metrics),
+//! these are *not* feature gated: building a profile happens once per
+//! run on the cold path, and keeping the containers functional in both
+//! modes lets report code assemble profiles unconditionally and gate
+//! only the embedding on [`enabled`](crate::enabled).
+
+use crate::{Histogram, HistogramSnapshot};
+use std::fmt::Write as _;
+
+/// One named metric inside a [`Section`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Metric {
+    /// A monotonic count.
+    Counter(u64),
+    /// A point-in-time float (rates, ratios).
+    Gauge(f64),
+    /// A value distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// An ordered collection of named metrics for one layer of the system
+/// (`"sched"`, `"l2"`, `"driver"`, …).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Section {
+    name: String,
+    metrics: Vec<(String, Metric)>,
+}
+
+impl Section {
+    /// Creates an empty section.
+    pub fn new(name: impl Into<String>) -> Self {
+        Section {
+            name: name.into(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// The section's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The metrics in insertion order.
+    pub fn metrics(&self) -> &[(String, Metric)] {
+        &self.metrics
+    }
+
+    /// Adds a counter metric.
+    pub fn counter(&mut self, name: impl Into<String>, value: u64) -> &mut Self {
+        self.metrics.push((name.into(), Metric::Counter(value)));
+        self
+    }
+
+    /// Adds a gauge metric.
+    pub fn gauge(&mut self, name: impl Into<String>, value: f64) -> &mut Self {
+        self.metrics.push((name.into(), Metric::Gauge(value)));
+        self
+    }
+
+    /// Adds a histogram metric (snapshotting `histogram` now). Empty
+    /// histograms are skipped — a disabled probe layer contributes no
+    /// all-zero noise to reports.
+    pub fn histogram(&mut self, name: impl Into<String>, histogram: &Histogram) -> &mut Self {
+        let snapshot = histogram.snapshot();
+        if snapshot.count > 0 {
+            self.metrics
+                .push((name.into(), Metric::Histogram(snapshot)));
+        }
+        self
+    }
+
+    /// Returns the section under a new name — used to namespace
+    /// per-workload copies of the same layer's section (`"l1"` →
+    /// `"matmul.l1"`) before merging profiles.
+    pub fn renamed(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Serializes the section body as one JSON object (without the
+    /// surrounding `"name":` key).
+    pub fn to_json(&self) -> String {
+        let mut json = String::from("{");
+        for (i, (name, metric)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            write!(json, "\"{name}\":").expect("writing to String cannot fail");
+            match metric {
+                Metric::Counter(v) => {
+                    write!(json, "{v}").expect("writing to String cannot fail");
+                }
+                Metric::Gauge(v) => {
+                    // JSON has no NaN/Inf; clamp to null.
+                    if v.is_finite() {
+                        write!(json, "{v:.3}").expect("writing to String cannot fail");
+                    } else {
+                        json.push_str("null");
+                    }
+                }
+                Metric::Histogram(h) => {
+                    write!(
+                        json,
+                        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.1},\
+                         \"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+                        h.count,
+                        h.sum,
+                        h.min,
+                        h.max,
+                        h.mean(),
+                        h.quantile(0.5),
+                        h.quantile(0.9),
+                        h.quantile(0.99),
+                    )
+                    .expect("writing to String cannot fail");
+                    for (j, (upper, count)) in h.buckets.iter().enumerate() {
+                        if j > 0 {
+                            json.push(',');
+                        }
+                        write!(json, "[{upper},{count}]").expect("writing to String cannot fail");
+                    }
+                    json.push_str("]}");
+                }
+            }
+        }
+        json.push('}');
+        json
+    }
+}
+
+/// Everything one run's probes measured: an ordered list of
+/// [`Section`]s, serialized as one JSON object keyed by section name.
+///
+/// Reports embed this under a `"run_profile"` key when the probe layer
+/// is compiled in (see [`enabled`](crate::enabled)).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct RunProfile {
+    sections: Vec<Section>,
+}
+
+impl RunProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        RunProfile::default()
+    }
+
+    /// Appends a section (skipping empty ones).
+    pub fn push(&mut self, section: Section) -> &mut Self {
+        if !section.metrics.is_empty() {
+            self.sections.push(section);
+        }
+        self
+    }
+
+    /// The sections in insertion order.
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// Consumes the profile, yielding its sections — for re-namespacing
+    /// one run's sections into a larger merged profile.
+    pub fn into_sections(self) -> Vec<Section> {
+        self.sections
+    }
+
+    /// Whether no section carries any metric.
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// Serializes the profile as one JSON object keyed by section name.
+    pub fn to_json(&self) -> String {
+        let mut json = String::from("{");
+        for (i, section) in self.sections.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            write!(json, "\"{}\":{}", section.name, section.to_json())
+                .expect("writing to String cannot fail");
+        }
+        json.push('}');
+        json
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_json_shape() {
+        let mut section = Section::new("sched");
+        section.counter("forks", 42).gauge("rate", 1.5);
+        let json = section.to_json();
+        assert_eq!(json, "{\"forks\":42,\"rate\":1.500}");
+    }
+
+    #[test]
+    fn non_finite_gauges_become_null() {
+        let mut section = Section::new("x");
+        section.gauge("bad", f64::NAN).gauge("inf", f64::INFINITY);
+        assert_eq!(section.to_json(), "{\"bad\":null,\"inf\":null}");
+    }
+
+    #[test]
+    fn histogram_metric_embeds_buckets() {
+        let h = Histogram::new();
+        h.record(1);
+        h.record(100);
+        let mut section = Section::new("lat");
+        section.histogram("ns", &h);
+        let json = section.to_json();
+        if crate::enabled() {
+            assert!(json.contains("\"count\":2"), "{json}");
+            assert!(json.contains("\"max\":100"), "{json}");
+            assert!(json.contains("\"buckets\":[[1,1],[127,1]]"), "{json}");
+            assert!(json.contains("\"p50\":"), "{json}");
+        } else {
+            assert_eq!(json, "{}", "empty histograms are skipped");
+        }
+    }
+
+    #[test]
+    fn profile_keys_sections_by_name() {
+        let mut profile = RunProfile::new();
+        let mut a = Section::new("a");
+        a.counter("x", 1);
+        let mut b = Section::new("b");
+        b.counter("y", 2);
+        profile.push(a).push(Section::new("empty")).push(b);
+        assert_eq!(profile.to_json(), "{\"a\":{\"x\":1},\"b\":{\"y\":2}}");
+        assert_eq!(profile.sections().len(), 2, "empty section dropped");
+    }
+
+    #[test]
+    fn renamed_sections_merge_into_namespaced_profile() {
+        let mut inner = RunProfile::new();
+        let mut l1 = Section::new("l1");
+        l1.counter("hits", 9);
+        inner.push(l1);
+        let mut merged = RunProfile::new();
+        for section in inner.into_sections() {
+            let name = format!("matmul.{}", section.name());
+            merged.push(section.renamed(name));
+        }
+        assert_eq!(merged.to_json(), "{\"matmul.l1\":{\"hits\":9}}");
+    }
+
+    #[test]
+    fn empty_profile_is_empty_object() {
+        assert!(RunProfile::new().is_empty());
+        assert_eq!(RunProfile::new().to_json(), "{}");
+    }
+}

@@ -100,7 +100,9 @@ pub mod prelude {
     pub use crate as prop;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::{any, Arbitrary};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Defines property tests: each `fn name(binding in strategy, …) { … }`

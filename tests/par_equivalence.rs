@@ -187,8 +187,7 @@ const SOR_OMEGA: f64 = 0.9;
 fn sor_row(src: &[f64], dst: &[SyncCell], row: usize) {
     for col in 1..SOR_N - 1 {
         let idx = row * SOR_N + col;
-        let neighbours =
-            src[idx - SOR_N] + src[idx + SOR_N] + src[idx - 1] + src[idx + 1];
+        let neighbours = src[idx - SOR_N] + src[idx + SOR_N] + src[idx - 1] + src[idx + 1];
         dst[idx].set(src[idx] + SOR_OMEGA * (neighbours / 4.0 - src[idx]));
     }
 }

@@ -268,7 +268,10 @@ fn three_level_modern_hierarchy_preserves_the_benefit() {
         let config = SchedulerConfig::for_cache(llc, 2).unwrap();
         matmul::threaded(d, config, sink)
     });
-    assert!(untiled.l3.is_some() && threaded.l3.is_some(), "L3 simulated");
+    assert!(
+        untiled.l3.is_some() && threaded.l3.is_some(),
+        "L3 simulated"
+    );
     assert!(
         untiled.llc_misses() > 2 * threaded.llc_misses(),
         "three-level LLC misses: {} vs {}",
