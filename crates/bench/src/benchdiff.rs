@@ -323,6 +323,12 @@ const STABLE_LEAVES: &[&str] = &[
     "threads",
     "workers",
     "threads_run",
+    // Trace-driven simulation results are bit-deterministic: the same
+    // program order produces the same miss counts on any host.
+    "l1_misses",
+    "l2_misses",
+    "l1_miss_rate_pct",
+    "l2_miss_rate_pct",
 ];
 
 /// Classifies a flattened path. `gate_all` promotes machine-dependent

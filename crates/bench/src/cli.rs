@@ -6,8 +6,9 @@ use crate::{paper, print};
 /// Runs one named experiment at the scale selected by the process's
 /// command-line flags (`--full`, `--smoke`, default scaled).
 ///
-/// Recognised names: `table1` … `table9`, `figure4`, `steal` (which
-/// also writes `BENCH_steal.json`).
+/// Recognised names: `table1` … `table9`, `figure4`, `steal`,
+/// `simbench`, `binpolicy` (the last three also write their
+/// `BENCH_*.json` payloads).
 pub fn run(experiment: &str) {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(args);
@@ -82,6 +83,15 @@ pub fn run_at(experiment: &str, scale: &crate::ExpScale) {
             let result = crate::simbench::simbench(scale, 3);
             print::simbench(&result);
             let path = "BENCH_sim.json";
+            match std::fs::write(path, result.to_json()) {
+                Ok(()) => println!("\nwrote {path}"),
+                Err(err) => eprintln!("could not write {path}: {err}"),
+            }
+        }
+        "binpolicy" => {
+            let result = crate::experiments::binpolicy(scale);
+            print::binpolicy(&result);
+            let path = "BENCH_binpolicy.json";
             match std::fs::write(path, result.to_json()) {
                 Ok(()) => println!("\nwrote {path}"),
                 Err(err) => eprintln!("could not write {path}: {err}"),

@@ -3,7 +3,8 @@
 use crate::ExpScale;
 use cachesim::{MachineModel, SimReport, SimSink, TimeBreakdown};
 use locality_sched::{
-    Hints, ParRunReport, ParScheduler, RunMode, Scheduler, SchedulerConfig, StealPolicy,
+    BinPolicy, Hints, PaperBlockHash, ParRunReport, ParScheduler, RunMode, Scheduler,
+    SchedulerConfig, StealPolicy,
 };
 use memtrace::AddressSpace;
 use std::collections::hash_map::DefaultHasher;
@@ -11,7 +12,7 @@ use std::fmt::Write as _;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
-use workloads::{matmul, nbody, pde, sor};
+use workloads::{matmul, nbody, pde, sor, BinGeometry, Kernel};
 
 /// Largest power of two ≤ `x`.
 fn prev_power_of_two(x: u64) -> u64 {
@@ -29,17 +30,9 @@ fn prev_power_of_two(x: u64) -> u64 {
 /// * N-body: 3-D hints, the package default of dimensions summing to
 ///   the L2 size (§3.2).
 pub fn sched_config_for(workload: &str, machine: &MachineModel) -> SchedulerConfig {
-    let l2 = machine.l2_config().size();
-    let block = match workload {
-        "matmul" | "pde" => prev_power_of_two(l2 / 2),
-        "sor" => prev_power_of_two((l2 / 4).max(1)),
-        "nbody" => prev_power_of_two((l2 / 3).max(1)),
-        other => panic!("unknown workload {other}"),
-    };
-    SchedulerConfig::builder()
-        .block_size(block)
-        .build()
-        .expect("power-of-two block")
+    let kernel =
+        Kernel::from_name(workload).unwrap_or_else(|| panic!("unknown workload {workload}"));
+    BinGeometry::for_machine(machine).flat_config(kernel)
 }
 
 // ---------------------------------------------------------------------
@@ -750,6 +743,294 @@ pub fn steal(scale: &ExpScale) -> StealAblationResult {
     steal_ablation(48, 8, (scale.matmul_n / 4).max(2), &[1, 2, 4, 8])
 }
 
+// ---------------------------------------------------------------------
+// Bin-policy ablation: flat (paper §3.2) vs hierarchical (L1-in-L2)
+// ---------------------------------------------------------------------
+
+/// One measured cell of the bin-policy ablation: one threaded workload
+/// under one hints→bin policy on one machine, fully simulated.
+#[derive(Clone, Debug)]
+pub struct BinPolicyRow {
+    /// Unique row label `"<kernel>.<machine>.<policy>"` — the benchdiff
+    /// row key, so baselines match rows by identity, not position.
+    pub workload: String,
+    /// Kernel name (`"matmul"`, `"pde"`, `"sor"`, `"nbody"`).
+    pub kernel: String,
+    /// Machine name (`"r8000"` / `"r10000"`).
+    pub machine: String,
+    /// Policy name (`"flat"` / `"hierarchical"`).
+    pub policy: String,
+    /// Finest bin block in bytes: the L1-derived sub-bin size for the
+    /// hierarchical policy, the L2-derived block for flat.
+    pub l1_block: u64,
+    /// L2-derived (parent) block size in bytes.
+    pub l2_block: u64,
+    /// Threads forked and run.
+    pub threads: u64,
+    /// Simulated data references (deterministic).
+    pub accesses: u64,
+    /// Full simulation report for this cell.
+    pub report: SimReport,
+    /// Modeled nanoseconds on this row's machine.
+    pub modeled_ns: u64,
+}
+
+/// The bin-policy ablation: each threaded kernel under the flat paper
+/// policy and the hierarchical (L1-in-L2) policy, on both machine
+/// models at the kernel's table scale.
+#[derive(Clone, Debug)]
+pub struct BinPolicyResult {
+    /// One row per (kernel × machine × policy).
+    pub rows: Vec<BinPolicyRow>,
+}
+
+impl BinPolicyResult {
+    /// The measured cell for one (kernel, machine, policy).
+    pub fn row(&self, kernel: &str, machine: &str, policy: &str) -> Option<&BinPolicyRow> {
+        self.rows
+            .iter()
+            .find(|r| r.kernel == kernel && r.machine == machine && r.policy == policy)
+    }
+
+    fn delta_pct(flat: u64, hier: u64) -> f64 {
+        if flat == 0 {
+            0.0
+        } else {
+            100.0 * (hier as f64 - flat as f64) / flat as f64
+        }
+    }
+
+    /// Hierarchical-vs-flat L1 miss delta in percent (negative =
+    /// hierarchical misses less).
+    pub fn l1_miss_delta_pct(&self, kernel: &str, machine: &str) -> f64 {
+        match (
+            self.row(kernel, machine, "flat"),
+            self.row(kernel, machine, "hierarchical"),
+        ) {
+            (Some(f), Some(h)) => Self::delta_pct(f.report.l1.misses(), h.report.l1.misses()),
+            _ => 0.0,
+        }
+    }
+
+    /// Hierarchical-vs-flat L2 miss delta in percent.
+    pub fn l2_miss_delta_pct(&self, kernel: &str, machine: &str) -> f64 {
+        match (
+            self.row(kernel, machine, "flat"),
+            self.row(kernel, machine, "hierarchical"),
+        ) {
+            (Some(f), Some(h)) => Self::delta_pct(f.report.l2.misses(), h.report.l2.misses()),
+            _ => 0.0,
+        }
+    }
+
+    /// Hierarchical-vs-flat modeled-time delta in percent.
+    pub fn modeled_delta_pct(&self, kernel: &str, machine: &str) -> f64 {
+        match (
+            self.row(kernel, machine, "flat"),
+            self.row(kernel, machine, "hierarchical"),
+        ) {
+            (Some(f), Some(h)) => Self::delta_pct(f.modeled_ns, h.modeled_ns),
+            _ => 0.0,
+        }
+    }
+
+    /// The (kernel, machine) pairs present, in row order.
+    pub fn pairs(&self) -> Vec<(String, String)> {
+        let mut pairs: Vec<(String, String)> = Vec::new();
+        for row in &self.rows {
+            let pair = (row.kernel.clone(), row.machine.clone());
+            if !pairs.contains(&pair) {
+                pairs.push(pair);
+            }
+        }
+        pairs
+    }
+
+    /// Serializes the ablation as the `BENCH_binpolicy.json` payload:
+    /// per-cell simulated miss counts/rates (deterministic, gated by
+    /// benchdiff) plus per-(kernel, machine) hierarchical-vs-flat
+    /// deltas.
+    pub fn to_json(&self) -> String {
+        let mut json = String::from("{\"experiment\":\"binpolicy\",\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            write!(
+                json,
+                "{{\"workload\":\"{}\",\"kernel\":\"{}\",\"machine\":\"{}\",\
+                 \"policy\":\"{}\",\"l1_block\":{},\"l2_block\":{},\"threads\":{},\
+                 \"accesses\":{},\"l1_misses\":{},\"l2_misses\":{},\
+                 \"l1_miss_rate_pct\":{:.4},\"l2_miss_rate_pct\":{:.4},\"modeled_ns\":{}}}",
+                row.workload,
+                row.kernel,
+                row.machine,
+                row.policy,
+                row.l1_block,
+                row.l2_block,
+                row.threads,
+                row.accesses,
+                row.report.l1.misses(),
+                row.report.l2.misses(),
+                row.report.l1_miss_rate_percent(),
+                row.report.l2_miss_rate_percent(),
+                row.modeled_ns,
+            )
+            .expect("writing to String cannot fail");
+        }
+        json.push_str("],\"deltas\":[");
+        for (i, (kernel, machine)) in self.pairs().iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            write!(
+                json,
+                "{{\"workload\":\"{kernel}.{machine}\",\
+                 \"l1_miss_delta_pct\":{:.4},\"l2_miss_delta_pct\":{:.4},\
+                 \"modeled_delta_pct\":{:.4}}}",
+                self.l1_miss_delta_pct(kernel, machine),
+                self.l2_miss_delta_pct(kernel, machine),
+                self.modeled_delta_pct(kernel, machine),
+            )
+            .expect("writing to String cannot fail");
+        }
+        json.push_str("]}");
+        json
+    }
+}
+
+/// Builds the simulation cell for one (kernel, machine, policy)
+/// combination: the kernel's threaded version under `policy`, with the
+/// same problem sizes, seeds and hints as its paper table.
+fn binpolicy_cell<P: BinPolicy + Send + 'static>(
+    scale: &ExpScale,
+    kernel: Kernel,
+    machine: &MachineModel,
+    config: SchedulerConfig,
+    policy: P,
+) -> Cell {
+    let scale = *scale;
+    match kernel {
+        Kernel::MatMul => {
+            let n = scale.matmul_n;
+            cell(machine, move |sp, s| {
+                matmul::threaded_with(&mut matmul::MatMulData::new(sp, n, 42), config, policy, s)
+            })
+        }
+        Kernel::Pde => {
+            let (n, iters) = (scale.pde_n, scale.pde_iters);
+            cell(machine, move |sp, s| {
+                pde::threaded_with(&mut pde::PdeData::new(sp, n, 7), iters, config, policy, s)
+            })
+        }
+        Kernel::Sor => {
+            let (n, t) = (scale.sor_n, scale.sor_t);
+            cell(machine, move |sp, s| {
+                sor::threaded_with(&mut sor::SorData::new(sp, n, 99), t, config, policy, s)
+            })
+        }
+        Kernel::NBody => {
+            let n = scale.nbody_n;
+            let params = nbody::NBodyParams {
+                plane_extent: 4 * (machine.l2_config().size() / 3),
+                ..nbody::NBodyParams::default()
+            };
+            cell(machine, move |sp, s| {
+                nbody::threaded_with(
+                    &mut nbody::NBodyData::new(sp, n, 2024),
+                    1,
+                    params,
+                    config,
+                    policy,
+                    s,
+                )
+            })
+        }
+    }
+}
+
+/// The bin-policy ablation at `scale`: flat vs hierarchical binning for
+/// every threaded kernel on both machine models.
+pub fn binpolicy(scale: &ExpScale) -> BinPolicyResult {
+    binpolicy_with(scale, Driver::default())
+}
+
+/// [`binpolicy`] under an explicit [`Driver`].
+pub fn binpolicy_with(scale: &ExpScale, driver: Driver) -> BinPolicyResult {
+    let kernels = [
+        ("matmul", Kernel::MatMul, scale.matmul_factor),
+        ("pde", Kernel::Pde, scale.pde_factor),
+        ("sor", Kernel::Sor, scale.sor_factor),
+        ("nbody", Kernel::NBody, scale.nbody_factor),
+    ];
+    struct Meta {
+        kernel: &'static str,
+        machine_name: &'static str,
+        policy: &'static str,
+        l1_block: u64,
+        l2_block: u64,
+        machine: MachineModel,
+    }
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut meta: Vec<Meta> = Vec::new();
+    for (kname, kernel, factor) in kernels {
+        let (r8000, r10000) = machines(factor);
+        for (mname, machine) in [("r8000", &r8000), ("r10000", &r10000)] {
+            let geo = BinGeometry::for_machine(machine);
+            let config = geo.flat_config(kernel);
+            let (l1_block, l2_block) = (geo.l1_block(kernel), geo.l2_block(kernel));
+            cells.push(binpolicy_cell(
+                scale,
+                kernel,
+                machine,
+                config,
+                PaperBlockHash::from_config(&config),
+            ));
+            meta.push(Meta {
+                kernel: kname,
+                machine_name: mname,
+                policy: "flat",
+                l1_block: l2_block,
+                l2_block,
+                machine: machine.clone(),
+            });
+            let hier = geo
+                .hierarchical(kernel)
+                .expect("machine-derived geometry is valid");
+            cells.push(binpolicy_cell(scale, kernel, machine, config, hier));
+            meta.push(Meta {
+                kernel: kname,
+                machine_name: mname,
+                policy: "hierarchical",
+                l1_block,
+                l2_block,
+                machine: machine.clone(),
+            });
+        }
+    }
+    let results = run_cells(cells, driver);
+    let rows = meta
+        .into_iter()
+        .zip(results)
+        .map(|(m, (_name, report))| {
+            let modeled_ns = (report.time_on(&m.machine).total() * 1e9).round() as u64;
+            BinPolicyRow {
+                workload: format!("{}.{}.{}", m.kernel, m.machine_name, m.policy),
+                kernel: m.kernel.to_owned(),
+                machine: m.machine_name.to_owned(),
+                policy: m.policy.to_owned(),
+                l1_block: m.l1_block,
+                l2_block: m.l2_block,
+                threads: report.threads,
+                accesses: report.data_references(),
+                report,
+                modeled_ns,
+            }
+        })
+        .collect();
+    BinPolicyResult { rows }
+}
+
 /// Figure 4 data: modeled execution time on the scaled R8000 as a
 /// function of the block dimension size, for the threaded version of
 /// all four applications.
@@ -886,6 +1167,62 @@ mod tests {
         assert!(result.fork_ns > 0.0);
         assert!(result.run_ns > 0.0);
         assert!(result.total_ns() < 100_000.0, "null threads cost < 100 µs");
+    }
+
+    /// A sub-smoke scale so the ablation's 16 simulated cells stay
+    /// unit-test cheap.
+    fn tiny_scale() -> ExpScale {
+        ExpScale {
+            matmul_n: 24,
+            matmul_factor: 1.0 / 512.0,
+            pde_n: 65,
+            pde_iters: 2,
+            pde_factor: 1.0 / 256.0,
+            sor_n: 65,
+            sor_t: 2,
+            sor_tile: 8,
+            sor_factor: 1.0 / 256.0,
+            nbody_n: 128,
+            nbody_iters: 1,
+            nbody_factor: 1.0 / 256.0,
+        }
+    }
+
+    #[test]
+    fn binpolicy_reports_all_cells() {
+        let result = binpolicy(&tiny_scale());
+        assert_eq!(result.rows.len(), 16, "4 kernels × 2 machines × 2 policies");
+        for kernel in ["matmul", "pde", "sor", "nbody"] {
+            for machine in ["r8000", "r10000"] {
+                let flat = result.row(kernel, machine, "flat").expect("flat cell");
+                let hier = result
+                    .row(kernel, machine, "hierarchical")
+                    .expect("hierarchical cell");
+                // Same program, same hints: the policy reorders
+                // execution but never changes what executes.
+                assert_eq!(flat.threads, hier.threads, "{kernel}.{machine}");
+                assert_eq!(flat.accesses, hier.accesses, "{kernel}.{machine}");
+                assert!(flat.threads > 0, "{kernel}.{machine}");
+                assert!(flat.report.l1.misses() > 0, "{kernel}.{machine}");
+                assert!(hier.l1_block <= hier.l2_block, "{kernel}.{machine}");
+                assert_eq!(flat.l1_block, flat.l2_block, "flat has one level");
+            }
+        }
+        let json = result.to_json();
+        assert!(json.contains("\"experiment\":\"binpolicy\""), "{json}");
+        assert!(
+            json.contains("\"workload\":\"matmul.r8000.flat\""),
+            "{json}"
+        );
+        assert!(json.contains("\"l2_miss_delta_pct\":"), "{json}");
+    }
+
+    #[test]
+    fn binpolicy_parallel_driver_matches_sequential() {
+        let scale = tiny_scale();
+        let seq = binpolicy_with(&scale, Driver::Sequential);
+        let par = binpolicy_with(&scale, Driver::Parallel);
+        assert_eq!(seq.to_json(), par.to_json());
     }
 
     #[test]

@@ -24,9 +24,10 @@ pub mod scale;
 pub mod simbench;
 
 pub use experiments::{
-    figure4, run_cells, steal_ablation, table1, table2, table2_with, table3, table4, table4_with,
-    table5, table6, table6_with, table7, table8, table8_with, table9, Cell, Driver, Figure4Result,
-    MissRow, StealAblationResult, StealRow, Table1Result, TimeRow,
+    binpolicy, binpolicy_with, figure4, run_cells, steal_ablation, table1, table2, table2_with,
+    table3, table4, table4_with, table5, table6, table6_with, table7, table8, table8_with, table9,
+    BinPolicyResult, BinPolicyRow, Cell, Driver, Figure4Result, MissRow, StealAblationResult,
+    StealRow, Table1Result, TimeRow,
 };
 pub use scale::ExpScale;
 pub use simbench::{SimBenchResult, SimBenchRow};

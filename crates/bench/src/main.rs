@@ -1,7 +1,7 @@
 //! `repro` — runs any or all of the paper's tables/figures.
 //!
 //! ```text
-//! repro [all|table1|table2|...|table9|figure4|steal|simbench]... [--full|--smoke]
+//! repro [all|table1|table2|...|table9|figure4|steal|simbench|binpolicy]... [--full|--smoke]
 //! ```
 
 use repro::scale::scale_from_args;
@@ -16,8 +16,19 @@ fn main() {
         .collect();
     if wanted.is_empty() || wanted.contains(&"all") {
         wanted = vec![
-            "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8",
-            "table9", "figure4", "steal", "simbench",
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "table7",
+            "table8",
+            "table9",
+            "figure4",
+            "steal",
+            "simbench",
+            "binpolicy",
         ];
     }
     println!(

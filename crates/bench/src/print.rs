@@ -1,6 +1,8 @@
 //! Rendering of experiment results next to the paper's numbers.
 
-use crate::experiments::{Figure4Result, MissRow, StealAblationResult, Table1Result, TimeRow};
+use crate::experiments::{
+    BinPolicyResult, Figure4Result, MissRow, StealAblationResult, Table1Result, TimeRow,
+};
 use crate::fmt::{ratio, secs, thousands, TextTable};
 use crate::paper;
 use crate::simbench::SimBenchResult;
@@ -270,6 +272,67 @@ pub fn steal(result: &StealAblationResult) {
     print!("{}", t.render());
     println!(
         "\nCritical path = max per-worker sum of known per-bin costs (work\nunits), i.e. the makespan under ideal parallel execution; modeled\ntime converts it at the single-worker calibration rate. Wall-clock\nadditionally depends on how many physical cores the host has. The\nstatic partition balances thread *counts*, not thread *cost*; stealing\nabsorbs the resulting tail, and locality-aware victim selection does\nso while keeping each worker's tour segment contiguous."
+    );
+}
+
+/// Prints the bin-policy ablation: per (kernel, machine) the simulated
+/// misses under flat vs hierarchical binning and the deltas.
+pub fn binpolicy(result: &BinPolicyResult) {
+    println!(
+        "Bin-policy ablation: flat (paper §3.2, L2-sized bins) vs hierarchical\n(L1-sized sub-bins nested in L2-sized bins), threaded versions, simulated\n"
+    );
+    let mut t = TextTable::new(vec![
+        "workload",
+        "machine",
+        "policy",
+        "block(s)",
+        "threads",
+        "L1 misses",
+        "L2 misses",
+        "L1 rate",
+        "L2 rate",
+        "modeled (ms)",
+    ]);
+    for row in &result.rows {
+        let blocks = if row.policy == "hierarchical" {
+            format!("{}K in {}K", row.l1_block >> 10, row.l2_block >> 10)
+        } else {
+            format!("{}K", row.l2_block >> 10)
+        };
+        t.row(vec![
+            row.kernel.clone(),
+            row.machine.clone(),
+            row.policy.clone(),
+            blocks,
+            thousands(row.threads),
+            thousands(row.report.l1.misses()),
+            thousands(row.report.l2.misses()),
+            format!("{:.1}%", row.report.l1_miss_rate_percent()),
+            format!("{:.1}%", row.report.l2_miss_rate_percent()),
+            format!("{:.3}", row.modeled_ns as f64 / 1e6),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+    let mut d = TextTable::new(vec![
+        "workload",
+        "machine",
+        "L1 miss Δ",
+        "L2 miss Δ",
+        "modeled Δ",
+    ]);
+    for (kernel, machine) in result.pairs() {
+        d.row(vec![
+            kernel.clone(),
+            machine.clone(),
+            format!("{:+.1}%", result.l1_miss_delta_pct(&kernel, &machine)),
+            format!("{:+.1}%", result.l2_miss_delta_pct(&kernel, &machine)),
+            format!("{:+.1}%", result.modeled_delta_pct(&kernel, &machine)),
+        ]);
+    }
+    print!("{}", d.render());
+    println!(
+        "\nΔ = hierarchical vs flat (negative = hierarchical better). Sub-bins\nkeep each L1-sized working set resident while the parent bin still\nbounds the L2 working set; the L2 columns should be ~unchanged while\nL1 misses move."
     );
 }
 

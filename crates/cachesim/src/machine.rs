@@ -192,6 +192,29 @@ impl MachineModel {
         self.hierarchy.l2
     }
 
+    /// L1 data-cache capacity in bytes — the working-set budget a
+    /// scheduler's finest bin level should target on this machine.
+    pub fn l1_capacity(&self) -> u64 {
+        self.hierarchy.l1d.size()
+    }
+
+    /// L2 capacity in bytes — the paper's bin-sizing budget ("the
+    /// default dimension sizes of the block are set such that their
+    /// sum are the same as the second-level cache size", §3.2).
+    pub fn l2_capacity(&self) -> u64 {
+        self.hierarchy.l2.size()
+    }
+
+    /// L1 data-cache line size in bytes.
+    pub fn l1_line(&self) -> u64 {
+        self.hierarchy.l1d.line()
+    }
+
+    /// L2 line size in bytes.
+    pub fn l2_line(&self) -> u64 {
+        self.hierarchy.l2.line()
+    }
+
     /// Creates a fresh, empty simulated hierarchy for this machine,
     /// with virtual indexing throughout (the paper's own methodology).
     pub fn hierarchy(&self) -> Hierarchy {

@@ -1,11 +1,20 @@
 //! Baseline schedulers for comparison experiments.
+//!
+//! Both baselines are degenerate configurations of the shared
+//! [`BinEngine`](crate::engine::BinEngine):
+//!
+//! * [`FifoScheduler`] = [`SingleBin`] policy (every thread in one
+//!   bin) + allocation-order tour → fork order.
+//! * [`RandomScheduler`] = [`UniqueBin`] policy (every thread in its
+//!   own bin) + [`Tour::Random`] → a seeded per-thread shuffle,
+//!   bit-identical to the pre-refactor implementation (both shuffle
+//!   `0..n` with `SmallRng::seed_from_u64(seed)`).
 
+use crate::engine::BinEngine;
+use crate::policy::{SingleBin, UniqueBin};
 use crate::scheduler::{ThreadScheduler, ThreadSpec};
 use crate::stats::RunStats;
-use crate::{Hints, RunMode, ThreadFn};
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use crate::{Hints, RunMode, ThreadFn, Tour};
 
 /// A scheduler that ignores hints and runs threads in fork (FIFO)
 /// order.
@@ -32,13 +41,16 @@ use rand::SeedableRng;
 /// ```
 #[derive(Clone, Debug)]
 pub struct FifoScheduler<C> {
-    specs: Vec<ThreadSpec<C>>,
+    engine: BinEngine<ThreadSpec<C>, SingleBin>,
 }
 
 impl<C> FifoScheduler<C> {
     /// Creates an empty FIFO scheduler.
     pub fn new() -> Self {
-        FifoScheduler { specs: Vec::new() }
+        FifoScheduler {
+            // One bin, so a single hash bucket suffices.
+            engine: BinEngine::new(1, Tour::AllocationOrder, SingleBin),
+        }
     }
 }
 
@@ -50,25 +62,24 @@ impl<C> Default for FifoScheduler<C> {
 
 impl<C> ThreadScheduler<C> for FifoScheduler<C> {
     fn fork(&mut self, func: ThreadFn<C>, arg1: usize, arg2: usize, _hints: Hints) {
-        self.specs.push(ThreadSpec { func, arg1, arg2 });
+        self.engine.insert_traced(
+            ThreadSpec { func, arg1, arg2 },
+            Hints::none(),
+            &mut memtrace::NullSink,
+        );
     }
 
     fn run(&mut self, ctx: &mut C, mode: RunMode) -> RunStats {
-        for spec in &self.specs {
-            (spec.func)(ctx, spec.arg1, spec.arg2);
-        }
-        let stats = RunStats {
-            threads_run: self.specs.len() as u64,
-            bins_visited: usize::from(!self.specs.is_empty()),
-        };
-        if mode == RunMode::Consume {
-            self.specs.clear();
-        }
-        stats
+        self.engine.run_with(
+            ctx,
+            mode,
+            |_, _, _| {},
+            |ctx, spec| (spec.func)(ctx, spec.arg1, spec.arg2),
+        )
     }
 
     fn pending(&self) -> u64 {
-        self.specs.len() as u64
+        self.engine.pending()
     }
 }
 
@@ -77,44 +88,46 @@ impl<C> ThreadScheduler<C> for FifoScheduler<C> {
 /// fork order is destroyed).
 #[derive(Clone, Debug)]
 pub struct RandomScheduler<C> {
-    specs: Vec<ThreadSpec<C>>,
-    seed: u64,
+    engine: BinEngine<ThreadSpec<C>, UniqueBin>,
 }
 
 impl<C> RandomScheduler<C> {
     /// Creates an empty random scheduler with the given shuffle seed.
     pub fn new(seed: u64) -> Self {
         RandomScheduler {
-            specs: Vec::new(),
-            seed,
+            // Unique-key bins are appended, never looked up, so the
+            // bucket array is irrelevant; keep it minimal.
+            engine: BinEngine::new(1, Tour::Random(seed), UniqueBin::default()),
         }
     }
 }
 
 impl<C> ThreadScheduler<C> for RandomScheduler<C> {
     fn fork(&mut self, func: ThreadFn<C>, arg1: usize, arg2: usize, _hints: Hints) {
-        self.specs.push(ThreadSpec { func, arg1, arg2 });
+        self.engine.insert_traced(
+            ThreadSpec { func, arg1, arg2 },
+            Hints::none(),
+            &mut memtrace::NullSink,
+        );
     }
 
     fn run(&mut self, ctx: &mut C, mode: RunMode) -> RunStats {
-        let mut order: Vec<usize> = (0..self.specs.len()).collect();
-        order.shuffle(&mut SmallRng::seed_from_u64(self.seed));
-        for idx in order {
-            let spec = &self.specs[idx];
-            (spec.func)(ctx, spec.arg1, spec.arg2);
+        let stats = self.engine.run_with(
+            ctx,
+            mode,
+            |_, _, _| {},
+            |ctx, spec| (spec.func)(ctx, spec.arg1, spec.arg2),
+        );
+        RunStats {
+            threads_run: stats.threads_run,
+            // Single-thread bins are an engine encoding detail; report
+            // the baseline's historical "one conceptual bin".
+            bins_visited: usize::from(stats.threads_run > 0),
         }
-        let stats = RunStats {
-            threads_run: self.specs.len() as u64,
-            bins_visited: usize::from(!self.specs.is_empty()),
-        };
-        if mode == RunMode::Consume {
-            self.specs.clear();
-        }
-        stats
     }
 
     fn pending(&self) -> u64 {
-        self.specs.len() as u64
+        self.engine.pending()
     }
 }
 
@@ -180,6 +193,31 @@ mod tests {
             sched.run(log, RunMode::Consume);
         }
         assert_eq!(a_log, b_log);
+    }
+
+    /// Execution orders captured from the pre-refactor
+    /// `RandomScheduler` (which shuffled thread indices directly):
+    /// the engine-based scheduler must reproduce them bit-identically.
+    #[test]
+    fn random_order_matches_pre_refactor_golden() {
+        #[rustfmt::skip]
+        let goldens: [(u64, usize, &[usize]); 6] = [
+            (7, 16, &[15, 12, 14, 6, 9, 3, 1, 5, 0, 8, 7, 10, 2, 4, 11, 13]),
+            (42, 16, &[3, 1, 10, 0, 9, 2, 13, 7, 6, 14, 5, 11, 4, 12, 8, 15]),
+            (99, 16, &[1, 7, 5, 0, 11, 10, 9, 12, 13, 6, 3, 14, 8, 2, 15, 4]),
+            (7, 33, &[8, 13, 16, 28, 23, 30, 7, 11, 25, 2, 9, 12, 4, 22, 18, 14, 10, 1, 29, 19, 5, 31, 0, 27, 15, 24, 3, 21, 32, 6, 17, 20, 26]),
+            (42, 33, &[5, 7, 19, 8, 10, 15, 6, 23, 3, 2, 24, 11, 30, 27, 31, 14, 13, 25, 0, 9, 12, 1, 22, 29, 20, 16, 28, 21, 26, 32, 18, 17, 4]),
+            (99, 33, &[31, 7, 20, 0, 28, 24, 13, 15, 32, 19, 16, 2, 17, 12, 11, 18, 23, 27, 9, 25, 4, 5, 8, 29, 26, 22, 14, 10, 30, 1, 3, 6, 21]),
+        ];
+        for (seed, n, golden) in goldens {
+            let mut sched: RandomScheduler<Log> = RandomScheduler::new(seed);
+            for i in 0..n {
+                sched.fork(body, i, 0, Hints::none());
+            }
+            let mut log = Log::new();
+            sched.run(&mut log, RunMode::Consume);
+            assert_eq!(log, golden, "seed={seed} n={n}");
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Scheduler configuration (the paper's `th_init`).
 
 use crate::hint::MAX_DIMS;
+use crate::policy::BinPolicy as _;
 use crate::{Hints, Tour};
 use std::error::Error;
 use std::fmt;
@@ -12,7 +13,7 @@ pub struct ConfigError {
 }
 
 impl ConfigError {
-    fn new(message: impl Into<String>) -> Self {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
         ConfigError {
             message: message.into(),
         }
@@ -284,24 +285,21 @@ impl SchedulerConfig {
         self.steal
     }
 
+    /// Per-dimension shifts (`log2(block size)`), for policy
+    /// construction.
+    pub(crate) fn shifts(&self) -> [u32; MAX_DIMS] {
+        self.shifts
+    }
+
     /// Maps hints to block coordinates in the scheduling space: each
     /// hint address divided by its dimension's block size, with
     /// symmetric folding applied if configured.
+    ///
+    /// Delegates to [`PaperBlockHash`](crate::PaperBlockHash), the
+    /// single owner of the paper's hints → bin-key mapping.
     #[inline]
     pub fn block_coords(&self, hints: Hints) -> [u64; MAX_DIMS] {
-        let addrs = hints.as_array();
-        let mut coords = [
-            addrs[0].raw() >> self.shifts[0],
-            addrs[1].raw() >> self.shifts[1],
-            addrs[2].raw() >> self.shifts[2],
-            addrs[3].raw() >> self.shifts[3],
-        ];
-        if self.symmetric {
-            // Canonicalize the coordinate multiset; descending order
-            // keeps null (zero) coordinates in the trailing dimensions.
-            coords.sort_unstable_by(|a, b| b.cmp(a));
-        }
-        coords
+        crate::policy::PaperBlockHash::from_config(self).bin_key(hints)
     }
 }
 

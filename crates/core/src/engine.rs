@@ -1,0 +1,443 @@
+//! The shared bin engine (paper §3.2), generic over the scheduled item
+//! type and the [`BinPolicy`].
+//!
+//! Every scheduler in this crate — [`Scheduler`](crate::Scheduler),
+//! [`PhasedScheduler`](crate::PhasedScheduler),
+//! [`FifoScheduler`](crate::FifoScheduler),
+//! [`RandomScheduler`](crate::RandomScheduler) and
+//! [`ParScheduler`](crate::ParScheduler) — is a thin configuration of
+//! this one engine: hash table + ready list, thread groups, optional
+//! package-memory tracing, the tour-ordered drain loop, and the probe
+//! observations. The policy owns *where* a thread goes (hints → bin
+//! key, optional parent grouping); the engine owns everything else.
+
+use crate::hint::MAX_DIMS;
+use crate::policy::BinPolicy;
+use crate::stats::{RunStats, SchedulerStats};
+use crate::table::{BinId, BinTable};
+use crate::{Hints, RunMode, Tour};
+use memtrace::{Addr, TraceSink};
+use std::collections::HashMap;
+
+/// Threads per thread-group chunk. "The thread group data structure
+/// represents a number of threads within a bin; by grouping threads
+/// together in this way, amortization reduces the cost of thread
+/// structure management" (§3.2).
+pub(crate) const GROUP_CAPACITY: usize = 256;
+
+/// Bytes of one thread record: function pointer + two word arguments
+/// (the paper's three-word spec).
+const SPEC_BYTES: u64 = 24;
+/// Bytes of a bin record: "three link fields and a search key" (§3.2).
+const BIN_HEADER_BYTES: u64 = 48;
+/// Bytes of a thread-group header: count + next pointer.
+const GROUP_HEADER_BYTES: u64 = 16;
+/// Bytes of one hash bucket (a pointer).
+const BUCKET_BYTES: u64 = 8;
+
+/// One thread group: a chunk of thread records plus the synthetic
+/// address of its storage (null when package-memory tracing is off).
+#[derive(Clone, Debug)]
+pub(crate) struct Group<T> {
+    items: Vec<T>,
+    base: Addr,
+}
+
+/// A bin: the chain of thread groups for one block of the scheduling
+/// space.
+#[derive(Clone, Debug)]
+pub(crate) struct Bin<T> {
+    groups: Vec<Group<T>>,
+    threads: u64,
+    /// Synthetic address of the bin record (null when tracing is off).
+    header: Addr,
+}
+
+impl<T> Bin<T> {
+    fn new(header: Addr) -> Self {
+        Bin {
+            groups: Vec::new(),
+            threads: 0,
+            header,
+        }
+    }
+
+    /// Number of threads in the bin.
+    pub(crate) fn threads(&self) -> u64 {
+        self.threads
+    }
+
+    /// All thread records in fork order.
+    pub(crate) fn items(&self) -> impl Iterator<Item = &T> {
+        self.groups.iter().flat_map(|g| g.items.iter())
+    }
+}
+
+/// Synthetic addresses for the package's own data structures, so their
+/// cache traffic shows up in traces (Pixie instrumented the thread
+/// package along with the application — the visible difference between
+/// the paper's threaded and cache-conscious PDE columns in Table 5).
+#[derive(Clone, Debug)]
+struct MetaTrace {
+    /// The hash table's bucket array.
+    table_base: Addr,
+    /// Bump pointer for bin records and thread groups, mimicking an
+    /// arena allocator.
+    bump: Addr,
+    arena_base: Addr,
+    end: Addr,
+}
+
+impl MetaTrace {
+    fn alloc(&mut self, bytes: u64) -> Addr {
+        let addr = self.bump;
+        assert!(
+            addr.raw() + bytes <= self.end.raw(),
+            "scheduler meta-trace region exhausted"
+        );
+        self.bump = addr + bytes;
+        addr
+    }
+}
+
+/// Probe observations for one engine instance, cumulative across runs.
+/// Kept out of [`RunStats`]/[`SchedulerStats`] so the always-on
+/// statistics stay byte-identical whether or not probes are compiled
+/// in; flushed on demand by [`BinEngine::run_profile`].
+#[derive(Clone, Debug, Default)]
+struct SchedObs {
+    /// Threads forked.
+    forks: probe::LocalCounter,
+    /// Forks that allocated a new bin.
+    bins_created: probe::LocalCounter,
+    /// Forks whose hint mapped to an already-existing bin — the
+    /// hint-to-bin reuse the locality win depends on.
+    rebin_hits: probe::LocalCounter,
+    /// Thread count of each bin drained by `run_with`.
+    bin_occupancy: probe::Histogram,
+    /// Wall time to drain one bin.
+    bin_drain_ns: probe::Histogram,
+    /// Wall time of one whole `run_with` call (turnaround).
+    run_ns: probe::Histogram,
+    /// Thread count of each *parent* group drained (hierarchical
+    /// policies only; empty for flat policies).
+    parent_occupancy: probe::Histogram,
+    /// Sub-bins drained under parent grouping (hierarchical policies
+    /// only; zero for flat policies).
+    subbins_run: probe::LocalCounter,
+}
+
+/// The bin engine: bin table, tour, thread groups, meta tracing, and
+/// the drain loop, parameterized by the scheduled item type `T` and
+/// the binning policy `P`.
+#[derive(Clone, Debug)]
+pub(crate) struct BinEngine<T, P> {
+    policy: P,
+    hash_size: usize,
+    tour: Tour,
+    table: BinTable,
+    bins: Vec<Bin<T>>,
+    threads: u64,
+    meta: Option<MetaTrace>,
+    obs: SchedObs,
+}
+
+impl<T, P: BinPolicy> BinEngine<T, P> {
+    /// Creates an empty engine.
+    pub(crate) fn new(hash_size: usize, tour: Tour, policy: P) -> Self {
+        BinEngine {
+            table: BinTable::new(hash_size),
+            bins: Vec::new(),
+            threads: 0,
+            policy,
+            hash_size,
+            tour,
+            meta: None,
+            obs: SchedObs::default(),
+        }
+    }
+
+    /// The engine's policy.
+    pub(crate) fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Enables tracing of the package's own memory traffic (see
+    /// [`Scheduler::trace_package_memory`](crate::Scheduler::trace_package_memory)).
+    pub(crate) fn trace_package_memory(&mut self) {
+        /// Fixed base of the package's synthetic memory.
+        const PACKAGE_BASE: u64 = 0x7f00_0000_0000;
+        let buckets = (self.hash_size as u64).pow(4) * BUCKET_BYTES;
+        let table_base = Addr::new(PACKAGE_BASE);
+        let bump = (table_base + buckets).align_up(128);
+        // A generous arena for bin records and thread groups; synthetic
+        // addresses cost nothing to reserve.
+        let arena = 1u64 << 30;
+        self.meta = Some(MetaTrace {
+            table_base,
+            bump,
+            arena_base: bump,
+            end: bump + arena,
+        });
+    }
+
+    /// Replaces table geometry, tour, and policy; only legal while
+    /// empty. Probe observations survive (they are cumulative per
+    /// scheduler instance), the synthetic trace region does not.
+    pub(crate) fn reconfigure(&mut self, hash_size: usize, tour: Tour, policy: P) {
+        debug_assert_eq!(self.threads, 0);
+        self.table = BinTable::new(hash_size);
+        self.bins.clear();
+        self.hash_size = hash_size;
+        self.tour = tour;
+        self.policy = policy;
+        // The synthetic hash-table region was sized for the old
+        // configuration; re-enable tracing afterwards if needed.
+        self.meta = None;
+    }
+
+    /// Places `item` into the bin chosen by the policy for `hints`,
+    /// emitting the package's own memory references into `sink` if
+    /// tracing is enabled: the hash-bucket probe, the thread-record
+    /// store, and the bin-header update.
+    #[inline]
+    pub(crate) fn insert_traced<S: TraceSink>(&mut self, item: T, hints: Hints, sink: &mut S) {
+        let key = self.policy.bin_key(hints);
+        let (id, created) = if self.policy.always_unique() {
+            (self.table.append_unique(key), true)
+        } else {
+            self.table.lookup_or_insert(key)
+        };
+        self.obs.forks.incr();
+        if created {
+            self.obs.bins_created.incr();
+        } else {
+            self.obs.rebin_hits.incr();
+        }
+        if let Some(meta) = &mut self.meta {
+            // Hash probe.
+            let bucket = self.table.bucket_index(key) as u64;
+            sink.read(meta.table_base + bucket * BUCKET_BYTES, BUCKET_BYTES as u32);
+        }
+        if created {
+            let header = match &mut self.meta {
+                Some(meta) => {
+                    let header = meta.alloc(BIN_HEADER_BYTES);
+                    // Initialize the bin record and link it into the
+                    // bucket chain and the ready list.
+                    sink.write(header, BIN_HEADER_BYTES as u32);
+                    header
+                }
+                None => Addr::NULL,
+            };
+            self.bins.push(Bin::new(header));
+        }
+        let bin = &mut self.bins[id as usize];
+        let needs_group = match bin.groups.last() {
+            Some(group) => group.items.len() >= GROUP_CAPACITY,
+            None => true,
+        };
+        if needs_group {
+            let base = match &mut self.meta {
+                Some(meta) => {
+                    let base = meta.alloc(GROUP_HEADER_BYTES + GROUP_CAPACITY as u64 * SPEC_BYTES);
+                    sink.write(base, GROUP_HEADER_BYTES as u32);
+                    base
+                }
+                None => Addr::NULL,
+            };
+            bin.groups.push(Group {
+                items: Vec::with_capacity(GROUP_CAPACITY),
+                base,
+            });
+        }
+        let group = bin.groups.last_mut().expect("group just ensured");
+        let slot = group.items.len() as u64;
+        group.items.push(item);
+        if self.meta.is_some() {
+            // Store the three-word thread record and bump the group's
+            // count field.
+            sink.write(
+                group.base + GROUP_HEADER_BYTES + slot * SPEC_BYTES,
+                SPEC_BYTES as u32,
+            );
+            sink.write(group.base, 8);
+        }
+        bin.threads += 1;
+        self.threads += 1;
+    }
+
+    /// The order in which bins will be drained.
+    ///
+    /// Flat policies tour the bin keys directly (the paper's path,
+    /// bit-identical to the pre-refactor schedulers). Hierarchical
+    /// policies tour the *parent* keys — so inter-group order matches
+    /// the flat policy at parent granularity — and drain each parent's
+    /// sub-bins in sorted fine-key order, back-to-back.
+    pub(crate) fn tour_order(&self) -> Vec<BinId> {
+        let keys = self.table.keys();
+        if self.policy.levels() <= 1 {
+            return self.tour.order(keys);
+        }
+        let mut parent_keys: Vec<[u64; MAX_DIMS]> = Vec::new();
+        let mut parent_index: HashMap<[u64; MAX_DIMS], usize> = HashMap::new();
+        let mut members: Vec<Vec<BinId>> = Vec::new();
+        // Parents in first-appearance (allocation) order, matching the
+        // ready-list semantics a flat L2 policy would have.
+        for (id, &key) in keys.iter().enumerate() {
+            let idx = *parent_index
+                .entry(self.policy.parent_key(key))
+                .or_insert_with(|| {
+                    parent_keys.push(self.policy.parent_key(key));
+                    members.push(Vec::new());
+                    parent_keys.len() - 1
+                });
+            members[idx].push(id as BinId);
+        }
+        let mut order = Vec::with_capacity(keys.len());
+        for parent in self.tour.order(&parent_keys) {
+            let subs = &mut members[parent as usize];
+            subs.sort_unstable_by_key(|&id| keys[id as usize]);
+            order.append(subs);
+        }
+        order
+    }
+
+    /// Block-coordinate key of one bin at *parent* granularity — the
+    /// coordinates work stealing scores distance over. Identity for
+    /// flat policies.
+    #[inline]
+    pub(crate) fn steal_key(&self, id: BinId) -> [u64; MAX_DIMS] {
+        self.policy.parent_key(self.table.key(id))
+    }
+
+    /// The allocated bins, indexed by bin id.
+    pub(crate) fn bins_slice(&self) -> &[Bin<T>] {
+        &self.bins
+    }
+
+    /// Drains every bin in tour order: `on_read(ctx, addr, size)` is
+    /// called for each package memory reference (only when tracing is
+    /// enabled), `exec(ctx, item)` for each thread record. Splitting
+    /// the sink access (`on_read`) from thread execution (`exec`) lets
+    /// one `&mut ctx` serve both without aliasing.
+    pub(crate) fn run_with<X>(
+        &mut self,
+        ctx: &mut X,
+        mode: RunMode,
+        mut on_read: impl FnMut(&mut X, Addr, u32),
+        mut exec: impl FnMut(&mut X, &T),
+    ) -> RunStats {
+        let order = self.tour_order();
+        let tracing = self.meta.is_some();
+        let hierarchical = self.policy.levels() > 1;
+        let mut threads_run = 0u64;
+        let mut bins_visited = 0usize;
+        {
+            let _run_span = self.obs.run_ns.span();
+            // Running total for the current parent group (hierarchical
+            // only); the tour keeps each parent's sub-bins contiguous,
+            // so one linear pass suffices.
+            let mut parent: Option<([u64; MAX_DIMS], u64)> = None;
+            for id in order {
+                let bin = &self.bins[id as usize];
+                if bin.threads == 0 {
+                    continue;
+                }
+                bins_visited += 1;
+                self.obs.bin_occupancy.record(bin.threads);
+                if hierarchical {
+                    self.obs.subbins_run.incr();
+                    let pk = self.policy.parent_key(self.table.key(id));
+                    match &mut parent {
+                        Some((key, threads)) if *key == pk => *threads += bin.threads,
+                        _ => {
+                            if let Some((_, threads)) = parent.take() {
+                                self.obs.parent_occupancy.record(threads);
+                            }
+                            parent = Some((pk, bin.threads));
+                        }
+                    }
+                }
+                let _drain_span = self.obs.bin_drain_ns.span();
+                if tracing {
+                    // Ready-list step: load the bin record.
+                    on_read(ctx, bin.header, BIN_HEADER_BYTES as u32);
+                }
+                for group in &bin.groups {
+                    if tracing {
+                        // Group header: count + next pointer.
+                        on_read(ctx, group.base, GROUP_HEADER_BYTES as u32);
+                    }
+                    for (slot, item) in group.items.iter().enumerate() {
+                        if tracing {
+                            on_read(
+                                ctx,
+                                group.base + GROUP_HEADER_BYTES + slot as u64 * SPEC_BYTES,
+                                SPEC_BYTES as u32,
+                            );
+                        }
+                        exec(ctx, item);
+                    }
+                }
+                threads_run += bin.threads;
+            }
+            if let Some((_, threads)) = parent {
+                self.obs.parent_occupancy.record(threads);
+            }
+        }
+        if mode == RunMode::Consume {
+            self.clear();
+        }
+        RunStats {
+            threads_run,
+            bins_visited,
+        }
+    }
+
+    /// Number of threads currently scheduled.
+    pub(crate) fn pending(&self) -> u64 {
+        self.threads
+    }
+
+    /// Number of bins currently allocated.
+    pub(crate) fn bins(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Distribution statistics over the current schedule.
+    pub(crate) fn stats(&self) -> SchedulerStats {
+        SchedulerStats::from_bin_counts(self.bins.iter().map(|b| b.threads).collect())
+    }
+
+    /// Flushes the probe observations accumulated so far into a
+    /// `"sched"` profile section. Hierarchical policies additionally
+    /// report per-parent occupancy and the sub-bin drain count.
+    pub(crate) fn run_profile(&self) -> probe::Section {
+        let mut section = probe::Section::new("sched");
+        section
+            .counter("forks", self.obs.forks.get())
+            .counter("bins_created", self.obs.bins_created.get())
+            .counter("rebin_hits", self.obs.rebin_hits.get())
+            .histogram("bin_occupancy", &self.obs.bin_occupancy)
+            .histogram("bin_drain_ns", &self.obs.bin_drain_ns)
+            .histogram("run_ns", &self.obs.run_ns);
+        if self.policy.levels() > 1 {
+            section
+                .counter("subbins_run", self.obs.subbins_run.get())
+                .histogram("parent_occupancy", &self.obs.parent_occupancy);
+        }
+        section
+    }
+
+    /// Removes all scheduled threads and bins (the arena of a traced
+    /// package is recycled, as a real allocator would).
+    pub(crate) fn clear(&mut self) {
+        self.table.clear();
+        self.bins.clear();
+        self.threads = 0;
+        if let Some(meta) = &mut self.meta {
+            meta.bump = meta.arena_base;
+        }
+    }
+}

@@ -70,9 +70,11 @@
 mod baseline;
 mod closure;
 mod config;
+mod engine;
 mod hint;
 mod parallel;
 mod phased;
+mod policy;
 mod scheduler;
 mod stats;
 mod table;
@@ -81,9 +83,10 @@ mod tour;
 pub use baseline::{FifoScheduler, RandomScheduler};
 pub use closure::ClosureScheduler;
 pub use config::{ConfigError, SchedulerConfig, SchedulerConfigBuilder, StealPolicy};
-pub use hint::Hints;
+pub use hint::{Hints, MAX_DIMS};
 pub use parallel::{ParRunReport, ParScheduler, ParThreadFn};
 pub use phased::PhasedScheduler;
+pub use policy::{BinPolicy, Hierarchical, PaperBlockHash, SingleBin, UniqueBin};
 pub use scheduler::{RunMode, Scheduler, ThreadFn, ThreadScheduler};
 pub use stats::{RunStats, SchedulerStats, WorkerStats};
 pub use tour::Tour;

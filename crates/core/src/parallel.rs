@@ -48,9 +48,11 @@
 //! how steals interleave.
 
 use crate::config::StealPolicy;
+use crate::engine::{Bin, BinEngine};
 use crate::hint::MAX_DIMS;
+use crate::policy::{BinPolicy, PaperBlockHash};
 use crate::stats::{RunStats, SchedulerStats, WorkerStats};
-use crate::table::{BinId, BinTable};
+use crate::table::BinId;
 use crate::{Hints, SchedulerConfig};
 use std::collections::VecDeque;
 use std::fmt::Write as _;
@@ -63,7 +65,7 @@ use std::time::Instant;
 pub type ParThreadFn<C> = fn(&C, usize, usize);
 
 #[derive(Clone, Copy, Debug)]
-struct ParSpec<C> {
+pub(crate) struct ParSpec<C> {
     func: ParThreadFn<C>,
     arg1: usize,
     arg2: usize,
@@ -219,20 +221,26 @@ impl ParRunReport {
 /// assert_eq!(total, (0..100).sum::<usize>() as u64);
 /// ```
 #[derive(Debug)]
-pub struct ParScheduler<C> {
+pub struct ParScheduler<C, P = PaperBlockHash> {
     config: SchedulerConfig,
-    table: BinTable,
-    bins: Vec<Vec<ParSpec<C>>>,
-    threads: u64,
+    engine: BinEngine<ParSpec<C>, P>,
 }
 
 impl<C: Sync> ParScheduler<C> {
-    /// Creates an empty parallel scheduler.
+    /// Creates an empty parallel scheduler using the paper's binning
+    /// policy derived from `config`.
     pub fn new(config: SchedulerConfig) -> Self {
+        ParScheduler::with_policy(config, PaperBlockHash::from_config(&config))
+    }
+}
+
+impl<C: Sync, P: BinPolicy> ParScheduler<C, P> {
+    /// Creates an empty parallel scheduler binning with an explicit
+    /// `policy`; `config` still supplies the hash-table size, tour,
+    /// and steal policy.
+    pub fn with_policy(config: SchedulerConfig, policy: P) -> Self {
         ParScheduler {
-            table: BinTable::new(config.hash_size()),
-            bins: Vec::new(),
-            threads: 0,
+            engine: BinEngine::new(config.hash_size(), config.tour(), policy),
             config,
         }
     }
@@ -245,28 +253,23 @@ impl<C: Sync> ParScheduler<C> {
     /// Creates and schedules a thread to call `func(ctx, arg1, arg2)`,
     /// binned by `hints`.
     pub fn fork(&mut self, func: ParThreadFn<C>, arg1: usize, arg2: usize, hints: Hints) {
-        let key = self.config.block_coords(hints);
-        let (id, created) = self.table.lookup_or_insert(key);
-        if created {
-            self.bins.push(Vec::new());
-        }
-        self.bins[id as usize].push(ParSpec { func, arg1, arg2 });
-        self.threads += 1;
+        self.engine
+            .insert_traced(ParSpec { func, arg1, arg2 }, hints, &mut memtrace::NullSink);
     }
 
     /// Number of threads currently scheduled.
     pub fn pending(&self) -> u64 {
-        self.threads
+        self.engine.pending()
     }
 
     /// Number of bins currently allocated.
     pub fn bins(&self) -> usize {
-        self.table.len()
+        self.engine.bins()
     }
 
     /// Distribution statistics over the current schedule.
     pub fn stats(&self) -> SchedulerStats {
-        SchedulerStats::from_bin_counts(self.bins.iter().map(|b| b.len() as u64).collect())
+        self.engine.stats()
     }
 
     /// Runs and consumes every scheduled thread on `workers` OS
@@ -295,15 +298,19 @@ impl<C: Sync> ParScheduler<C> {
         assert!(workers > 0, "need at least one worker");
         let policy = self.config.steal_policy();
         let mut stats = self.stats();
-        let order = self.config.tour().order(self.table.keys());
-        // Block coordinates per *tour position*, for victim scoring.
-        let keys: Vec<[u64; MAX_DIMS]> = order.iter().map(|&id| self.table.key(id)).collect();
-        let bins = &self.bins;
+        let order = self.engine.tour_order();
+        // Block coordinates per *tour position* at parent (steal)
+        // granularity, for victim scoring. A hierarchical policy's
+        // sub-bins score as their L2-sized parent — working-set
+        // distance is an L2 notion.
+        let keys: Vec<[u64; MAX_DIMS]> =
+            order.iter().map(|&id| self.engine.steal_key(id)).collect();
+        let bins = self.engine.bins_slice();
 
         // Contiguous partition of the tour, balanced by thread count:
         // worker w's segment ends once the cumulative thread count
         // reaches w+1 fair shares.
-        let total = self.threads;
+        let total = self.engine.pending();
         let queues: Vec<WorkerQueue> = (0..workers).map(|_| WorkerQueue::new()).collect();
         let obs = ParObs::default();
         {
@@ -318,7 +325,7 @@ impl<C: Sync> ParScheduler<C> {
                     .lock()
                     .expect("deque poisoned")
                     .push_back(pos as u32);
-                cum += bins[id as usize].len() as u64;
+                cum += bins[id as usize].threads();
             }
             if probe::enabled() {
                 for queue in &queues {
@@ -347,9 +354,7 @@ impl<C: Sync> ParScheduler<C> {
 
         let threads_run: u64 = per_worker.iter().map(|w| w.threads_executed).sum();
         let bins_visited: usize = per_worker.iter().map(|w| w.bins_executed).sum::<u64>() as usize;
-        self.table.clear();
-        self.bins.clear();
-        self.threads = 0;
+        self.engine.clear();
         stats.set_workers(per_worker);
         let mut profile = probe::RunProfile::new();
         profile.push(obs.section());
@@ -374,7 +379,7 @@ fn worker_loop<C: Sync>(
     queues: &[WorkerQueue],
     order: &[BinId],
     keys: &[[u64; MAX_DIMS]],
-    bins: &[Vec<ParSpec<C>>],
+    bins: &[Bin<ParSpec<C>>],
     policy: StealPolicy,
     ctx: &C,
     obs: &ParObs,
@@ -387,7 +392,7 @@ fn worker_loop<C: Sync>(
             queues[me].current.store(pos as usize, Ordering::Relaxed);
             let bin = &bins[order[pos as usize] as usize];
             let busy = Instant::now();
-            for spec in bin {
+            for spec in bin.items() {
                 (spec.func)(ctx, spec.arg1, spec.arg2);
             }
             let busy_ns = busy.elapsed().as_nanos() as u64;
@@ -396,7 +401,7 @@ fn worker_loop<C: Sync>(
             obs.bin_run_ns.record(busy_ns);
             stats.busy_ns += busy_ns;
             stats.bins_executed += 1;
-            stats.threads_executed += bin.len() as u64;
+            stats.threads_executed += bin.threads();
             continue;
         }
         if policy == StealPolicy::None {

@@ -15,6 +15,7 @@
 //! depends on iteration `t` — without per-thread dependence edges, and
 //! it composes with every hint/tour/block configuration.
 
+use crate::policy::{BinPolicy, PaperBlockHash};
 use crate::stats::{RunStats, SchedulerStats};
 use crate::{Hints, RunMode, Scheduler, SchedulerConfig, ThreadFn};
 
@@ -48,10 +49,11 @@ use crate::{Hints, RunMode, Scheduler, SchedulerConfig, ThreadFn};
 /// assert!(phases.windows(2).all(|w| w[0] <= w[1]));
 /// ```
 #[derive(Clone, Debug)]
-pub struct PhasedScheduler<C> {
+pub struct PhasedScheduler<C, P = PaperBlockHash> {
     config: SchedulerConfig,
+    policy: P,
     /// Per-phase schedulers, sparse in phase number.
-    phases: Vec<(u32, Scheduler<C>)>,
+    phases: Vec<(u32, Scheduler<C, P>)>,
     threads: u64,
 }
 
@@ -59,8 +61,17 @@ impl<C> PhasedScheduler<C> {
     /// Creates an empty phased scheduler; every phase inherits
     /// `config`.
     pub fn new(config: SchedulerConfig) -> Self {
+        PhasedScheduler::with_policy(config, PaperBlockHash::from_config(&config))
+    }
+}
+
+impl<C, P: BinPolicy> PhasedScheduler<C, P> {
+    /// Creates an empty phased scheduler; every phase inherits
+    /// `config` and bins with a clone of `policy`.
+    pub fn with_policy(config: SchedulerConfig, policy: P) -> Self {
         PhasedScheduler {
             config,
+            policy,
             phases: Vec::new(),
             threads: 0,
         }
@@ -77,8 +88,8 @@ impl<C> PhasedScheduler<C> {
         let scheduler = match self.phases.binary_search_by_key(&phase, |&(p, _)| p) {
             Ok(pos) => &mut self.phases[pos].1,
             Err(pos) => {
-                self.phases
-                    .insert(pos, (phase, Scheduler::new(self.config)));
+                let sched = Scheduler::with_policy(self.config, self.policy.clone());
+                self.phases.insert(pos, (phase, sched));
                 &mut self.phases[pos].1
             }
         };

@@ -1,0 +1,381 @@
+//! Bin policies: the pluggable hints → bin-key mapping.
+//!
+//! The paper's engine (hash table, ready list, drain loop) is separate
+//! from its *policy* (block sizes, symmetric folding): "the default
+//! dimension sizes of the block are set such that their sum are the
+//! same as the second-level cache size" (§3.2) is one choice among
+//! many. [`BinPolicy`] makes that choice a first-class parameter of the
+//! shared bin engine, so every scheduler in this crate — locality,
+//! phased, FIFO, random, parallel — is a thin configuration of one
+//! engine instead of five copies of the fork/bin/drain loop.
+//!
+//! Two policies reproduce and extend the paper:
+//!
+//! * [`PaperBlockHash`] — the paper's mapping, bit-identical to the
+//!   pre-refactor `SchedulerConfig::block_coords`: shift each hint by
+//!   `log2(block size)`, optionally fold symmetric hints by sorting
+//!   coordinates descending.
+//! * [`Hierarchical`] — two cache levels: L1-sized *sub-bins* nested
+//!   inside L2-sized bins. Threads are binned at L1 granularity; the
+//!   engine tours L2-sized parents and drains each parent's sub-bins
+//!   back-to-back, so threads sharing an L1 working set run adjacently
+//!   *within* the L2-sized groups the paper's policy would have formed.
+//!
+//! Two degenerate policies express the baselines:
+//!
+//! * [`SingleBin`] — every thread in one bin (FIFO order).
+//! * [`UniqueBin`] — every thread in its own bin (combined with
+//!   [`Tour::Random`](crate::Tour::Random), a seeded shuffle).
+
+use crate::config::ConfigError;
+use crate::hint::MAX_DIMS;
+use crate::{Hints, SchedulerConfig};
+
+/// A policy mapping fork-time [`Hints`] to a bin key in the scheduling
+/// space. The bin engine owns everything else (hashing, ready list,
+/// tour, drain loop); the policy owns only geometry.
+///
+/// `bin_key` takes `&mut self` so policies may be stateful (see
+/// [`UniqueBin`]); stateless policies simply ignore the mutability.
+pub trait BinPolicy: Clone + std::fmt::Debug {
+    /// Maps hints to the (finest-level) bin key.
+    fn bin_key(&mut self, hints: Hints) -> [u64; MAX_DIMS];
+
+    /// Maps a fine bin key to its enclosing parent key. The engine
+    /// tours *parents* and drains each parent's bins contiguously; for
+    /// single-level policies this is the identity, so the tour sees
+    /// the bin keys themselves.
+    fn parent_key(&self, key: [u64; MAX_DIMS]) -> [u64; MAX_DIMS] {
+        key
+    }
+
+    /// Number of nesting levels (1 = flat, 2 = sub-bins within
+    /// parents). The engine only performs parent grouping when this
+    /// exceeds 1, keeping flat policies on the paper's exact path.
+    fn levels(&self) -> u32 {
+        1
+    }
+
+    /// Whether this policy folds hint permutations into one bin
+    /// (`bin_key` is invariant under reordering of the hint addresses).
+    fn symmetric(&self) -> bool {
+        false
+    }
+
+    /// Whether every `bin_key` call returns a key never seen before.
+    /// The engine then appends bins without consulting the hash table,
+    /// avoiding quadratic chain walks for per-thread-unique keys.
+    fn always_unique(&self) -> bool {
+        false
+    }
+}
+
+/// The paper's policy (§2.3/§3.2): each hint address shifted right by
+/// `log2(block size)` for its dimension, with optional symmetric
+/// folding (coordinates sorted descending so mirrored hints share a
+/// bin). Bit-identical to the pre-refactor `Scheduler` binning — the
+/// differential and golden suites pin this.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PaperBlockHash {
+    shifts: [u32; MAX_DIMS],
+    symmetric: bool,
+}
+
+impl PaperBlockHash {
+    /// Derives the policy from a [`SchedulerConfig`]'s block sizes and
+    /// symmetric flag — the mapping every config-built scheduler uses.
+    pub fn from_config(config: &SchedulerConfig) -> Self {
+        PaperBlockHash {
+            shifts: config.shifts(),
+            symmetric: config.symmetric(),
+        }
+    }
+
+    /// Builds the policy from per-dimension block sizes (each a nonzero
+    /// power of two).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any block size is zero or not a power of
+    /// two.
+    pub fn new(block_sizes: [u64; MAX_DIMS], symmetric: bool) -> Result<Self, ConfigError> {
+        let mut shifts = [0u32; MAX_DIMS];
+        for (dim, &size) in block_sizes.iter().enumerate() {
+            if size == 0 || !size.is_power_of_two() {
+                return Err(ConfigError::new(format!(
+                    "block size {size} in dimension {dim} is not a nonzero power of two"
+                )));
+            }
+            shifts[dim] = size.trailing_zeros();
+        }
+        Ok(PaperBlockHash { shifts, symmetric })
+    }
+}
+
+impl BinPolicy for PaperBlockHash {
+    #[inline]
+    fn bin_key(&mut self, hints: Hints) -> [u64; MAX_DIMS] {
+        let addrs = hints.as_array();
+        let mut coords = [
+            addrs[0].raw() >> self.shifts[0],
+            addrs[1].raw() >> self.shifts[1],
+            addrs[2].raw() >> self.shifts[2],
+            addrs[3].raw() >> self.shifts[3],
+        ];
+        if self.symmetric {
+            // Canonicalize the coordinate multiset; descending order
+            // keeps null (zero) coordinates in the trailing dimensions.
+            coords.sort_unstable_by(|a, b| b.cmp(a));
+        }
+        coords
+    }
+
+    fn symmetric(&self) -> bool {
+        self.symmetric
+    }
+}
+
+/// Two-level policy: L1-cache-sized sub-bins nested inside L2-sized
+/// parent bins.
+///
+/// Threads are keyed at L1 granularity (`addr >> log2(l1 block)`); the
+/// parent key truncates the fine key to L2 granularity. The engine
+/// tours parents — so inter-group order matches what [`PaperBlockHash`]
+/// with L2 blocks would produce — and drains each parent's sub-bins in
+/// sorted fine-key order, running threads that share an L1-sized
+/// working set back-to-back. This is the "hierarchy level as a
+/// scheduling parameter" extension (compare bubble scheduling over the
+/// cache hierarchy): L2 capacity misses are avoided by the parent
+/// grouping exactly as in the paper, and L1 capacity misses shrink
+/// because the within-parent order is no longer arbitrary ("the
+/// scheduling order of threads in the same bin can be arbitrary",
+/// §2.3 — here it is chosen to be L1-local).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Hierarchical {
+    l1_shifts: [u32; MAX_DIMS],
+    /// Per-dimension `log2(l2 block) - log2(l1 block)`: how many fine
+    /// coordinate bits a parent key truncates.
+    rel_shifts: [u32; MAX_DIMS],
+    symmetric: bool,
+}
+
+impl Hierarchical {
+    /// Builds a two-level policy from per-dimension L1 (sub-bin) and
+    /// L2 (parent bin) block sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any block size is zero or not a power of
+    /// two, if an L1 block exceeds its dimension's L2 block, or if
+    /// `symmetric` is requested with non-uniform block sizes (folding
+    /// permutes coordinates across dimensions, which is only meaningful
+    /// when every dimension uses the same geometry).
+    pub fn new(
+        l1_blocks: [u64; MAX_DIMS],
+        l2_blocks: [u64; MAX_DIMS],
+        symmetric: bool,
+    ) -> Result<Self, ConfigError> {
+        let mut l1_shifts = [0u32; MAX_DIMS];
+        let mut rel_shifts = [0u32; MAX_DIMS];
+        for dim in 0..MAX_DIMS {
+            let (l1, l2) = (l1_blocks[dim], l2_blocks[dim]);
+            for size in [l1, l2] {
+                if size == 0 || !size.is_power_of_two() {
+                    return Err(ConfigError::new(format!(
+                        "block size {size} in dimension {dim} is not a nonzero power of two"
+                    )));
+                }
+            }
+            if l1 > l2 {
+                return Err(ConfigError::new(format!(
+                    "L1 block {l1} exceeds L2 block {l2} in dimension {dim}"
+                )));
+            }
+            l1_shifts[dim] = l1.trailing_zeros();
+            rel_shifts[dim] = l2.trailing_zeros() - l1.trailing_zeros();
+        }
+        if symmetric
+            && (l1_blocks.windows(2).any(|w| w[0] != w[1])
+                || rel_shifts.windows(2).any(|w| w[0] != w[1]))
+        {
+            return Err(ConfigError::new(
+                "symmetric folding requires uniform block sizes across dimensions",
+            ));
+        }
+        Ok(Hierarchical {
+            l1_shifts,
+            rel_shifts,
+            symmetric,
+        })
+    }
+
+    /// Convenience constructor: the same L1 and L2 block size in every
+    /// dimension.
+    pub fn uniform(l1_block: u64, l2_block: u64, symmetric: bool) -> Result<Self, ConfigError> {
+        Hierarchical::new([l1_block; MAX_DIMS], [l2_block; MAX_DIMS], symmetric)
+    }
+}
+
+impl BinPolicy for Hierarchical {
+    #[inline]
+    fn bin_key(&mut self, hints: Hints) -> [u64; MAX_DIMS] {
+        let addrs = hints.as_array();
+        let mut coords = [
+            addrs[0].raw() >> self.l1_shifts[0],
+            addrs[1].raw() >> self.l1_shifts[1],
+            addrs[2].raw() >> self.l1_shifts[2],
+            addrs[3].raw() >> self.l1_shifts[3],
+        ];
+        if self.symmetric {
+            // Shifting is monotone, so descending fine keys yield
+            // descending parent keys: folding stays consistent across
+            // both levels.
+            coords.sort_unstable_by(|a, b| b.cmp(a));
+        }
+        coords
+    }
+
+    #[inline]
+    fn parent_key(&self, key: [u64; MAX_DIMS]) -> [u64; MAX_DIMS] {
+        [
+            key[0] >> self.rel_shifts[0],
+            key[1] >> self.rel_shifts[1],
+            key[2] >> self.rel_shifts[2],
+            key[3] >> self.rel_shifts[3],
+        ]
+    }
+
+    fn levels(&self) -> u32 {
+        2
+    }
+
+    fn symmetric(&self) -> bool {
+        self.symmetric
+    }
+}
+
+/// Degenerate policy: every thread lands in one bin, so the engine
+/// drains in fork (FIFO) order. Backs
+/// [`FifoScheduler`](crate::FifoScheduler).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SingleBin;
+
+impl BinPolicy for SingleBin {
+    #[inline]
+    fn bin_key(&mut self, _hints: Hints) -> [u64; MAX_DIMS] {
+        [0; MAX_DIMS]
+    }
+
+    fn symmetric(&self) -> bool {
+        // A constant map is trivially permutation-invariant.
+        true
+    }
+}
+
+/// Degenerate policy: every thread gets its own bin (keys are a fork
+/// counter). Combined with [`Tour::Random`](crate::Tour::Random) this
+/// shuffles individual threads — backing
+/// [`RandomScheduler`](crate::RandomScheduler) bit-identically to the
+/// pre-refactor per-thread shuffle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UniqueBin {
+    next: u64,
+}
+
+impl BinPolicy for UniqueBin {
+    #[inline]
+    fn bin_key(&mut self, _hints: Hints) -> [u64; MAX_DIMS] {
+        let key = self.next;
+        self.next += 1;
+        [key, 0, 0, 0]
+    }
+
+    fn always_unique(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtrace::Addr;
+
+    #[test]
+    fn paper_block_hash_matches_config_block_coords() {
+        for symmetric in [false, true] {
+            let cfg = SchedulerConfig::builder()
+                .block_sizes([1024, 2048, 4096, 8192])
+                .symmetric(symmetric)
+                .build()
+                .unwrap();
+            let mut policy = PaperBlockHash::from_config(&cfg);
+            let hints = Hints::three(Addr::new(10_000), Addr::new(70_000), Addr::new(5_000));
+            assert_eq!(policy.bin_key(hints), cfg.block_coords(hints));
+        }
+    }
+
+    #[test]
+    fn paper_block_hash_rejects_bad_blocks() {
+        assert!(PaperBlockHash::new([0, 1, 1, 1], false).is_err());
+        assert!(PaperBlockHash::new([3, 1, 1, 1], false).is_err());
+        assert!(PaperBlockHash::new([1024; MAX_DIMS], true).is_ok());
+    }
+
+    #[test]
+    fn hierarchical_nests_l1_in_l2() {
+        let mut policy = Hierarchical::uniform(1 << 10, 1 << 12, false).unwrap();
+        assert_eq!(policy.levels(), 2);
+        // Two addresses in the same 4 KiB parent but different 1 KiB
+        // sub-blocks.
+        let a = policy.bin_key(Hints::one(Addr::new(0x1000)));
+        let b = policy.bin_key(Hints::one(Addr::new(0x1400)));
+        assert_ne!(a, b, "distinct L1 sub-bins");
+        assert_eq!(policy.parent_key(a), policy.parent_key(b), "same L2 parent");
+        // A third address in another parent.
+        let c = policy.bin_key(Hints::one(Addr::new(0x4000)));
+        assert_ne!(policy.parent_key(a), policy.parent_key(c));
+    }
+
+    #[test]
+    fn hierarchical_validates_geometry() {
+        assert!(
+            Hierarchical::uniform(1 << 12, 1 << 10, false).is_err(),
+            "L1 > L2"
+        );
+        assert!(Hierarchical::uniform(0, 1 << 10, false).is_err());
+        assert!(Hierarchical::uniform(3000, 1 << 12, false).is_err());
+        assert!(
+            Hierarchical::new([512, 1024, 512, 512], [4096; 4], true).is_err(),
+            "symmetric folding needs uniform blocks"
+        );
+        assert!(Hierarchical::uniform(1 << 10, 1 << 12, true).is_ok());
+    }
+
+    #[test]
+    fn hierarchical_symmetric_folds_at_both_levels() {
+        let mut policy = Hierarchical::uniform(1 << 10, 1 << 12, true).unwrap();
+        let ab = policy.bin_key(Hints::two(Addr::new(0x1000), Addr::new(0x9000)));
+        let ba = policy.bin_key(Hints::two(Addr::new(0x9000), Addr::new(0x1000)));
+        assert_eq!(ab, ba);
+        assert_eq!(policy.parent_key(ab), policy.parent_key(ba));
+    }
+
+    #[test]
+    fn unique_bin_never_repeats() {
+        let mut policy = UniqueBin::default();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            assert!(seen.insert(policy.bin_key(Hints::none())));
+        }
+        assert!(policy.always_unique());
+    }
+
+    #[test]
+    fn single_bin_is_constant() {
+        let mut policy = SingleBin;
+        assert_eq!(
+            policy.bin_key(Hints::one(Addr::new(123))),
+            policy.bin_key(Hints::one(Addr::new(1 << 40)))
+        );
+    }
+}

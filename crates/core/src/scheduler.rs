@@ -1,9 +1,11 @@
-//! The locality scheduler (paper §2.3, §3).
+//! The locality scheduler (paper §2.3, §3), expressed over the shared
+//! [`BinEngine`](crate::engine::BinEngine).
 
+use crate::engine::BinEngine;
+use crate::policy::{BinPolicy, PaperBlockHash};
 use crate::stats::{RunStats, SchedulerStats};
-use crate::table::BinTable;
 use crate::{Hints, SchedulerConfig};
-use memtrace::{Addr, TraceSink};
+use memtrace::TraceSink;
 
 /// A thread body: a plain function pointer taking the shared context
 /// and the two word-sized arguments supplied at fork time — the same
@@ -38,98 +40,6 @@ pub(crate) struct ThreadSpec<C> {
     pub(crate) arg2: usize,
 }
 
-/// Threads per thread-group chunk. "The thread group data structure
-/// represents a number of threads within a bin; by grouping threads
-/// together in this way, amortization reduces the cost of thread
-/// structure management" (§3.2).
-const GROUP_CAPACITY: usize = 256;
-
-/// One thread group: a chunk of thread records plus the synthetic
-/// address of its storage (null when package-memory tracing is off).
-#[derive(Clone, Debug)]
-struct Group<C> {
-    specs: Vec<ThreadSpec<C>>,
-    base: Addr,
-}
-
-/// A bin: the chain of thread groups for one block of the scheduling
-/// space.
-#[derive(Clone, Debug)]
-struct Bin<C> {
-    groups: Vec<Group<C>>,
-    threads: u64,
-    /// Synthetic address of the bin record (null when tracing is off).
-    header: Addr,
-}
-
-impl<C> Bin<C> {
-    fn new(header: Addr) -> Self {
-        Bin {
-            groups: Vec::new(),
-            threads: 0,
-            header,
-        }
-    }
-}
-
-/// Bytes of one thread record: function pointer + two word arguments
-/// (the paper's three-word spec).
-const SPEC_BYTES: u64 = 24;
-/// Bytes of a bin record: "three link fields and a search key" (§3.2).
-const BIN_HEADER_BYTES: u64 = 48;
-/// Bytes of a thread-group header: count + next pointer.
-const GROUP_HEADER_BYTES: u64 = 16;
-/// Bytes of one hash bucket (a pointer).
-const BUCKET_BYTES: u64 = 8;
-
-/// Synthetic addresses for the package's own data structures, so their
-/// cache traffic shows up in traces (Pixie instrumented the thread
-/// package along with the application — the visible difference between
-/// the paper's threaded and cache-conscious PDE columns in Table 5).
-#[derive(Clone, Debug)]
-struct MetaTrace {
-    /// The hash table's bucket array.
-    table_base: Addr,
-    /// Bump pointer for bin records and thread groups, mimicking an
-    /// arena allocator.
-    bump: Addr,
-    arena_base: Addr,
-    end: Addr,
-}
-
-/// Probe observations for one scheduler instance, cumulative across
-/// runs. Kept out of [`RunStats`]/[`SchedulerStats`] so the always-on
-/// statistics stay byte-identical whether or not probes are compiled
-/// in; flushed on demand by [`Scheduler::run_profile`].
-#[derive(Clone, Debug, Default)]
-struct SchedObs {
-    /// Threads forked.
-    forks: probe::LocalCounter,
-    /// Forks that allocated a new bin.
-    bins_created: probe::LocalCounter,
-    /// Forks whose hint mapped to an already-existing bin — the
-    /// hint-to-bin reuse the locality win depends on.
-    rebin_hits: probe::LocalCounter,
-    /// Thread count of each bin drained by `run`/`run_traced`.
-    bin_occupancy: probe::Histogram,
-    /// Wall time to drain one bin.
-    bin_drain_ns: probe::Histogram,
-    /// Wall time of one whole `run`/`run_traced` call (turnaround).
-    run_ns: probe::Histogram,
-}
-
-impl MetaTrace {
-    fn alloc(&mut self, bytes: u64) -> Addr {
-        let addr = self.bump;
-        assert!(
-            addr.raw() + bytes <= self.end.raw(),
-            "scheduler meta-trace region exhausted"
-        );
-        self.bump = addr + bytes;
-        addr
-    }
-}
-
 /// A scheduler that can fork run-to-completion threads and run them in
 /// some order. Implemented by the locality [`Scheduler`] and by the
 /// [`FifoScheduler`](crate::FifoScheduler) /
@@ -148,34 +58,57 @@ pub trait ThreadScheduler<C> {
 
 /// The hint-based locality scheduler.
 ///
-/// Threads are placed into bins by their block coordinates (hint
-/// address ÷ block size per dimension); [`run`](Scheduler::run) visits
+/// Threads are placed into bins by the configured [`BinPolicy`]
+/// (default [`PaperBlockHash`]: hint address ÷ block size per
+/// dimension, the paper's mapping); [`run`](Scheduler::run) visits
 /// bins along the configured [`Tour`](crate::Tour) — allocation order
 /// by default, as in the paper — draining each bin completely. Threads
 /// within a bin run in fork order ("the scheduling order of threads in
-/// the same bin can be arbitrary", §2.3).
+/// the same bin can be arbitrary", §2.3). A two-level policy
+/// ([`Hierarchical`](crate::Hierarchical)) additionally orders each
+/// parent bin's L1-sized sub-bins so threads sharing an L1 working set
+/// run back-to-back.
 ///
 /// See the [crate docs](crate) for a complete example.
 #[derive(Clone, Debug)]
-pub struct Scheduler<C> {
+pub struct Scheduler<C, P = PaperBlockHash> {
     config: SchedulerConfig,
-    table: BinTable,
-    bins: Vec<Bin<C>>,
-    threads: u64,
-    meta: Option<MetaTrace>,
-    obs: SchedObs,
+    engine: BinEngine<ThreadSpec<C>, P>,
 }
 
 impl<C> Scheduler<C> {
-    /// Creates an empty scheduler (the paper's `th_init`).
+    /// Creates an empty scheduler (the paper's `th_init`) using the
+    /// paper's binning policy derived from `config`.
     pub fn new(config: SchedulerConfig) -> Self {
+        Scheduler::with_policy(config, PaperBlockHash::from_config(&config))
+    }
+
+    /// Creates a scheduler with the default configuration.
+    pub fn with_defaults() -> Self {
+        Scheduler::new(SchedulerConfig::default())
+    }
+
+    /// Replaces the configuration — the paper's `th_init` "can be
+    /// called more than once to change those sizes".
+    ///
+    /// # Errors
+    ///
+    /// Returns the scheduler's pending thread count if threads are
+    /// scheduled: bins cannot be re-derived without the original hints,
+    /// so reconfiguration is only possible while empty (between runs),
+    /// which is when the paper's interface allowed it too.
+    pub fn reconfigure(&mut self, config: SchedulerConfig) -> Result<(), u64> {
+        self.reconfigure_with(config, PaperBlockHash::from_config(&config))
+    }
+}
+
+impl<C, P: BinPolicy> Scheduler<C, P> {
+    /// Creates an empty scheduler binning with an explicit `policy`;
+    /// `config` still supplies the hash-table size and the tour.
+    pub fn with_policy(config: SchedulerConfig, policy: P) -> Self {
         Scheduler {
-            table: BinTable::new(config.hash_size()),
-            bins: Vec::new(),
-            threads: 0,
+            engine: BinEngine::new(config.hash_size(), config.tour(), policy),
             config,
-            meta: None,
-            obs: SchedObs::default(),
         }
     }
 
@@ -192,25 +125,7 @@ impl<C> Scheduler<C> {
     /// same region, exactly like the real package reusing its heap
     /// across iterations.
     pub fn trace_package_memory(&mut self) {
-        /// Fixed base of the package's synthetic memory.
-        const PACKAGE_BASE: u64 = 0x7f00_0000_0000;
-        let buckets = (self.config.hash_size() as u64).pow(4) * BUCKET_BYTES;
-        let table_base = Addr::new(PACKAGE_BASE);
-        let bump = (table_base + buckets).align_up(128);
-        // A generous arena for bin records and thread groups; synthetic
-        // addresses cost nothing to reserve.
-        let arena = 1u64 << 30;
-        self.meta = Some(MetaTrace {
-            table_base,
-            bump,
-            arena_base: bump,
-            end: bump + arena,
-        });
-    }
-
-    /// Creates a scheduler with the default configuration.
-    pub fn with_defaults() -> Self {
-        Scheduler::new(SchedulerConfig::default())
+        self.engine.trace_package_memory();
     }
 
     /// The active configuration.
@@ -218,25 +133,24 @@ impl<C> Scheduler<C> {
         &self.config
     }
 
-    /// Replaces the configuration — the paper's `th_init` "can be
-    /// called more than once to change those sizes".
+    /// The active binning policy.
+    pub fn policy(&self) -> &P {
+        self.engine.policy()
+    }
+
+    /// Like [`reconfigure`](Scheduler::reconfigure) with an explicit
+    /// replacement policy.
     ///
     /// # Errors
     ///
-    /// Returns the scheduler's pending thread count if threads are
-    /// scheduled: bins cannot be re-derived without the original hints,
-    /// so reconfiguration is only possible while empty (between runs),
-    /// which is when the paper's interface allowed it too.
-    pub fn reconfigure(&mut self, config: SchedulerConfig) -> Result<(), u64> {
-        if self.threads > 0 {
-            return Err(self.threads);
+    /// Returns the pending thread count if threads are scheduled.
+    pub fn reconfigure_with(&mut self, config: SchedulerConfig, policy: P) -> Result<(), u64> {
+        if self.engine.pending() > 0 {
+            return Err(self.engine.pending());
         }
-        self.table = BinTable::new(config.hash_size());
-        self.bins.clear();
+        self.engine
+            .reconfigure(config.hash_size(), config.tour(), policy);
         self.config = config;
-        // The synthetic hash-table region was sized for the old
-        // configuration; re-enable tracing afterwards if needed.
-        self.meta = None;
         Ok(())
     }
 
@@ -261,65 +175,8 @@ impl<C> Scheduler<C> {
         hints: Hints,
         sink: &mut S,
     ) {
-        let key = self.config.block_coords(hints);
-        let (id, created) = self.table.lookup_or_insert(key);
-        self.obs.forks.incr();
-        if created {
-            self.obs.bins_created.incr();
-        } else {
-            self.obs.rebin_hits.incr();
-        }
-        if let Some(meta) = &mut self.meta {
-            // Hash probe.
-            let bucket = self.table.bucket_index(key) as u64;
-            sink.read(meta.table_base + bucket * BUCKET_BYTES, BUCKET_BYTES as u32);
-        }
-        if created {
-            let header = match &mut self.meta {
-                Some(meta) => {
-                    let header = meta.alloc(BIN_HEADER_BYTES);
-                    // Initialize the bin record and link it into the
-                    // bucket chain and the ready list.
-                    sink.write(header, BIN_HEADER_BYTES as u32);
-                    header
-                }
-                None => Addr::NULL,
-            };
-            self.bins.push(Bin::new(header));
-        }
-        let bin = &mut self.bins[id as usize];
-        let needs_group = match bin.groups.last() {
-            Some(group) => group.specs.len() >= GROUP_CAPACITY,
-            None => true,
-        };
-        if needs_group {
-            let base = match &mut self.meta {
-                Some(meta) => {
-                    let base = meta.alloc(GROUP_HEADER_BYTES + GROUP_CAPACITY as u64 * SPEC_BYTES);
-                    sink.write(base, GROUP_HEADER_BYTES as u32);
-                    base
-                }
-                None => Addr::NULL,
-            };
-            bin.groups.push(Group {
-                specs: Vec::with_capacity(GROUP_CAPACITY),
-                base,
-            });
-        }
-        let group = bin.groups.last_mut().expect("group just ensured");
-        let slot = group.specs.len() as u64;
-        group.specs.push(ThreadSpec { func, arg1, arg2 });
-        if self.meta.is_some() {
-            // Store the three-word thread record and bump the group's
-            // count field.
-            sink.write(
-                group.base + GROUP_HEADER_BYTES + slot * SPEC_BYTES,
-                SPEC_BYTES as u32,
-            );
-            sink.write(group.base, 8);
-        }
-        bin.threads += 1;
-        self.threads += 1;
+        self.engine
+            .insert_traced(ThreadSpec { func, arg1, arg2 }, hints, sink);
     }
 
     /// Runs every scheduled thread, visiting bins in tour order and
@@ -329,34 +186,12 @@ impl<C> Scheduler<C> {
     /// (or extended with further forks); with [`RunMode::Consume`] the
     /// scheduler is left empty.
     pub fn run(&mut self, ctx: &mut C, mode: RunMode) -> RunStats {
-        let order = self.config.tour().order(self.table.keys());
-        let mut threads_run = 0u64;
-        let mut bins_visited = 0usize;
-        {
-            let _run_span = self.obs.run_ns.span();
-            for id in order {
-                let bin = &self.bins[id as usize];
-                if bin.threads == 0 {
-                    continue;
-                }
-                bins_visited += 1;
-                self.obs.bin_occupancy.record(bin.threads);
-                let _drain_span = self.obs.bin_drain_ns.span();
-                for group in &bin.groups {
-                    for spec in &group.specs {
-                        (spec.func)(ctx, spec.arg1, spec.arg2);
-                    }
-                }
-                threads_run += bin.threads;
-            }
-        }
-        if mode == RunMode::Consume {
-            self.clear();
-        }
-        RunStats {
-            threads_run,
-            bins_visited,
-        }
+        self.engine.run_with(
+            ctx,
+            mode,
+            |_, _, _| {},
+            |ctx, spec| (spec.func)(ctx, spec.arg1, spec.arg2),
+        )
     }
 
     /// Like [`run`](Self::run), additionally emitting the package's
@@ -372,97 +207,48 @@ impl<C> Scheduler<C> {
         S: TraceSink,
         F: FnMut(&mut C) -> &mut S,
     {
-        let order = self.config.tour().order(self.table.keys());
-        let tracing = self.meta.is_some();
-        let mut threads_run = 0u64;
-        let mut bins_visited = 0usize;
-        {
-            let _run_span = self.obs.run_ns.span();
-            for id in order {
-                let bin = &self.bins[id as usize];
-                if bin.threads == 0 {
-                    continue;
-                }
-                bins_visited += 1;
-                self.obs.bin_occupancy.record(bin.threads);
-                let _drain_span = self.obs.bin_drain_ns.span();
-                if tracing {
-                    // Ready-list step: load the bin record.
-                    sink_of(ctx).read(bin.header, BIN_HEADER_BYTES as u32);
-                }
-                for group in &bin.groups {
-                    if tracing {
-                        // Group header: count + next pointer.
-                        sink_of(ctx).read(group.base, GROUP_HEADER_BYTES as u32);
-                    }
-                    for (slot, spec) in group.specs.iter().enumerate() {
-                        if tracing {
-                            sink_of(ctx).read(
-                                group.base + GROUP_HEADER_BYTES + slot as u64 * SPEC_BYTES,
-                                SPEC_BYTES as u32,
-                            );
-                        }
-                        (spec.func)(ctx, spec.arg1, spec.arg2);
-                    }
-                }
-                threads_run += bin.threads;
-            }
-        }
-        if mode == RunMode::Consume {
-            self.clear();
-        }
-        RunStats {
-            threads_run,
-            bins_visited,
-        }
+        self.engine.run_with(
+            ctx,
+            mode,
+            |ctx, addr, size| sink_of(ctx).read(addr, size),
+            |ctx, spec| (spec.func)(ctx, spec.arg1, spec.arg2),
+        )
     }
 
     /// Number of threads currently scheduled.
     pub fn pending(&self) -> u64 {
-        self.threads
+        self.engine.pending()
     }
 
     /// Number of bins currently allocated.
     pub fn bins(&self) -> usize {
-        self.table.len()
+        self.engine.bins()
     }
 
     /// Distribution statistics over the current schedule (the paper
     /// reports these per benchmark: threads, bins, threads per bin).
     pub fn stats(&self) -> SchedulerStats {
-        SchedulerStats::from_bin_counts(self.bins.iter().map(|b| b.threads).collect())
+        self.engine.stats()
     }
 
     /// Flushes the probe observations accumulated so far (forks, bin
-    /// creation vs. reuse, bin occupancy/drain times, run turnaround)
-    /// into a `"sched"` profile section. Cumulative across runs; with
-    /// the probe layer compiled out (see [`probe::enabled`]) every
-    /// counter reads zero and every histogram is empty.
+    /// creation vs. reuse, bin occupancy/drain times, run turnaround;
+    /// for hierarchical policies also parent occupancy and sub-bin
+    /// drains) into a `"sched"` profile section. Cumulative across
+    /// runs; with the probe layer compiled out (see [`probe::enabled`])
+    /// every counter reads zero and every histogram is empty.
     pub fn run_profile(&self) -> probe::Section {
-        let mut section = probe::Section::new("sched");
-        section
-            .counter("forks", self.obs.forks.get())
-            .counter("bins_created", self.obs.bins_created.get())
-            .counter("rebin_hits", self.obs.rebin_hits.get())
-            .histogram("bin_occupancy", &self.obs.bin_occupancy)
-            .histogram("bin_drain_ns", &self.obs.bin_drain_ns)
-            .histogram("run_ns", &self.obs.run_ns);
-        section
+        self.engine.run_profile()
     }
 
     /// Removes all scheduled threads and bins (the arena of a traced
     /// package is recycled, as a real allocator would).
     pub fn clear(&mut self) {
-        self.table.clear();
-        self.bins.clear();
-        self.threads = 0;
-        if let Some(meta) = &mut self.meta {
-            meta.bump = meta.arena_base;
-        }
+        self.engine.clear();
     }
 }
 
-impl<C> ThreadScheduler<C> for Scheduler<C> {
+impl<C, P: BinPolicy> ThreadScheduler<C> for Scheduler<C, P> {
     fn fork(&mut self, func: ThreadFn<C>, arg1: usize, arg2: usize, hints: Hints) {
         Scheduler::fork(self, func, arg1, arg2, hints);
     }
@@ -479,6 +265,8 @@ impl<C> ThreadScheduler<C> for Scheduler<C> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::GROUP_CAPACITY;
+    use crate::policy::Hierarchical;
     use memtrace::Addr;
 
     type Log = Vec<(usize, usize)>;
@@ -739,5 +527,90 @@ mod tests {
         }
         let mut sched: Scheduler<Log> = Scheduler::with_defaults();
         assert_eq!(drive(&mut sched), 1);
+    }
+
+    /// The pre-refactor `Scheduler` run order on a dense pseudo-random
+    /// 2-D workload, captured before the engine extraction as an FNV-1a
+    /// digest of the executed `arg1` sequence. Any deviation in the
+    /// hints → bin → tour → drain pipeline changes this digest.
+    #[test]
+    fn run_order_matches_pre_refactor_golden() {
+        fn body(log: &mut Vec<usize>, i: usize, _j: usize) {
+            log.push(i);
+        }
+        for (symmetric, golden) in [
+            (false, 0x602b_6d0e_814b_6447u64),
+            (true, 0x75cd_8bb5_5def_c1e9),
+        ] {
+            let cfg = SchedulerConfig::builder()
+                .block_size(1 << 16)
+                .symmetric(symmetric)
+                .build()
+                .unwrap();
+            let mut sched: Scheduler<Vec<usize>> = Scheduler::new(cfg);
+            let mut x = 0x9E37_79B9_7F4A_7C15u64;
+            for i in 0..300usize {
+                let mut next = || {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    x
+                };
+                let a = next() % (1 << 21);
+                let b = next() % (1 << 21);
+                sched.fork(body, i, 0, Hints::two(Addr::new(a), Addr::new(b)));
+            }
+            let mut log = Vec::new();
+            sched.run(&mut log, RunMode::Consume);
+            let mut digest = 0xcbf2_9ce4_8422_2325u64;
+            for v in &log {
+                digest ^= *v as u64;
+                digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            assert_eq!(digest, golden, "symmetric={symmetric}");
+        }
+    }
+
+    #[test]
+    fn hierarchical_policy_drains_subbins_within_parents() {
+        // 1 KiB sub-bins inside 4 KiB parents. Forks touch two parents
+        // (0x0000.. and 0x8000..), each with interleaved sub-blocks.
+        let policy = Hierarchical::uniform(1 << 10, 1 << 12, false).unwrap();
+        let mut sched: Scheduler<Log, Hierarchical> =
+            Scheduler::with_policy(SchedulerConfig::default(), policy);
+        let addrs: [u64; 8] = [
+            0x0000, 0x8000, 0x0400, 0x8400, 0x0800, 0x8800, 0x0c00, 0x8c00,
+        ];
+        for (i, &addr) in addrs.iter().enumerate() {
+            sched.fork(record, i, 0, Hints::one(Addr::new(addr)));
+        }
+        assert_eq!(sched.bins(), 8, "one sub-bin per 1 KiB block");
+        let mut log = Log::new();
+        let stats = sched.run(&mut log, RunMode::Consume);
+        assert_eq!(stats.threads_run, 8);
+        // Parent 0x0000 was allocated first: all four of its sub-bins
+        // drain before any of parent 0x8000's, each parent's sub-bins
+        // in ascending fine-key order.
+        let order: Vec<usize> = log.iter().map(|&(a, _)| a).collect();
+        assert_eq!(order, vec![0, 2, 4, 6, 1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn hierarchical_retain_re_runs_identically() {
+        let policy = Hierarchical::uniform(512, 4096, false).unwrap();
+        let mut sched: Scheduler<Log, Hierarchical> =
+            Scheduler::with_policy(SchedulerConfig::default(), policy);
+        for i in 0..50 {
+            sched.fork(
+                record,
+                i,
+                0,
+                Hints::one(Addr::new((i as u64 * 397) % 16384)),
+            );
+        }
+        let mut log = Log::new();
+        sched.run(&mut log, RunMode::Retain);
+        sched.run(&mut log, RunMode::Consume);
+        assert_eq!(&log[..50], &log[50..], "identical re-execution");
     }
 }

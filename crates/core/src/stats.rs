@@ -66,9 +66,9 @@ impl fmt::Display for WorkerStats {
 /// average of 12,945 threads per bin. The distribution of the threads
 /// in the bins was quite uniform." (§4.2)
 ///
-/// After a parallel run ([`ParScheduler::run_report`]
-/// (crate::ParScheduler::run_report)), the stats additionally carry one
-/// [`WorkerStats`] entry per worker.
+/// After a parallel run
+/// ([`ParScheduler::run_report`](crate::ParScheduler::run_report)), the
+/// stats additionally carry one [`WorkerStats`] entry per worker.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SchedulerStats {
     per_bin: Vec<u64>,

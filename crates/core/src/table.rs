@@ -83,6 +83,23 @@ impl BinTable {
         (new_id, true)
     }
 
+    /// Appends a bin for `key` without consulting the bucket chains.
+    ///
+    /// For policies whose every key is fresh
+    /// ([`BinPolicy::always_unique`](crate::BinPolicy::always_unique)),
+    /// chaining each key into one bucket would make insertion
+    /// quadratic; appending keeps it O(1). Keys appended this way are
+    /// not findable by [`lookup_or_insert`](BinTable::lookup_or_insert)
+    /// — unique-key policies never look up.
+    #[inline]
+    pub(crate) fn append_unique(&mut self, key: [u64; MAX_DIMS]) -> BinId {
+        let new_id = self.keys.len() as BinId;
+        assert!(new_id != NIL, "bin id space exhausted");
+        self.keys.push(key);
+        self.next.push(NIL);
+        new_id
+    }
+
     /// Public (crate) view of the bucket a key hashes to, for the
     /// package-memory tracer.
     #[inline]

@@ -22,7 +22,9 @@ use rand::SeedableRng;
 /// * [`Hilbert`](Tour::Hilbert) — Hilbert space-filling curve over the
 ///   first two dimensions: an O(1)-per-bin approximation of the
 ///   "shortest tour" the paper gestures at, guaranteeing adjacent bins
-///   differ in one block step.
+///   differ in one block step. The curve covers dimensions 0–1 *only*
+///   (while keys carry [`MAX_DIMS`] = 4 coordinates); see
+///   [`Hilbert`](Tour::Hilbert) for the dimension-2/3 tie-break.
 /// * [`Morton`](Tour::Morton) — Z-order over all three dimensions.
 /// * [`Random`](Tour::Random) — seeded random order; the adversarial
 ///   baseline (destroys inter-bin locality while keeping intra-bin
@@ -33,8 +35,16 @@ pub enum Tour {
     AllocationOrder,
     /// Visit bins in lexicographic block-coordinate order.
     SortedKey,
-    /// Visit bins along a 2-D Hilbert curve over dimensions 0 and 1
-    /// (dimension 2 breaks ties).
+    /// Visit bins along a 2-D Hilbert curve over dimensions 0 and 1.
+    ///
+    /// The curve covers only the first two dimensions even though keys
+    /// are 4-D: bins sharing a (dim-0, dim-1) plane cell sort by the
+    /// lexicographic tie-break `(dim 2, dim 3)`, so all of a plane
+    /// cell's bins drain contiguously (ascending in dims 2–3) before
+    /// the tour takes its next unit step in the plane. For 3-D hint
+    /// workloads (nbody's x/y/z) this means the tour is Hilbert-local
+    /// in x/y and sweeps z slabs in order within each column — it does
+    /// *not* take unit steps in z across plane cells.
     Hilbert,
     /// Visit bins in 3-D Morton (Z-curve) order.
     Morton,
@@ -193,6 +203,38 @@ mod tests {
             let b = keys[pair[1] as usize];
             let dist = a[0].abs_diff(b[0]) + a[1].abs_diff(b[1]);
             assert_eq!(dist, 1, "{a:?} -> {b:?}");
+        }
+    }
+
+    #[test]
+    fn hilbert_three_d_keys_tie_break_on_trailing_dims() {
+        // nbody-style 3-D hints: a 4x4 plane of cells, each with two z
+        // slabs. The curve orders plane cells; dims 2-3 only break
+        // ties within a cell.
+        let mut keys = Vec::new();
+        for z in 0..2u64 {
+            for x in 0..4u64 {
+                for y in 0..4u64 {
+                    keys.push([x, y, z, 0]);
+                }
+            }
+        }
+        let order = Tour::Hilbert.order(&keys);
+        for pair in order.windows(2) {
+            let a = keys[pair[0] as usize];
+            let b = keys[pair[1] as usize];
+            if (a[0], a[1]) == (b[0], b[1]) {
+                // Same plane cell: the z slabs drain in ascending
+                // order, back-to-back.
+                assert!(a[2] < b[2], "tie-break ascending in dim 2: {a:?} -> {b:?}");
+            } else {
+                // New plane cell: a Hilbert unit step, entered at the
+                // lowest z slab after fully draining the previous cell.
+                let dist = a[0].abs_diff(b[0]) + a[1].abs_diff(b[1]);
+                assert_eq!(dist, 1, "adjacent plane cells: {a:?} -> {b:?}");
+                assert_eq!(a[2], 1, "previous cell drained to its last slab");
+                assert_eq!(b[2], 0, "next cell starts at its first slab");
+            }
         }
     }
 

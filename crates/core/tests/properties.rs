@@ -1,8 +1,8 @@
 //! Property-based tests of the locality scheduler's invariants.
 
 use locality_sched::{
-    Addr, FifoScheduler, Hints, RandomScheduler, RunMode, Scheduler, SchedulerConfig,
-    ThreadScheduler, Tour,
+    Addr, BinPolicy, FifoScheduler, Hierarchical, Hints, PaperBlockHash, RandomScheduler, RunMode,
+    Scheduler, SchedulerConfig, SingleBin, ThreadScheduler, Tour,
 };
 use proptest::prelude::*;
 
@@ -61,6 +61,42 @@ fn arb_config() -> impl Strategy<Value = SchedulerConfig> {
                 .expect("generated configs are valid")
         },
     )
+}
+
+/// FNV-1a digest of `block_coords` over a deterministic pseudo-random
+/// hint set, captured from the pre-refactor mapping: the policy
+/// extraction must not move a single bin key.
+#[test]
+fn block_coords_digest_matches_pre_refactor_golden() {
+    for (symmetric, golden) in [
+        (false, 0xb241_e70e_f124_5edd_u64),
+        (true, 0x1b46_4ef1_f4fe_c907),
+    ] {
+        let cfg = SchedulerConfig::builder()
+            .block_size(1 << 16)
+            .symmetric(symmetric)
+            .build()
+            .unwrap();
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        for _ in 0..500 {
+            let mut next = || {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            };
+            let a = next() % (1 << 30);
+            let b = next() % (1 << 30);
+            let c = next() % (1 << 30);
+            let hints = Hints::three(Addr::new(a), Addr::new(b), Addr::new(c));
+            for v in cfg.block_coords(hints) {
+                digest ^= v;
+                digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        assert_eq!(digest, golden, "symmetric={symmetric}");
+    }
 }
 
 proptest! {
@@ -307,6 +343,88 @@ proptest! {
         prop_assert_eq!(stats.threads_run, n as u64);
         let seen: Vec<usize> = log.iter().map(|&(p, _)| p).collect();
         prop_assert!(seen.windows(2).all(|w| w[0] <= w[1]), "{:?}", seen);
+    }
+
+    /// Any policy reporting `symmetric() == true` is invariant under
+    /// permutation of its hint addresses: mirrored (or arbitrarily
+    /// reordered) hints land in the same bin. This is the trait-level
+    /// restatement of the paper's §2.3 symmetric folding, checked for
+    /// every shipped symmetric policy.
+    #[test]
+    fn symmetric_policies_are_hint_permutation_invariant(
+        addr_tuple in (0u64..(1 << 30), 0u64..(1 << 30), 0u64..(1 << 30), 0u64..(1 << 30)),
+        seed in any::<u64>(),
+        block_log2 in 6u32..20,
+        sub_log2 in 3u32..6,
+    ) {
+        fn permuted(addrs: [u64; 4], seed: u64) -> [u64; 4] {
+            let mut rest = addrs.to_vec();
+            let mut out = [0u64; 4];
+            let mut s = seed;
+            for slot in &mut out {
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                *slot = rest.remove((s >> 33) as usize % rest.len());
+            }
+            out
+        }
+
+        fn check<P: BinPolicy>(mut policy: P, a: [u64; 4], b: [u64; 4]) {
+            assert!(policy.symmetric(), "{policy:?} must report symmetric");
+            let key = |p: &mut P, v: [u64; 4]| {
+                p.bin_key(Hints::four(
+                    Addr::new(v[0]),
+                    Addr::new(v[1]),
+                    Addr::new(v[2]),
+                    Addr::new(v[3]),
+                ))
+            };
+            assert_eq!(key(&mut policy, a), key(&mut policy, b), "{policy:?}");
+        }
+
+        let addrs = [addr_tuple.0, addr_tuple.1, addr_tuple.2, addr_tuple.3];
+        let other = permuted(addrs, seed);
+        let block = 1u64 << block_log2;
+        check(
+            PaperBlockHash::new([block; 4], true).unwrap(),
+            addrs,
+            other,
+        );
+        check(
+            Hierarchical::uniform(block >> sub_log2, block, true).unwrap(),
+            addrs,
+            other,
+        );
+        check(SingleBin, addrs, other);
+    }
+
+    /// [`PaperBlockHash`] computes exactly the pre-refactor hints→bin
+    /// arithmetic — per-dimension address shift, then (symmetric only)
+    /// a descending coordinate sort — and agrees with the public
+    /// [`SchedulerConfig::block_coords`] on every hint shape.
+    #[test]
+    fn paper_block_hash_matches_pre_refactor_mapping(
+        hints in arb_hints(),
+        block_log2 in 6u32..24,
+        symmetric in any::<bool>(),
+    ) {
+        let mut expect = [0u64; 4];
+        for (dim, coord) in expect.iter_mut().enumerate() {
+            *coord = hints.get(dim).raw() >> block_log2;
+        }
+        if symmetric {
+            expect.sort_unstable_by(|a, b| b.cmp(a));
+        }
+        let mut policy =
+            PaperBlockHash::new([1u64 << block_log2; 4], symmetric).unwrap();
+        prop_assert_eq!(policy.bin_key(hints), expect);
+        let config = SchedulerConfig::builder()
+            .block_size(1 << block_log2)
+            .symmetric(symmetric)
+            .build()
+            .unwrap();
+        prop_assert_eq!(config.block_coords(hints), expect);
     }
 
     /// Scheduler stats are consistent with what fork recorded.

@@ -1,0 +1,187 @@
+//! Machine-derived bin geometry: the single place that turns a
+//! [`MachineModel`]'s cache sizes into scheduler block sizes.
+//!
+//! The paper sizes bins so a bin's working set fits the second-level
+//! cache (§3.2): with k hint dimensions, the block dimensions sum to
+//! (at most) the cache size. Each kernel divides the L2 budget by its
+//! hint arity — matmul and the PDE read two structures per thread but
+//! hint one or two addresses, SOR reads four lines per thread, the
+//! N-body reads a 3-D neighbourhood — so the per-dimension block is the
+//! largest power of two not exceeding the kernel's share:
+//!
+//! | Kernel | L2 block | Rationale (paper §4) |
+//! |---|---|---|
+//! | [`MatMul`](Kernel::MatMul) | L2 / 2 | two column working sets per bin (§4.2) |
+//! | [`Pde`](Kernel::Pde) | L2 / 2 | red/black line pair per thread |
+//! | [`Sor`](Kernel::Sor) | L2 / 4 | 63 bins over a 32 MB array ≈ L2/4 blocks |
+//! | [`NBody`](Kernel::NBody) | L2 / 3 | three hint dimensions summing to L2 (§3.2) |
+//!
+//! The same rules applied to the L1 capacity give the *sub-bin* sizes
+//! for hierarchical (L1-in-L2) binning: sub-bins whose working sets fit
+//! the first-level cache, drained back-to-back inside their L2-sized
+//! parent.
+
+use cachesim::MachineModel;
+use locality_sched::{ConfigError, Hierarchical, SchedulerConfig};
+
+/// The four threaded kernels whose bin sizes derive from the machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kernel {
+    /// Blocked matrix multiply (§4.2): 2-D column-address hints.
+    MatMul,
+    /// Red-black Gauss–Seidel relaxation (§4.3): 1-D line hints.
+    Pde,
+    /// Successive over-relaxation (§4.3): 1-D column hints.
+    Sor,
+    /// Barnes–Hut N-body (§4.4): 3-D position hints.
+    NBody,
+}
+
+impl Kernel {
+    /// Parses the workload names the bench tables use.
+    pub fn from_name(name: &str) -> Option<Kernel> {
+        match name {
+            "matmul" => Some(Kernel::MatMul),
+            "pde" => Some(Kernel::Pde),
+            "sor" => Some(Kernel::Sor),
+            "nbody" => Some(Kernel::NBody),
+            _ => None,
+        }
+    }
+
+    /// The kernel's share of a cache capacity: the divisor applied to
+    /// the cache size before rounding down to a power of two.
+    fn capacity_share(self, capacity: u64) -> u64 {
+        match self {
+            Kernel::MatMul | Kernel::Pde => capacity / 2,
+            Kernel::Sor => capacity / 4,
+            Kernel::NBody => capacity / 3,
+        }
+        .max(1)
+    }
+}
+
+/// Largest power of two ≤ `x` (with `x ≥ 1`).
+fn prev_power_of_two(x: u64) -> u64 {
+    debug_assert!(x > 0);
+    1 << (63 - x.leading_zeros())
+}
+
+/// The cache capacities a machine offers each bin level, extracted once
+/// from a [`MachineModel`] so every workload and bench derives its
+/// block sizes from the same two numbers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BinGeometry {
+    /// First-level data cache capacity in bytes (sub-bin budget).
+    pub l1_capacity: u64,
+    /// Second-level cache capacity in bytes (bin budget, §3.2).
+    pub l2_capacity: u64,
+}
+
+impl BinGeometry {
+    /// Reads the bin-level budgets off a machine model.
+    pub fn for_machine(machine: &MachineModel) -> Self {
+        BinGeometry {
+            l1_capacity: machine.l1_capacity(),
+            l2_capacity: machine.l2_capacity(),
+        }
+    }
+
+    /// The L2-sized (flat / parent) block for `kernel`.
+    pub fn l2_block(&self, kernel: Kernel) -> u64 {
+        prev_power_of_two(kernel.capacity_share(self.l2_capacity))
+    }
+
+    /// The L1-sized (sub-bin) block for `kernel`.
+    pub fn l1_block(&self, kernel: Kernel) -> u64 {
+        // Never larger than the L2 block, even on machines whose L1
+        // rivals their L2 (degenerate test hierarchies).
+        prev_power_of_two(kernel.capacity_share(self.l1_capacity)).min(self.l2_block(kernel))
+    }
+
+    /// The flat (paper §3.2) scheduler configuration for `kernel`:
+    /// uniform L2-sized blocks, package defaults otherwise.
+    pub fn flat_config(&self, kernel: Kernel) -> SchedulerConfig {
+        SchedulerConfig::builder()
+            .block_size(self.l2_block(kernel))
+            .build()
+            .expect("power-of-two block")
+    }
+
+    /// The hierarchical (L1-in-L2) policy for `kernel`: L1-sized
+    /// sub-bins nested in L2-sized bins.
+    pub fn hierarchical(&self, kernel: Kernel) -> Result<Hierarchical, ConfigError> {
+        Hierarchical::uniform(self.l1_block(kernel), self.l2_block(kernel), false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r8000_like() -> BinGeometry {
+        // The paper's R8000 model: 16 KB L1d, 4 MB unified L2.
+        BinGeometry {
+            l1_capacity: 16 << 10,
+            l2_capacity: 4 << 20,
+        }
+    }
+
+    #[test]
+    fn l2_blocks_match_the_paper_rules() {
+        let g = r8000_like();
+        assert_eq!(g.l2_block(Kernel::MatMul), 1 << 21); // 4M/2
+        assert_eq!(g.l2_block(Kernel::Pde), 1 << 21);
+        assert_eq!(g.l2_block(Kernel::Sor), 1 << 20); // 4M/4
+        assert_eq!(g.l2_block(Kernel::NBody), 1 << 20); // ⌊4M/3⌋ → 1M
+    }
+
+    #[test]
+    fn l1_blocks_apply_the_same_shares_to_l1() {
+        let g = r8000_like();
+        assert_eq!(g.l1_block(Kernel::MatMul), 1 << 13); // 16K/2
+        assert_eq!(g.l1_block(Kernel::Sor), 1 << 12); // 16K/4
+        assert_eq!(g.l1_block(Kernel::NBody), 1 << 12); // ⌊16K/3⌋ → 4K
+    }
+
+    #[test]
+    fn l1_block_never_exceeds_l2_block() {
+        // Degenerate machine: L1 as large as L2.
+        let g = BinGeometry {
+            l1_capacity: 1 << 20,
+            l2_capacity: 1 << 20,
+        };
+        for k in [Kernel::MatMul, Kernel::Pde, Kernel::Sor, Kernel::NBody] {
+            assert!(g.l1_block(k) <= g.l2_block(k), "{k:?}");
+        }
+    }
+
+    #[test]
+    fn flat_config_uses_the_l2_block() {
+        let g = r8000_like();
+        let config = g.flat_config(Kernel::Sor);
+        assert_eq!(config.block_size(0), 1 << 20);
+    }
+
+    #[test]
+    fn hierarchical_builds_for_every_kernel() {
+        let g = r8000_like();
+        for k in [Kernel::MatMul, Kernel::Pde, Kernel::Sor, Kernel::NBody] {
+            let policy = g.hierarchical(k).expect("valid geometry");
+            assert!(!format!("{policy:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn kernel_names_round_trip() {
+        for (name, kernel) in [
+            ("matmul", Kernel::MatMul),
+            ("pde", Kernel::Pde),
+            ("sor", Kernel::Sor),
+            ("nbody", Kernel::NBody),
+        ] {
+            assert_eq!(Kernel::from_name(name), Some(kernel));
+        }
+        assert_eq!(Kernel::from_name("spmv"), None);
+    }
+}

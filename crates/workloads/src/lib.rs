@@ -21,6 +21,7 @@
 //! `cachesim::SimSink` to reproduce the paper's trace-driven cache
 //! simulations.
 
+pub mod geometry;
 pub mod matmul;
 pub mod multigrid;
 pub mod nbody;
@@ -30,4 +31,5 @@ pub mod report;
 pub mod sor;
 pub mod spmv;
 
+pub use geometry::{BinGeometry, Kernel};
 pub use report::WorkloadReport;

@@ -16,7 +16,7 @@
 
 use crate::overhead::{FORK_INSTRUCTIONS, RUN_INSTRUCTIONS};
 use crate::WorkloadReport;
-use locality_sched::{Hints, RunMode, Scheduler, SchedulerConfig};
+use locality_sched::{BinPolicy, Hints, PaperBlockHash, RunMode, Scheduler, SchedulerConfig};
 use memtrace::{AddressSpace, MatrixLayout, TraceSink, TracedMatrix};
 
 /// Instructions per multiply-add in the untiled interchanged loop.
@@ -384,10 +384,23 @@ pub fn threaded<S: TraceSink>(
     config: SchedulerConfig,
     sink: &mut S,
 ) -> WorkloadReport {
+    let policy = PaperBlockHash::from_config(&config);
+    threaded_with(data, config, policy, sink)
+}
+
+/// [`threaded`] under an arbitrary [`BinPolicy`] — the hints are
+/// identical; only the hints→bin mapping (and hence the drain order)
+/// changes.
+pub fn threaded_with<S: TraceSink, P: BinPolicy>(
+    data: &mut MatMulData,
+    config: SchedulerConfig,
+    policy: P,
+    sink: &mut S,
+) -> WorkloadReport {
     let n = data.n;
     transpose_in_place(&mut data.a, sink);
     let sched_stats = {
-        let mut sched: Scheduler<DotCtx<'_, S>> = Scheduler::new(config);
+        let mut sched: Scheduler<DotCtx<'_, S>, P> = Scheduler::with_policy(config, policy);
         sched.trace_package_memory();
         for i in 0..n {
             for j in 0..n {

@@ -28,7 +28,9 @@ pub use tree::{BhTree, LEAF_CAPACITY};
 
 use crate::overhead::{FORK_INSTRUCTIONS, RUN_INSTRUCTIONS};
 use crate::WorkloadReport;
-use locality_sched::{Addr, Hints, RunMode, Scheduler, SchedulerConfig, SchedulerStats};
+use locality_sched::{
+    Addr, BinPolicy, Hints, PaperBlockHash, RunMode, Scheduler, SchedulerConfig, SchedulerStats,
+};
 use memtrace::{AddressSpace, TraceSink, TracedBuf};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -316,6 +318,21 @@ pub fn threaded<S: TraceSink>(
     config: SchedulerConfig,
     sink: &mut S,
 ) -> WorkloadReport {
+    let policy = PaperBlockHash::from_config(&config);
+    threaded_with(data, iterations, params, config, policy, sink)
+}
+
+/// [`threaded`] under an arbitrary [`BinPolicy`] — force threads within
+/// a timestep are independent, so any drain order computes identical
+/// accelerations; only the cache behaviour changes.
+pub fn threaded_with<S: TraceSink, P: BinPolicy>(
+    data: &mut NBodyData,
+    iterations: usize,
+    params: NBodyParams,
+    config: SchedulerConfig,
+    policy: P,
+    sink: &mut S,
+) -> WorkloadReport {
     let mut threads = 0u64;
     let mut last_stats: Option<SchedulerStats> = None;
     for it in 0..iterations {
@@ -332,7 +349,8 @@ pub fn threaded<S: TraceSink>(
         // cut into bins.
         let scale = params.plane_extent as f64 / extent;
         let stats = {
-            let mut sched: Scheduler<ForceCtx<'_, S>> = Scheduler::new(config);
+            let mut sched: Scheduler<ForceCtx<'_, S>, P> =
+                Scheduler::with_policy(config, policy.clone());
             sched.trace_package_memory();
             for i in 0..data.bodies.len() {
                 let pos = data.bodies.at(i).pos;

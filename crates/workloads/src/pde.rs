@@ -22,7 +22,10 @@
 
 use crate::overhead::{FORK_INSTRUCTIONS, RUN_INSTRUCTIONS};
 use crate::WorkloadReport;
-use locality_sched::{Hints, PhasedScheduler, RunMode, Scheduler, SchedulerConfig, SchedulerStats};
+use locality_sched::{
+    BinPolicy, Hints, PaperBlockHash, PhasedScheduler, RunMode, Scheduler, SchedulerConfig,
+    SchedulerStats,
+};
 use memtrace::{AddressSpace, MatrixLayout, TraceSink, TracedMatrix};
 
 /// Instructions per point relaxation in the regular version's sweeps.
@@ -239,12 +242,29 @@ pub fn threaded<S: TraceSink>(
     config: SchedulerConfig,
     sink: &mut S,
 ) -> WorkloadReport {
+    let policy = PaperBlockHash::from_config(&config);
+    threaded_with(data, iters, config, policy, sink)
+}
+
+/// [`threaded`] under an arbitrary [`BinPolicy`]. The red-black
+/// ordering constraint carries over: a policy is only correct here if,
+/// combined with the allocation-order tour, it drains threads in
+/// ascending line order (true for the flat paper policy and for
+/// [`Hierarchical`](locality_sched::Hierarchical) nesting, both of
+/// which are monotone in the single line-address hint).
+pub fn threaded_with<S: TraceSink, P: BinPolicy>(
+    data: &mut PdeData,
+    iters: usize,
+    config: SchedulerConfig,
+    policy: P,
+    sink: &mut S,
+) -> WorkloadReport {
     let n = data.n;
     let mut threads = 0u64;
     let mut last_stats: Option<SchedulerStats> = None;
     for it in 0..iters {
         let last = it + 1 == iters;
-        let mut sched: Scheduler<PdeCtx<'_, S>> = Scheduler::new(config);
+        let mut sched: Scheduler<PdeCtx<'_, S>, P> = Scheduler::with_policy(config, policy.clone());
         sched.trace_package_memory();
         for i3 in 1..=n {
             let hint_line = i3.min(n - 1);

@@ -35,7 +35,7 @@
 
 use crate::overhead::{FORK_INSTRUCTIONS, RUN_INSTRUCTIONS};
 use crate::WorkloadReport;
-use locality_sched::{Hints, RunMode, Scheduler, SchedulerConfig};
+use locality_sched::{BinPolicy, Hints, PaperBlockHash, RunMode, Scheduler, SchedulerConfig};
 use memtrace::{AddressSpace, MatrixLayout, TraceSink, TracedMatrix};
 
 /// Instructions per update in the untiled (register-chained) loop.
@@ -242,9 +242,23 @@ pub fn threaded<S: TraceSink>(
     config: SchedulerConfig,
     sink: &mut S,
 ) -> WorkloadReport {
+    let policy = PaperBlockHash::from_config(&config);
+    threaded_with(data, t, config, policy, sink)
+}
+
+/// [`threaded`] under an arbitrary [`BinPolicy`]: same hints, different
+/// hints→bin mapping. Like the flat version, convergence tolerates any
+/// drain order (the paper's own observation about threaded SOR).
+pub fn threaded_with<S: TraceSink, P: BinPolicy>(
+    data: &mut SorData,
+    t: usize,
+    config: SchedulerConfig,
+    policy: P,
+    sink: &mut S,
+) -> WorkloadReport {
     let n = data.n;
     let sched_stats = {
-        let mut sched: Scheduler<SorCtx<'_, S>> = Scheduler::new(config);
+        let mut sched: Scheduler<SorCtx<'_, S>, P> = Scheduler::with_policy(config, policy);
         sched.trace_package_memory();
         for _i1 in 1..=t {
             for i3 in 1..n - 1 {

@@ -3,7 +3,8 @@
 //!
 //! The build environment has no network access to a crates registry, so
 //! the workspace vendors the *interface* its property tests need: the
-//! [`Strategy`] trait with `prop_map` / `prop_filter_map`, range and
+//! [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//! `prop_filter_map`, range and
 //! tuple strategies, [`collection::vec`], [`any`], `prop_oneof!`, and
 //! the `proptest!` / `prop_assert*` / `prop_assume!` macros.
 //!

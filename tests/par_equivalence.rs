@@ -14,7 +14,8 @@
 
 use std::cell::UnsafeCell;
 use thread_locality::sched::{
-    Hints, ParScheduler, RunMode, Scheduler, SchedulerConfig, StealPolicy,
+    FifoScheduler, Hints, ParScheduler, RandomScheduler, RunMode, Scheduler, SchedulerConfig,
+    StealPolicy, ThreadScheduler,
 };
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
@@ -377,5 +378,102 @@ fn nbody_parallel_matches_sequential_bitwise() {
             assert_eq!(par_threads, seq_threads, "{policy}, {workers} workers");
             assert_bits_eq("nbody", &seq, &par, policy, workers);
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Baseline schedulers: FIFO and seeded-random are engine configurations
+// too (SingleBin + allocation order; UniqueBin + random tour), so on
+// these order-independent kernels their results must be bit-identical
+// to the locality schedule — any drain order computes the same bits.
+// ---------------------------------------------------------------------
+
+/// Seeds for the random baseline; the exact per-seed orders are pinned
+/// against the pre-refactor implementation in the core crate's
+/// `random_order_matches_pre_refactor_golden`.
+const RANDOM_SEEDS: [u64; 3] = [7, 42, 99];
+
+fn mm_baseline<S: ThreadScheduler<SeqMat>>(sched: &mut S) -> (Vec<f64>, u64) {
+    for i in 0..MM_N {
+        for j in 0..MM_N {
+            sched.fork(mm_seq_body, i, j, mm_hints(i, j));
+        }
+    }
+    let mut ctx = SeqMat {
+        a: noise(1, MM_N * MM_N),
+        b: noise(2, MM_N * MM_N),
+        c: vec![0.0; MM_N * MM_N],
+    };
+    let stats = sched.run(&mut ctx, RunMode::Consume);
+    (ctx.c, stats.threads_run)
+}
+
+fn sor_baseline<S: ThreadScheduler<SeqSor>>(mut make: impl FnMut() -> S) -> (Vec<f64>, u64) {
+    let mut grid = noise(3, SOR_N * SOR_N);
+    let mut threads = 0;
+    for _ in 0..SOR_SWEEPS {
+        let mut sched = make();
+        for row in 1..SOR_N - 1 {
+            sched.fork(sor_seq_body, row, 0, sor_hints(row));
+        }
+        let mut ctx = SeqSor {
+            dst: grid.clone(),
+            src: grid,
+        };
+        threads += sched.run(&mut ctx, RunMode::Consume).threads_run;
+        grid = ctx.dst;
+    }
+    (grid, threads)
+}
+
+fn nb_baseline<S: ThreadScheduler<SeqNb>>(sched: &mut S) -> (Vec<f64>, u64) {
+    for i in 0..NB_N {
+        sched.fork(nb_seq_body, i, 0, nb_hints(i));
+    }
+    let mut ctx = SeqNb {
+        bodies: bodies(),
+        acc: vec![0.0; NB_N * 3],
+    };
+    let stats = sched.run(&mut ctx, RunMode::Consume);
+    (ctx.acc, stats.threads_run)
+}
+
+#[test]
+fn fifo_scheduler_matches_sequential_bitwise() {
+    let fifo_policy = StealPolicy::None; // label only; baselines don't steal
+    let (seq, seq_threads) = mm_sequential();
+    let (fifo, fifo_threads) = mm_baseline(&mut FifoScheduler::new());
+    assert_eq!(fifo_threads, seq_threads);
+    assert_bits_eq("matmul/fifo", &seq, &fifo, fifo_policy, 1);
+
+    let (seq, seq_threads) = sor_sequential();
+    let (fifo, fifo_threads) = sor_baseline(FifoScheduler::new);
+    assert_eq!(fifo_threads, seq_threads);
+    assert_bits_eq("sor/fifo", &seq, &fifo, fifo_policy, 1);
+
+    let (seq, seq_threads) = nb_sequential();
+    let (fifo, fifo_threads) = nb_baseline(&mut FifoScheduler::new());
+    assert_eq!(fifo_threads, seq_threads);
+    assert_bits_eq("nbody/fifo", &seq, &fifo, fifo_policy, 1);
+}
+
+#[test]
+fn random_scheduler_matches_sequential_bitwise() {
+    let label = StealPolicy::None;
+    let (mm_seq, mm_threads) = mm_sequential();
+    let (sor_seq, sor_threads) = sor_sequential();
+    let (nb_seq, nb_threads) = nb_sequential();
+    for seed in RANDOM_SEEDS {
+        let (random, threads) = mm_baseline(&mut RandomScheduler::new(seed));
+        assert_eq!(threads, mm_threads, "seed {seed}");
+        assert_bits_eq("matmul/random", &mm_seq, &random, label, 1);
+
+        let (random, threads) = sor_baseline(|| RandomScheduler::new(seed));
+        assert_eq!(threads, sor_threads, "seed {seed}");
+        assert_bits_eq("sor/random", &sor_seq, &random, label, 1);
+
+        let (random, threads) = nb_baseline(&mut RandomScheduler::new(seed));
+        assert_eq!(threads, nb_threads, "seed {seed}");
+        assert_bits_eq("nbody/random", &nb_seq, &random, label, 1);
     }
 }
