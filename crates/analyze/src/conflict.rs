@@ -1,0 +1,126 @@
+//! Inter-thread conflict graph construction.
+//!
+//! Two threads of one phase *conflict* when their footprints overlap
+//! on at least one word granule with at least one side writing (W/W or
+//! R/W). Word granularity matters: overlap at word granularity is a
+//! true data dependency whose order a scheduler must preserve, while
+//! distinct words on one cache *line* are false sharing — a locality
+//! hazard, not a correctness one — and are handled by the separate
+//! false-sharing detector.
+
+use memtrace::ThreadFootprint;
+use std::collections::BTreeMap;
+
+/// One conflicting thread pair (fork indices, `a < b`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConflictPair {
+    /// Fork index of the earlier-forked thread.
+    pub a: usize,
+    /// Fork index of the later-forked thread.
+    pub b: usize,
+    /// Number of shared word granules with a write on either side.
+    pub words: u64,
+    /// One of the conflicting word granules (`addr / 8`), for reports.
+    pub example_word: u64,
+}
+
+/// Builds the conflict graph of one phase from fork-indexed
+/// footprints. Pairs come back sorted by `(a, b)`; the computation is
+/// fully deterministic.
+pub fn conflict_pairs(footprints: &[ThreadFootprint]) -> Vec<ConflictPair> {
+    // Invert: word → writers, word → readers. BTreeMaps keep every
+    // downstream iteration deterministic.
+    let mut writers: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    let mut readers: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    for (i, fp) in footprints.iter().enumerate() {
+        for &w in fp.write_words() {
+            writers.entry(w).or_default().push(i);
+        }
+        for &r in fp.read_words() {
+            readers.entry(r).or_default().push(i);
+        }
+    }
+    let mut pairs: BTreeMap<(usize, usize), (u64, u64)> = BTreeMap::new();
+    let bump = |pairs: &mut BTreeMap<(usize, usize), (u64, u64)>, x: usize, y: usize, word| {
+        if x == y {
+            return;
+        }
+        let key = (x.min(y), x.max(y));
+        pairs.entry(key).or_insert((0, word)).0 += 1;
+    };
+    for (&word, ws) in &writers {
+        // W/W on the same word.
+        for (i, &w1) in ws.iter().enumerate() {
+            for &w2 in &ws[i + 1..] {
+                bump(&mut pairs, w1, w2, word);
+            }
+        }
+        // R/W on the same word.
+        if let Some(rs) = readers.get(&word) {
+            for &w in ws {
+                for &r in rs {
+                    bump(&mut pairs, w, r, word);
+                }
+            }
+        }
+    }
+    pairs
+        .into_iter()
+        .map(|((a, b), (words, example_word))| ConflictPair {
+            a,
+            b,
+            words,
+            example_word,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtrace::{Access, Addr};
+
+    fn fp(reads: &[u64], writes: &[u64]) -> ThreadFootprint {
+        let mut f = ThreadFootprint::new();
+        for &r in reads {
+            f.record(Access::read(Addr::new(r * 8), 8));
+        }
+        for &w in writes {
+            f.record(Access::write(Addr::new(w * 8), 8));
+        }
+        f
+    }
+
+    #[test]
+    fn read_read_overlap_is_not_a_conflict() {
+        let fps = [fp(&[1, 2, 3], &[]), fp(&[2, 3, 4], &[])];
+        assert!(conflict_pairs(&fps).is_empty());
+    }
+
+    #[test]
+    fn write_read_overlap_conflicts() {
+        let fps = [fp(&[], &[10]), fp(&[10], &[])];
+        let pairs = conflict_pairs(&fps);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!((pairs[0].a, pairs[0].b), (0, 1));
+        assert_eq!(pairs[0].words, 1);
+        assert_eq!(pairs[0].example_word, 10);
+    }
+
+    #[test]
+    fn write_write_overlap_conflicts_once_per_word() {
+        let fps = [fp(&[], &[5, 6]), fp(&[], &[5, 6]), fp(&[], &[7])];
+        let pairs = conflict_pairs(&fps);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!((pairs[0].a, pairs[0].b), (0, 1));
+        assert_eq!(pairs[0].words, 2);
+    }
+
+    #[test]
+    fn disjoint_words_on_one_line_do_not_conflict() {
+        // Words 0 and 1 share any line ≥ 16 bytes but are distinct
+        // granules: false sharing, not a conflict.
+        let fps = [fp(&[], &[0]), fp(&[1], &[])];
+        assert!(conflict_pairs(&fps).is_empty());
+    }
+}

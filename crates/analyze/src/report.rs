@@ -1,0 +1,263 @@
+//! Report assembly: JSON (benchdiff-consumable) and terminal text.
+
+use crate::analysis::KernelSummary;
+use std::fmt::Write as _;
+
+/// The full `schedlint` report: one [`KernelSummary`] per analyzed
+/// workload plus the knobs the run used.
+#[derive(Clone, Debug)]
+pub struct AnalyzeReport {
+    /// Machine label the analyses ran against.
+    pub machine: String,
+    /// Hint-coverage threshold in effect.
+    pub hint_threshold_pct: f64,
+    /// Analyzed workloads, in run order.
+    pub kernels: Vec<KernelSummary>,
+}
+
+impl AnalyzeReport {
+    /// Creates an empty report.
+    pub fn new(machine: &str, hint_threshold_pct: f64) -> Self {
+        AnalyzeReport {
+            machine: machine.to_string(),
+            hint_threshold_pct,
+            kernels: Vec::new(),
+        }
+    }
+
+    /// Total error findings.
+    pub fn errors(&self) -> u64 {
+        self.kernels.iter().map(KernelSummary::errors).sum()
+    }
+
+    /// Total warning findings.
+    pub fn warnings(&self) -> u64 {
+        self.kernels.iter().map(KernelSummary::warnings).sum()
+    }
+
+    /// Gate verdict: errors always fail; warnings fail only when
+    /// promoted by `--gate-warnings`.
+    pub fn gate_failed(&self, gate_warnings: bool) -> bool {
+        self.errors() > 0 || (gate_warnings && self.warnings() > 0)
+    }
+
+    /// Serializes the report in the bench JSON idiom: an `experiment`
+    /// tag, one flat numeric row per workload (labeled by `workload`,
+    /// so `benchdiff` diffs it as `rows[matmul].conflict_pairs`), and a
+    /// string-only `findings` array `benchdiff` skips.
+    pub fn to_json(&self) -> String {
+        let mut json = format!(
+            "{{\"experiment\":\"schedlint\",\"machine\":\"{}\",\
+             \"hint_threshold_pct\":{:.1},\"rows\":[",
+            escape(&self.machine),
+            self.hint_threshold_pct
+        );
+        for (i, k) in self.kernels.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            write!(
+                json,
+                "{{\"workload\":\"{}\",\"threads\":{},\"phases\":{},\"bins\":{},\
+                 \"conflict_pairs\":{},\"violations\":{},\"reordered_convergent\":{},\
+                 \"steal_unsafe_pairs\":{},\"overflow_bins\":{},\"overflow_subbins\":{},\
+                 \"false_sharing_lines\":{},\"errors\":{},\"warnings\":{}",
+                escape(&k.workload),
+                k.threads,
+                k.phases,
+                k.bins,
+                k.conflict_pairs,
+                k.violations,
+                k.reordered_convergent,
+                k.steal_unsafe_pairs,
+                k.overflow_bins,
+                k.overflow_subbins,
+                k.false_sharing_lines,
+                k.errors(),
+                k.warnings(),
+            )
+            .expect("writing to String cannot fail");
+            if let (Some(min), Some(mean)) = (k.hint_coverage_min_pct, k.hint_coverage_mean_pct) {
+                write!(
+                    json,
+                    ",\"hint_coverage_min_pct\":{min:.1},\"hint_coverage_mean_pct\":{mean:.1}"
+                )
+                .expect("writing to String cannot fail");
+            }
+            for check in k.checks.iter().filter(|c| c.checked) {
+                write!(
+                    json,
+                    ",\"violations_{}\":{}",
+                    check.policy, check.violations
+                )
+                .expect("writing to String cannot fail");
+            }
+            json.push('}');
+        }
+        json.push_str("],\"findings\":[");
+        let mut first = true;
+        for k in &self.kernels {
+            for f in &k.findings {
+                if !first {
+                    json.push(',');
+                }
+                first = false;
+                write!(
+                    json,
+                    "{{\"severity\":\"{}\",\"analysis\":\"{}\",\"workload\":\"{}\",\
+                     \"detail\":\"{}\"}}",
+                    f.severity.label(),
+                    f.analysis,
+                    escape(&f.workload),
+                    escape(&f.detail),
+                )
+                .expect("writing to String cannot fail");
+            }
+        }
+        json.push_str("]}");
+        json
+    }
+
+    /// Renders the human-readable report.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "schedlint: {} (hint threshold {:.0}%)\n",
+            self.machine, self.hint_threshold_pct
+        );
+        for k in &self.kernels {
+            let coverage = match (k.hint_coverage_min_pct, k.hint_coverage_mean_pct) {
+                (Some(min), Some(mean)) => {
+                    format!(", hint coverage min {min:.1}% mean {mean:.1}%")
+                }
+                _ => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "  {}: {} thread(s) / {} phase(s) / {} bin(s), {} conflict pair(s), \
+                 {} violation(s){coverage}",
+                k.workload, k.threads, k.phases, k.bins, k.conflict_pairs, k.violations
+            );
+            for check in &k.checks {
+                let verdict = if !check.checked {
+                    "skipped (no geometry)".to_string()
+                } else if check.violations > 0 {
+                    format!("{} VIOLATION(S)", check.violations)
+                } else if check.reordered > 0 {
+                    format!("order-safe ({} convergent reorder(s))", check.reordered)
+                } else {
+                    "order-safe".to_string()
+                };
+                let _ = writeln!(
+                    out,
+                    "    policy {:<12} {verdict}, {} steal-unsafe pair(s)",
+                    check.policy, check.steal_unsafe
+                );
+            }
+            for f in &k.findings {
+                let _ = writeln!(
+                    out,
+                    "    [{}] {}: {}",
+                    f.severity.label(),
+                    f.analysis,
+                    f.detail
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "schedlint: {} error(s), {} warning(s)",
+            self.errors(),
+            self.warnings()
+        );
+        out
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::PolicyCheck;
+    use crate::{Finding, Severity};
+
+    fn summary() -> KernelSummary {
+        KernelSummary {
+            workload: "matmul".to_string(),
+            threads: 4,
+            phases: 1,
+            bins: 2,
+            conflict_pairs: 0,
+            violations: 0,
+            reordered_convergent: 0,
+            steal_unsafe_pairs: 0,
+            hint_coverage_min_pct: Some(80.0),
+            hint_coverage_mean_pct: Some(92.5),
+            overflow_bins: 0,
+            overflow_subbins: 0,
+            false_sharing_lines: 1,
+            checks: vec![PolicyCheck {
+                policy: "paper",
+                checked: true,
+                violations: 0,
+                reordered: 0,
+                steal_unsafe: 0,
+            }],
+            findings: vec![Finding {
+                severity: Severity::Warning,
+                analysis: "false-sharing",
+                workload: "matmul".to_string(),
+                detail: "1 cache line \"falsely\" shared".to_string(),
+            }],
+        }
+    }
+
+    #[test]
+    fn json_has_the_bench_report_shape() {
+        let mut report = AnalyzeReport::new("r8000/16", 25.0);
+        report.kernels.push(summary());
+        let json = report.to_json();
+        assert!(json.starts_with("{\"experiment\":\"schedlint\""), "{json}");
+        assert!(json.contains("\"workload\":\"matmul\""), "{json}");
+        assert!(json.contains("\"violations_paper\":0"), "{json}");
+        assert!(json.contains("\\\"falsely\\\""), "{json}");
+        assert_eq!(report.errors(), 0);
+        assert_eq!(report.warnings(), 1);
+        assert!(!report.gate_failed(false));
+        assert!(report.gate_failed(true));
+    }
+
+    #[test]
+    fn text_report_mentions_every_section() {
+        let mut report = AnalyzeReport::new("r8000/16", 25.0);
+        report.kernels.push(summary());
+        let text = report.to_text();
+        assert!(text.contains("matmul"), "{text}");
+        assert!(text.contains("policy paper"), "{text}");
+        assert!(text.contains("[warning] false-sharing"), "{text}");
+        assert!(text.contains("0 error(s), 1 warning(s)"), "{text}");
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_control_chars() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,79 @@
+//! Injected-bug regression fixtures: the analyzer must report exactly
+//! the planted finding — no misses, no over-reporting.
+
+use analyze::{analyze, AnalyzeOptions, AnalyzeReport, Fixture, Severity};
+
+fn report_for(fixture: Fixture) -> AnalyzeReport {
+    let opts = AnalyzeOptions::default();
+    let mut report = AnalyzeReport::new("fixture", opts.hint_threshold_pct);
+    report.kernels.push(analyze(&fixture.capture(), &opts));
+    report
+}
+
+#[test]
+fn wrong_hint_fixture_reports_exactly_one_hint_accuracy_error() {
+    let report = report_for(Fixture::WrongHint);
+    let summary = &report.kernels[0];
+    assert_eq!(
+        summary.findings.len(),
+        1,
+        "over-reporting: {:#?}",
+        summary.findings
+    );
+    let finding = &summary.findings[0];
+    assert_eq!(finding.severity, Severity::Error);
+    assert_eq!(finding.analysis, "hint-accuracy");
+    assert!(
+        finding.detail.contains("thread 3") && finding.detail.contains("0.0%"),
+        "wrong offender: {}",
+        finding.detail
+    );
+    // The planted bug is a hint bug only: schedule safety must be clean.
+    assert_eq!(summary.conflict_pairs, 0);
+    assert_eq!(summary.violations, 0);
+    assert_eq!(summary.false_sharing_lines, 0);
+    assert_eq!(summary.hint_coverage_min_pct, Some(0.0));
+    // Gate: errors fail `--gate` (exit 1 in the binary).
+    assert!(report.gate_failed(false));
+}
+
+#[test]
+fn false_sharing_fixture_reports_exactly_one_false_sharing_warning() {
+    let report = report_for(Fixture::FalseSharing);
+    let summary = &report.kernels[0];
+    assert_eq!(
+        summary.findings.len(),
+        1,
+        "over-reporting: {:#?}",
+        summary.findings
+    );
+    let finding = &summary.findings[0];
+    assert_eq!(finding.severity, Severity::Warning);
+    assert_eq!(finding.analysis, "false-sharing");
+    assert!(
+        finding.detail.contains("threads 0 and 1"),
+        "wrong pair: {}",
+        finding.detail
+    );
+    assert_eq!(summary.false_sharing_lines, 1);
+    // Word-disjoint accesses must NOT register as conflicts...
+    assert_eq!(summary.conflict_pairs, 0);
+    assert_eq!(summary.violations, 0);
+    // ...and both hints stay comfortably above the coverage threshold.
+    assert!(summary.hint_coverage_min_pct.unwrap() > 85.0);
+    // Gate: warnings pass `--gate` but fail `--gate-warnings`.
+    assert!(!report.gate_failed(false));
+    assert!(report.gate_failed(true));
+}
+
+#[test]
+fn fixture_findings_serialize_into_the_report_json() {
+    let report = report_for(Fixture::WrongHint);
+    let json = report.to_json();
+    assert!(
+        json.contains("\"workload\":\"fixture/wrong-hint\""),
+        "{json}"
+    );
+    assert!(json.contains("\"analysis\":\"hint-accuracy\""), "{json}");
+    assert!(json.contains("\"severity\":\"error\""), "{json}");
+}

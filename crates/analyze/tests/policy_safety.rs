@@ -1,0 +1,93 @@
+//! Schedule-safety properties: no shipped bin policy may reorder
+//! conflicting threads of an order-exact workload.
+//!
+//! The red-black PDE is the adversarial case — every interior line
+//! conflicts with its neighbours through the shared `u` columns, and
+//! the per-line hints march monotonically through memory, so a policy
+//! that binned or toured carelessly would interleave conflicting lines
+//! out of fork order. The property sweeps grid sizes, iteration counts,
+//! and machine geometries; the four-kernel check pins the shipped
+//! configuration.
+
+use analyze::{analyze, capture_kernel, default_machine, AnalyzeOptions, AnalyzeScale};
+use cachesim::MachineModel;
+use proptest::prelude::*;
+use workloads::Kernel;
+
+#[test]
+fn all_four_kernels_have_zero_violations_under_every_shipped_policy() {
+    let machine = default_machine();
+    let scale = AnalyzeScale::default();
+    for kernel in Kernel::ALL {
+        let summary = analyze(
+            &capture_kernel(kernel, &machine, &scale),
+            &AnalyzeOptions::default(),
+        );
+        assert_eq!(
+            summary.violations,
+            0,
+            "{}: summary violations",
+            kernel.name()
+        );
+        for check in &summary.checks {
+            assert!(
+                check.checked,
+                "{}: policy {} unexpectedly skipped",
+                kernel.name(),
+                check.policy
+            );
+            assert_eq!(
+                check.violations,
+                0,
+                "{}: policy {} reorders conflicting threads",
+                kernel.name(),
+                check.policy
+            );
+        }
+    }
+}
+
+#[test]
+fn the_pde_conflict_graph_is_nonempty() {
+    // Guards the property below against vacuity: if the capture pipeline
+    // ever stopped seeing the red-black neighbour dependencies, zero
+    // violations would be meaningless.
+    let summary = analyze(
+        &capture_kernel(Kernel::Pde, &default_machine(), &AnalyzeScale::default()),
+        &AnalyzeOptions::default(),
+    );
+    assert!(summary.conflict_pairs > 0);
+    assert!(summary.threads > 0);
+}
+
+proptest! {
+    /// No shipped policy reorders conflicting red-black PDE threads,
+    /// across grid sizes, iteration counts, and cache geometries.
+    #[test]
+    fn no_shipped_policy_reorders_conflicting_pde_threads(
+        n in 8usize..40,
+        iters in 1usize..4,
+        l2_shrink in prop_oneof![Just(64.0), Just(256.0), Just(1024.0)],
+    ) {
+        let machine = MachineModel::r8000().scaled_split(1.0 / 16.0, 1.0 / l2_shrink);
+        let scale = AnalyzeScale {
+            pde_n: n,
+            pde_iters: iters,
+            ..AnalyzeScale::default()
+        };
+        let capture = capture_kernel(Kernel::Pde, &machine, &scale);
+        let summary = analyze(&capture, &AnalyzeOptions::default());
+        prop_assert_eq!(summary.phases, iters as u64);
+        for check in &summary.checks {
+            prop_assert_eq!(
+                check.violations,
+                0,
+                "policy {} reorders conflicting threads at n={} iters={} shrink={}",
+                check.policy,
+                n,
+                iters,
+                l2_shrink
+            );
+        }
+    }
+}

@@ -193,7 +193,7 @@ fn hint_dims_ablation(scale: &repro::ExpScale) {
         let r = sim.finish();
         table.row(vec![
             format!("{dims}-D"),
-            report.sched.map(|s| s.bins()).unwrap_or(0).to_string(),
+            report.sched.map_or(0, |s| s.bins()).to_string(),
             r.l2.misses().to_string(),
             r.classes.capacity.to_string(),
         ]);

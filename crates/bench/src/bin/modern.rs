@@ -19,8 +19,7 @@ fn llc(machine: &MachineModel) -> u64 {
     machine
         .hierarchy_config()
         .l3
-        .map(|c| c.size())
-        .unwrap_or_else(|| machine.l2_config().size())
+        .map_or_else(|| machine.l2_config().size(), |c| c.size())
 }
 
 fn main() {

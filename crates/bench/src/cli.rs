@@ -8,7 +8,8 @@ use crate::{paper, print};
 ///
 /// Recognised names: `table1` … `table9`, `figure4`, `steal`,
 /// `simbench`, `binpolicy` (the last three also write their
-/// `BENCH_*.json` payloads).
+/// `BENCH_*.json` payloads), and `analyze` (the `schedlint`
+/// four-kernel self-check, writing `ANALYZE_smoke.json`).
 pub fn run(experiment: &str) {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(args);
@@ -93,6 +94,25 @@ pub fn run_at(experiment: &str, scale: &crate::ExpScale) {
             print::binpolicy(&result);
             let path = "BENCH_binpolicy.json";
             match std::fs::write(path, result.to_json()) {
+                Ok(()) => println!("\nwrote {path}"),
+                Err(err) => eprintln!("could not write {path}: {err}"),
+            }
+        }
+        "analyze" => {
+            // Fixed analysis scale, independent of --smoke/--full: the
+            // committed ANALYZE_smoke.json baseline must be
+            // byte-reproducible on every host.
+            let machine = analyze::default_machine();
+            let opts = analyze::AnalyzeOptions::default();
+            let mut report = analyze::AnalyzeReport::new(machine.name(), opts.hint_threshold_pct);
+            for kernel in workloads::Kernel::ALL {
+                let capture =
+                    analyze::capture_kernel(kernel, &machine, &analyze::AnalyzeScale::default());
+                report.kernels.push(analyze::analyze(&capture, &opts));
+            }
+            print!("{}", report.to_text());
+            let path = "ANALYZE_smoke.json";
+            match std::fs::write(path, report.to_json()) {
                 Ok(()) => println!("\nwrote {path}"),
                 Err(err) => eprintln!("could not write {path}: {err}"),
             }

@@ -38,7 +38,7 @@ impl TextTable {
         let cols = self
             .rows
             .iter()
-            .map(|r| r.len())
+            .map(Vec::len)
             .chain([self.header.len()])
             .max()
             .unwrap_or(0);
@@ -55,7 +55,7 @@ impl TextTable {
         let mut out = String::new();
         let render_row = |out: &mut String, row: &[String]| {
             for (i, &width) in widths.iter().enumerate() {
-                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                let cell = row.get(i).map_or("", String::as_str);
                 if i == 0 {
                     out.push_str(&format!("{cell:<width$}"));
                 } else {

@@ -1,8 +1,13 @@
 //! `repro` — runs any or all of the paper's tables/figures.
 //!
 //! ```text
-//! repro [all|table1|table2|...|table9|figure4|steal|simbench|binpolicy]... [--full|--smoke]
+//! repro [all|table1|table2|...|table9|figure4|steal|simbench|binpolicy|analyze]...
+//!       [--full|--smoke] [--analyze]
 //! ```
+//!
+//! `--analyze` (or the `analyze` experiment name) appends the
+//! `schedlint` four-kernel schedule-safety self-check and writes
+//! `ANALYZE_smoke.json`.
 
 use repro::scale::scale_from_args;
 
@@ -30,6 +35,9 @@ fn main() {
             "simbench",
             "binpolicy",
         ];
+    }
+    if args.iter().any(|a| a == "--analyze") && !wanted.contains(&"analyze") {
+        wanted.push("analyze");
     }
     println!(
         "thread-locality reproduction harness (scale: matmul n={}, pde n={}, sor n={}, nbody n={})\n",

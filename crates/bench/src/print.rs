@@ -59,10 +59,10 @@ pub fn time_table(title: &str, rows: &[TimeRow], paper_rows: &[(&str, f64, f64)]
         "paper (s)",
         "paper vs base",
     ]);
-    let base8 = rows.first().map(|r| r.r8000.total()).unwrap_or(1.0);
-    let base10 = rows.first().map(|r| r.r10000.total()).unwrap_or(1.0);
-    let pbase8 = paper_rows.first().map(|r| r.1).unwrap_or(1.0);
-    let pbase10 = paper_rows.first().map(|r| r.2).unwrap_or(1.0);
+    let base8 = rows.first().map_or(1.0, |r| r.r8000.total());
+    let base10 = rows.first().map_or(1.0, |r| r.r10000.total());
+    let pbase8 = paper_rows.first().map_or(1.0, |r| r.1);
+    let pbase10 = paper_rows.first().map_or(1.0, |r| r.2);
     for (i, row) in rows.iter().enumerate() {
         let paper_row = paper_rows.get(i);
         t.row(vec![
@@ -360,8 +360,8 @@ pub fn figure4(result: &Figure4Result) {
     println!();
     // ASCII sparkline per series, normalized to its own max.
     for (name, times) in &result.series {
-        let max = times.iter().cloned().fold(f64::MIN, f64::max);
-        let min = times.iter().cloned().fold(f64::MAX, f64::min);
+        let max = times.iter().copied().fold(f64::MIN, f64::max);
+        let min = times.iter().copied().fold(f64::MAX, f64::min);
         let glyphs: String = times
             .iter()
             .map(|&v| {

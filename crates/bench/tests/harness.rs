@@ -111,7 +111,7 @@ fn smoke_scale_tables_have_the_papers_shape() {
         .find(|(n, _)| n == "matmul")
         .expect("series")
         .1;
-    let best = matmul_series.iter().cloned().fold(f64::MAX, f64::min);
+    let best = matmul_series.iter().copied().fold(f64::MAX, f64::min);
     let last = *matmul_series.last().expect("nonempty");
     assert!(
         last > 1.2 * best,

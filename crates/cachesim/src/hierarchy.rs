@@ -381,7 +381,7 @@ impl Hierarchy {
 
     /// L3 statistics, if a third level is configured.
     pub fn l3_stats(&self) -> Option<&CacheStats> {
-        self.l3.as_ref().map(|c| c.stats())
+        self.l3.as_ref().map(super::cache::Cache::stats)
     }
 
     /// 3C classification of the DRAM-facing (last) level's misses.

@@ -74,6 +74,7 @@ impl<C> ThreadScheduler<C> for FifoScheduler<C> {
             ctx,
             mode,
             |_, _, _| {},
+            |_, _| {},
             |ctx, spec| (spec.func)(ctx, spec.arg1, spec.arg2),
         )
     }
@@ -116,6 +117,7 @@ impl<C> ThreadScheduler<C> for RandomScheduler<C> {
             ctx,
             mode,
             |_, _, _| {},
+            |_, _| {},
             |ctx, spec| (spec.func)(ctx, spec.arg1, spec.arg2),
         );
         RunStats {

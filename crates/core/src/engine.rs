@@ -19,6 +19,14 @@ use crate::{Hints, RunMode, Tour};
 use memtrace::{Addr, TraceSink};
 use std::collections::HashMap;
 
+/// Fixed base of the package's synthetic memory: every reference the
+/// scheduler emits on its own behalf (hash buckets, bin records, thread
+/// groups) lives at or above this address, and no traced application
+/// structure ever does. Trace consumers that want application traffic
+/// only — e.g. `memtrace::FootprintSink` feeding the schedule analyzer
+/// — can filter on it.
+pub const PACKAGE_TRACE_BASE: u64 = 0x7f00_0000_0000;
+
 /// Threads per thread-group chunk. "The thread group data structure
 /// represents a number of threads within a bin; by grouping threads
 /// together in this way, amortization reduces the cost of thread
@@ -165,10 +173,8 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
     /// Enables tracing of the package's own memory traffic (see
     /// [`Scheduler::trace_package_memory`](crate::Scheduler::trace_package_memory)).
     pub(crate) fn trace_package_memory(&mut self) {
-        /// Fixed base of the package's synthetic memory.
-        const PACKAGE_BASE: u64 = 0x7f00_0000_0000;
         let buckets = (self.hash_size as u64).pow(4) * BUCKET_BYTES;
-        let table_base = Addr::new(PACKAGE_BASE);
+        let table_base = Addr::new(PACKAGE_TRACE_BASE);
         let bump = (table_base + buckets).align_up(128);
         // A generous arena for bin records and thread groups; synthetic
         // addresses cost nothing to reserve.
@@ -199,9 +205,13 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
     /// Places `item` into the bin chosen by the policy for `hints`,
     /// emitting the package's own memory references into `sink` if
     /// tracing is enabled: the hash-bucket probe, the thread-record
-    /// store, and the bin-header update.
+    /// store, and the bin-header update. Always announces the fork's
+    /// hint addresses via [`TraceSink::thread_hints`] (a no-op for
+    /// ordinary sinks) so schedule-analysis sinks see the thread/hint
+    /// graph in fork order.
     #[inline]
     pub(crate) fn insert_traced<S: TraceSink>(&mut self, item: T, hints: Hints, sink: &mut S) {
+        sink.thread_hints(&hints.as_array()[..hints.dims()]);
         let key = self.policy.bin_key(hints);
         let (id, created) = if self.policy.always_unique() {
             (self.table.append_unique(key), true)
@@ -318,14 +328,18 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
 
     /// Drains every bin in tour order: `on_read(ctx, addr, size)` is
     /// called for each package memory reference (only when tracing is
-    /// enabled), `exec(ctx, item)` for each thread record. Splitting
-    /// the sink access (`on_read`) from thread execution (`exec`) lets
-    /// one `&mut ctx` serve both without aliasing.
+    /// enabled), `on_dispatch(ctx, seq)` immediately before the
+    /// `seq`-th thread of this run executes (unconditionally — callers
+    /// wanting schedule events pass a forwarder, others a no-op), and
+    /// `exec(ctx, item)` for each thread record. Splitting the sink
+    /// access (`on_read`/`on_dispatch`) from thread execution (`exec`)
+    /// lets one `&mut ctx` serve both without aliasing.
     pub(crate) fn run_with<X>(
         &mut self,
         ctx: &mut X,
         mode: RunMode,
         mut on_read: impl FnMut(&mut X, Addr, u32),
+        mut on_dispatch: impl FnMut(&mut X, u64),
         mut exec: impl FnMut(&mut X, &T),
     ) -> RunStats {
         let order = self.tour_order();
@@ -333,6 +347,7 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
         let hierarchical = self.policy.levels() > 1;
         let mut threads_run = 0u64;
         let mut bins_visited = 0usize;
+        let mut dispatched = 0u64;
         {
             let _run_span = self.obs.run_ns.span();
             // Running total for the current parent group (hierarchical
@@ -377,6 +392,8 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
                                 SPEC_BYTES as u32,
                             );
                         }
+                        on_dispatch(ctx, dispatched);
+                        dispatched += 1;
                         exec(ctx, item);
                     }
                 }

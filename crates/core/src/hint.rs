@@ -78,8 +78,7 @@ impl Hints {
         (0..MAX_DIMS)
             .rev()
             .find(|&d| !self.addrs[d].is_null())
-            .map(|d| d + 1)
-            .unwrap_or(0)
+            .map_or(0, |d| d + 1)
     }
 
     /// The hint in dimension `dim` (null if unused).

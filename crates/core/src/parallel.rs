@@ -591,6 +591,10 @@ mod tests {
     ];
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "12 scheduler runs x 1000 forks is too slow under the interpreter"
+    )]
     fn every_thread_runs_exactly_once_in_parallel() {
         for policy in ALL_POLICIES {
             for workers in [1, 2, 4, 8] {
@@ -644,6 +648,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "2400 cross-thread executions are too slow under the interpreter"
+    )]
     fn bins_never_split_across_workers() {
         // Tag each thread with its bin; assert all threads of a bin saw
         // the same worker (thread id). Bins are the unit of transfer,
@@ -699,6 +707,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "12 scheduler runs x 500 forks is too slow under the interpreter"
+    )]
     fn report_counters_are_consistent() {
         for policy in ALL_POLICIES {
             for workers in [1, 2, 4, 8] {

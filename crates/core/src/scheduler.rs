@@ -190,6 +190,7 @@ impl<C, P: BinPolicy> Scheduler<C, P> {
             ctx,
             mode,
             |_, _, _| {},
+            |_, _| {},
             |ctx, spec| (spec.func)(ctx, spec.arg1, spec.arg2),
         )
     }
@@ -197,22 +198,34 @@ impl<C, P: BinPolicy> Scheduler<C, P> {
     /// Like [`run`](Self::run), additionally emitting the package's
     /// dispatch-time memory references (ready-list walk, bin headers,
     /// thread-record loads) if
-    /// [`trace_package_memory`](Self::trace_package_memory) was called.
+    /// [`trace_package_memory`](Self::trace_package_memory) was called,
+    /// plus the run's *schedule events*: a
+    /// [`thread_begin`](TraceSink::thread_begin) before each thread
+    /// body and a [`run_end`](TraceSink::run_end) when the drain
+    /// finishes. Ordinary sinks ignore those (default no-ops);
+    /// schedule-analysis sinks use them to attribute the trace to
+    /// threads.
     ///
     /// `sink_of` borrows the sink out of the context between thread
     /// invocations (thread bodies usually own the sink through the same
     /// context).
-    pub fn run_traced<S, F>(&mut self, ctx: &mut C, mode: RunMode, mut sink_of: F) -> RunStats
+    pub fn run_traced<S, F>(&mut self, ctx: &mut C, mode: RunMode, sink_of: F) -> RunStats
     where
         S: TraceSink,
         F: FnMut(&mut C) -> &mut S,
     {
-        self.engine.run_with(
+        // Two of the engine's callbacks borrow the sink accessor; they
+        // never run reentrantly, so a RefCell shares it between them.
+        let sink_of = std::cell::RefCell::new(sink_of);
+        let stats = self.engine.run_with(
             ctx,
             mode,
-            |ctx, addr, size| sink_of(ctx).read(addr, size),
+            |ctx, addr, size| (sink_of.borrow_mut())(ctx).read(addr, size),
+            |ctx, seq| (sink_of.borrow_mut())(ctx).thread_begin(seq),
             |ctx, spec| (spec.func)(ctx, spec.arg1, spec.arg2),
-        )
+        );
+        (sink_of.into_inner())(ctx).run_end();
+        stats
     }
 
     /// Number of threads currently scheduled.
@@ -492,6 +505,52 @@ mod tests {
         // Per bin: header read + group header read; per thread: one
         // record read. 10 bins here (distinct blocks).
         assert_eq!(ctx.sink.reads(), 10 + 10 + 10);
+    }
+
+    #[test]
+    fn schedule_events_reach_the_sink_in_schedule_order() {
+        use crate::engine::PACKAGE_TRACE_BASE;
+        use memtrace::{FootprintSink, TraceSink};
+
+        struct Ctx {
+            sink: FootprintSink,
+        }
+        fn touch(ctx: &mut Ctx, a: usize, _b: usize) {
+            ctx.sink.write(Addr::new(a as u64 * 0x100), 8);
+        }
+
+        let mut sched: Scheduler<Ctx> = Scheduler::new(config(1024));
+        sched.trace_package_memory();
+        let mut sink = FootprintSink::ignoring_at_or_above(Addr::new(PACKAGE_TRACE_BASE));
+        // Two bins: forks 0 and 2 share a block, fork 1 sits far away;
+        // the drain visits bins in allocation order, so dispatch order
+        // is fork 0, fork 2, fork 1.
+        sched.fork_traced(touch, 1, 0, Hints::one(Addr::new(0x10)), &mut sink);
+        sched.fork_traced(touch, 2, 0, Hints::one(Addr::new(0x100_000)), &mut sink);
+        sched.fork_traced(touch, 3, 0, Hints::one(Addr::new(0x20)), &mut sink);
+        let mut ctx = Ctx { sink };
+        sched.run_traced(&mut ctx, RunMode::Consume, |c| &mut c.sink);
+
+        let phases = ctx.sink.into_phases();
+        assert_eq!(phases.len(), 1);
+        let phase = &phases[0];
+        // Hints arrive in fork order.
+        assert_eq!(
+            phase.hints,
+            vec![
+                vec![Addr::new(0x10)],
+                vec![Addr::new(0x100_000)],
+                vec![Addr::new(0x20)],
+            ]
+        );
+        // Footprints arrive in dispatch order, package traffic
+        // filtered out by the base-address threshold.
+        let written: Vec<u64> = phase
+            .dispatches
+            .iter()
+            .map(|fp| fp.write_words().iter().next().copied().unwrap() * 8)
+            .collect();
+        assert_eq!(written, vec![0x100, 0x300, 0x200]);
     }
 
     #[test]

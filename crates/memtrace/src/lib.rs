@@ -36,6 +36,7 @@
 
 mod access;
 mod buf;
+mod footprint;
 mod matrix;
 mod regions;
 mod sink;
@@ -44,8 +45,9 @@ mod tracefile;
 
 pub use access::{Access, AccessKind, Addr};
 pub use buf::TracedBuf;
+pub use footprint::{FootprintSink, PhaseTrace, ThreadFootprint, WORD_BYTES};
 pub use matrix::{MatrixLayout, TracedMatrix};
 pub use regions::{RegionSink, RegionTraffic};
 pub use sink::{CountingSink, FnSink, NullSink, TeeSink, TraceSink, VecSink};
 pub use space::AddressSpace;
-pub use tracefile::{TraceEvent, TraceFileReader, TraceFileWriter};
+pub use tracefile::{TraceEvent, TraceFileReader, TraceFileWriter, TraceHints, MAX_TRACE_HINTS};

@@ -46,6 +46,31 @@ pub trait TraceSink {
     /// Accounts `count` executed instructions.
     fn instructions(&mut self, count: u64);
 
+    /// Observes the hint addresses of a newly forked thread, in fork
+    /// order. Schedulers emit one event per fork (possibly with an
+    /// empty slice for unhinted threads); most sinks ignore it — the
+    /// default is a no-op — but schedule-analysis sinks use the fork
+    /// stream to rebuild the thread/hint graph.
+    #[inline]
+    fn thread_hints(&mut self, hints: &[Addr]) {
+        let _ = hints;
+    }
+
+    /// Marks the dispatch of the `seq`-th thread (0-based) of the
+    /// current scheduler run: every access that follows, up to the next
+    /// `thread_begin` or [`run_end`](TraceSink::run_end), belongs to
+    /// that thread's body. Default: no-op.
+    #[inline]
+    fn thread_begin(&mut self, seq: u64) {
+        let _ = seq;
+    }
+
+    /// Marks the end of a scheduler run (one *phase* of forked
+    /// threads); accesses after it are ambient until the next run
+    /// starts. Default: no-op.
+    #[inline]
+    fn run_end(&mut self) {}
+
     /// Convenience: consumes a read of `size` bytes at `addr`.
     #[inline]
     fn read(&mut self, addr: Addr, size: u32) {
@@ -73,6 +98,21 @@ impl<S: TraceSink + ?Sized> TraceSink for &mut S {
     #[inline]
     fn instructions(&mut self, count: u64) {
         (**self).instructions(count);
+    }
+
+    #[inline]
+    fn thread_hints(&mut self, hints: &[Addr]) {
+        (**self).thread_hints(hints);
+    }
+
+    #[inline]
+    fn thread_begin(&mut self, seq: u64) {
+        (**self).thread_begin(seq);
+    }
+
+    #[inline]
+    fn run_end(&mut self) {
+        (**self).run_end();
     }
 }
 
@@ -302,6 +342,24 @@ impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
     fn instructions(&mut self, count: u64) {
         self.first.instructions(count);
         self.second.instructions(count);
+    }
+
+    #[inline]
+    fn thread_hints(&mut self, hints: &[Addr]) {
+        self.first.thread_hints(hints);
+        self.second.thread_hints(hints);
+    }
+
+    #[inline]
+    fn thread_begin(&mut self, seq: u64) {
+        self.first.thread_begin(seq);
+        self.second.thread_begin(seq);
+    }
+
+    #[inline]
+    fn run_end(&mut self) {
+        self.first.run_end();
+        self.second.run_end();
     }
 }
 

@@ -134,8 +134,7 @@ mod tests {
         assert_eq!(space.region_of(a + 799).unwrap().name, "matrix-a");
         assert!(space
             .region_of(a + 800)
-            .map(|r| &r.name != "matrix-a")
-            .unwrap_or(true));
+            .is_none_or(|r| r.name != "matrix-a"));
     }
 
     #[test]

@@ -10,7 +10,17 @@
 //! 0x01 addr:u64 size:u32          read
 //! 0x02 addr:u64 size:u32          write
 //! 0x03 count:u64                  instructions
+//! 0x04 seq:u64                    thread dispatch (schedule event)
+//! 0x05 count:u8 addr:u64 × count  thread fork hints (schedule event)
+//! 0x06                            run end (schedule event)
 //! ```
+//!
+//! The schedule-event records (0x04–0x06) mirror the optional
+//! [`TraceSink`] schedule methods, so a recorded trace of a *traced
+//! scheduler run* replays losslessly into schedule-aware sinks such as
+//! [`FootprintSink`](crate::FootprintSink). Hint records carry at most
+//! [`MAX_TRACE_HINTS`] addresses; longer hint lists are truncated on
+//! write (no scheduler in this package forks with more).
 //!
 //! # Word-alignment convention
 //!
@@ -33,6 +43,38 @@ use std::io::{self, BufReader, BufWriter, Read, Write};
 const TAG_READ: u8 = 0x01;
 const TAG_WRITE: u8 = 0x02;
 const TAG_INSTR: u8 = 0x03;
+const TAG_THREAD_BEGIN: u8 = 0x04;
+const TAG_THREAD_HINTS: u8 = 0x05;
+const TAG_RUN_END: u8 = 0x06;
+
+/// Maximum hint addresses one 0x05 record can carry.
+pub const MAX_TRACE_HINTS: usize = 8;
+
+/// The hint list of one forked thread, as stored in a trace file:
+/// a fixed-capacity inline array so [`TraceEvent`] stays `Copy`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceHints {
+    addrs: [Addr; MAX_TRACE_HINTS],
+    len: u8,
+}
+
+impl TraceHints {
+    /// Packs a hint slice, truncating past [`MAX_TRACE_HINTS`].
+    pub fn new(hints: &[Addr]) -> Self {
+        let len = hints.len().min(MAX_TRACE_HINTS);
+        let mut addrs = [Addr::NULL; MAX_TRACE_HINTS];
+        addrs[..len].copy_from_slice(&hints[..len]);
+        TraceHints {
+            addrs,
+            len: len as u8,
+        }
+    }
+
+    /// The stored hint addresses.
+    pub fn as_slice(&self) -> &[Addr] {
+        &self.addrs[..usize::from(self.len)]
+    }
+}
 
 /// One record of a trace file.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,6 +83,12 @@ pub enum TraceEvent {
     Access(Access),
     /// An instruction-count batch.
     Instructions(u64),
+    /// Dispatch of the `seq`-th thread of the current scheduler run.
+    ThreadBegin(u64),
+    /// Fork of a thread with the given hint addresses.
+    ThreadHints(TraceHints),
+    /// End of a scheduler run.
+    RunEnd,
 }
 
 /// A [`TraceSink`] that serializes the trace to a writer.
@@ -151,6 +199,28 @@ impl<W: Write> TraceSink for TraceFileWriter<W> {
         record[1..9].copy_from_slice(&count.to_le_bytes());
         self.emit(&record);
     }
+
+    fn thread_begin(&mut self, seq: u64) {
+        let mut record = [0u8; 9];
+        record[0] = TAG_THREAD_BEGIN;
+        record[1..9].copy_from_slice(&seq.to_le_bytes());
+        self.emit(&record);
+    }
+
+    fn thread_hints(&mut self, hints: &[Addr]) {
+        let packed = TraceHints::new(hints);
+        let mut record = Vec::with_capacity(2 + packed.as_slice().len() * 8);
+        record.push(TAG_THREAD_HINTS);
+        record.push(packed.len);
+        for addr in packed.as_slice() {
+            record.extend_from_slice(&addr.raw().to_le_bytes());
+        }
+        self.emit(&record);
+    }
+
+    fn run_end(&mut self) {
+        self.emit(&[TAG_RUN_END]);
+    }
 }
 
 /// Reads a trace file back as an iterator of [`TraceEvent`]s.
@@ -198,6 +268,33 @@ impl<R: Read> TraceFileReader<R> {
                 self.input.read_exact(&mut payload)?;
                 Ok(Some(TraceEvent::Instructions(u64::from_le_bytes(payload))))
             }
+            TAG_THREAD_BEGIN => {
+                let mut payload = [0u8; 8];
+                self.input.read_exact(&mut payload)?;
+                Ok(Some(TraceEvent::ThreadBegin(u64::from_le_bytes(payload))))
+            }
+            TAG_THREAD_HINTS => {
+                let mut count = [0u8; 1];
+                self.input.read_exact(&mut count)?;
+                let count = usize::from(count[0]);
+                if count > MAX_TRACE_HINTS {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("hint record carries {count} addresses (max {MAX_TRACE_HINTS})"),
+                    ));
+                }
+                let mut addrs = [Addr::NULL; MAX_TRACE_HINTS];
+                for slot in addrs.iter_mut().take(count) {
+                    let mut payload = [0u8; 8];
+                    self.input.read_exact(&mut payload)?;
+                    *slot = Addr::new(u64::from_le_bytes(payload));
+                }
+                Ok(Some(TraceEvent::ThreadHints(TraceHints {
+                    addrs,
+                    len: count as u8,
+                })))
+            }
+            TAG_RUN_END => Ok(Some(TraceEvent::RunEnd)),
             unknown => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("unknown trace record tag {unknown:#04x}"),
@@ -216,6 +313,9 @@ impl<R: Read> TraceFileReader<R> {
             match event {
                 TraceEvent::Access(a) => sink.access(a),
                 TraceEvent::Instructions(n) => sink.instructions(n),
+                TraceEvent::ThreadBegin(seq) => sink.thread_begin(seq),
+                TraceEvent::ThreadHints(h) => sink.thread_hints(h.as_slice()),
+                TraceEvent::RunEnd => sink.run_end(),
             }
             events += 1;
         }
@@ -293,6 +393,67 @@ mod tests {
     }
 
     #[test]
+    fn schedule_events_roundtrip_into_footprints() {
+        use crate::FootprintSink;
+
+        let mut buffer = Vec::new();
+        {
+            let mut writer = TraceFileWriter::new(&mut buffer);
+            writer.thread_hints(&[Addr::new(0x100), Addr::new(0x200)]);
+            writer.thread_hints(&[]);
+            writer.thread_begin(0);
+            writer.write(Addr::new(0x100), 8);
+            writer.thread_begin(1);
+            writer.read(Addr::new(0x300), 8);
+            writer.run_end();
+            assert_eq!(writer.events(), 7);
+            writer.finish().unwrap();
+        }
+        let mut sink = FootprintSink::new();
+        let events = TraceFileReader::new(buffer.as_slice())
+            .replay(&mut sink)
+            .unwrap();
+        assert_eq!(events, 7);
+        let phases = sink.into_phases();
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].hints[0], vec![Addr::new(0x100), Addr::new(0x200)]);
+        assert_eq!(phases[0].hints[1], Vec::<Addr>::new());
+        assert!(phases[0].dispatches[0].write_words().contains(&(0x100 / 8)));
+        assert!(phases[0].dispatches[1].read_words().contains(&(0x300 / 8)));
+    }
+
+    #[test]
+    fn oversized_hint_list_truncates_on_write() {
+        let hints: Vec<Addr> = (0..12).map(|i| Addr::new(0x1000 + i * 8)).collect();
+        let mut buffer = Vec::new();
+        {
+            let mut writer = TraceFileWriter::new(&mut buffer);
+            writer.thread_hints(&hints);
+            writer.finish().unwrap();
+        }
+        let event = TraceFileReader::new(buffer.as_slice())
+            .next_event()
+            .unwrap()
+            .unwrap();
+        match event {
+            TraceEvent::ThreadHints(h) => {
+                assert_eq!(h.as_slice(), &hints[..MAX_TRACE_HINTS]);
+            }
+            other => panic!("expected hint record, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_hint_count_is_an_error() {
+        let buffer = vec![TAG_THREAD_HINTS, 200];
+        let err = TraceFileReader::new(buffer.as_slice())
+            .replay(&mut CountingSink::new())
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "10k-event loop is too slow under the interpreter")]
     fn large_trace_roundtrips_by_count() {
         let mut buffer = Vec::new();
         {

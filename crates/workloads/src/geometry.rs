@@ -37,7 +37,69 @@ pub enum Kernel {
     NBody,
 }
 
+/// How strictly a threaded kernel's result depends on intra-phase
+/// execution order — the ground truth schedule analyzers check
+/// policies against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OrderSemantics {
+    /// Conflicting threads within a phase must execute in fork order
+    /// for the result to be bitwise-identical to the sequential
+    /// version (threaded PDE relies on its monotone hints for this).
+    Exact,
+    /// Reordering conflicting threads changes intermediate values but
+    /// not the fixed point the kernel iterates towards — the paper's
+    /// threaded SOR, which is convergence-equivalent, not bitwise
+    /// equal.
+    Convergent,
+}
+
+/// What a kernel's hint addresses denote, which decides whether
+/// comparing them against the thread's footprint is meaningful.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HintKind {
+    /// Hints are data addresses the thread reads (matmul columns, PDE
+    /// and SOR grid lines): hint-accuracy checks apply.
+    Address,
+    /// Hints are synthetic coordinates in a scaled plane (the N-body's
+    /// 3-D position hints, §4.4): spatially meaningful to the binning
+    /// policy, but not addresses the thread touches.
+    Spatial,
+}
+
 impl Kernel {
+    /// Every paper kernel, in the order the bench tables report them.
+    pub const ALL: [Kernel; 4] = [Kernel::MatMul, Kernel::Pde, Kernel::Sor, Kernel::NBody];
+
+    /// The workload name the bench tables use.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::MatMul => "matmul",
+            Kernel::Pde => "pde",
+            Kernel::Sor => "sor",
+            Kernel::NBody => "nbody",
+        }
+    }
+
+    /// The kernel's intra-phase ordering contract.
+    pub fn order_semantics(self) -> OrderSemantics {
+        match self {
+            // Matmul and N-body threads are conflict-free; the PDE's
+            // conflicting neighbours are kept in fork order by every
+            // shipped policy (monotone hints ⇒ allocation-order tour
+            // = fork order). All three reproduce bitwise.
+            Kernel::MatMul | Kernel::Pde | Kernel::NBody => OrderSemantics::Exact,
+            Kernel::Sor => OrderSemantics::Convergent,
+        }
+    }
+
+    /// What the kernel's hints denote.
+    pub fn hint_kind(self) -> HintKind {
+        match self {
+            Kernel::MatMul | Kernel::Pde | Kernel::Sor => HintKind::Address,
+            Kernel::NBody => HintKind::Spatial,
+        }
+    }
+
     /// Parses the workload names the bench tables use.
     pub fn from_name(name: &str) -> Option<Kernel> {
         match name {
@@ -169,6 +231,18 @@ mod tests {
         for k in [Kernel::MatMul, Kernel::Pde, Kernel::Sor, Kernel::NBody] {
             let policy = g.hierarchical(k).expect("valid geometry");
             assert!(!format!("{policy:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn ground_truth_marks_sor_convergent_and_nbody_spatial() {
+        for k in Kernel::ALL {
+            assert_eq!(Kernel::from_name(k.name()), Some(k));
+            assert_eq!(
+                k.order_semantics() == OrderSemantics::Convergent,
+                k == Kernel::Sor
+            );
+            assert_eq!(k.hint_kind() == HintKind::Spatial, k == Kernel::NBody);
         }
     }
 

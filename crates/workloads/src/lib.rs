@@ -31,5 +31,5 @@ pub mod report;
 pub mod sor;
 pub mod spmv;
 
-pub use geometry::{BinGeometry, Kernel};
+pub use geometry::{BinGeometry, HintKind, Kernel, OrderSemantics};
 pub use report::WorkloadReport;

@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let report = sor::threaded(&mut data, sweeps, config, &mut sim);
         sim.add_threads(report.threads);
         let sim_report = sim.finish();
-        let bins = report.sched.as_ref().map(|s| s.bins()).unwrap_or(0);
+        let bins = report
+            .sched
+            .as_ref()
+            .map_or(0, thread_locality::sched::SchedulerStats::bins);
         println!(
             "{:>9}K  {:>9}  {:>10}  {:>8.3}s",
             block >> 10,

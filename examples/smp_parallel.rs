@@ -46,9 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Block = half of a typical 2 MB L2, 2-D hints on the columns.
     let config = SchedulerConfig::for_cache(2 << 20, 2)?;
-    let cores = std::thread::available_parallelism()
-        .map(usize::from)
-        .unwrap_or(1);
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
     println!(
         "parallel threaded matmul, n = {n}, {} threads ({} core(s) available —\nspeedup is bounded by that)\n",
         n * n,

@@ -108,7 +108,7 @@ impl BenchmarkGroup<'_> {
             f(&mut bencher);
             samples_ns.push(bencher.elapsed_ns);
         }
-        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        samples_ns.sort_by(f64::total_cmp);
         let median = samples_ns[samples_ns.len() / 2];
         let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
         let rate = match self.throughput {
