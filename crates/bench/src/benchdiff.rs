@@ -329,6 +329,25 @@ const STABLE_LEAVES: &[&str] = &[
     "l2_misses",
     "l1_miss_rate_pct",
     "l2_miss_rate_pct",
+    // The serving simulation runs entirely on a virtual clock: every
+    // metric below — including the `_ns` latencies, which would
+    // otherwise classify as machine-dependent — is modeled, and must
+    // reproduce bit-exactly on any host.
+    "offered",
+    "admitted",
+    "rejected",
+    "completed",
+    "warm_hits",
+    "cold_misses",
+    "warm_hit_rate_pct",
+    "drains",
+    "max_queue_depth",
+    "mean_queue_depth_x1000",
+    "p50_latency_ns",
+    "p99_latency_ns",
+    "mean_latency_ns",
+    "mean_slowdown_x1000",
+    "makespan_ns",
 ];
 
 /// Classifies a flattened path. `gate_all` promotes machine-dependent

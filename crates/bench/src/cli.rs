@@ -7,7 +7,7 @@ use crate::{paper, print};
 /// command-line flags (`--full`, `--smoke`, default scaled).
 ///
 /// Recognised names: `table1` … `table9`, `figure4`, `steal`,
-/// `simbench`, `binpolicy` (the last three also write their
+/// `simbench`, `binpolicy`, `servebench` (those four also write their
 /// `BENCH_*.json` payloads), and `analyze` (the `schedlint`
 /// four-kernel self-check, writing `ANALYZE_smoke.json`).
 pub fn run(experiment: &str) {
@@ -93,6 +93,15 @@ pub fn run_at(experiment: &str, scale: &crate::ExpScale) {
             let result = crate::experiments::binpolicy(scale);
             print::binpolicy(&result);
             let path = "BENCH_binpolicy.json";
+            match std::fs::write(path, result.to_json()) {
+                Ok(()) => println!("\nwrote {path}"),
+                Err(err) => eprintln!("could not write {path}: {err}"),
+            }
+        }
+        "servebench" => {
+            let result = crate::servebench::servebench(scale);
+            print::servebench(&result);
+            let path = "BENCH_serve.json";
             match std::fs::write(path, result.to_json()) {
                 Ok(()) => println!("\nwrote {path}"),
                 Err(err) => eprintln!("could not write {path}: {err}"),

@@ -1185,6 +1185,7 @@ mod tests {
             nbody_n: 128,
             nbody_iters: 1,
             nbody_factor: 1.0 / 256.0,
+            serve_requests: 2_000,
         }
     }
 
@@ -1199,12 +1200,16 @@ mod tests {
                     .row(kernel, machine, "hierarchical")
                     .expect("hierarchical cell");
                 // Same program, same hints: the policy reorders
-                // execution but never changes what executes.
+                // execution but never changes what the application
+                // executes. The access totals include traced package
+                // memory, and the two-level policy allocates more bin
+                // and group records than flat, so hierarchical may add
+                // (but never remove) references.
                 assert_eq!(flat.threads, hier.threads, "{kernel}.{machine}");
-                assert_eq!(flat.accesses, hier.accesses, "{kernel}.{machine}");
+                assert!(hier.accesses >= flat.accesses, "{kernel}.{machine}");
                 assert!(flat.threads > 0, "{kernel}.{machine}");
                 assert!(flat.report.l1.misses() > 0, "{kernel}.{machine}");
-                assert!(hier.l1_block <= hier.l2_block, "{kernel}.{machine}");
+                assert!(hier.l1_block < hier.l2_block, "{kernel}.{machine}");
                 assert_eq!(flat.l1_block, flat.l2_block, "flat has one level");
             }
         }
@@ -1215,6 +1220,57 @@ mod tests {
             "{json}"
         );
         assert!(json.contains("\"l2_miss_delta_pct\":"), "{json}");
+        // The hierarchical policy must actually schedule differently
+        // from flat somewhere (it was a silent no-op when both levels
+        // floored to the same block size).
+        assert!(
+            result.rows.iter().any(|row| {
+                row.policy == "hierarchical"
+                    && result
+                        .row(&row.kernel, &row.machine, "flat")
+                        .is_some_and(|flat| {
+                            flat.report.l1.misses() != row.report.l1.misses()
+                                || flat.report.l2.misses() != row.report.l2.misses()
+                        })
+            }),
+            "hierarchical is a no-op on every cell"
+        );
+    }
+
+    /// Regression for the hierarchical-binning no-op: every kernel ×
+    /// machine cell `BENCH_binpolicy.json` measures — at every shipped
+    /// scale preset — must give the hierarchical policy a sub-bin block
+    /// strictly finer than its parent block. (Scaled bench machines
+    /// shrink only the L2, which used to floor both blocks to the same
+    /// value and made `Hierarchical` byte-identical to flat.)
+    #[test]
+    fn binpolicy_cells_keep_hierarchical_levels_apart() {
+        for (preset, scale) in [
+            ("smoke", ExpScale::smoke()),
+            ("default", ExpScale::default_scaled()),
+            ("full", ExpScale::full()),
+        ] {
+            let kernels = [
+                (Kernel::MatMul, scale.matmul_factor),
+                (Kernel::Pde, scale.pde_factor),
+                (Kernel::Sor, scale.sor_factor),
+                (Kernel::NBody, scale.nbody_factor),
+            ];
+            for (kernel, factor) in kernels {
+                let (r8000, r10000) = machines(factor);
+                for machine in [&r8000, &r10000] {
+                    let geo = BinGeometry::for_machine(machine);
+                    assert!(
+                        geo.l1_block(kernel) < geo.l2_block(kernel),
+                        "{preset}: {kernel:?} on {}: l1_block {} !< l2_block {}",
+                        machine.name(),
+                        geo.l1_block(kernel),
+                        geo.l2_block(kernel)
+                    );
+                    geo.hierarchical(kernel).expect("two-level geometry");
+                }
+            }
+        }
     }
 
     #[test]

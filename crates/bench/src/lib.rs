@@ -21,6 +21,7 @@ pub mod fmt;
 pub mod paper;
 pub mod print;
 pub mod scale;
+pub mod servebench;
 pub mod simbench;
 
 pub use experiments::{
@@ -30,4 +31,5 @@ pub use experiments::{
     StealRow, Table1Result, TimeRow,
 };
 pub use scale::ExpScale;
+pub use servebench::{servebench, ServeBenchResult, ServeBenchRow};
 pub use simbench::{SimBenchResult, SimBenchRow};

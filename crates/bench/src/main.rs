@@ -1,7 +1,7 @@
 //! `repro` — runs any or all of the paper's tables/figures.
 //!
 //! ```text
-//! repro [all|table1|table2|...|table9|figure4|steal|simbench|binpolicy|analyze]...
+//! repro [all|table1|table2|...|table9|figure4|steal|simbench|binpolicy|servebench|analyze]...
 //!       [--full|--smoke] [--analyze]
 //! ```
 //!
@@ -34,6 +34,7 @@ fn main() {
             "steal",
             "simbench",
             "binpolicy",
+            "servebench",
         ];
     }
     if args.iter().any(|a| a == "--analyze") && !wanted.contains(&"analyze") {

@@ -39,6 +39,8 @@ pub struct ExpScale {
     pub nbody_iters: usize,
     /// Machine scale factor for N-body experiments.
     pub nbody_factor: f64,
+    /// Requests the online serving experiment streams (`servebench`).
+    pub serve_requests: u64,
 }
 
 impl ExpScale {
@@ -58,6 +60,7 @@ impl ExpScale {
             nbody_n: 64_000,
             nbody_iters: 4,
             nbody_factor: 1.0,
+            serve_requests: 4_000_000,
         }
     }
 
@@ -78,6 +81,7 @@ impl ExpScale {
             nbody_n: 16_000,
             nbody_iters: 4,
             nbody_factor: 1.0 / 4.0,
+            serve_requests: 1_000_000,
         }
     }
 
@@ -97,6 +101,7 @@ impl ExpScale {
             nbody_n: 2_000,
             nbody_iters: 2,
             nbody_factor: 1.0 / 32.0,
+            serve_requests: 100_000,
         }
     }
 }

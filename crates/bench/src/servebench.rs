@@ -1,0 +1,205 @@
+//! The online serving experiment: stream an Azure-style synthetic
+//! trace through the continuously-draining engine under each bin
+//! policy and score the serving-side metrics the batch tables cannot
+//! see — cold/warm hit rate, modeled latency percentiles, queue depth,
+//! and mean slowdown.
+//!
+//! Every number in the emitted `BENCH_serve.json` derives from the
+//! virtual clock and the deterministic cache simulation, so the file
+//! is byte-reproducible across runs and hosts; CI runs the experiment
+//! twice and diffs the bytes.
+
+use crate::scale::ExpScale;
+use cachesim::MachineModel;
+use serve::{run_serve, ServeConfig, ServeOutcome, ServePolicy, TraceConfig, TraceGen};
+use std::fmt::Write as _;
+
+/// Trace seed committed alongside the baselines.
+const TRACE_SEED: u64 = 1996;
+
+/// One policy's serving scoreboard.
+#[derive(Clone, Debug)]
+pub struct ServeBenchRow {
+    /// Policy identifier (`flat`, `hierarchical`, `single_bin`,
+    /// `unique_bin`).
+    pub policy: &'static str,
+    /// The run's full outcome (report + final cache stats).
+    pub outcome: ServeOutcome,
+}
+
+/// The whole experiment: one row per policy over one shared trace.
+#[derive(Clone, Debug)]
+pub struct ServeBenchResult {
+    /// Machine the service was modeled on.
+    pub machine: String,
+    /// Trace the policies shared.
+    pub trace: TraceConfig,
+    /// Serving knobs the policies shared.
+    pub lanes: u64,
+    /// Admission bound.
+    pub queue_bound: u64,
+    /// Per-policy rows, in [`ServePolicy::all`] order.
+    pub rows: Vec<ServeBenchRow>,
+}
+
+/// The trace `servebench` streams: Zipf-hot objects a few KiB each —
+/// a working set far larger than the L2, with a hot set that fits —
+/// under 8× bursts. `requests` comes from the scale preset.
+pub fn serve_trace(requests: u64) -> TraceConfig {
+    TraceConfig {
+        seed: TRACE_SEED,
+        requests,
+        objects: 1 << 14,
+        zipf_s: 0.9,
+        object_bytes: 32 << 10,
+        mean_interarrival_ns: 50_000,
+        burst_factor: 8,
+        burst_len: 512,
+        calm_len: 1536,
+    }
+}
+
+/// Runs the serving experiment at `scale` on the unscaled R8000.
+pub fn servebench(scale: &ExpScale) -> ServeBenchResult {
+    let machine = MachineModel::r8000();
+    let trace = serve_trace(scale.serve_requests);
+    let config = ServeConfig::default_bench();
+    let rows = ServePolicy::all()
+        .into_iter()
+        .map(|policy| ServeBenchRow {
+            policy: policy.name(),
+            outcome: run_serve(TraceGen::new(trace), &machine, &config, policy),
+        })
+        .collect();
+    ServeBenchResult {
+        machine: machine.name().to_owned(),
+        trace,
+        lanes: config.lanes as u64,
+        queue_bound: config.queue_bound,
+        rows,
+    }
+}
+
+impl ServeBenchResult {
+    /// The row for `policy`, if measured.
+    pub fn row(&self, policy: &str) -> Option<&ServeBenchRow> {
+        self.rows.iter().find(|r| r.policy == policy)
+    }
+
+    /// Benchdiff-compatible JSON. Deliberately omits anything
+    /// wall-clock (probe spans, run profiles): the committed baseline
+    /// and the CI byte-reproducibility check require every field to be
+    /// a pure function of (trace, machine, policy).
+    pub fn to_json(&self) -> String {
+        let mut json = String::new();
+        write!(
+            json,
+            "{{\"experiment\":\"serve\",\"machine\":\"{}\",\"seed\":{},\"requests\":{},\
+             \"objects\":{},\"zipf_s\":{:.4},\"object_bytes\":{},\"burst_factor\":{},\
+             \"lanes\":{},\"queue_bound\":{},\"rows\":[",
+            self.machine,
+            self.trace.seed,
+            self.trace.requests,
+            self.trace.objects,
+            self.trace.zipf_s,
+            self.trace.object_bytes,
+            self.trace.burst_factor,
+            self.lanes,
+            self.queue_bound,
+        )
+        .expect("writing to String cannot fail");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            let report = &row.outcome.report;
+            let sim = &row.outcome.sim;
+            write!(
+                json,
+                "{{\"workload\":\"{}\",\"offered\":{},\"admitted\":{},\"rejected\":{},\
+                 \"completed\":{},\"warm_hits\":{},\"cold_misses\":{},\
+                 \"warm_hit_rate_pct\":{:.4},\"drains\":{},\"max_queue_depth\":{},\
+                 \"mean_queue_depth_x1000\":{},\"p50_latency_ns\":{},\"p99_latency_ns\":{},\
+                 \"mean_latency_ns\":{},\"mean_slowdown_x1000\":{},\"makespan_ns\":{},\
+                 \"accesses\":{},\"l1_misses\":{},\"l2_misses\":{}}}",
+                row.policy,
+                report.offered,
+                report.admitted,
+                report.rejected,
+                report.completed,
+                report.warm_hits,
+                report.cold_misses,
+                report.warm_hit_rate_pct(),
+                report.drains,
+                report.max_queue_depth,
+                report.mean_queue_depth_x1000,
+                report.p50_latency_ns,
+                report.p99_latency_ns,
+                report.mean_latency_ns,
+                report.mean_slowdown_x1000,
+                report.makespan_ns,
+                sim.data_references(),
+                sim.l1.misses(),
+                sim.l2.misses(),
+            )
+            .expect("writing to String cannot fail");
+        }
+        json.push_str("]}");
+        json
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpScale {
+        ExpScale {
+            serve_requests: 3_000,
+            ..ExpScale::smoke()
+        }
+    }
+
+    #[test]
+    fn reports_all_policies_and_is_deterministic() {
+        let a = servebench(&tiny());
+        assert_eq!(a.rows.len(), 4);
+        for policy in ["flat", "hierarchical", "single_bin", "unique_bin"] {
+            let row = a.row(policy).expect("policy measured");
+            let report = &row.outcome.report;
+            assert_eq!(report.offered, 3_000, "{policy}");
+            assert_eq!(
+                report.admitted + report.rejected,
+                report.offered,
+                "{policy}"
+            );
+            assert_eq!(report.completed, report.admitted, "{policy}");
+            assert!(report.p99_latency_ns >= report.p50_latency_ns, "{policy}");
+            assert!(report.makespan_ns > 0, "{policy}");
+        }
+        let b = servebench(&tiny());
+        assert_eq!(a.to_json(), b.to_json(), "servebench must be byte-stable");
+    }
+
+    #[test]
+    fn json_has_benchdiff_shape_and_no_wall_clock() {
+        let json = servebench(&tiny()).to_json();
+        assert!(json.contains("\"experiment\":\"serve\""), "{json}");
+        assert!(json.contains("\"workload\":\"flat\""), "{json}");
+        assert!(json.contains("\"warm_hit_rate_pct\":"), "{json}");
+        assert!(json.contains("\"p99_latency_ns\":"), "{json}");
+        assert!(json.contains("\"mean_slowdown_x1000\":"), "{json}");
+        assert!(!json.contains("run_profile"), "wall-clock leaked: {json}");
+    }
+
+    #[test]
+    fn locality_policies_beat_fifo_on_warm_hits() {
+        let result = servebench(&tiny());
+        let fifo = result.row("single_bin").unwrap().outcome.report.warm_hits;
+        let flat = result.row("flat").unwrap().outcome.report.warm_hits;
+        assert!(
+            flat >= fifo,
+            "locality binning should not lose warm hits: flat {flat} vs fifo {fifo}"
+        );
+    }
+}

@@ -17,7 +17,8 @@ use crate::stats::{RunStats, SchedulerStats};
 use crate::table::{BinId, BinTable};
 use crate::{Hints, RunMode, Tour};
 use memtrace::{Addr, TraceSink};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Fixed base of the package's synthetic memory: every reference the
 /// scheduler emits on its own behalf (hash buckets, bin records, thread
@@ -135,6 +136,53 @@ struct SchedObs {
     subbins_run: probe::LocalCounter,
 }
 
+/// A ready-heap entry: `(tour rank, ready sequence, parent key)`.
+/// Ordered `Reverse` so the heap pops the minimal rank first; the
+/// monotone ready sequence breaks rank ties, which under
+/// [`Tour::AllocationOrder`] (rank constant) *is* the paper's ready
+/// list — units drain in the order they first received work.
+type ReadyEntry = Reverse<([u64; MAX_DIMS], u64, [u64; MAX_DIMS])>;
+
+/// Incremental-drain bookkeeping, present only after
+/// [`BinEngine::enable_online`]. The drain *unit* is a parent group:
+/// for flat policies the parent key is the bin key itself (one bin per
+/// unit); hierarchical policies drain all of a parent's ready sub-bins
+/// back-to-back in sorted fine-key order, exactly as the batch tour
+/// does.
+///
+/// Invariant: a parent key is queued in `heap` (and present in
+/// `queued`) iff at least one of its member bins holds threads. Inserts
+/// queue the parent on its empty → non-empty transition; a drain pops
+/// it and empties every member bin, so there are never stale heap
+/// entries.
+#[derive(Clone, Debug, Default)]
+struct OnlineState {
+    heap: BinaryHeap<ReadyEntry>,
+    /// Parent keys currently queued, with their ready sequence number.
+    queued: HashMap<[u64; MAX_DIMS], u64>,
+    /// Parent key → member bin ids, in bin-creation order.
+    members: HashMap<[u64; MAX_DIMS], Vec<BinId>>,
+    next_seq: u64,
+    /// Dispatch counter across all incremental drains (feeds
+    /// `on_dispatch` with globally increasing sequence numbers, so a
+    /// full incremental drain numbers threads exactly as one batch run
+    /// would).
+    dispatched: u64,
+}
+
+impl OnlineState {
+    /// Queues `parent` if it is not already ready.
+    fn queue(&mut self, tour: &Tour, parent: [u64; MAX_DIMS]) {
+        if self.queued.contains_key(&parent) {
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queued.insert(parent, seq);
+        self.heap.push(Reverse((tour.rank(parent), seq, parent)));
+    }
+}
+
 /// The bin engine: bin table, tour, thread groups, meta tracing, and
 /// the drain loop, parameterized by the scheduled item type `T` and
 /// the binning policy `P`.
@@ -148,6 +196,7 @@ pub(crate) struct BinEngine<T, P> {
     threads: u64,
     meta: Option<MetaTrace>,
     obs: SchedObs,
+    online: Option<OnlineState>,
 }
 
 impl<T, P: BinPolicy> BinEngine<T, P> {
@@ -162,6 +211,7 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
             tour,
             meta: None,
             obs: SchedObs::default(),
+            online: None,
         }
     }
 
@@ -200,6 +250,12 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
         // The synthetic hash-table region was sized for the old
         // configuration; re-enable tracing afterwards if needed.
         self.meta = None;
+        // Ready state referred to the old keys; incremental mode stays
+        // on, starting from an empty ready list (legal: the engine is
+        // empty here).
+        if self.online.is_some() {
+            self.online = Some(OnlineState::default());
+        }
     }
 
     /// Places `item` into the bin chosen by the policy for `hints`,
@@ -275,6 +331,135 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
         }
         bin.threads += 1;
         self.threads += 1;
+        if let Some(state) = &mut self.online {
+            let parent = self.policy.parent_key(key);
+            if created {
+                state.members.entry(parent).or_default().push(id);
+            }
+            // Either the parent is already ready (no-op) or this insert
+            // made it non-empty — re-link it at the back of the ready
+            // order, as the paper's package re-links a refilled bin.
+            state.queue(&self.tour, parent);
+        }
+    }
+
+    /// Switches the engine into *incremental* (online) drain mode:
+    /// after this, [`drain_next_with`](Self::drain_next_with) hands out
+    /// one ready drain unit at a time while further inserts keep
+    /// landing in their bins. Any threads already scheduled become
+    /// ready in bin-creation order — so enabling after a batch of
+    /// inserts, then draining to exhaustion, reproduces the batch
+    /// [`run_with`](Self::run_with) order exactly (for every tour
+    /// except [`Tour::Random`], whose batch shuffle has no incremental
+    /// equivalent; see [`Tour::rank`]).
+    ///
+    /// Idempotent. The batch `run_with` path is unaffected by this flag
+    /// (its golden drain order stays pinned); mixing batch
+    /// [`RunMode::Retain`](crate::RunMode::Retain) runs with
+    /// incremental drains is unsupported.
+    pub(crate) fn enable_online(&mut self) {
+        if self.online.is_some() {
+            return;
+        }
+        let mut state = OnlineState::default();
+        for (id, bin) in self.bins.iter().enumerate() {
+            let parent = self.policy.parent_key(self.table.key(id as BinId));
+            state.members.entry(parent).or_default().push(id as BinId);
+            if bin.threads > 0 {
+                state.queue(&self.tour, parent);
+            }
+        }
+        self.online = Some(state);
+    }
+
+    /// Whether incremental drain mode is enabled.
+    pub(crate) fn online(&self) -> bool {
+        self.online.is_some()
+    }
+
+    /// Drains the single next ready unit — the minimal
+    /// `(tour rank, ready seq)` parent group — with the same callback
+    /// shape as [`run_with`](Self::run_with), consuming the drained
+    /// threads. Returns `None` when nothing is ready.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`enable_online`](Self::enable_online) was not called.
+    pub(crate) fn drain_next_with<X>(
+        &mut self,
+        ctx: &mut X,
+        mut on_read: impl FnMut(&mut X, Addr, u32),
+        mut on_dispatch: impl FnMut(&mut X, u64),
+        mut exec: impl FnMut(&mut X, &T),
+    ) -> Option<RunStats> {
+        let parent = {
+            let state = self
+                .online
+                .as_mut()
+                .expect("drain_next_with requires enable_online");
+            let Reverse((_rank, _seq, parent)) = state.heap.pop()?;
+            state.queued.remove(&parent);
+            parent
+        };
+        let state = self.online.as_ref().expect("checked above");
+        let mut subs: Vec<BinId> = state.members[&parent]
+            .iter()
+            .copied()
+            .filter(|&id| self.bins[id as usize].threads > 0)
+            .collect();
+        subs.sort_unstable_by_key(|&id| self.table.key(id));
+        let tracing = self.meta.is_some();
+        let hierarchical = self.policy.levels() > 1;
+        let mut dispatched = state.dispatched;
+        let mut threads_run = 0u64;
+        let mut bins_visited = 0usize;
+        for &id in &subs {
+            bins_visited += 1;
+            self.obs
+                .bin_occupancy
+                .record(self.bins[id as usize].threads);
+            if hierarchical {
+                self.obs.subbins_run.incr();
+            }
+            let _drain_span = self.obs.bin_drain_ns.span();
+            let bin = &mut self.bins[id as usize];
+            if tracing {
+                on_read(ctx, bin.header, BIN_HEADER_BYTES as u32);
+            }
+            for group in &bin.groups {
+                if tracing {
+                    on_read(ctx, group.base, GROUP_HEADER_BYTES as u32);
+                }
+                for (slot, item) in group.items.iter().enumerate() {
+                    if tracing {
+                        on_read(
+                            ctx,
+                            group.base + GROUP_HEADER_BYTES + slot as u64 * SPEC_BYTES,
+                            SPEC_BYTES as u32,
+                        );
+                    }
+                    on_dispatch(ctx, dispatched);
+                    dispatched += 1;
+                    exec(ctx, item);
+                }
+            }
+            threads_run += bin.threads;
+            // Consume the unit. The bin record (and its table key) stay
+            // allocated so ids remain stable; a later insert refills it
+            // and re-queues its parent with a fresh ready sequence.
+            let drained = bin.threads;
+            bin.groups.clear();
+            bin.threads = 0;
+            self.threads -= drained;
+        }
+        if hierarchical {
+            self.obs.parent_occupancy.record(threads_run);
+        }
+        self.online.as_mut().expect("checked above").dispatched = dispatched;
+        Some(RunStats {
+            threads_run,
+            bins_visited,
+        })
     }
 
     /// The order in which bins will be drained.
@@ -455,6 +640,11 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
         self.threads = 0;
         if let Some(meta) = &mut self.meta {
             meta.bump = meta.arena_base;
+        }
+        // Incremental mode survives a clear, restarting from an empty
+        // ready list (and dispatch numbering from zero).
+        if self.online.is_some() {
+            self.online = Some(OnlineState::default());
         }
     }
 }

@@ -228,6 +228,51 @@ impl<C, P: BinPolicy> Scheduler<C, P> {
         stats
     }
 
+    /// Switches the scheduler into *online* (incremental) drain mode
+    /// for serving-style workloads: forks keep arriving while
+    /// [`drain_next`](Self::drain_next) hands out one ready drain unit
+    /// at a time, still in tour/policy order. A drain unit is one bin
+    /// for flat policies, or one parent bin's sub-bins (drained
+    /// back-to-back in sorted fine-key order) for hierarchical
+    /// policies.
+    ///
+    /// Threads already scheduled become ready in bin-creation order, so
+    /// enabling after a batch of forks and draining to exhaustion
+    /// executes exactly what one [`run`](Self::run) would have — same
+    /// order, same dispatch numbering — for every tour except
+    /// [`Tour::Random`](crate::Tour::Random), whose batch shuffle has
+    /// no incremental equivalent (it degrades to a stationary seeded
+    /// hash order). A bin refilled after its drain is re-linked at the
+    /// *back* of the ready order, as the paper's package re-links a
+    /// refilled bin onto its ready list.
+    ///
+    /// Idempotent; batch [`run`](Self::run) calls remain available and
+    /// unchanged, but mixing [`RunMode::Retain`] runs with incremental
+    /// drains is unsupported.
+    pub fn enable_online(&mut self) {
+        self.engine.enable_online();
+    }
+
+    /// Whether [`enable_online`](Self::enable_online) was called.
+    pub fn online(&self) -> bool {
+        self.engine.online()
+    }
+
+    /// Drains the single next ready unit (online mode), consuming its
+    /// threads. Returns `None` when no thread is ready.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`enable_online`](Self::enable_online) was not called.
+    pub fn drain_next(&mut self, ctx: &mut C) -> Option<RunStats> {
+        self.engine.drain_next_with(
+            ctx,
+            |_, _, _| {},
+            |_, _| {},
+            |ctx, spec| (spec.func)(ctx, spec.arg1, spec.arg2),
+        )
+    }
+
     /// Number of threads currently scheduled.
     pub fn pending(&self) -> u64 {
         self.engine.pending()
@@ -652,6 +697,116 @@ mod tests {
         // in ascending fine-key order.
         let order: Vec<usize> = log.iter().map(|&(a, _)| a).collect();
         assert_eq!(order, vec![0, 2, 4, 6, 1, 3, 5, 7]);
+    }
+
+    /// Every tour but Random: batch-fork + online drain-to-exhaustion
+    /// must equal the batch run exactly.
+    #[test]
+    fn online_drain_matches_batch_run_per_tour() {
+        use crate::Tour;
+        for tour in [
+            Tour::AllocationOrder,
+            Tour::SortedKey,
+            Tour::Hilbert,
+            Tour::Morton,
+        ] {
+            let cfg = SchedulerConfig::builder()
+                .block_size(1 << 12)
+                .tour(tour)
+                .build()
+                .unwrap();
+            let fork_all = |sched: &mut Scheduler<Log>| {
+                let mut x = 0xD1B5_4A32_D192_ED03u64;
+                for i in 0..400usize {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    sched.fork(record, i, 0, Hints::one(Addr::new(x % (1 << 22))));
+                }
+            };
+            let mut batch: Scheduler<Log> = Scheduler::new(cfg);
+            fork_all(&mut batch);
+            let mut batch_log = Log::new();
+            batch.run(&mut batch_log, RunMode::Consume);
+
+            let mut online: Scheduler<Log> = Scheduler::new(cfg);
+            fork_all(&mut online);
+            online.enable_online();
+            assert!(online.online());
+            let mut online_log = Log::new();
+            let mut units = 0;
+            while let Some(stats) = online.drain_next(&mut online_log) {
+                assert!(stats.threads_run > 0);
+                units += 1;
+            }
+            assert_eq!(online.pending(), 0);
+            assert!(units > 1, "{tour:?} drained in more than one unit");
+            assert_eq!(online_log, batch_log, "{tour:?}");
+        }
+    }
+
+    #[test]
+    fn online_drain_matches_batch_run_hierarchical() {
+        let policy = Hierarchical::uniform(1 << 10, 1 << 12, false).unwrap();
+        let fork_all = |sched: &mut Scheduler<Log, Hierarchical>| {
+            for i in 0..120usize {
+                let addr = (i as u64 * 0x2f1) % (1 << 16);
+                sched.fork(record, i, 0, Hints::one(Addr::new(addr)));
+            }
+        };
+        let mut batch = Scheduler::with_policy(SchedulerConfig::default(), policy);
+        fork_all(&mut batch);
+        let mut batch_log = Log::new();
+        batch.run(&mut batch_log, RunMode::Consume);
+
+        let mut online = Scheduler::with_policy(SchedulerConfig::default(), policy);
+        fork_all(&mut online);
+        online.enable_online();
+        let mut online_log = Log::new();
+        let mut max_unit = 0;
+        while let Some(stats) = online.drain_next(&mut online_log) {
+            max_unit = max_unit.max(stats.bins_visited);
+        }
+        assert!(max_unit > 1, "a parent unit spans several sub-bins");
+        assert_eq!(online_log, batch_log);
+    }
+
+    #[test]
+    fn online_refilled_bin_relinks_at_the_back() {
+        let mut sched: Scheduler<Log> = Scheduler::new(config(1024));
+        sched.enable_online();
+        // Bin X gets work, drains.
+        sched.fork(record, 0, 0, Hints::one(Addr::new(0)));
+        let mut log = Log::new();
+        assert!(sched.drain_next(&mut log).is_some());
+        // Bin Y then bin X again: the refilled X must drain *after* Y.
+        sched.fork(record, 1, 0, Hints::one(Addr::new(1 << 20)));
+        sched.fork(record, 2, 0, Hints::one(Addr::new(4)));
+        assert!(sched.drain_next(&mut log).is_some());
+        assert!(sched.drain_next(&mut log).is_some());
+        assert!(sched.drain_next(&mut log).is_none());
+        assert_eq!(log, vec![(0, 0), (1, 0), (2, 0)]);
+    }
+
+    #[test]
+    fn online_drain_on_empty_is_none_and_fifo_policy_batches() {
+        use crate::policy::SingleBin;
+        let mut sched: Scheduler<Log, SingleBin> =
+            Scheduler::with_policy(SchedulerConfig::default(), SingleBin);
+        sched.enable_online();
+        let mut log = Log::new();
+        assert!(sched.drain_next(&mut log).is_none());
+        for i in 0..5 {
+            sched.fork(record, i, 0, Hints::none());
+        }
+        // One bin ⇒ the whole backlog is one drain unit, in fork order.
+        let stats = sched.drain_next(&mut log).unwrap();
+        assert_eq!(stats.threads_run, 5);
+        assert_eq!(
+            log.iter().map(|&(a, _)| a).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        assert!(sched.drain_next(&mut log).is_none());
     }
 
     #[test]

@@ -81,6 +81,42 @@ impl Tour {
         }
         ids
     }
+
+    /// Total-order rank of one bin key under this tour, for the
+    /// *incremental* (online) drain: among the currently-ready drain
+    /// units the engine picks the minimal `(rank, ready_seq)`, so two
+    /// ready units always compare the same way the batch tour would
+    /// have ordered them.
+    ///
+    /// [`AllocationOrder`](Tour::AllocationOrder) ranks every key
+    /// equally — the tie-break on the ready sequence number then yields
+    /// exactly the paper's ready list (FIFO by the moment a bin first
+    /// received work). [`Random`](Tour::Random) cannot reproduce the
+    /// batch shuffle incrementally (a shuffle needs the whole
+    /// population); it degrades to a seeded hash of the key —
+    /// stationary and deterministic, but *not* the offline permutation.
+    pub(crate) fn rank(&self, key: [u64; MAX_DIMS]) -> [u64; MAX_DIMS] {
+        match *self {
+            Tour::AllocationOrder => [0; MAX_DIMS],
+            Tour::SortedKey => key,
+            Tour::Hilbert => [hilbert_d(key[0], key[1]), key[2], key[3], 0],
+            Tour::Morton => [morton3(key[0], key[1], key[2]), key[3], 0, 0],
+            Tour::Random(seed) => [scramble(seed, key), 0, 0, 0],
+        }
+    }
+}
+
+/// SplitMix64-style finalizer over a seeded fold of the key words: the
+/// stationary stand-in for [`Tour::Random`]'s batch shuffle in
+/// incremental mode.
+fn scramble(seed: u64, key: [u64; MAX_DIMS]) -> u64 {
+    let mut x = seed ^ 0x9E37_79B9_7F4A_7C15;
+    for word in key {
+        x = (x ^ word).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+    }
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 /// Bits per coordinate for the space-filling curves. Block coordinates
@@ -255,6 +291,42 @@ mod tests {
         assert_eq!(morton3(0, 1, 0), 0b010);
         assert_eq!(morton3(0, 0, 1), 0b100);
         assert_eq!(morton3(3, 0, 0), 0b001001);
+    }
+
+    #[test]
+    fn rank_order_matches_batch_order_for_key_tours() {
+        // For the key-derived tours, sorting ready units by rank must
+        // reproduce the batch tour exactly (keys are unique, and for
+        // Morton the dim-3 values coincide, so no tie-break ambiguity).
+        let mut keys = grid_keys(6);
+        keys.iter_mut().enumerate().for_each(|(i, k)| {
+            k[2] = (i as u64) % 3;
+        });
+        for tour in [Tour::SortedKey, Tour::Hilbert, Tour::Morton] {
+            let batch = tour.order(&keys);
+            let mut ranked: Vec<BinId> = (0..keys.len() as BinId).collect();
+            ranked.sort_by_key(|&id| (tour.rank(keys[id as usize]), id));
+            assert_eq!(ranked, batch, "{tour:?}");
+        }
+    }
+
+    #[test]
+    fn allocation_order_ranks_everything_equally() {
+        let keys = grid_keys(4);
+        let rank0 = Tour::AllocationOrder.rank(keys[0]);
+        assert!(keys.iter().all(|&k| Tour::AllocationOrder.rank(k) == rank0));
+    }
+
+    #[test]
+    fn random_rank_is_seeded_and_spread() {
+        let keys = grid_keys(5);
+        let a: Vec<_> = keys.iter().map(|&k| Tour::Random(7).rank(k)).collect();
+        let b: Vec<_> = keys.iter().map(|&k| Tour::Random(7).rank(k)).collect();
+        let c: Vec<_> = keys.iter().map(|&k| Tour::Random(8).rank(k)).collect();
+        assert_eq!(a, b, "same seed, same ranks");
+        assert_ne!(a, c, "different seeds should differ (w.h.p.)");
+        let distinct: std::collections::HashSet<_> = a.iter().collect();
+        assert_eq!(distinct.len(), keys.len(), "no collisions on a grid");
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Deterministic discrete-event core.
+//!
+//! The serving simulation advances a virtual clock from event to event:
+//! request arrivals and lane completions are both [`Event`]s on one
+//! [`EventHeap`]. Determinism is non-negotiable here — the equivalence
+//! and golden tests in this crate hash the full execution order — so
+//! the heap breaks timestamp ties by insertion sequence. Two events at
+//! the same nanosecond pop in the order they were pushed, on every
+//! platform, every run.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One scheduled occurrence in virtual time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A request enters the admission queue. The payload is the index
+    /// into the trace's request buffer.
+    Arrival(usize),
+    /// A serving lane finishes its current drain unit and becomes
+    /// idle. The payload is the lane index.
+    LaneFree(usize),
+}
+
+/// Min-heap of `(time_ns, push_seq, event)` — earliest time first,
+/// FIFO within a timestamp.
+#[derive(Debug, Default)]
+pub struct EventHeap {
+    heap: BinaryHeap<Reverse<(u64, u64, EventKey)>>,
+    next_seq: u64,
+}
+
+/// [`Event`] flattened into an orderable key. `BinaryHeap` needs `Ord`
+/// and deriving it on the enum directly would make the *variant* part
+/// of the tie-break; encoding both variants through the same
+/// `(tag, payload)` shape keeps the push sequence as the only
+/// discriminator at equal timestamps.
+type EventKey = (u8, usize);
+
+const TAG_ARRIVAL: u8 = 0;
+const TAG_LANE_FREE: u8 = 1;
+
+fn encode(event: Event) -> EventKey {
+    match event {
+        Event::Arrival(slot) => (TAG_ARRIVAL, slot),
+        Event::LaneFree(lane) => (TAG_LANE_FREE, lane),
+    }
+}
+
+fn decode((tag, payload): EventKey) -> Event {
+    match tag {
+        TAG_ARRIVAL => Event::Arrival(payload),
+        _ => Event::LaneFree(payload),
+    }
+}
+
+impl EventHeap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at absolute virtual time `time_ns`.
+    pub fn push(&mut self, time_ns: u64, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((time_ns, seq, encode(event))));
+    }
+
+    /// Removes and returns the earliest event, FIFO within ties.
+    pub fn pop(&mut self) -> Option<(u64, Event)> {
+        self.heap
+            .pop()
+            .map(|Reverse((time, _, key))| (time, decode(key)))
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse((time, _, _))| *time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut heap = EventHeap::new();
+        heap.push(30, Event::Arrival(0));
+        heap.push(10, Event::Arrival(1));
+        heap.push(20, Event::LaneFree(0));
+        assert_eq!(heap.pop(), Some((10, Event::Arrival(1))));
+        assert_eq!(heap.pop(), Some((20, Event::LaneFree(0))));
+        assert_eq!(heap.pop(), Some((30, Event::Arrival(0))));
+        assert_eq!(heap.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_push_order_not_payload() {
+        let mut heap = EventHeap::new();
+        // Push payloads in descending order at one timestamp: a heap
+        // keyed on payload would invert them.
+        heap.push(5, Event::LaneFree(2));
+        heap.push(5, Event::Arrival(9));
+        heap.push(5, Event::Arrival(1));
+        assert_eq!(heap.pop(), Some((5, Event::LaneFree(2))));
+        assert_eq!(heap.pop(), Some((5, Event::Arrival(9))));
+        assert_eq!(heap.pop(), Some((5, Event::Arrival(1))));
+    }
+
+    #[test]
+    fn peek_matches_pop_and_len_tracks() {
+        let mut heap = EventHeap::new();
+        assert!(heap.is_empty());
+        assert_eq!(heap.peek_time(), None);
+        heap.push(7, Event::Arrival(0));
+        heap.push(3, Event::Arrival(1));
+        assert_eq!(heap.len(), 2);
+        assert_eq!(heap.peek_time(), Some(3));
+        heap.pop();
+        assert_eq!(heap.peek_time(), Some(7));
+        assert_eq!(heap.len(), 1);
+    }
+}

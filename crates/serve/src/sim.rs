@@ -1,0 +1,604 @@
+//! The online serving simulation: a continuously-draining
+//! locality-scheduled engine fed by a stream of timestamped requests.
+//!
+//! # Model
+//!
+//! Requests arrive on a virtual clock (see [`crate::trace`]) and are
+//! admitted into the scheduler's bounded pending queue — a fork with
+//! the object's base address as the locality hint. `lanes` serving
+//! lanes drain the engine concurrently with arrivals: whenever a lane
+//! is idle and work is pending, it is granted the next drain unit (one
+//! parent bin group, sub-bins in sorted order) by
+//! [`Scheduler::drain_next`]. Service time is the paper's timing model
+//! over the unit's simulated cache behaviour; the lane is busy until
+//! the unit completes.
+//!
+//! Cache state is shared and mutated in **grant order** — lanes model
+//! time overlap, not cache interference. This keeps the simulation
+//! deterministic and makes execution order independent of the lane
+//! count, which the t=0 online-vs-offline equivalence suite relies on.
+//!
+//! # Cold vs. warm
+//!
+//! A request is a *warm hit* when at most half of the cache lines it
+//! touches miss in L2 (zero-length probes are trivially warm); it is a
+//! *cold miss* otherwise. Locality scheduling raises the warm-hit rate
+//! by running requests for one hot object back-to-back.
+
+use crate::event::{Event, EventHeap};
+use crate::metrics::{percentile, ServeReport};
+use crate::trace::Request;
+use cachesim::{MachineModel, SimReport, SimSink};
+use locality_sched::{
+    BinPolicy, Hierarchical, PaperBlockHash, RunMode, Scheduler, SchedulerConfig, SingleBin,
+    UniqueBin,
+};
+use memtrace::{Access, TraceSink};
+
+/// Fixed per-request instruction overhead (dispatch, parse, reply).
+const REQUEST_BASE_INSTRUCTIONS: u64 = 40;
+/// Instructions modeled per cache line of payload scanned.
+const INSTRUCTIONS_PER_LINE: u64 = 4;
+
+/// Serving-side knobs, independent of the trace.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Concurrent serving lanes (drain units in flight).
+    pub lanes: usize,
+    /// Admission bound: a request arriving while this many threads are
+    /// pending is rejected.
+    pub queue_bound: u64,
+    /// Record the per-request execution log (id, miss deltas) — the
+    /// equivalence suite's witness. Costs memory; off for benches.
+    pub log_execution: bool,
+}
+
+impl ServeConfig {
+    /// Four lanes over a 4096-deep admission queue, no logging.
+    pub fn default_bench() -> Self {
+        ServeConfig {
+            lanes: 4,
+            queue_bound: 4096,
+            log_execution: false,
+        }
+    }
+}
+
+/// The bin policies the serving experiment compares. Mirrors
+/// `BENCH_binpolicy` naming: `flat` is the paper's block-hash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServePolicy {
+    /// Single-level block hash at the L2 block size.
+    Flat,
+    /// Two-level L1-in-L2 binning.
+    Hierarchical,
+    /// Everything in one bin: FIFO service, no locality.
+    SingleBin,
+    /// Every request its own bin: fork-order service, maximal bins.
+    UniqueBin,
+}
+
+impl ServePolicy {
+    /// Short identifier used in JSON rows and test labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServePolicy::Flat => "flat",
+            ServePolicy::Hierarchical => "hierarchical",
+            ServePolicy::SingleBin => "single_bin",
+            ServePolicy::UniqueBin => "unique_bin",
+        }
+    }
+
+    /// All four policies, in the order benches report them.
+    pub fn all() -> [ServePolicy; 4] {
+        [
+            ServePolicy::Flat,
+            ServePolicy::Hierarchical,
+            ServePolicy::SingleBin,
+            ServePolicy::UniqueBin,
+        ]
+    }
+}
+
+/// One executed request in the equivalence log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecRecord {
+    /// Trace id of the request.
+    pub id: u64,
+    /// L1 misses its payload scan added.
+    pub l1_misses: u64,
+    /// L2 misses its payload scan added.
+    pub l2_misses: u64,
+    /// L1 cache lines touched (the scan's access count).
+    pub lines: u64,
+    /// Distinct L2 lines the payload spans — the denominator of the
+    /// warm/cold classification.
+    pub l2_lines: u64,
+}
+
+/// Everything one serving run produces.
+#[derive(Clone, Debug)]
+pub struct ServeOutcome {
+    /// Aggregate metrics (the bench row).
+    pub report: ServeReport,
+    /// Final cache-simulation report.
+    pub sim: SimReport,
+    /// Execution log when [`ServeConfig::log_execution`] was set.
+    pub log: Vec<ExecRecord>,
+}
+
+/// Compact pending-request record (the admitted queue's memory).
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    id: u64,
+    arrival_ns: u64,
+    addr: u64,
+    bytes: u64,
+}
+
+/// Shared mutable state the scheduled request bodies run against.
+struct ExecCtx {
+    sink: SimSink,
+    requests: Vec<Pending>,
+    records: Vec<ExecRecord>,
+    l1_line: u64,
+    l2_line: u64,
+}
+
+/// The scheduled thread body: scan the request's payload one L1 line
+/// at a time and account instructions, recording the miss delta.
+fn serve_thread(ctx: &mut ExecCtx, slot: usize, _arg2: usize) {
+    let req = ctx.requests[slot];
+    let l1_before = ctx.sink.hierarchy().l1_stats().misses();
+    let l2_before = ctx.sink.hierarchy().l2_stats().misses();
+    let mut lines = 0u64;
+    let mut addr = req.addr;
+    let end = req.addr.saturating_add(req.bytes);
+    while addr < end {
+        ctx.sink.access(Access::read(memtrace::Addr::new(addr), 8));
+        addr += ctx.l1_line;
+        lines += 1;
+    }
+    ctx.sink
+        .instructions(REQUEST_BASE_INSTRUCTIONS + INSTRUCTIONS_PER_LINE * lines);
+    let l2_lines = if req.bytes == 0 {
+        0
+    } else {
+        end.div_ceil(ctx.l2_line) - req.addr / ctx.l2_line
+    };
+    ctx.records.push(ExecRecord {
+        id: req.id,
+        l1_misses: ctx.sink.hierarchy().l1_stats().misses() - l1_before,
+        l2_misses: ctx.sink.hierarchy().l2_stats().misses() - l2_before,
+        lines,
+        l2_lines,
+    });
+}
+
+/// Serving bin geometry for `machine`: parent bins at half the L2,
+/// sub-bins capped at both the L1 capacity and 1/8 of the L2 (the same
+/// separation rule `BinGeometry` applies to the paper kernels).
+fn serve_blocks(machine: &MachineModel) -> (u64, u64) {
+    let l2_block = prev_power_of_two(machine.l2_capacity() / 2);
+    let l1_budget = machine
+        .l1_capacity()
+        .min((machine.l2_capacity() / 8).max(1));
+    let l1_block = prev_power_of_two(l1_budget).min(l2_block);
+    (l1_block, l2_block)
+}
+
+fn prev_power_of_two(value: u64) -> u64 {
+    match value {
+        0 => 1,
+        v => 1 << (63 - v.leading_zeros()),
+    }
+}
+
+/// Streams `trace` through the online engine under `policy` on
+/// `machine` and returns the outcome. The trace may be any request
+/// iterator with non-decreasing arrival times — millions of requests
+/// stream through without being materialized.
+pub fn run_serve<I: Iterator<Item = Request>>(
+    trace: I,
+    machine: &MachineModel,
+    config: &ServeConfig,
+    policy: ServePolicy,
+) -> ServeOutcome {
+    let (l1_block, l2_block) = serve_blocks(machine);
+    let sched_config = SchedulerConfig::builder()
+        .block_size(l2_block)
+        .build()
+        .expect("power-of-two block is valid");
+    match policy {
+        ServePolicy::Flat => run_serve_with(
+            trace,
+            machine,
+            config,
+            policy,
+            sched_config,
+            PaperBlockHash::from_config(&sched_config),
+        ),
+        ServePolicy::Hierarchical => run_serve_with(
+            trace,
+            machine,
+            config,
+            policy,
+            sched_config,
+            Hierarchical::uniform(l1_block, l2_block, false)
+                .expect("separated powers of two are valid"),
+        ),
+        ServePolicy::SingleBin => {
+            run_serve_with(trace, machine, config, policy, sched_config, SingleBin)
+        }
+        ServePolicy::UniqueBin => run_serve_with(
+            trace,
+            machine,
+            config,
+            policy,
+            sched_config,
+            UniqueBin::default(),
+        ),
+    }
+}
+
+/// [`run_serve`] generic over an explicit [`BinPolicy`].
+fn run_serve_with<I, P>(
+    mut trace: I,
+    machine: &MachineModel,
+    config: &ServeConfig,
+    policy: ServePolicy,
+    sched_config: SchedulerConfig,
+    bin_policy: P,
+) -> ServeOutcome
+where
+    I: Iterator<Item = Request>,
+    P: BinPolicy,
+{
+    let mut sched: Scheduler<ExecCtx, P> = Scheduler::with_policy(sched_config, bin_policy);
+    sched.enable_online();
+    let timing = machine.timing();
+    let overhead_ns = machine.thread_overhead_ns();
+
+    let mut ctx = ExecCtx {
+        sink: SimSink::new(machine.hierarchy()),
+        requests: Vec::new(),
+        records: Vec::new(),
+        l1_line: machine.l1_line(),
+        l2_line: machine.l2_line(),
+    };
+
+    let mut events = EventHeap::new();
+    let mut lane_free = vec![true; config.lanes.max(1)];
+    let mut now = 0u64;
+    let mut offered = 0u64;
+    let mut rejected = 0u64;
+    let mut drains = 0u64;
+    let mut max_depth = 0u64;
+    let mut depth_integral = 0u128;
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut warm_hits = 0u64;
+    let mut total_latency = 0u128;
+    let mut total_slowdown_x1000 = 0u128;
+    let mut log = Vec::new();
+
+    // Seed the heap with the first arrival; each pop chains the next,
+    // so only one un-admitted request is ever held.
+    let mut next_arrival = trace.next();
+    if let Some(req) = &next_arrival {
+        events.push(req.arrival_ns, Event::Arrival(0));
+    }
+
+    loop {
+        // Drain every event at the current instant before dispatching:
+        // simultaneous arrivals are all admitted first, which is what
+        // makes a t=0 trace equivalent to the offline batch run.
+        while events.peek_time() == Some(now) {
+            match events.pop().expect("peeked").1 {
+                Event::Arrival(_) => {
+                    let req = next_arrival.take().expect("arrival event without request");
+                    offered += 1;
+                    if sched.pending() < config.queue_bound {
+                        let slot = ctx.requests.len();
+                        ctx.requests.push(Pending {
+                            id: req.id,
+                            arrival_ns: req.arrival_ns,
+                            addr: req.addr,
+                            bytes: req.bytes,
+                        });
+                        sched.fork(serve_thread, slot, 0, req.hints());
+                        max_depth = max_depth.max(sched.pending());
+                    } else {
+                        rejected += 1;
+                    }
+                    next_arrival = trace.next();
+                    if let Some(next) = &next_arrival {
+                        events.push(next.arrival_ns.max(now), Event::Arrival(0));
+                    }
+                }
+                Event::LaneFree(lane) => lane_free[lane] = true,
+            }
+        }
+
+        // Grant drain units to idle lanes. Grants are sequential in
+        // (tour rank, ready order); a lane is busy for the modeled
+        // service time of its whole unit.
+        while sched.pending() > 0 {
+            let Some(lane) = lane_free.iter().position(|&idle| idle) else {
+                break;
+            };
+            let before = ctx.records.len();
+            if sched.drain_next(&mut ctx).is_none() {
+                break;
+            }
+            drains += 1;
+            let mut unit_ns = 0u64;
+            for record in &ctx.records[before..] {
+                let instructions = REQUEST_BASE_INSTRUCTIONS + INSTRUCTIONS_PER_LINE * record.lines;
+                let service = timing.estimate_with_threads(
+                    instructions,
+                    record.l1_misses,
+                    record.l2_misses,
+                    1,
+                    overhead_ns,
+                );
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let service_ns = (service.total() * 1e9).round().max(1.0) as u64;
+                unit_ns += service_ns;
+                let arrival = arrival_of(&ctx.requests, record.id);
+                let completion = now + unit_ns;
+                let latency = completion.saturating_sub(arrival);
+                latencies.push(latency);
+                total_latency += u128::from(latency);
+                total_slowdown_x1000 +=
+                    u128::from(latency.saturating_mul(1000) / service_ns.max(1));
+                if 2 * record.l2_misses <= record.l2_lines {
+                    warm_hits += 1;
+                }
+                if config.log_execution {
+                    log.push(*record);
+                }
+            }
+            let lane_ready = now + unit_ns.max(1);
+            lane_free[lane] = false;
+            events.push(lane_ready, Event::LaneFree(lane));
+        }
+        if !config.log_execution {
+            ctx.records.clear();
+        }
+
+        // Advance the clock to the next event; simulation ends when no
+        // events remain (all arrivals admitted or rejected, all lanes
+        // idle again).
+        let Some(next) = events.peek_time() else {
+            break;
+        };
+        let elapsed = next - now;
+        depth_integral += u128::from(sched.pending()) * u128::from(elapsed);
+        now = next;
+    }
+
+    let admitted = offered - rejected;
+    let completed = latencies.len() as u64;
+    latencies.sort_unstable();
+    let report = ServeReport {
+        policy: policy.name(),
+        lanes: config.lanes.max(1) as u64,
+        offered,
+        admitted,
+        rejected,
+        completed,
+        warm_hits,
+        cold_misses: completed - warm_hits,
+        drains,
+        max_queue_depth: max_depth,
+        mean_queue_depth_x1000: if now > 0 {
+            u64::try_from(depth_integral * 1000 / u128::from(now)).unwrap_or(u64::MAX)
+        } else {
+            0
+        },
+        p50_latency_ns: percentile(&latencies, 50),
+        p99_latency_ns: percentile(&latencies, 99),
+        mean_latency_ns: if completed > 0 {
+            u64::try_from(total_latency / u128::from(completed)).unwrap_or(u64::MAX)
+        } else {
+            0
+        },
+        mean_slowdown_x1000: if completed > 0 {
+            u64::try_from(total_slowdown_x1000 / u128::from(completed)).unwrap_or(u64::MAX)
+        } else {
+            0
+        },
+        makespan_ns: now,
+    };
+    ServeOutcome {
+        report,
+        sim: ctx.sink.report(),
+        log,
+    }
+}
+
+/// Arrival time of trace id `id`. Admission appends to `requests` in
+/// arrival order and ids are trace positions, so when nothing was
+/// rejected the record sits at index `id`; after rejections it is
+/// strictly earlier. Binary search on the sorted `id` field finds it.
+fn arrival_of(requests: &[Pending], id: u64) -> u64 {
+    let idx = requests
+        .binary_search_by_key(&id, |p| p.id)
+        .expect("executed request was admitted");
+    requests[idx].arrival_ns
+}
+
+/// The offline oracle the equivalence suite compares against: fork
+/// every request up front (ignoring arrival times and the admission
+/// bound), then drain the whole engine with the batch scheduler. The
+/// execution log uses the same thread body over the same machine, so
+/// a t=0 online run must match it record for record.
+pub fn run_offline<I: Iterator<Item = Request>>(
+    trace: I,
+    machine: &MachineModel,
+    policy: ServePolicy,
+) -> Vec<ExecRecord> {
+    let (l1_block, l2_block) = serve_blocks(machine);
+    let sched_config = SchedulerConfig::builder()
+        .block_size(l2_block)
+        .build()
+        .expect("power-of-two block is valid");
+    match policy {
+        ServePolicy::Flat => run_offline_with(
+            trace,
+            machine,
+            sched_config,
+            PaperBlockHash::from_config(&sched_config),
+        ),
+        ServePolicy::Hierarchical => run_offline_with(
+            trace,
+            machine,
+            sched_config,
+            Hierarchical::uniform(l1_block, l2_block, false)
+                .expect("separated powers of two are valid"),
+        ),
+        ServePolicy::SingleBin => run_offline_with(trace, machine, sched_config, SingleBin),
+        ServePolicy::UniqueBin => {
+            run_offline_with(trace, machine, sched_config, UniqueBin::default())
+        }
+    }
+}
+
+fn run_offline_with<I, P>(
+    trace: I,
+    machine: &MachineModel,
+    sched_config: SchedulerConfig,
+    bin_policy: P,
+) -> Vec<ExecRecord>
+where
+    I: Iterator<Item = Request>,
+    P: BinPolicy,
+{
+    let mut sched: Scheduler<ExecCtx, P> = Scheduler::with_policy(sched_config, bin_policy);
+    let mut ctx = ExecCtx {
+        sink: SimSink::new(machine.hierarchy()),
+        requests: Vec::new(),
+        records: Vec::new(),
+        l1_line: machine.l1_line(),
+        l2_line: machine.l2_line(),
+    };
+    for req in trace {
+        let slot = ctx.requests.len();
+        ctx.requests.push(Pending {
+            id: req.id,
+            arrival_ns: req.arrival_ns,
+            addr: req.addr,
+            bytes: req.bytes,
+        });
+        sched.fork(serve_thread, slot, 0, req.hints());
+    }
+    sched.run(&mut ctx, RunMode::Consume);
+    ctx.records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceConfig, TraceGen};
+
+    fn tiny_trace(requests: u64) -> TraceGen {
+        TraceGen::new(TraceConfig {
+            seed: 11,
+            requests,
+            objects: 256,
+            zipf_s: 0.99,
+            object_bytes: 4096,
+            mean_interarrival_ns: 500,
+            burst_factor: 4,
+            burst_len: 32,
+            calm_len: 96,
+        })
+    }
+
+    #[test]
+    fn serves_every_admitted_request() {
+        let machine = MachineModel::r8000();
+        let config = ServeConfig {
+            lanes: 2,
+            queue_bound: u64::MAX,
+            log_execution: true,
+        };
+        let out = run_serve(tiny_trace(2000), &machine, &config, ServePolicy::Flat);
+        assert_eq!(out.report.offered, 2000);
+        assert_eq!(out.report.rejected, 0);
+        assert_eq!(out.report.completed, 2000);
+        assert_eq!(out.log.len(), 2000);
+        assert_eq!(
+            out.report.warm_hits + out.report.cold_misses,
+            out.report.completed
+        );
+        assert!(out.report.makespan_ns > 0);
+        assert!(out.report.p99_latency_ns >= out.report.p50_latency_ns);
+        assert!(out.sim.data_references() > 0);
+    }
+
+    #[test]
+    fn locality_policy_beats_fifo_on_warm_hits() {
+        let machine = MachineModel::r8000();
+        let config = ServeConfig {
+            lanes: 1,
+            queue_bound: u64::MAX,
+            log_execution: false,
+        };
+        let flat = run_serve(tiny_trace(4000), &machine, &config, ServePolicy::Flat);
+        let fifo = run_serve(tiny_trace(4000), &machine, &config, ServePolicy::SingleBin);
+        assert!(
+            flat.report.warm_hits >= fifo.report.warm_hits,
+            "flat {} < fifo {}",
+            flat.report.warm_hits,
+            fifo.report.warm_hits
+        );
+    }
+
+    #[test]
+    fn outcome_is_deterministic_across_runs() {
+        let machine = MachineModel::r10000();
+        let config = ServeConfig::default_bench();
+        let a = run_serve(
+            tiny_trace(3000),
+            &machine,
+            &config,
+            ServePolicy::Hierarchical,
+        );
+        let b = run_serve(
+            tiny_trace(3000),
+            &machine,
+            &config,
+            ServePolicy::Hierarchical,
+        );
+        assert_eq!(a.report, b.report);
+    }
+
+    #[test]
+    fn bounded_queue_rejects_and_accounts() {
+        let machine = MachineModel::r8000();
+        let config = ServeConfig {
+            lanes: 1,
+            queue_bound: 8,
+            log_execution: false,
+        };
+        let out = run_serve(tiny_trace(2000), &machine, &config, ServePolicy::Flat);
+        assert_eq!(out.report.offered, 2000);
+        assert_eq!(out.report.admitted + out.report.rejected, 2000);
+        assert_eq!(out.report.completed, out.report.admitted);
+        assert!(out.report.max_queue_depth <= 8);
+    }
+
+    #[test]
+    fn serve_blocks_keep_levels_apart() {
+        for machine in [
+            MachineModel::r8000(),
+            MachineModel::r10000(),
+            MachineModel::modern(),
+        ] {
+            let (l1, l2) = serve_blocks(&machine);
+            assert!(l1 < l2, "{}: {l1} !< {l2}", machine.name());
+            assert!(l1.is_power_of_two() && l2.is_power_of_two());
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Admission-control edges: bounded queues under bursts, zero-length
+//! requests, and arrival-timestamp ties. The serving loop must never
+//! panic, never lose a request (admitted + rejected == offered), and
+//! never exceed its queue bound.
+
+use cachesim::MachineModel;
+use proptest::prelude::*;
+use serve::{run_serve, Request, ServeConfig, ServePolicy, TraceConfig, TraceGen};
+
+fn bursty(seed: u64, requests: u64) -> TraceConfig {
+    TraceConfig {
+        seed,
+        requests,
+        objects: 512,
+        zipf_s: 0.99,
+        object_bytes: 8192,
+        mean_interarrival_ns: 1_000,
+        burst_factor: 64,
+        burst_len: 256,
+        calm_len: 256,
+    }
+}
+
+fn bounded(lanes: usize, queue_bound: u64) -> ServeConfig {
+    ServeConfig {
+        lanes,
+        queue_bound,
+        log_execution: false,
+    }
+}
+
+#[test]
+fn queue_full_rejections_are_accounted_exactly() {
+    let machine = MachineModel::r8000();
+    let out = run_serve(
+        TraceGen::new(bursty(5, 5_000)),
+        &machine,
+        &bounded(1, 16),
+        ServePolicy::Flat,
+    );
+    assert_eq!(out.report.offered, 5_000);
+    assert_eq!(
+        out.report.admitted + out.report.rejected,
+        out.report.offered
+    );
+    assert_eq!(
+        out.report.completed, out.report.admitted,
+        "admitted work lost"
+    );
+    assert!(
+        out.report.rejected > 0,
+        "a 16-deep queue must spill under 64× bursts"
+    );
+    assert!(out.report.max_queue_depth <= 16);
+}
+
+/// A burst longer than the queue bound: the queue saturates and the
+/// overflow is rejected, but everything admitted still completes.
+#[test]
+fn burst_longer_than_queue_bound_spills_not_crashes() {
+    let machine = MachineModel::r10000();
+    // burst_len 256 ≫ bound 8, arrivals 64× faster than service can
+    // drain on one lane.
+    let out = run_serve(
+        TraceGen::new(bursty(9, 2_048)),
+        &machine,
+        &bounded(1, 8),
+        ServePolicy::Hierarchical,
+    );
+    assert_eq!(out.report.admitted + out.report.rejected, 2_048);
+    assert_eq!(out.report.completed, out.report.admitted);
+    assert!(
+        out.report.rejected >= 2_048 / 4,
+        "most of each burst must spill"
+    );
+    assert!(out.report.max_queue_depth <= 8);
+}
+
+/// Zero-length requests (metadata probes) flow through every stage:
+/// admitted, scheduled, completed — as warm hits, touching no lines.
+#[test]
+fn zero_length_requests_complete_as_warm_hits() {
+    let machine = MachineModel::r8000();
+    let probes = (0..100u64).map(|id| Request {
+        id,
+        arrival_ns: id * 10,
+        object: id,
+        addr: 0x1_0000 + id * 4096,
+        bytes: 0,
+    });
+    let out = run_serve(
+        probes,
+        &machine,
+        &ServeConfig {
+            lanes: 2,
+            queue_bound: u64::MAX,
+            log_execution: true,
+        },
+        ServePolicy::Flat,
+    );
+    assert_eq!(out.report.completed, 100);
+    assert_eq!(out.report.warm_hits, 100, "zero lines touched ⇒ warm");
+    assert_eq!(out.report.cold_misses, 0);
+    assert!(out.log.iter().all(|r| r.lines == 0 && r.l1_misses == 0));
+}
+
+/// Simultaneous arrivals (timestamp ties) are admitted in trace order;
+/// under the FIFO policy on one lane they also execute in that order.
+#[test]
+fn arrival_timestamp_ties_keep_trace_order() {
+    let machine = MachineModel::r8000();
+    let tied = (0..64u64).map(|id| Request {
+        id,
+        arrival_ns: 1_000,
+        object: id,
+        addr: 0x2_0000 + (id % 7) * 65_536,
+        bytes: 256,
+    });
+    let out = run_serve(
+        tied,
+        &machine,
+        &ServeConfig {
+            lanes: 1,
+            queue_bound: u64::MAX,
+            log_execution: true,
+        },
+        ServePolicy::SingleBin,
+    );
+    assert_eq!(out.report.completed, 64);
+    let order: Vec<u64> = out.log.iter().map(|r| r.id).collect();
+    assert_eq!(order, (0..64).collect::<Vec<u64>>());
+}
+
+/// Ties at the bound: with queue_bound = k, exactly the first k of a
+/// simultaneous batch are admitted (no over-admission on ties).
+#[test]
+fn ties_at_the_bound_admit_exactly_the_bound() {
+    let machine = MachineModel::r8000();
+    let tied = (0..32u64).map(|id| Request {
+        id,
+        arrival_ns: 0,
+        object: id,
+        addr: 0x3_0000 + id * 65_536,
+        bytes: 128,
+    });
+    let out = run_serve(tied, &machine, &bounded(4, 10), ServePolicy::UniqueBin);
+    assert_eq!(out.report.admitted, 10);
+    assert_eq!(out.report.rejected, 22);
+    assert_eq!(out.report.completed, 10);
+}
+
+proptest! {
+    /// Fuzz the whole admission surface: random traces, bounds, lane
+    /// counts, policies. Invariants: accounting balances, the bound
+    /// holds, all admitted requests complete, and nothing panics.
+    #[test]
+    fn admission_invariants_hold_under_fuzz(
+        seed in any::<u64>(),
+        requests in 1u64..600,
+        queue_bound in prop_oneof![Just(1u64), Just(4), Just(64), Just(u64::MAX)],
+        lanes in 1usize..5,
+        policy_index in 0usize..4,
+        object_bytes in prop_oneof![Just(0u64), Just(64), Just(4096), Just(1 << 16)],
+        mean_interarrival_ns in prop_oneof![Just(0u64), Just(100), Just(10_000)],
+    ) {
+        let config = TraceConfig {
+            seed,
+            requests,
+            objects: 128,
+            zipf_s: 0.9,
+            object_bytes,
+            mean_interarrival_ns,
+            burst_factor: 16,
+            burst_len: 32,
+            calm_len: 32,
+        };
+        let machine = MachineModel::r8000();
+        let policy = ServePolicy::all()[policy_index];
+        let out = run_serve(
+            TraceGen::new(config),
+            &machine,
+            &bounded(lanes, queue_bound),
+            policy,
+        );
+        prop_assert_eq!(out.report.offered, requests);
+        prop_assert_eq!(out.report.admitted + out.report.rejected, requests);
+        prop_assert_eq!(out.report.completed, out.report.admitted);
+        prop_assert_eq!(
+            out.report.warm_hits + out.report.cold_misses,
+            out.report.completed
+        );
+        prop_assert!(out.report.max_queue_depth <= queue_bound);
+        prop_assert!(out.report.p50_latency_ns <= out.report.p99_latency_ns);
+    }
+}

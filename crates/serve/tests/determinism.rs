@@ -1,0 +1,77 @@
+//! Determinism goldens: the synthetic trace generator must produce a
+//! bit-identical stream for a given config, on every platform, forever.
+//!
+//! Each golden is the FNV-1a digest of the first 10 000 requests (all
+//! five fields, little-endian) of an Azure-style config. If one of
+//! these fails, the generator's output changed — which silently
+//! invalidates every committed `BENCH_serve` baseline and the CI
+//! byte-reproducibility gate. Do not update a digest without
+//! regenerating `baselines/BENCH_serve_smoke.json` in the same change.
+
+use serve::{trace_digest, ServeConfig, ServePolicy, TraceConfig, TraceGen};
+
+const GOLDEN_PREFIX: u64 = 10_000;
+
+/// The tuple the goldens vary: (seed, zipf_s, burst_factor, requests).
+fn azure_config(seed: u64, zipf_s: f64, burst_factor: u64, requests: u64) -> TraceConfig {
+    TraceConfig {
+        seed,
+        requests,
+        objects: 1 << 16,
+        zipf_s,
+        object_bytes: 1 << 16,
+        mean_interarrival_ns: 2_000,
+        burst_factor,
+        burst_len: 512,
+        calm_len: 1536,
+    }
+}
+
+#[test]
+fn trace_digests_match_committed_goldens() {
+    let goldens: [(u64, f64, u64, u64, u64); 4] = [
+        (0x1, 0.99, 8, 1_000_000, 0xab42_7edb_2b64_2ac2),
+        (0x2a, 0.8, 4, 500_000, 0x29ed_a00f_23cd_1278),
+        (0xDEAD_BEEF, 1.1, 16, 250_000, 0xde98_cdf0_ede3_a043),
+        (0x7, 0.0, 1, 100_000, 0x09b1_5ba4_2954_7832),
+    ];
+    for (seed, zipf_s, burst_factor, requests, expected) in goldens {
+        let digest = trace_digest(
+            azure_config(seed, zipf_s, burst_factor, requests),
+            GOLDEN_PREFIX,
+        );
+        assert_eq!(
+            digest, expected,
+            "trace golden diverged for seed {seed:#x} s={zipf_s} burst={burst_factor} n={requests}: \
+             got {digest:#018x} — the generator changed; see module docs before updating"
+        );
+    }
+}
+
+/// The digest must cover the whole prefix: truncating or extending the
+/// stream changes it (guards against an iterator that stops early).
+#[test]
+fn golden_prefix_is_sensitive_to_length() {
+    let config = azure_config(0x1, 0.99, 8, 1_000_000);
+    assert_ne!(
+        trace_digest(config, GOLDEN_PREFIX),
+        trace_digest(config, GOLDEN_PREFIX - 1)
+    );
+}
+
+/// End-to-end determinism: two full serving runs over the same config
+/// agree on every aggregate, including modeled latency percentiles.
+/// (The bench-level byte-reproducibility check in CI is the JSON twin
+/// of this test.)
+#[test]
+fn serving_run_is_deterministic_end_to_end() {
+    let config = azure_config(3, 0.99, 8, 20_000);
+    let machine = cachesim::MachineModel::r8000();
+    let serve_config = ServeConfig::default_bench();
+    for policy in [ServePolicy::Flat, ServePolicy::Hierarchical] {
+        let a = serve::run_serve(TraceGen::new(config), &machine, &serve_config, policy);
+        let b = serve::run_serve(TraceGen::new(config), &machine, &serve_config, policy);
+        assert_eq!(a.report, b.report, "{} report drifted", policy.name());
+        assert_eq!(a.sim, b.sim, "{} cache stats drifted", policy.name());
+    }
+}

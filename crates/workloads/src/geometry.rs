@@ -155,10 +155,21 @@ impl BinGeometry {
     }
 
     /// The L1-sized (sub-bin) block for `kernel`.
+    ///
+    /// The sub-bin budget is the L1 capacity, capped at 1/8 of the L2
+    /// capacity: a sub-bin level only refines the schedule if it is
+    /// strictly finer than its parent. Real machines keep L1 ≪ L2
+    /// (R8000 1:128, R10000 1:32 — the cap never binds), but the
+    /// ratio-preserving bench machines scale L2 down while leaving L1
+    /// untouched, which used to collapse the sub-bin block onto the
+    /// parent block and made [`hierarchical`](Self::hierarchical)
+    /// byte-identical to [`flat_config`](Self::flat_config) at bench
+    /// scale.
     pub fn l1_block(&self, kernel: Kernel) -> u64 {
+        let budget = self.l1_capacity.min((self.l2_capacity / 8).max(1));
         // Never larger than the L2 block, even on machines whose L1
         // rivals their L2 (degenerate test hierarchies).
-        prev_power_of_two(kernel.capacity_share(self.l1_capacity)).min(self.l2_block(kernel))
+        prev_power_of_two(kernel.capacity_share(budget)).min(self.l2_block(kernel))
     }
 
     /// The flat (paper §3.2) scheduler configuration for `kernel`:
@@ -216,6 +227,45 @@ mod tests {
         for k in [Kernel::MatMul, Kernel::Pde, Kernel::Sor, Kernel::NBody] {
             assert!(g.l1_block(k) <= g.l2_block(k), "{k:?}");
         }
+    }
+
+    #[test]
+    fn scaled_machines_keep_the_levels_apart() {
+        // The bench's ratio-preserving scaling shrinks L2 only; at
+        // smoke scale (matmul factor 1/128) a scaled R8000 has a 16 KB
+        // L2 under its full-size 16 KB L1. The 1/8 budget cap must keep
+        // sub-bins strictly finer than parents on every such geometry.
+        for l2_capacity in [16u64 << 10, 32 << 10, 128 << 10, 512 << 10, 2 << 20] {
+            for l1_capacity in [16u64 << 10, 32 << 10] {
+                let g = BinGeometry {
+                    l1_capacity,
+                    l2_capacity,
+                };
+                for k in Kernel::ALL {
+                    assert!(
+                        g.l1_block(k) < g.l2_block(k),
+                        "{k:?} on l1={l1_capacity} l2={l2_capacity}: \
+                         {} !< {}",
+                        g.l1_block(k),
+                        g.l2_block(k)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_cap_never_binds_on_real_machines() {
+        // R8000 (16 KB : 4 MB) and R10000-like (32 KB : 1 MB) ratios
+        // are far beyond 1:8 — the cap must leave their blocks exactly
+        // where the paper's shares put them.
+        let g = r8000_like();
+        assert_eq!(g.l1_block(Kernel::MatMul), 1 << 13); // 16K/2
+        let r10000 = BinGeometry {
+            l1_capacity: 32 << 10,
+            l2_capacity: 1 << 20,
+        };
+        assert_eq!(r10000.l1_block(Kernel::MatMul), 1 << 14); // 32K/2
     }
 
     #[test]
