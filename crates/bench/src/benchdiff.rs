@@ -336,6 +336,7 @@ const STABLE_LEAVES: &[&str] = &[
     "offered",
     "admitted",
     "rejected",
+    "shed",
     "completed",
     "warm_hits",
     "cold_misses",
@@ -348,6 +349,11 @@ const STABLE_LEAVES: &[&str] = &[
     "mean_latency_ns",
     "mean_slowdown_x1000",
     "makespan_ns",
+    // Bounded-memory serving: eviction counts, the peak live bin-record
+    // bound, and shed memory-time are all virtual-clock-derived.
+    "evictions",
+    "peak_live_bin_records",
+    "wasted_memory_time",
 ];
 
 /// Classifies a flattened path. `gate_all` promotes machine-dependent

@@ -8,8 +8,10 @@ use crate::{paper, print};
 ///
 /// Recognised names: `table1` … `table9`, `figure4`, `steal`,
 /// `simbench`, `binpolicy`, `servebench` (those four also write their
-/// `BENCH_*.json` payloads), and `analyze` (the `schedlint`
-/// four-kernel self-check, writing `ANALYZE_smoke.json`).
+/// `BENCH_*.json` payloads), `servelong` (the long-run bounded-memory
+/// gate — exits nonzero if the bin table ever exceeded its cap), and
+/// `analyze` (the `schedlint` four-kernel self-check, writing
+/// `ANALYZE_smoke.json`).
 pub fn run(experiment: &str) {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(args);
@@ -105,6 +107,22 @@ pub fn run_at(experiment: &str, scale: &crate::ExpScale) {
             match std::fs::write(path, result.to_json()) {
                 Ok(()) => println!("\nwrote {path}"),
                 Err(err) => eprintln!("could not write {path}: {err}"),
+            }
+        }
+        "servelong" => {
+            let (result, violations) = crate::servebench::servelong(scale);
+            print::servebench(&result);
+            if violations.is_empty() {
+                println!(
+                    "\nservelong: OK — {} requests per policy, live bin records never exceeded {}",
+                    result.trace.requests,
+                    crate::servebench::SERVELONG_CAP
+                );
+            } else {
+                for violation in &violations {
+                    eprintln!("servelong VIOLATION: {violation}");
+                }
+                std::process::exit(1);
             }
         }
         "analyze" => {

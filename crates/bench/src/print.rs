@@ -341,21 +341,26 @@ pub fn binpolicy(result: &BinPolicyResult) {
 /// behaviour, and modeled latency percentiles over one shared trace.
 pub fn servebench(result: &ServeBenchResult) {
     println!(
-        "Online serving: {} Zipf-skewed bursty requests streamed through the\ncontinuously-draining engine on the {} ({} lanes, queue bound {})\n",
+        "Online serving: {} Zipf-skewed bursty requests streamed through the\ncontinuously-draining engine on the {} ({} lanes, queue bound {},\nadmission {}, eviction {})\n",
         thousands(result.trace.requests),
         result.machine,
         result.lanes,
         result.queue_bound,
+        result.admission,
+        result.eviction,
     );
     let mut t = TextTable::new(vec![
         "policy",
         "admitted",
         "rejected",
+        "shed",
         "warm-hit",
         "p50 (us)",
         "p99 (us)",
         "slowdown",
         "max depth",
+        "peak bins",
+        "evicted",
         "makespan (ms)",
     ]);
     for row in &result.rows {
@@ -364,17 +369,20 @@ pub fn servebench(result: &ServeBenchResult) {
             row.policy.to_owned(),
             thousands(report.admitted),
             thousands(report.rejected),
+            thousands(report.shed),
             format!("{:.1}%", report.warm_hit_rate_pct()),
             format!("{:.1}", report.p50_latency_ns as f64 / 1e3),
             format!("{:.1}", report.p99_latency_ns as f64 / 1e3),
             format!("{:.2}x", report.mean_slowdown_x1000 as f64 / 1e3),
             thousands(report.max_queue_depth),
+            thousands(report.peak_live_bin_records),
+            thousands(report.evictions),
             format!("{:.2}", report.makespan_ns as f64 / 1e6),
         ]);
     }
     print!("{}", t.render());
     println!(
-        "\nwarm-hit = requests whose payload was mostly L2-resident; locality\npolicies should beat single_bin (FIFO) by batching requests per hot object."
+        "\nwarm-hit = requests whose payload was mostly L2-resident; locality\npolicies should beat single_bin (FIFO) by batching requests per hot object.\npeak bins = most live bin records the table ever held (the memory the\neviction policy bounds); shed = queued requests cancelled for arrivals."
     );
 }
 

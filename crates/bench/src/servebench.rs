@@ -11,6 +11,7 @@
 
 use crate::scale::ExpScale;
 use cachesim::MachineModel;
+use locality_sched::EvictionPolicy;
 use serve::{run_serve, ServeConfig, ServeOutcome, ServePolicy, TraceConfig, TraceGen};
 use std::fmt::Write as _;
 
@@ -38,6 +39,10 @@ pub struct ServeBenchResult {
     pub lanes: u64,
     /// Admission bound.
     pub queue_bound: u64,
+    /// Admission policy (display form, e.g. `shed-oldest`).
+    pub admission: String,
+    /// Eviction policy (display form, e.g. `lru-cap(8192)`).
+    pub eviction: String,
     /// Per-policy rows, in [`ServePolicy::all`] order.
     pub rows: Vec<ServeBenchRow>,
 }
@@ -59,16 +64,23 @@ pub fn serve_trace(requests: u64) -> TraceConfig {
     }
 }
 
-/// Runs the serving experiment at `scale` on the unscaled R8000.
+/// Runs the serving experiment at `scale` on the unscaled R8000 with
+/// the default serving knobs (shed-oldest admission, LRU-capped bin
+/// table).
 pub fn servebench(scale: &ExpScale) -> ServeBenchResult {
+    servebench_with(scale, &ServeConfig::default_bench())
+}
+
+/// [`servebench`] under explicit serving knobs.
+pub fn servebench_with(scale: &ExpScale, config: &ServeConfig) -> ServeBenchResult {
     let machine = MachineModel::r8000();
     let trace = serve_trace(scale.serve_requests);
-    let config = ServeConfig::default_bench();
     let rows = ServePolicy::all()
         .into_iter()
         .map(|policy| ServeBenchRow {
             policy: policy.name(),
-            outcome: run_serve(TraceGen::new(trace), &machine, &config, policy),
+            outcome: run_serve(TraceGen::new(trace), &machine, config, policy)
+                .expect("bench machines have separable caches"),
         })
         .collect();
     ServeBenchResult {
@@ -76,8 +88,57 @@ pub fn servebench(scale: &ExpScale) -> ServeBenchResult {
         trace,
         lanes: config.lanes as u64,
         queue_bound: config.queue_bound,
+        admission: config.admission.to_string(),
+        eviction: config.eviction.to_string(),
         rows,
     }
+}
+
+/// The long-run memory-bound gate (`servelong`): stream the full
+/// request volume under a deliberately small LRU cap and fail loudly
+/// if the live bin table ever exceeded it or the request accounting
+/// does not balance. This is what makes "bounded memory" a CI
+/// invariant instead of a code comment.
+///
+/// The cap must clear the run's peak *backlog* (bins holding undrained
+/// threads are pinned; only drained-and-empty records can be evicted),
+/// so it is set just above the admission bound plus drain-unit slack —
+/// far below the 16k-object key universe the table would otherwise
+/// track.
+pub const SERVELONG_CAP: u64 = 6_000;
+
+/// Runs the gate and returns the violations (empty = pass).
+pub fn servelong(scale: &ExpScale) -> (ServeBenchResult, Vec<String>) {
+    let config = ServeConfig {
+        eviction: EvictionPolicy::LruCap {
+            max_records: SERVELONG_CAP,
+        },
+        ..ServeConfig::default_bench()
+    };
+    let result = servebench_with(scale, &config);
+    let mut violations = Vec::new();
+    for row in &result.rows {
+        let report = &row.outcome.report;
+        if report.peak_live_bin_records > SERVELONG_CAP {
+            violations.push(format!(
+                "{}: peak_live_bin_records {} exceeds cap {SERVELONG_CAP}",
+                row.policy, report.peak_live_bin_records
+            ));
+        }
+        if report.completed + report.shed != report.admitted {
+            violations.push(format!(
+                "{}: completed {} + shed {} != admitted {}",
+                row.policy, report.completed, report.shed, report.admitted
+            ));
+        }
+        if report.admitted + report.rejected != report.offered {
+            violations.push(format!(
+                "{}: admitted {} + rejected {} != offered {}",
+                row.policy, report.admitted, report.rejected, report.offered
+            ));
+        }
+    }
+    (result, violations)
 }
 
 impl ServeBenchResult {
@@ -96,7 +157,7 @@ impl ServeBenchResult {
             json,
             "{{\"experiment\":\"serve\",\"machine\":\"{}\",\"seed\":{},\"requests\":{},\
              \"objects\":{},\"zipf_s\":{:.4},\"object_bytes\":{},\"burst_factor\":{},\
-             \"lanes\":{},\"queue_bound\":{},\"rows\":[",
+             \"lanes\":{},\"queue_bound\":{},\"admission\":\"{}\",\"eviction\":\"{}\",\"rows\":[",
             self.machine,
             self.trace.seed,
             self.trace.requests,
@@ -106,6 +167,8 @@ impl ServeBenchResult {
             self.trace.burst_factor,
             self.lanes,
             self.queue_bound,
+            self.admission,
+            self.eviction,
         )
         .expect("writing to String cannot fail");
         for (i, row) in self.rows.iter().enumerate() {
@@ -117,15 +180,17 @@ impl ServeBenchResult {
             write!(
                 json,
                 "{{\"workload\":\"{}\",\"offered\":{},\"admitted\":{},\"rejected\":{},\
-                 \"completed\":{},\"warm_hits\":{},\"cold_misses\":{},\
+                 \"shed\":{},\"completed\":{},\"warm_hits\":{},\"cold_misses\":{},\
                  \"warm_hit_rate_pct\":{:.4},\"drains\":{},\"max_queue_depth\":{},\
                  \"mean_queue_depth_x1000\":{},\"p50_latency_ns\":{},\"p99_latency_ns\":{},\
                  \"mean_latency_ns\":{},\"mean_slowdown_x1000\":{},\"makespan_ns\":{},\
+                 \"evictions\":{},\"peak_live_bin_records\":{},\"wasted_memory_time\":{},\
                  \"accesses\":{},\"l1_misses\":{},\"l2_misses\":{}}}",
                 row.policy,
                 report.offered,
                 report.admitted,
                 report.rejected,
+                report.shed,
                 report.completed,
                 report.warm_hits,
                 report.cold_misses,
@@ -138,6 +203,9 @@ impl ServeBenchResult {
                 report.mean_latency_ns,
                 report.mean_slowdown_x1000,
                 report.makespan_ns,
+                report.evictions,
+                report.peak_live_bin_records,
+                report.wasted_memory_time,
                 sim.data_references(),
                 sim.l1.misses(),
                 sim.l2.misses(),
@@ -173,7 +241,7 @@ mod tests {
                 report.offered,
                 "{policy}"
             );
-            assert_eq!(report.completed, report.admitted, "{policy}");
+            assert_eq!(report.completed + report.shed, report.admitted, "{policy}");
             assert!(report.p99_latency_ns >= report.p50_latency_ns, "{policy}");
             assert!(report.makespan_ns > 0, "{policy}");
         }
@@ -189,7 +257,27 @@ mod tests {
         assert!(json.contains("\"warm_hit_rate_pct\":"), "{json}");
         assert!(json.contains("\"p99_latency_ns\":"), "{json}");
         assert!(json.contains("\"mean_slowdown_x1000\":"), "{json}");
+        assert!(json.contains("\"shed\":"), "{json}");
+        assert!(json.contains("\"evictions\":"), "{json}");
+        assert!(json.contains("\"peak_live_bin_records\":"), "{json}");
+        assert!(json.contains("\"wasted_memory_time\":"), "{json}");
+        assert!(json.contains("\"admission\":\"shed-oldest\""), "{json}");
+        assert!(json.contains("\"eviction\":\"lru-cap(8192)\""), "{json}");
         assert!(!json.contains("run_profile"), "wall-clock leaked: {json}");
+    }
+
+    #[test]
+    fn servelong_gate_passes_at_smoke_scale() {
+        let (result, violations) = servelong(&tiny());
+        assert!(violations.is_empty(), "{violations:?}");
+        for row in &result.rows {
+            assert!(
+                row.outcome.report.peak_live_bin_records <= SERVELONG_CAP,
+                "{}: {}",
+                row.policy,
+                row.outcome.report.peak_live_bin_records
+            );
+        }
     }
 
     #[test]

@@ -75,6 +75,65 @@ impl fmt::Display for StealPolicy {
     }
 }
 
+/// When the *online* engine ([`Scheduler::enable_online`](crate::Scheduler::enable_online))
+/// frees drained-and-empty bin records, bounding the bin table for
+/// long-running serving workloads.
+///
+/// The paper's package never frees a bin record: for a batch run the
+/// table is recycled wholesale between phases, so leaking records is
+/// invisible. A serving process that streams requests forever has no
+/// such phase boundary — without eviction the bin table (and, for
+/// [`UniqueBin`](crate::UniqueBin), the key space) grows monotonically
+/// for the life of the process.
+///
+/// Eviction is **order-neutral and insert-driven**:
+///
+/// * Only bins that have been drained and are currently empty are ever
+///   freed. A live (non-empty) bin is never touched, so the tour order
+///   of live bins is exactly what it would have been without eviction.
+/// * Candidates are only reaped during a fork (insert). A run whose
+///   arrivals all precede its drains — the t=0 batch-equivalence case —
+///   therefore never evicts at all.
+/// * An evicted key that re-arrives allocates a fresh bin record and
+///   queues at the *back* of the ready order — indistinguishable from a
+///   refilled bin, which also re-queues at the back.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EvictionPolicy {
+    /// Never free bin records (the paper's behaviour; the default).
+    #[default]
+    Off,
+    /// Free a drained-and-empty bin record once it has sat idle for
+    /// `max_idle_drains` drain grants without being refilled. Bounds
+    /// idle-record *lifetime*; table size then tracks the working set.
+    IdleAge {
+        /// Drain grants an empty record may outlive before it is freed
+        /// (≥ 1).
+        max_idle_drains: u64,
+    },
+    /// Cap the number of live bin records: whenever an insert grows the
+    /// table past `max_records`, the least-recently-drained empty
+    /// records are freed until the cap holds (or no empty record
+    /// remains — non-empty bins are never evicted, so the cap is only
+    /// guaranteed when it exceeds the peak number of concurrently
+    /// non-empty bins, e.g. the admission queue bound).
+    LruCap {
+        /// Maximum live bin records the table should hold (≥ 1).
+        max_records: u64,
+    },
+}
+
+impl fmt::Display for EvictionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvictionPolicy::Off => f.write_str("off"),
+            EvictionPolicy::IdleAge { max_idle_drains } => {
+                write!(f, "idle-age({max_idle_drains})")
+            }
+            EvictionPolicy::LruCap { max_records } => write!(f, "lru-cap({max_records})"),
+        }
+    }
+}
+
 /// Configuration of a locality [`Scheduler`](crate::Scheduler):
 /// block sizes, hash-table size, symmetric-hint folding, and bin tour.
 ///
@@ -105,6 +164,7 @@ pub struct SchedulerConfig {
     symmetric: bool,
     tour: Tour,
     steal: StealPolicy,
+    eviction: EvictionPolicy,
 }
 
 /// Builder for [`SchedulerConfig`].
@@ -115,6 +175,7 @@ pub struct SchedulerConfigBuilder {
     symmetric: bool,
     tour: Tour,
     steal: StealPolicy,
+    eviction: EvictionPolicy,
 }
 
 /// Default block dimension: one third of a 2 MB L2, rounded down to a
@@ -134,6 +195,7 @@ impl Default for SchedulerConfigBuilder {
             symmetric: false,
             tour: Tour::AllocationOrder,
             steal: StealPolicy::default(),
+            eviction: EvictionPolicy::default(),
         }
     }
 }
@@ -184,6 +246,15 @@ impl SchedulerConfigBuilder {
         self
     }
 
+    /// Sets the bin-record eviction policy for the *online* engine
+    /// (default: [`EvictionPolicy::Off`], the paper's never-free
+    /// behaviour). Batch runs ignore this knob: the table is recycled
+    /// wholesale between phases, so there is nothing to reap.
+    pub fn eviction(mut self, eviction: EvictionPolicy) -> Self {
+        self.eviction = eviction;
+        self
+    }
+
     /// Validates and builds the configuration.
     ///
     /// # Errors
@@ -212,6 +283,20 @@ impl SchedulerConfigBuilder {
                 self.hash_size
             )));
         }
+        match self.eviction {
+            EvictionPolicy::Off => {}
+            EvictionPolicy::IdleAge { max_idle_drains: 0 } => {
+                return Err(ConfigError::new(
+                    "idle-age eviction requires max_idle_drains >= 1",
+                ));
+            }
+            EvictionPolicy::LruCap { max_records: 0 } => {
+                return Err(ConfigError::new(
+                    "lru-cap eviction requires max_records >= 1",
+                ));
+            }
+            EvictionPolicy::IdleAge { .. } | EvictionPolicy::LruCap { .. } => {}
+        }
         Ok(SchedulerConfig {
             block_sizes: self.block_sizes,
             shifts,
@@ -219,6 +304,7 @@ impl SchedulerConfigBuilder {
             symmetric: self.symmetric,
             tour: self.tour,
             steal: self.steal,
+            eviction: self.eviction,
         })
     }
 }
@@ -283,6 +369,11 @@ impl SchedulerConfig {
     /// The configured work-stealing policy.
     pub fn steal_policy(&self) -> StealPolicy {
         self.steal
+    }
+
+    /// The configured online bin-record eviction policy.
+    pub fn eviction(&self) -> EvictionPolicy {
+        self.eviction
     }
 
     /// Per-dimension shifts (`log2(block size)`), for policy
@@ -443,6 +534,36 @@ mod tests {
         assert_eq!(StealPolicy::None.to_string(), "none");
         assert_eq!(StealPolicy::Random.to_string(), "random");
         assert_eq!(StealPolicy::LocalityAware.to_string(), "locality-aware");
+    }
+
+    #[test]
+    fn eviction_knob_round_trips_and_validates() {
+        assert_eq!(SchedulerConfig::default().eviction(), EvictionPolicy::Off);
+        for policy in [
+            EvictionPolicy::Off,
+            EvictionPolicy::IdleAge { max_idle_drains: 4 },
+            EvictionPolicy::LruCap { max_records: 128 },
+        ] {
+            let c = SchedulerConfig::builder().eviction(policy).build().unwrap();
+            assert_eq!(c.eviction(), policy);
+        }
+        assert!(SchedulerConfig::builder()
+            .eviction(EvictionPolicy::IdleAge { max_idle_drains: 0 })
+            .build()
+            .is_err());
+        assert!(SchedulerConfig::builder()
+            .eviction(EvictionPolicy::LruCap { max_records: 0 })
+            .build()
+            .is_err());
+        assert_eq!(EvictionPolicy::Off.to_string(), "off");
+        assert_eq!(
+            EvictionPolicy::IdleAge { max_idle_drains: 4 }.to_string(),
+            "idle-age(4)"
+        );
+        assert_eq!(
+            EvictionPolicy::LruCap { max_records: 128 }.to_string(),
+            "lru-cap(128)"
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! observations. The policy owns *where* a thread goes (hints → bin
 //! key, optional parent grouping); the engine owns everything else.
 
+use crate::config::EvictionPolicy;
 use crate::hint::MAX_DIMS;
 use crate::policy::BinPolicy;
 use crate::stats::{RunStats, SchedulerStats};
@@ -18,7 +19,7 @@ use crate::table::{BinId, BinTable};
 use crate::{Hints, RunMode, Tour};
 use memtrace::{Addr, TraceSink};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// Fixed base of the package's synthetic memory: every reference the
 /// scheduler emits on its own behalf (hash buckets, bin records, thread
@@ -60,6 +61,11 @@ pub(crate) struct Bin<T> {
     threads: u64,
     /// Synthetic address of the bin record (null when tracing is off).
     header: Addr,
+    /// Drain epoch at which this bin was last drained empty — its
+    /// ticket in the eviction idle queue. `0` means "not a candidate"
+    /// (never drained, refilled since, or freshly (re)created); a
+    /// queued `(stamp, id)` entry is valid iff `stamp == idle_stamp`.
+    idle_stamp: u64,
 }
 
 impl<T> Bin<T> {
@@ -68,6 +74,7 @@ impl<T> Bin<T> {
             groups: Vec::new(),
             threads: 0,
             header,
+            idle_stamp: 0,
         }
     }
 
@@ -134,6 +141,8 @@ struct SchedObs {
     /// Sub-bins drained under parent grouping (hierarchical policies
     /// only; zero for flat policies).
     subbins_run: probe::LocalCounter,
+    /// Bin records freed by the online eviction policy.
+    evictions: probe::LocalCounter,
 }
 
 /// A ready-heap entry: `(tour rank, ready sequence, parent key)`.
@@ -168,9 +177,29 @@ struct OnlineState {
     /// full incremental drain numbers threads exactly as one batch run
     /// would).
     dispatched: u64,
+    /// Bin-record retirement policy (see [`EvictionPolicy`]).
+    eviction: EvictionPolicy,
+    /// Count of drain grants so far; the epoch stamped onto bins as
+    /// they drain empty. Starts at zero, so valid stamps are ≥ 1 and
+    /// `idle_stamp == 0` is unambiguous.
+    drain_epoch: u64,
+    /// Eviction candidates in stamp (least-recently-drained) order.
+    /// Entries are lazily invalidated — a refill zeroes the bin's
+    /// `idle_stamp`, a re-drain restamps it — and the queue is
+    /// compacted when stale entries pile up, so it stays O(live bins).
+    idle: VecDeque<(u64, BinId)>,
+    /// Bin records freed so far (always-on twin of the probe counter).
+    evictions: u64,
 }
 
 impl OnlineState {
+    fn with_eviction(eviction: EvictionPolicy) -> Self {
+        OnlineState {
+            eviction,
+            ..OnlineState::default()
+        }
+    }
+
     /// Queues `parent` if it is not already ready.
     fn queue(&mut self, tour: &Tour, parent: [u64; MAX_DIMS]) {
         if self.queued.contains_key(&parent) {
@@ -197,6 +226,8 @@ pub(crate) struct BinEngine<T, P> {
     meta: Option<MetaTrace>,
     obs: SchedObs,
     online: Option<OnlineState>,
+    /// High-water mark of live bin records, across the engine's life.
+    peak_bins: usize,
 }
 
 impl<T, P: BinPolicy> BinEngine<T, P> {
@@ -212,6 +243,7 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
             meta: None,
             obs: SchedObs::default(),
             online: None,
+            peak_bins: 0,
         }
     }
 
@@ -251,10 +283,10 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
         // configuration; re-enable tracing afterwards if needed.
         self.meta = None;
         // Ready state referred to the old keys; incremental mode stays
-        // on, starting from an empty ready list (legal: the engine is
-        // empty here).
-        if self.online.is_some() {
-            self.online = Some(OnlineState::default());
+        // on (keeping its eviction policy), starting from an empty
+        // ready list (legal: the engine is empty here).
+        if let Some(state) = &self.online {
+            self.online = Some(OnlineState::with_eviction(state.eviction));
         }
     }
 
@@ -296,9 +328,18 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
                 }
                 None => Addr::NULL,
             };
-            self.bins.push(Bin::new(header));
+            // The table recycles evicted slots, so the id may name an
+            // existing (dead) slot rather than the end of the array.
+            if (id as usize) < self.bins.len() {
+                self.bins[id as usize] = Bin::new(header);
+            } else {
+                self.bins.push(Bin::new(header));
+            }
         }
         let bin = &mut self.bins[id as usize];
+        // A refill (or fresh creation) disqualifies any queued eviction
+        // candidacy for this slot.
+        bin.idle_stamp = 0;
         let needs_group = match bin.groups.last() {
             Some(group) => group.items.len() >= GROUP_CAPACITY,
             None => true,
@@ -340,6 +381,81 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
             // made it non-empty — re-link it at the back of the ready
             // order, as the paper's package re-links a refilled bin.
             state.queue(&self.tour, parent);
+            // Reap retired records *after* the fork completes: only
+            // inserts trigger eviction, so a run whose arrivals all
+            // precede its drains (the t=0 equivalence case) never
+            // evicts, and the bin just forked into is non-empty and
+            // therefore never a victim.
+            self.apply_eviction();
+        }
+        self.peak_bins = self.peak_bins.max(self.table.len());
+    }
+
+    /// Whether `(stamp, id)` is still a valid eviction candidate: the
+    /// slot is live, empty, and has not been refilled or re-drained
+    /// since it was stamped.
+    #[inline]
+    fn is_evictable(&self, id: BinId, stamp: u64) -> bool {
+        self.table.is_live(id)
+            && self.bins[id as usize].threads == 0
+            && self.bins[id as usize].idle_stamp == stamp
+    }
+
+    /// Frees one drained-and-empty bin record: unlinks it from the
+    /// table (bucket chain + slot free list) and from its parent's
+    /// member list. Live-bin tour order is untouched — the record has
+    /// no threads, is not queued, and ids of other bins don't shift.
+    fn evict(&mut self, id: BinId) {
+        debug_assert_eq!(self.bins[id as usize].threads, 0);
+        let parent = self.policy.parent_key(self.table.key(id));
+        self.table.remove(id);
+        // Drop the group storage; the slot is reused by a later insert.
+        self.bins[id as usize] = Bin::new(Addr::NULL);
+        let state = self.online.as_mut().expect("eviction is online-only");
+        if let Some(members) = state.members.get_mut(&parent) {
+            members.retain(|&m| m != id);
+            if members.is_empty() {
+                state.members.remove(&parent);
+            }
+        }
+        state.evictions += 1;
+        self.obs.evictions.incr();
+    }
+
+    /// Applies the configured eviction policy, called once per insert.
+    fn apply_eviction(&mut self) {
+        let eviction = match &self.online {
+            Some(state) => state.eviction,
+            None => return,
+        };
+        match eviction {
+            EvictionPolicy::Off => {}
+            EvictionPolicy::IdleAge { max_idle_drains } => loop {
+                let state = self.online.as_mut().expect("checked above");
+                let Some(&(stamp, id)) = state.idle.front() else {
+                    break;
+                };
+                if stamp.saturating_add(max_idle_drains) > state.drain_epoch {
+                    break;
+                }
+                state.idle.pop_front();
+                if self.is_evictable(id, stamp) {
+                    self.evict(id);
+                }
+            },
+            EvictionPolicy::LruCap { max_records } => {
+                while self.table.len() as u64 > max_records {
+                    let state = self.online.as_mut().expect("checked above");
+                    let Some((stamp, id)) = state.idle.pop_front() else {
+                        // No empty candidate left; every live record
+                        // holds threads and must stay.
+                        break;
+                    };
+                    if self.is_evictable(id, stamp) {
+                        self.evict(id);
+                    }
+                }
+            }
         }
     }
 
@@ -353,15 +469,16 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
     /// except [`Tour::Random`], whose batch shuffle has no incremental
     /// equivalent; see [`Tour::rank`]).
     ///
-    /// Idempotent. The batch `run_with` path is unaffected by this flag
-    /// (its golden drain order stays pinned); mixing batch
+    /// Idempotent (a second call leaves the first call's eviction
+    /// policy in force). The batch `run_with` path is unaffected by
+    /// this flag (its golden drain order stays pinned); mixing batch
     /// [`RunMode::Retain`](crate::RunMode::Retain) runs with
     /// incremental drains is unsupported.
-    pub(crate) fn enable_online(&mut self) {
+    pub(crate) fn enable_online(&mut self, eviction: EvictionPolicy) {
         if self.online.is_some() {
             return;
         }
-        let mut state = OnlineState::default();
+        let mut state = OnlineState::with_eviction(eviction);
         for (id, bin) in self.bins.iter().enumerate() {
             let parent = self.policy.parent_key(self.table.key(id as BinId));
             state.members.entry(parent).or_default().push(id as BinId);
@@ -392,16 +509,18 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
         mut on_dispatch: impl FnMut(&mut X, u64),
         mut exec: impl FnMut(&mut X, &T),
     ) -> Option<RunStats> {
-        let parent = {
+        let (parent, epoch) = {
             let state = self
                 .online
                 .as_mut()
                 .expect("drain_next_with requires enable_online");
             let Reverse((_rank, _seq, parent)) = state.heap.pop()?;
             state.queued.remove(&parent);
-            parent
+            state.drain_epoch += 1;
+            (parent, state.drain_epoch)
         };
         let state = self.online.as_ref().expect("checked above");
+        let reap = state.eviction != EvictionPolicy::Off;
         let mut subs: Vec<BinId> = state.members[&parent]
             .iter()
             .copied()
@@ -446,16 +565,36 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
             threads_run += bin.threads;
             // Consume the unit. The bin record (and its table key) stay
             // allocated so ids remain stable; a later insert refills it
-            // and re-queues its parent with a fresh ready sequence.
+            // and re-queues its parent with a fresh ready sequence —
+            // unless the eviction policy reaps the idle record first,
+            // in which case the key re-arrives as a fresh fork.
             let drained = bin.threads;
             bin.groups.clear();
             bin.threads = 0;
+            if reap {
+                bin.idle_stamp = epoch;
+            }
             self.threads -= drained;
         }
         if hierarchical {
             self.obs.parent_occupancy.record(threads_run);
         }
-        self.online.as_mut().expect("checked above").dispatched = dispatched;
+        let bins = &self.bins;
+        let state = self.online.as_mut().expect("checked above");
+        state.dispatched = dispatched;
+        if reap {
+            for &id in &subs {
+                state.idle.push_back((epoch, id));
+            }
+            // Compact lazily-invalidated entries once they dominate; a
+            // bin has at most one valid ticket (the one matching its
+            // stamp), so the queue shrinks to ≤ live bins.
+            if state.idle.len() > 2 * bins.len() + 16 {
+                state
+                    .idle
+                    .retain(|&(stamp, id)| bins[id as usize].idle_stamp == stamp);
+            }
+        }
         Some(RunStats {
             threads_run,
             bins_visited,
@@ -607,9 +746,28 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
         self.table.len()
     }
 
-    /// Distribution statistics over the current schedule.
+    /// High-water mark of live bin records over the engine's life —
+    /// the number the eviction cap bounds.
+    pub(crate) fn peak_bins(&self) -> usize {
+        self.peak_bins
+    }
+
+    /// Bin records freed by the online eviction policy so far.
+    pub(crate) fn evictions(&self) -> u64 {
+        self.online.as_ref().map_or(0, |state| state.evictions)
+    }
+
+    /// Distribution statistics over the current schedule (live bins
+    /// only; slots freed by eviction don't count as empty bins).
     pub(crate) fn stats(&self) -> SchedulerStats {
-        SchedulerStats::from_bin_counts(self.bins.iter().map(|b| b.threads).collect())
+        SchedulerStats::from_bin_counts(
+            self.bins
+                .iter()
+                .enumerate()
+                .filter(|&(id, _)| self.table.is_live(id as BinId))
+                .map(|(_, b)| b.threads)
+                .collect(),
+        )
     }
 
     /// Flushes the probe observations accumulated so far into a
@@ -629,6 +787,11 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
                 .counter("subbins_run", self.obs.subbins_run.get())
                 .histogram("parent_occupancy", &self.obs.parent_occupancy);
         }
+        // Only online engines can evict; keeping the key out of batch
+        // profiles leaves the committed batch-bench baselines untouched.
+        if self.online.is_some() {
+            section.counter("evictions", self.obs.evictions.get());
+        }
         section
     }
 
@@ -641,10 +804,11 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
         if let Some(meta) = &mut self.meta {
             meta.bump = meta.arena_base;
         }
-        // Incremental mode survives a clear, restarting from an empty
-        // ready list (and dispatch numbering from zero).
-        if self.online.is_some() {
-            self.online = Some(OnlineState::default());
+        // Incremental mode survives a clear (keeping its eviction
+        // policy), restarting from an empty ready list (and dispatch
+        // numbering from zero).
+        if let Some(state) = &self.online {
+            self.online = Some(OnlineState::with_eviction(state.eviction));
         }
     }
 }

@@ -82,7 +82,9 @@ mod tour;
 
 pub use baseline::{FifoScheduler, RandomScheduler};
 pub use closure::ClosureScheduler;
-pub use config::{ConfigError, SchedulerConfig, SchedulerConfigBuilder, StealPolicy};
+pub use config::{
+    ConfigError, EvictionPolicy, SchedulerConfig, SchedulerConfigBuilder, StealPolicy,
+};
 pub use engine::PACKAGE_TRACE_BASE;
 pub use hint::{Hints, MAX_DIMS};
 pub use parallel::{ParRunReport, ParScheduler, ParThreadFn};

@@ -246,11 +246,21 @@ impl<C, P: BinPolicy> Scheduler<C, P> {
     /// *back* of the ready order, as the paper's package re-links a
     /// refilled bin onto its ready list.
     ///
+    /// The configured [`EvictionPolicy`](crate::EvictionPolicy) (see
+    /// [`SchedulerConfigBuilder::eviction`](crate::SchedulerConfigBuilder::eviction))
+    /// takes effect here: with it on, drained-and-empty bin records are
+    /// retired so a long-running server's bin table stays bounded. An
+    /// evicted key that re-arrives behaves exactly like a fresh fork,
+    /// and records are only reaped during forks — so a run whose forks
+    /// all precede its drains never evicts, and live-bin drain order is
+    /// identical with eviction on or off.
+    ///
     /// Idempotent; batch [`run`](Self::run) calls remain available and
     /// unchanged, but mixing [`RunMode::Retain`] runs with incremental
     /// drains is unsupported.
     pub fn enable_online(&mut self) {
-        self.engine.enable_online();
+        let eviction = self.config.eviction();
+        self.engine.enable_online(eviction);
     }
 
     /// Whether [`enable_online`](Self::enable_online) was called.
@@ -281,6 +291,19 @@ impl<C, P: BinPolicy> Scheduler<C, P> {
     /// Number of bins currently allocated.
     pub fn bins(&self) -> usize {
         self.engine.bins()
+    }
+
+    /// High-water mark of live bin records over the scheduler's life.
+    /// With an [`EvictionPolicy::LruCap`](crate::EvictionPolicy::LruCap)
+    /// this is the number the cap bounds.
+    pub fn peak_bins(&self) -> usize {
+        self.engine.peak_bins()
+    }
+
+    /// Bin records freed by the online eviction policy so far (zero
+    /// for batch mode or [`EvictionPolicy::Off`](crate::EvictionPolicy::Off)).
+    pub fn evictions(&self) -> u64 {
+        self.engine.evictions()
     }
 
     /// Distribution statistics over the current schedule (the paper
@@ -786,6 +809,136 @@ mod tests {
         assert!(sched.drain_next(&mut log).is_some());
         assert!(sched.drain_next(&mut log).is_none());
         assert_eq!(log, vec![(0, 0), (1, 0), (2, 0)]);
+    }
+
+    fn eviction_config(eviction: crate::EvictionPolicy) -> SchedulerConfig {
+        SchedulerConfig::builder()
+            .block_size(1 << 10)
+            .eviction(eviction)
+            .build()
+            .unwrap()
+    }
+
+    /// Serving-style fork/drain alternation with many distinct keys:
+    /// the LRU cap must bound the live record count for the whole run.
+    #[test]
+    fn lru_cap_bounds_live_bin_records() {
+        use crate::EvictionPolicy;
+        let mut sched: Scheduler<Log> =
+            Scheduler::new(eviction_config(EvictionPolicy::LruCap { max_records: 4 }));
+        sched.enable_online();
+        let mut log = Log::new();
+        for i in 0..64usize {
+            sched.fork(record, i, 0, Hints::one(Addr::new(i as u64 * 2048)));
+            assert!(sched.bins() <= 4, "cap violated at fork {i}");
+            assert!(sched.drain_next(&mut log).is_some());
+        }
+        assert_eq!(sched.peak_bins(), 4);
+        assert_eq!(sched.evictions(), 64 - 4);
+        // Order is untouched: strict fork order, one bin at a time.
+        assert_eq!(
+            log.iter().map(|&(a, _)| a).collect::<Vec<_>>(),
+            (0..64).collect::<Vec<_>>()
+        );
+    }
+
+    /// An evicted key that re-arrives behaves exactly like a refilled
+    /// bin: fresh record, re-linked at the back of the ready order.
+    #[test]
+    fn evicted_key_rearrives_as_fresh_fork() {
+        use crate::EvictionPolicy;
+        let mut sched: Scheduler<Log> =
+            Scheduler::new(eviction_config(EvictionPolicy::LruCap { max_records: 1 }));
+        sched.enable_online();
+        let mut log = Log::new();
+        // Bin X fills and drains, leaving an idle record.
+        sched.fork(record, 0, 0, Hints::one(Addr::new(0)));
+        assert!(sched.drain_next(&mut log).is_some());
+        // Bin Y's fork pushes the table over the cap: X is reaped.
+        sched.fork(record, 1, 0, Hints::one(Addr::new(1 << 20)));
+        assert_eq!(sched.evictions(), 1);
+        assert_eq!(sched.bins(), 1);
+        // X re-arrives; it must drain *after* Y, like any fresh fork.
+        sched.fork(record, 2, 0, Hints::one(Addr::new(4)));
+        while sched.drain_next(&mut log).is_some() {}
+        assert_eq!(log, vec![(0, 0), (1, 0), (2, 0)]);
+    }
+
+    /// Idle-age eviction frees a record only once it has outlived
+    /// `max_idle_drains` drain grants without a refill.
+    #[test]
+    fn idle_age_reaps_after_configured_drains() {
+        use crate::EvictionPolicy;
+        let mut sched: Scheduler<Log> = Scheduler::new(eviction_config(EvictionPolicy::IdleAge {
+            max_idle_drains: 2,
+        }));
+        sched.enable_online();
+        let mut log = Log::new();
+        // A drains at epoch 1.
+        sched.fork(record, 0, 0, Hints::one(Addr::new(0)));
+        assert!(sched.drain_next(&mut log).is_some());
+        // Two more fork/drain rounds age A to the threshold; it is
+        // still within its allowance at each intermediate fork.
+        sched.fork(record, 1, 0, Hints::one(Addr::new(2048)));
+        assert_eq!(sched.evictions(), 0);
+        assert!(sched.drain_next(&mut log).is_some());
+        sched.fork(record, 2, 0, Hints::one(Addr::new(4096)));
+        assert_eq!(sched.evictions(), 0);
+        assert!(sched.drain_next(&mut log).is_some());
+        // Epoch is now 3 ≥ 1 + 2: the next fork reaps A (and only A).
+        sched.fork(record, 3, 0, Hints::one(Addr::new(6144)));
+        assert_eq!(sched.evictions(), 1);
+        assert_eq!(sched.bins(), 3);
+    }
+
+    /// UniqueBin (every fork a fresh record) is the worst-case leak;
+    /// the cap must bound it too.
+    #[test]
+    fn unique_bin_records_stay_bounded_under_cap() {
+        use crate::policy::UniqueBin;
+        use crate::EvictionPolicy;
+        let mut sched: Scheduler<Log, UniqueBin> = Scheduler::with_policy(
+            eviction_config(EvictionPolicy::LruCap { max_records: 4 }),
+            UniqueBin::default(),
+        );
+        sched.enable_online();
+        let mut log = Log::new();
+        for i in 0..40usize {
+            sched.fork(record, i, 0, Hints::none());
+            assert!(sched.bins() <= 4, "cap violated at fork {i}");
+            assert!(sched.drain_next(&mut log).is_some());
+        }
+        assert_eq!(sched.evictions(), 40 - 4);
+    }
+
+    /// With every fork preceding every drain (the t=0 equivalence
+    /// shape), eviction never fires and the drain order is byte-equal
+    /// to the batch run.
+    #[test]
+    fn t0_drain_with_eviction_matches_batch_and_never_evicts() {
+        use crate::EvictionPolicy;
+        let fork_all = |sched: &mut Scheduler<Log>| {
+            let mut x = 0x9E37_79B9_7F4A_7C15u64;
+            for i in 0..300usize {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                sched.fork(record, i, 0, Hints::one(Addr::new(x % (1 << 20))));
+            }
+        };
+        let mut batch: Scheduler<Log> = Scheduler::new(eviction_config(EvictionPolicy::Off));
+        fork_all(&mut batch);
+        let mut batch_log = Log::new();
+        batch.run(&mut batch_log, RunMode::Consume);
+
+        let mut online: Scheduler<Log> =
+            Scheduler::new(eviction_config(EvictionPolicy::LruCap { max_records: 2 }));
+        fork_all(&mut online);
+        online.enable_online();
+        let mut online_log = Log::new();
+        while online.drain_next(&mut online_log).is_some() {}
+        assert_eq!(online.evictions(), 0, "no insert follows a drain");
+        assert_eq!(online_log, batch_log);
     }
 
     #[test]

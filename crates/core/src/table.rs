@@ -21,6 +21,12 @@ const NIL: BinId = BinId::MAX;
 
 /// Hash table mapping block coordinates to bin ids, with chained
 /// collision resolution over a fixed `hash_size⁴` bucket array.
+///
+/// Slots freed by [`remove`](BinTable::remove) go on a free list and
+/// are reused by the next insert, so a long-running online engine with
+/// eviction enabled keeps the id space (and every id-indexed side
+/// array) bounded. Batch runs never remove, so for them the id space
+/// stays dense in allocation order exactly as before.
 #[derive(Clone, Debug)]
 pub(crate) struct BinTable {
     /// Head bin id per bucket.
@@ -29,6 +35,13 @@ pub(crate) struct BinTable {
     keys: Vec<[u64; MAX_DIMS]>,
     /// Next bin in the same bucket's chain (indexed by bin id).
     next: Vec<BinId>,
+    /// Whether each slot currently holds a live bin (indexed by bin
+    /// id); freed slots keep their stale key until reused.
+    live: Vec<bool>,
+    /// Freed slot ids awaiting reuse (LIFO).
+    free: Vec<BinId>,
+    /// Number of live bins (`len()`); `keys.len()` minus freed slots.
+    live_count: usize,
     mask: u64,
     dim_bits: u32,
 }
@@ -46,6 +59,9 @@ impl BinTable {
             buckets: vec![NIL; hash_size.pow(MAX_DIMS as u32)],
             keys: Vec::new(),
             next: Vec::new(),
+            live: Vec::new(),
+            free: Vec::new(),
+            live_count: 0,
             mask: hash_size as u64 - 1,
             dim_bits: hash_size.trailing_zeros(),
         }
@@ -75,12 +91,67 @@ impl BinTable {
             }
             id = self.next[id as usize];
         }
-        let new_id = self.keys.len() as BinId;
-        assert!(new_id != NIL, "bin id space exhausted");
-        self.keys.push(key);
-        self.next.push(self.buckets[bucket]);
+        let new_id = self.alloc_slot(key, self.buckets[bucket]);
         self.buckets[bucket] = new_id;
         (new_id, true)
+    }
+
+    /// Claims a slot (reusing a freed one if available), storing `key`
+    /// and chain link `next`.
+    #[inline]
+    fn alloc_slot(&mut self, key: [u64; MAX_DIMS], next: BinId) -> BinId {
+        self.live_count += 1;
+        match self.free.pop() {
+            Some(id) => {
+                self.keys[id as usize] = key;
+                self.next[id as usize] = next;
+                self.live[id as usize] = true;
+                id
+            }
+            None => {
+                let id = self.keys.len() as BinId;
+                assert!(id != NIL, "bin id space exhausted");
+                self.keys.push(key);
+                self.next.push(next);
+                self.live.push(true);
+                id
+            }
+        }
+    }
+
+    /// Frees the slot of bin `id`, unlinking it from its bucket chain.
+    /// The id is recycled by a later insert; until then the slot's key
+    /// is stale and [`is_live`](BinTable::is_live) reports `false`.
+    ///
+    /// Keys appended via [`append_unique`](BinTable::append_unique)
+    /// were never chained; for them the chain walk falls off the end
+    /// harmlessly and only the slot is freed.
+    pub(crate) fn remove(&mut self, id: BinId) {
+        debug_assert!(self.live[id as usize], "double free of bin {id}");
+        let bucket = self.bucket_of(self.keys[id as usize]);
+        if self.buckets[bucket] == id {
+            self.buckets[bucket] = self.next[id as usize];
+        } else {
+            let mut cur = self.buckets[bucket];
+            while cur != NIL {
+                let succ = self.next[cur as usize];
+                if succ == id {
+                    self.next[cur as usize] = self.next[id as usize];
+                    break;
+                }
+                cur = succ;
+            }
+        }
+        self.next[id as usize] = NIL;
+        self.live[id as usize] = false;
+        self.live_count -= 1;
+        self.free.push(id);
+    }
+
+    /// Whether `id` currently names a live bin.
+    #[inline]
+    pub(crate) fn is_live(&self, id: BinId) -> bool {
+        (id as usize) < self.live.len() && self.live[id as usize]
     }
 
     /// Appends a bin for `key` without consulting the bucket chains.
@@ -93,11 +164,7 @@ impl BinTable {
     /// — unique-key policies never look up.
     #[inline]
     pub(crate) fn append_unique(&mut self, key: [u64; MAX_DIMS]) -> BinId {
-        let new_id = self.keys.len() as BinId;
-        assert!(new_id != NIL, "bin id space exhausted");
-        self.keys.push(key);
-        self.next.push(NIL);
-        new_id
+        self.alloc_slot(key, NIL)
     }
 
     /// Public (crate) view of the bucket a key hashes to, for the
@@ -107,13 +174,15 @@ impl BinTable {
         self.bucket_of(key)
     }
 
-    /// Number of allocated bins.
+    /// Number of live bins.
     pub(crate) fn len(&self) -> usize {
-        self.keys.len()
+        self.live_count
     }
 
-    /// Block coordinates of every allocated bin, indexed by bin id
-    /// (i.e. in ready-list order).
+    /// Block coordinates of every allocated slot, indexed by bin id
+    /// (i.e. in ready-list order). Freed slots keep a stale key; this
+    /// is only meaningful for batch schedulers, which never free (the
+    /// online drain path does not use it).
     pub(crate) fn keys(&self) -> &[[u64; MAX_DIMS]] {
         &self.keys
     }
@@ -134,6 +203,9 @@ impl BinTable {
         self.buckets.fill(NIL);
         self.keys.clear();
         self.next.clear();
+        self.live.clear();
+        self.free.clear();
+        self.live_count = 0;
     }
 }
 
@@ -183,6 +255,59 @@ mod tests {
         let (id, created) = t.lookup_or_insert([1, 2, 3, 0]);
         assert_eq!(id, 0);
         assert!(created);
+    }
+
+    #[test]
+    fn remove_unlinks_and_recycles_the_slot() {
+        let mut t = BinTable::new(4);
+        let (a, _) = t.lookup_or_insert([1, 0, 0, 0]);
+        let (b, _) = t.lookup_or_insert([5, 0, 0, 0]); // same bucket as a
+        let (c, _) = t.lookup_or_insert([9, 0, 0, 0]); // same bucket again
+        assert_eq!(t.len(), 3);
+
+        // Remove the middle of the chain; the other two still resolve.
+        t.remove(b);
+        assert_eq!(t.len(), 2);
+        assert!(t.is_live(a) && !t.is_live(b) && t.is_live(c));
+        assert_eq!(t.lookup_or_insert([1, 0, 0, 0]), (a, false));
+        assert_eq!(t.lookup_or_insert([9, 0, 0, 0]), (c, false));
+
+        // The removed key re-inserts as a fresh bin, reusing slot b.
+        let (b2, created) = t.lookup_or_insert([5, 0, 0, 0]);
+        assert!(created);
+        assert_eq!(b2, b, "freed slot must be recycled");
+        assert_eq!(t.len(), 3);
+        assert!(t.is_live(b2));
+    }
+
+    #[test]
+    fn remove_chain_head_and_tail() {
+        let mut t = BinTable::new(4);
+        let (a, _) = t.lookup_or_insert([1, 0, 0, 0]);
+        let (b, _) = t.lookup_or_insert([5, 0, 0, 0]);
+        // b is the chain head (most recent insert), a the tail.
+        t.remove(b);
+        assert_eq!(t.lookup_or_insert([1, 0, 0, 0]), (a, false));
+        t.remove(a);
+        assert_eq!(t.len(), 0);
+        let (id, created) = t.lookup_or_insert([1, 0, 0, 0]);
+        assert!(created);
+        assert!(t.is_live(id));
+    }
+
+    #[test]
+    fn remove_unique_slot_frees_without_chain() {
+        let mut t = BinTable::new(4);
+        let a = t.append_unique([7, 0, 0, 0]);
+        let b = t.append_unique([7, 0, 0, 0]);
+        assert_eq!(t.len(), 2);
+        t.remove(a);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_live(a) && t.is_live(b));
+        // Slot reuse applies to unique appends too.
+        let c = t.append_unique([8, 0, 0, 0]);
+        assert_eq!(c, a);
+        assert_eq!(t.key(c), [8, 0, 0, 0]);
     }
 
     #[test]

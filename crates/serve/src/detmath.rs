@@ -1,0 +1,193 @@
+//! Deterministic elementary math — bit-identical on every platform.
+//!
+//! `f64::powf` and `f64::ln` delegate to the platform libm, which is
+//! *not* correctly rounded: different libm versions (glibc releases,
+//! musl, macOS) legally disagree in the last ulp. The trace generator
+//! fed those results into committed FNV-1a goldens and byte-compared
+//! bench baselines, so a toolchain or libc upgrade could silently
+//! break every golden without any code change. The replacements here
+//! use only IEEE-754 `+ − × ÷` (correctly rounded on every conforming
+//! platform per the standard) with *fixed* iteration counts and no
+//! data-dependent branching on intermediate rounding, so each function
+//! is a pure bit-for-bit-reproducible map from input bits to output
+//! bits.
+//!
+//! These are not correctly-rounded transcendentals — they agree with a
+//! correctly-rounded result to ~1 ulp of double precision, which the
+//! accuracy tests pin against libm at 1e-12 relative tolerance. For
+//! the simulator that's irrelevant: any fixed deterministic value
+//! within a few ulps is an equally valid sample; what matters is that
+//! it never moves.
+
+/// High/low split of ln 2 (the classic fdlibm constants): `k * LN2_HI`
+/// is exact for |k| < 2^20, pushing the representation error of ln 2
+/// into the tiny `LN2_LO` correction.
+const LN2_HI: f64 = 6.931_471_803_691_238e-1;
+const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
+
+/// Natural log of `x` for finite `x > 0`.
+///
+/// Decomposes `x = m · 2^e` with `m ∈ [1/√2, √2)` by bit surgery, then
+/// evaluates `ln m = 2·atanh(t)` for `t = (m−1)/(m+1)` with a fixed
+/// 12-term odd series (`|t| < 0.1716`, so term 12 is below 2^-60).
+///
+/// Outside the domain: returns NaN for negative or NaN input,
+/// `-inf` for `+0`, `+inf` for `+inf` — matching `f64::ln`.
+pub fn det_ln(x: f64) -> f64 {
+    if x.is_nan() || x < 0.0 {
+        return f64::NAN;
+    }
+    if x == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if x.is_infinite() {
+        return f64::INFINITY;
+    }
+    let bits = x.to_bits();
+    let raw_exp = ((bits >> 52) & 0x7ff) as i64;
+    let (mut e, mut m) = if raw_exp == 0 {
+        // Subnormal: renormalize through an exact scale by 2^54.
+        let scaled = (x * 18_014_398_509_481_984.0).to_bits();
+        (
+            ((scaled >> 52) & 0x7ff) as i64 - 1023 - 54,
+            f64::from_bits((scaled & 0x000f_ffff_ffff_ffff) | 0x3ff0_0000_0000_0000),
+        )
+    } else {
+        (
+            raw_exp - 1023,
+            f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | 0x3ff0_0000_0000_0000),
+        )
+    };
+    if m > std::f64::consts::SQRT_2 {
+        m *= 0.5; // exact
+        e += 1;
+    }
+    let t = (m - 1.0) / (m + 1.0);
+    let t2 = t * t;
+    let mut term = t;
+    let mut sum = 0.0;
+    for k in 0..12u32 {
+        sum += term / f64::from(2 * k + 1);
+        term *= t2;
+    }
+    let k = e as f64;
+    (k * LN2_HI + 2.0 * sum) + k * LN2_LO
+}
+
+/// `e^x` for finite `x`, flushed to `0`/`+inf` outside
+/// `[-708, 709]` (past the underflow/overflow thresholds anyway).
+///
+/// Argument reduction `x = k·ln2 + r` with `|r| ≤ ln2/2`, a fixed
+/// 17-term Taylor sum for `e^r`, and an exact power-of-two rescale.
+pub fn det_exp(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x > 709.0 {
+        return f64::INFINITY;
+    }
+    if x < -708.0 {
+        return 0.0;
+    }
+    let k = (x * std::f64::consts::LOG2_E).round();
+    let r = (x - k * LN2_HI) - k * LN2_LO;
+    let mut term = 1.0;
+    let mut sum = 1.0;
+    for n in 1..=17u32 {
+        term *= r / f64::from(n);
+        sum += term;
+    }
+    // |k| ≤ 1024 here, so the biased exponent stays in range (the sum
+    // absorbs any final rounding into the significand).
+    #[allow(clippy::cast_possible_truncation)]
+    let ki = k as i64;
+    sum * f64::from_bits(((1023 + ki) as u64) << 52)
+}
+
+/// `base^exp` for `base > 0` (plus the universal `exp == 0 → 1` and
+/// `base == 1 → 1` identities), via `e^(exp · ln base)`.
+pub fn det_powf(base: f64, exp: f64) -> f64 {
+    if exp == 0.0 || base == 1.0 {
+        return 1.0;
+    }
+    det_exp(exp * det_ln(base))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(ours: f64, libm: f64, what: &str) {
+        let scale = libm.abs().max(f64::MIN_POSITIVE);
+        let rel = (ours - libm).abs() / scale;
+        assert!(rel < 1e-12, "{what}: {ours} vs libm {libm} (rel {rel:e})");
+    }
+
+    #[test]
+    fn ln_tracks_libm_across_the_domain() {
+        let samples = [
+            f64::MIN_POSITIVE,
+            1e-300,
+            4.9e-324, // smallest subnormal
+            1e-9,
+            0.1,
+            0.5,
+            0.999_999,
+            1.0,
+            1.000_001,
+            std::f64::consts::E,
+            2.0,
+            10.0,
+            12_345.678_9,
+            1e18,
+            1e300,
+        ];
+        for x in samples {
+            assert_close(det_ln(x), x.ln(), &format!("ln({x})"));
+        }
+        assert_eq!(det_ln(1.0), 0.0);
+        assert_eq!(det_ln(0.0), f64::NEG_INFINITY);
+        assert!(det_ln(-1.0).is_nan());
+        assert_eq!(det_ln(f64::INFINITY), f64::INFINITY);
+    }
+
+    #[test]
+    fn exp_tracks_libm_across_the_domain() {
+        let samples = [
+            -700.0, -30.5, -22.0, -1.0, -1e-12, 0.0, 1e-12, 0.5, 1.0, 2.0, 20.25, 700.0,
+        ];
+        for x in samples {
+            assert_close(det_exp(x), x.exp(), &format!("exp({x})"));
+        }
+        assert_eq!(det_exp(0.0), 1.0);
+        assert_eq!(det_exp(-1000.0), 0.0);
+        assert_eq!(det_exp(1000.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn powf_tracks_libm_on_zipf_shapes() {
+        // The Zipf CDF evaluates rank^-s for rank ∈ [1, objects].
+        for s in [0.0, 0.5, 0.8, 0.9, 0.99, 1.0, 1.1, 1.2] {
+            for rank in [1u64, 2, 3, 10, 100, 65_536, 1 << 26] {
+                #[allow(clippy::cast_precision_loss)]
+                let base = rank as f64;
+                assert_close(det_powf(base, -s), base.powf(-s), &format!("{rank}^-{s}"));
+            }
+        }
+        assert_eq!(det_powf(123.456, 0.0), 1.0);
+        assert_eq!(det_powf(1.0, -0.99), 1.0);
+    }
+
+    /// The exponential inter-arrival draw feeds `ln` values from
+    /// (0, 1]; its whole pipeline must stay finite and nonpositive.
+    #[test]
+    fn ln_of_unit_open_is_finite_and_nonpositive() {
+        let mut u = 1.0 / 9_007_199_254_740_992.0; // 2^-53, the smallest draw
+        while u <= 1.0 {
+            let l = det_ln(u);
+            assert!(l.is_finite() && l <= 0.0, "ln({u}) = {l}");
+            u *= 1_000.0;
+        }
+        assert_eq!(det_ln(1.0), 0.0);
+    }
+}

@@ -27,12 +27,17 @@
 //! exactly the offline batch scheduler's order — the equivalence suite
 //! in `tests/` proves it for every policy and lane count.
 
+pub mod detmath;
 pub mod event;
 pub mod metrics;
 pub mod sim;
 pub mod trace;
 
+pub use detmath::{det_exp, det_ln, det_powf};
 pub use event::{Event, EventHeap};
 pub use metrics::{percentile, ServeReport};
-pub use sim::{run_offline, run_serve, ExecRecord, ServeConfig, ServeOutcome, ServePolicy};
-pub use trace::{trace_digest, Request, TraceConfig, TraceGen};
+pub use sim::{
+    run_offline, run_serve, AdmissionPolicy, ExecRecord, ServeConfig, ServeError, ServeOutcome,
+    ServePolicy,
+};
+pub use trace::{cdf_digest, trace_digest, Request, TraceConfig, TraceGen};

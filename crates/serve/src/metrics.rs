@@ -19,8 +19,11 @@ pub struct ServeReport {
     pub admitted: u64,
     /// Requests turned away at admission.
     pub rejected: u64,
-    /// Requests actually served (equals `admitted` when the run ends
-    /// drained).
+    /// Admitted requests cancelled while queued by a shedding
+    /// admission policy (`admitted == completed + shed` once the run
+    /// ends drained).
+    pub shed: u64,
+    /// Requests actually served.
     pub completed: u64,
     /// Served requests whose payload was mostly L2-resident (≤ half
     /// the touched lines missed).
@@ -43,6 +46,14 @@ pub struct ServeReport {
     pub mean_slowdown_x1000: u64,
     /// Virtual time from first arrival to last completion.
     pub makespan_ns: u64,
+    /// Bin records the engine's eviction policy retired.
+    pub evictions: u64,
+    /// Most live bin records the engine's table ever held — the memory
+    /// bound the eviction policy enforces.
+    pub peak_live_bin_records: u64,
+    /// Σ over shed requests of payload bytes × time queued, reported
+    /// in byte-milliseconds: memory held only to be thrown away.
+    pub wasted_memory_time: u64,
 }
 
 impl ServeReport {
@@ -92,6 +103,7 @@ mod tests {
             offered: 0,
             admitted: 0,
             rejected: 0,
+            shed: 0,
             completed: 0,
             warm_hits: 0,
             cold_misses: 0,
@@ -103,6 +115,9 @@ mod tests {
             mean_latency_ns: 0,
             mean_slowdown_x1000: 0,
             makespan_ns: 0,
+            evictions: 0,
+            peak_live_bin_records: 0,
+            wasted_memory_time: 0,
         };
         assert_eq!(report.warm_hit_rate_pct(), 0.0);
         report.completed = 4;

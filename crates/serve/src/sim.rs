@@ -30,35 +30,109 @@ use crate::metrics::{percentile, ServeReport};
 use crate::trace::Request;
 use cachesim::{MachineModel, SimReport, SimSink};
 use locality_sched::{
-    BinPolicy, Hierarchical, PaperBlockHash, RunMode, Scheduler, SchedulerConfig, SingleBin,
-    UniqueBin,
+    BinPolicy, EvictionPolicy, Hierarchical, PaperBlockHash, RunMode, Scheduler, SchedulerConfig,
+    SingleBin, UniqueBin,
 };
 use memtrace::{Access, TraceSink};
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
 
 /// Fixed per-request instruction overhead (dispatch, parse, reply).
 const REQUEST_BASE_INSTRUCTIONS: u64 = 40;
 /// Instructions modeled per cache line of payload scanned.
 const INSTRUCTIONS_PER_LINE: u64 = 4;
 
+/// Error returned when a serving run cannot be configured — e.g. a
+/// machine whose caches are too small to carve separated serving bins.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeError {
+    message: String,
+}
+
+impl ServeError {
+    fn new(message: impl Into<String>) -> Self {
+        ServeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid serving configuration: {}", self.message)
+    }
+}
+
+impl Error for ServeError {}
+
+/// What happens to an arrival when the admission queue is full.
+///
+/// Rejecting turns away the *new* request; the shedding policies
+/// instead cancel an already-queued request — SLO-aware load shedding,
+/// trading work already buffered (and the memory-time it wasted) for
+/// the fresh arrival. A cancelled request's thread record stays in its
+/// bin as a tombstone and is discarded for free when the bin drains;
+/// the engine's drain order is untouched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Turn the arriving request away (the classic bounded queue).
+    Reject,
+    /// Cancel the oldest waiting request to admit the arrival — the
+    /// queued request least likely to still meet any latency target.
+    ShedOldest,
+    /// Cancel the newest waiting request to admit the arrival,
+    /// preserving the seniority of long-waiting work.
+    ShedNewest,
+    /// Cancel every waiting request whose age already exceeds
+    /// `slo_ns` (its completion could not meet the SLO even if served
+    /// immediately); reject the arrival only if nothing had expired.
+    DeadlineDrop {
+        /// Maximum useful age of a queued request, nanoseconds.
+        slo_ns: u64,
+    },
+}
+
+impl fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionPolicy::Reject => write!(f, "reject"),
+            AdmissionPolicy::ShedOldest => write!(f, "shed-oldest"),
+            AdmissionPolicy::ShedNewest => write!(f, "shed-newest"),
+            AdmissionPolicy::DeadlineDrop { slo_ns } => write!(f, "deadline-drop({slo_ns})"),
+        }
+    }
+}
+
 /// Serving-side knobs, independent of the trace.
 #[derive(Clone, Copy, Debug)]
 pub struct ServeConfig {
     /// Concurrent serving lanes (drain units in flight).
     pub lanes: usize,
-    /// Admission bound: a request arriving while this many threads are
-    /// pending is rejected.
+    /// Admission bound: the maximum number of waiting (admitted,
+    /// not-yet-served, not-shed) requests.
     pub queue_bound: u64,
+    /// What to do with an arrival that finds the queue full.
+    pub admission: AdmissionPolicy,
+    /// Bin-record retirement policy for the online engine; bounds the
+    /// bin table on long runs. [`EvictionPolicy::Off`] reproduces the
+    /// paper's never-free behaviour.
+    pub eviction: EvictionPolicy,
     /// Record the per-request execution log (id, miss deltas) — the
     /// equivalence suite's witness. Costs memory; off for benches.
     pub log_execution: bool,
 }
 
 impl ServeConfig {
-    /// Four lanes over a 4096-deep admission queue, no logging.
+    /// Four lanes over a 4096-deep admission queue, shedding the
+    /// oldest waiting request under overload, with the live bin table
+    /// capped at twice the queue bound; no logging.
     pub fn default_bench() -> Self {
         ServeConfig {
             lanes: 4,
             queue_bound: 4096,
+            admission: AdmissionPolicy::ShedOldest,
+            eviction: EvictionPolicy::LruCap { max_records: 8192 },
             log_execution: false,
         }
     }
@@ -127,28 +201,100 @@ pub struct ServeOutcome {
     pub log: Vec<ExecRecord>,
 }
 
-/// Compact pending-request record (the admitted queue's memory).
+/// Lifecycle of a pending-slab slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PendingState {
+    /// Admitted, waiting for its bin to drain.
+    Waiting,
+    /// Served; the slot is on the free list awaiting reuse.
+    Done,
+    /// Cancelled by a shedding admission policy while queued; its
+    /// thread record is a tombstone that drains for free.
+    Shed,
+}
+
+/// Compact pending-request record (one slab slot). Slots are recycled
+/// as soon as the engine retires their thread, so the slab's size
+/// tracks the number of requests *in flight*, not run history.
 #[derive(Clone, Copy, Debug)]
 struct Pending {
     id: u64,
     arrival_ns: u64,
     addr: u64,
     bytes: u64,
+    state: PendingState,
 }
 
 /// Shared mutable state the scheduled request bodies run against.
 struct ExecCtx {
     sink: SimSink,
+    /// Pending-request slab, indexed by the slot a fork carries.
     requests: Vec<Pending>,
+    /// Retired slots available for reuse.
+    free_slots: Vec<usize>,
+    /// Waiting (admitted − served − shed) requests — the live queue
+    /// depth the admission bound applies to. The engine's `pending()`
+    /// additionally counts shed tombstones.
+    in_queue: u64,
     records: Vec<ExecRecord>,
+    /// Arrival time of each entry in `records` (kept parallel so
+    /// latency accounting needs no lookup into the recycled slab).
+    arrivals: Vec<u64>,
     l1_line: u64,
     l2_line: u64,
 }
 
+impl ExecCtx {
+    fn new(machine: &MachineModel) -> Self {
+        ExecCtx {
+            sink: SimSink::new(machine.hierarchy()),
+            requests: Vec::new(),
+            free_slots: Vec::new(),
+            in_queue: 0,
+            records: Vec::new(),
+            arrivals: Vec::new(),
+            l1_line: machine.l1_line(),
+            l2_line: machine.l2_line(),
+        }
+    }
+
+    /// Claims a slab slot for an admitted request.
+    fn admit(&mut self, req: &Request) -> usize {
+        let pending = Pending {
+            id: req.id,
+            arrival_ns: req.arrival_ns,
+            addr: req.addr,
+            bytes: req.bytes,
+            state: PendingState::Waiting,
+        };
+        self.in_queue += 1;
+        match self.free_slots.pop() {
+            Some(slot) => {
+                self.requests[slot] = pending;
+                slot
+            }
+            None => {
+                self.requests.push(pending);
+                self.requests.len() - 1
+            }
+        }
+    }
+}
+
 /// The scheduled thread body: scan the request's payload one L1 line
-/// at a time and account instructions, recording the miss delta.
+/// at a time and account instructions, recording the miss delta. A
+/// slot shed while queued is a tombstone — no cache traffic, no
+/// record; the slot is simply retired.
 fn serve_thread(ctx: &mut ExecCtx, slot: usize, _arg2: usize) {
     let req = ctx.requests[slot];
+    match req.state {
+        PendingState::Waiting => {}
+        PendingState::Shed => {
+            ctx.free_slots.push(slot);
+            return;
+        }
+        PendingState::Done => unreachable!("slot {slot} drained twice"),
+    }
     let l1_before = ctx.sink.hierarchy().l1_stats().misses();
     let l2_before = ctx.sink.hierarchy().l2_stats().misses();
     let mut lines = 0u64;
@@ -173,18 +319,39 @@ fn serve_thread(ctx: &mut ExecCtx, slot: usize, _arg2: usize) {
         lines,
         l2_lines,
     });
+    ctx.arrivals.push(req.arrival_ns);
+    ctx.in_queue -= 1;
+    ctx.requests[slot].state = PendingState::Done;
+    ctx.free_slots.push(slot);
 }
 
 /// Serving bin geometry for `machine`: parent bins at half the L2,
-/// sub-bins capped at both the L1 capacity and 1/8 of the L2 (the same
-/// separation rule `BinGeometry` applies to the paper kernels).
-fn serve_blocks(machine: &MachineModel) -> (u64, u64) {
+/// sub-bins capped at the L1 capacity, 1/8 of the L2, *and* half the
+/// parent block (the same separation rule `BinGeometry` applies to the
+/// paper kernels — the levels must stay apart or `Hierarchical`
+/// silently degenerates to flat).
+///
+/// # Errors
+///
+/// A machine whose L2 is so small that the parent block collapses
+/// below 2 bytes cannot keep two levels separated; that is a
+/// configuration error, not a silently-flat hierarchy.
+fn serve_blocks(machine: &MachineModel) -> Result<(u64, u64), ServeError> {
     let l2_block = prev_power_of_two(machine.l2_capacity() / 2);
+    if l2_block < 2 {
+        return Err(ServeError::new(format!(
+            "machine '{}' has L2 capacity {} — the {}-byte serving parent block cannot hold a \
+             separated L1 sub-block",
+            machine.name(),
+            machine.l2_capacity(),
+            l2_block,
+        )));
+    }
     let l1_budget = machine
         .l1_capacity()
         .min((machine.l2_capacity() / 8).max(1));
-    let l1_block = prev_power_of_two(l1_budget).min(l2_block);
-    (l1_block, l2_block)
+    let l1_block = prev_power_of_two(l1_budget).min(l2_block / 2);
+    Ok((l1_block, l2_block))
 }
 
 fn prev_power_of_two(value: u64) -> u64 {
@@ -198,18 +365,24 @@ fn prev_power_of_two(value: u64) -> u64 {
 /// `machine` and returns the outcome. The trace may be any request
 /// iterator with non-decreasing arrival times — millions of requests
 /// stream through without being materialized.
+///
+/// # Errors
+///
+/// Returns [`ServeError`] when `machine`'s caches cannot carve
+/// separated serving bins (see `serve_blocks`).
 pub fn run_serve<I: Iterator<Item = Request>>(
     trace: I,
     machine: &MachineModel,
     config: &ServeConfig,
     policy: ServePolicy,
-) -> ServeOutcome {
-    let (l1_block, l2_block) = serve_blocks(machine);
+) -> Result<ServeOutcome, ServeError> {
+    let (l1_block, l2_block) = serve_blocks(machine)?;
     let sched_config = SchedulerConfig::builder()
         .block_size(l2_block)
+        .eviction(config.eviction)
         .build()
-        .expect("power-of-two block is valid");
-    match policy {
+        .map_err(|e| ServeError::new(e.to_string()))?;
+    Ok(match policy {
         ServePolicy::Flat => run_serve_with(
             trace,
             machine,
@@ -238,7 +411,7 @@ pub fn run_serve<I: Iterator<Item = Request>>(
             sched_config,
             UniqueBin::default(),
         ),
-    }
+    })
 }
 
 /// [`run_serve`] generic over an explicit [`BinPolicy`].
@@ -259,19 +432,17 @@ where
     let timing = machine.timing();
     let overhead_ns = machine.thread_overhead_ns();
 
-    let mut ctx = ExecCtx {
-        sink: SimSink::new(machine.hierarchy()),
-        requests: Vec::new(),
-        records: Vec::new(),
-        l1_line: machine.l1_line(),
-        l2_line: machine.l2_line(),
-    };
+    let mut ctx = ExecCtx::new(machine);
 
     let mut events = EventHeap::new();
     let mut lane_free = vec![true; config.lanes.max(1)];
     let mut now = 0u64;
     let mut offered = 0u64;
     let mut rejected = 0u64;
+    let mut shed = 0u64;
+    // Σ bytes × queued-nanoseconds over shed requests: memory a
+    // request held while waiting, only to be thrown away.
+    let mut wasted_byte_ns = 0u128;
     let mut drains = 0u64;
     let mut max_depth = 0u64;
     let mut depth_integral = 0u128;
@@ -280,6 +451,11 @@ where
     let mut total_latency = 0u128;
     let mut total_slowdown_x1000 = 0u128;
     let mut log = Vec::new();
+    // Admission order of waiting slots, for the shedding policies.
+    // Entries are lazily invalidated (a served slot is recycled with a
+    // new id) and compacted once stale entries dominate.
+    let mut admission_order: VecDeque<(usize, u64)> = VecDeque::new();
+    let track_order = config.admission != AdmissionPolicy::Reject;
 
     // Seed the heap with the first arrival; each pop chains the next,
     // so only one un-admitted request is ever held.
@@ -297,16 +473,36 @@ where
                 Event::Arrival(_) => {
                     let req = next_arrival.take().expect("arrival event without request");
                     offered += 1;
-                    if sched.pending() < config.queue_bound {
-                        let slot = ctx.requests.len();
-                        ctx.requests.push(Pending {
-                            id: req.id,
-                            arrival_ns: req.arrival_ns,
-                            addr: req.addr,
-                            bytes: req.bytes,
-                        });
+                    let mut admit = ctx.in_queue < config.queue_bound;
+                    if !admit {
+                        let freed = shed_for(
+                            config.admission,
+                            &mut admission_order,
+                            &mut ctx,
+                            now,
+                            &mut wasted_byte_ns,
+                        );
+                        shed += freed;
+                        admit = freed > 0;
+                    }
+                    if admit {
+                        let slot = ctx.admit(&req);
+                        if track_order {
+                            admission_order.push_back((slot, req.id));
+                            // Compact once stale (served/shed) entries
+                            // dominate; valid entries number ≤ in_queue.
+                            let compact_at =
+                                config.queue_bound.saturating_mul(2).saturating_add(16);
+                            if admission_order.len() as u64 > compact_at {
+                                let requests = &ctx.requests;
+                                admission_order.retain(|&(slot, id)| {
+                                    requests[slot].id == id
+                                        && requests[slot].state == PendingState::Waiting
+                                });
+                            }
+                        }
                         sched.fork(serve_thread, slot, 0, req.hints());
-                        max_depth = max_depth.max(sched.pending());
+                        max_depth = max_depth.max(ctx.in_queue);
                     } else {
                         rejected += 1;
                     }
@@ -332,7 +528,7 @@ where
             }
             drains += 1;
             let mut unit_ns = 0u64;
-            for record in &ctx.records[before..] {
+            for (record, &arrival) in ctx.records[before..].iter().zip(&ctx.arrivals[before..]) {
                 let instructions = REQUEST_BASE_INSTRUCTIONS + INSTRUCTIONS_PER_LINE * record.lines;
                 let service = timing.estimate_with_threads(
                     instructions,
@@ -344,7 +540,6 @@ where
                 #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
                 let service_ns = (service.total() * 1e9).round().max(1.0) as u64;
                 unit_ns += service_ns;
-                let arrival = arrival_of(&ctx.requests, record.id);
                 let completion = now + unit_ns;
                 let latency = completion.saturating_sub(arrival);
                 latencies.push(latency);
@@ -364,6 +559,7 @@ where
         }
         if !config.log_execution {
             ctx.records.clear();
+            ctx.arrivals.clear();
         }
 
         // Advance the clock to the next event; simulation ends when no
@@ -373,7 +569,7 @@ where
             break;
         };
         let elapsed = next - now;
-        depth_integral += u128::from(sched.pending()) * u128::from(elapsed);
+        depth_integral += u128::from(ctx.in_queue) * u128::from(elapsed);
         now = next;
     }
 
@@ -386,6 +582,7 @@ where
         offered,
         admitted,
         rejected,
+        shed,
         completed,
         warm_hits,
         cold_misses: completed - warm_hits,
@@ -409,6 +606,9 @@ where
             0
         },
         makespan_ns: now,
+        evictions: sched.evictions(),
+        peak_live_bin_records: sched.peak_bins() as u64,
+        wasted_memory_time: u64::try_from(wasted_byte_ns / 1_000_000).unwrap_or(u64::MAX),
     };
     ServeOutcome {
         report,
@@ -417,15 +617,65 @@ where
     }
 }
 
-/// Arrival time of trace id `id`. Admission appends to `requests` in
-/// arrival order and ids are trace positions, so when nothing was
-/// rejected the record sits at index `id`; after rejections it is
-/// strictly earlier. Binary search on the sorted `id` field finds it.
-fn arrival_of(requests: &[Pending], id: u64) -> u64 {
-    let idx = requests
-        .binary_search_by_key(&id, |p| p.id)
-        .expect("executed request was admitted");
-    requests[idx].arrival_ns
+/// Cancels waiting requests per `policy` to make room for an arrival
+/// at `now`; returns how many were cancelled (0 ⇒ reject the
+/// arrival). Stale `order` entries — slots recycled since admission
+/// (id mismatch) or no longer waiting — are discarded as encountered.
+fn shed_for(
+    policy: AdmissionPolicy,
+    order: &mut VecDeque<(usize, u64)>,
+    ctx: &mut ExecCtx,
+    now: u64,
+    wasted_byte_ns: &mut u128,
+) -> u64 {
+    fn is_waiting(ctx: &ExecCtx, slot: usize, id: u64) -> bool {
+        ctx.requests[slot].id == id && ctx.requests[slot].state == PendingState::Waiting
+    }
+    fn cancel(ctx: &mut ExecCtx, slot: usize, now: u64, wasted_byte_ns: &mut u128) {
+        let req = &mut ctx.requests[slot];
+        *wasted_byte_ns += u128::from(req.bytes) * u128::from(now.saturating_sub(req.arrival_ns));
+        req.state = PendingState::Shed;
+        ctx.in_queue -= 1;
+    }
+    match policy {
+        AdmissionPolicy::Reject => 0,
+        AdmissionPolicy::ShedOldest => {
+            while let Some((slot, id)) = order.pop_front() {
+                if is_waiting(ctx, slot, id) {
+                    cancel(ctx, slot, now, wasted_byte_ns);
+                    return 1;
+                }
+            }
+            0
+        }
+        AdmissionPolicy::ShedNewest => {
+            while let Some((slot, id)) = order.pop_back() {
+                if is_waiting(ctx, slot, id) {
+                    cancel(ctx, slot, now, wasted_byte_ns);
+                    return 1;
+                }
+            }
+            0
+        }
+        AdmissionPolicy::DeadlineDrop { slo_ns } => {
+            // Valid entries sit in arrival order, so the scan can stop
+            // at the first one still within its deadline.
+            let mut freed = 0u64;
+            while let Some(&(slot, id)) = order.front() {
+                if !is_waiting(ctx, slot, id) {
+                    order.pop_front();
+                    continue;
+                }
+                if ctx.requests[slot].arrival_ns.saturating_add(slo_ns) > now {
+                    break;
+                }
+                order.pop_front();
+                cancel(ctx, slot, now, wasted_byte_ns);
+                freed += 1;
+            }
+            freed
+        }
+    }
 }
 
 /// The offline oracle the equivalence suite compares against: fork
@@ -433,17 +683,22 @@ fn arrival_of(requests: &[Pending], id: u64) -> u64 {
 /// bound), then drain the whole engine with the batch scheduler. The
 /// execution log uses the same thread body over the same machine, so
 /// a t=0 online run must match it record for record.
+///
+/// # Errors
+///
+/// Returns [`ServeError`] when `machine`'s caches cannot carve
+/// separated serving bins (see `serve_blocks`).
 pub fn run_offline<I: Iterator<Item = Request>>(
     trace: I,
     machine: &MachineModel,
     policy: ServePolicy,
-) -> Vec<ExecRecord> {
-    let (l1_block, l2_block) = serve_blocks(machine);
+) -> Result<Vec<ExecRecord>, ServeError> {
+    let (l1_block, l2_block) = serve_blocks(machine)?;
     let sched_config = SchedulerConfig::builder()
         .block_size(l2_block)
         .build()
         .expect("power-of-two block is valid");
-    match policy {
+    Ok(match policy {
         ServePolicy::Flat => run_offline_with(
             trace,
             machine,
@@ -461,7 +716,7 @@ pub fn run_offline<I: Iterator<Item = Request>>(
         ServePolicy::UniqueBin => {
             run_offline_with(trace, machine, sched_config, UniqueBin::default())
         }
-    }
+    })
 }
 
 fn run_offline_with<I, P>(
@@ -475,21 +730,9 @@ where
     P: BinPolicy,
 {
     let mut sched: Scheduler<ExecCtx, P> = Scheduler::with_policy(sched_config, bin_policy);
-    let mut ctx = ExecCtx {
-        sink: SimSink::new(machine.hierarchy()),
-        requests: Vec::new(),
-        records: Vec::new(),
-        l1_line: machine.l1_line(),
-        l2_line: machine.l2_line(),
-    };
+    let mut ctx = ExecCtx::new(machine);
     for req in trace {
-        let slot = ctx.requests.len();
-        ctx.requests.push(Pending {
-            id: req.id,
-            arrival_ns: req.arrival_ns,
-            addr: req.addr,
-            bytes: req.bytes,
-        });
+        let slot = ctx.admit(&req);
         sched.fork(serve_thread, slot, 0, req.hints());
     }
     sched.run(&mut ctx, RunMode::Consume);
@@ -515,17 +758,24 @@ mod tests {
         })
     }
 
+    fn legacy_config(lanes: usize, queue_bound: u64, log_execution: bool) -> ServeConfig {
+        ServeConfig {
+            lanes,
+            queue_bound,
+            admission: AdmissionPolicy::Reject,
+            eviction: EvictionPolicy::Off,
+            log_execution,
+        }
+    }
+
     #[test]
     fn serves_every_admitted_request() {
         let machine = MachineModel::r8000();
-        let config = ServeConfig {
-            lanes: 2,
-            queue_bound: u64::MAX,
-            log_execution: true,
-        };
-        let out = run_serve(tiny_trace(2000), &machine, &config, ServePolicy::Flat);
+        let config = legacy_config(2, u64::MAX, true);
+        let out = run_serve(tiny_trace(2000), &machine, &config, ServePolicy::Flat).unwrap();
         assert_eq!(out.report.offered, 2000);
         assert_eq!(out.report.rejected, 0);
+        assert_eq!(out.report.shed, 0);
         assert_eq!(out.report.completed, 2000);
         assert_eq!(out.log.len(), 2000);
         assert_eq!(
@@ -535,18 +785,17 @@ mod tests {
         assert!(out.report.makespan_ns > 0);
         assert!(out.report.p99_latency_ns >= out.report.p50_latency_ns);
         assert!(out.sim.data_references() > 0);
+        assert_eq!(out.report.evictions, 0);
+        assert!(out.report.peak_live_bin_records > 0);
+        assert_eq!(out.report.wasted_memory_time, 0);
     }
 
     #[test]
     fn locality_policy_beats_fifo_on_warm_hits() {
         let machine = MachineModel::r8000();
-        let config = ServeConfig {
-            lanes: 1,
-            queue_bound: u64::MAX,
-            log_execution: false,
-        };
-        let flat = run_serve(tiny_trace(4000), &machine, &config, ServePolicy::Flat);
-        let fifo = run_serve(tiny_trace(4000), &machine, &config, ServePolicy::SingleBin);
+        let config = legacy_config(1, u64::MAX, false);
+        let flat = run_serve(tiny_trace(4000), &machine, &config, ServePolicy::Flat).unwrap();
+        let fifo = run_serve(tiny_trace(4000), &machine, &config, ServePolicy::SingleBin).unwrap();
         assert!(
             flat.report.warm_hits >= fifo.report.warm_hits,
             "flat {} < fifo {}",
@@ -564,29 +813,90 @@ mod tests {
             &machine,
             &config,
             ServePolicy::Hierarchical,
-        );
+        )
+        .unwrap();
         let b = run_serve(
             tiny_trace(3000),
             &machine,
             &config,
             ServePolicy::Hierarchical,
-        );
+        )
+        .unwrap();
         assert_eq!(a.report, b.report);
     }
 
     #[test]
     fn bounded_queue_rejects_and_accounts() {
         let machine = MachineModel::r8000();
-        let config = ServeConfig {
-            lanes: 1,
-            queue_bound: 8,
-            log_execution: false,
-        };
-        let out = run_serve(tiny_trace(2000), &machine, &config, ServePolicy::Flat);
+        let config = legacy_config(1, 8, false);
+        let out = run_serve(tiny_trace(2000), &machine, &config, ServePolicy::Flat).unwrap();
         assert_eq!(out.report.offered, 2000);
         assert_eq!(out.report.admitted + out.report.rejected, 2000);
         assert_eq!(out.report.completed, out.report.admitted);
+        assert_eq!(out.report.shed, 0);
         assert!(out.report.max_queue_depth <= 8);
+    }
+
+    #[test]
+    fn shedding_admits_at_the_expense_of_queued_work() {
+        let machine = MachineModel::r8000();
+        for admission in [
+            AdmissionPolicy::ShedOldest,
+            AdmissionPolicy::ShedNewest,
+            AdmissionPolicy::DeadlineDrop { slo_ns: 20_000 },
+        ] {
+            let config = ServeConfig {
+                lanes: 1,
+                queue_bound: 8,
+                admission,
+                eviction: EvictionPolicy::Off,
+                log_execution: false,
+            };
+            let out = run_serve(tiny_trace(2000), &machine, &config, ServePolicy::Flat).unwrap();
+            assert_eq!(out.report.offered, 2000, "{admission:?}");
+            assert_eq!(
+                out.report.admitted + out.report.rejected,
+                2000,
+                "{admission:?}"
+            );
+            assert_eq!(
+                out.report.completed + out.report.shed,
+                out.report.admitted,
+                "{admission:?}"
+            );
+            assert!(out.report.shed > 0, "{admission:?} never shed");
+            assert!(
+                out.report.wasted_memory_time > 0,
+                "{admission:?} shed {} requests with no wasted memory-time",
+                out.report.shed
+            );
+            assert!(out.report.max_queue_depth <= 8, "{admission:?}");
+        }
+    }
+
+    #[test]
+    fn shed_oldest_admits_more_than_reject_turns_away() {
+        // Shedding trades queued work for arrivals: every shed frees a
+        // seat, so `rejected` can only shrink relative to Reject.
+        let machine = MachineModel::r8000();
+        let reject = run_serve(
+            tiny_trace(2000),
+            &machine,
+            &legacy_config(1, 8, false),
+            ServePolicy::Flat,
+        )
+        .unwrap();
+        let shed_config = ServeConfig {
+            admission: AdmissionPolicy::ShedOldest,
+            ..legacy_config(1, 8, false)
+        };
+        let shed = run_serve(tiny_trace(2000), &machine, &shed_config, ServePolicy::Flat).unwrap();
+        assert!(
+            shed.report.admitted > reject.report.admitted,
+            "shedding admitted {} <= reject's {}",
+            shed.report.admitted,
+            reject.report.admitted
+        );
     }
 
     #[test]
@@ -596,9 +906,36 @@ mod tests {
             MachineModel::r10000(),
             MachineModel::modern(),
         ] {
-            let (l1, l2) = serve_blocks(&machine);
+            let (l1, l2) = serve_blocks(&machine).unwrap();
             assert!(l1 < l2, "{}: {l1} !< {l2}", machine.name());
             assert!(l1.is_power_of_two() && l2.is_power_of_two());
         }
+    }
+
+    #[test]
+    fn degenerate_l2_is_a_config_error_not_a_flat_hierarchy() {
+        use cachesim::{CacheConfig, HierarchyConfig};
+        let tiny = CacheConfig::new(2, 1, 1).unwrap();
+        let machine = MachineModel::custom(
+            "tiny",
+            1e9,
+            1.0,
+            10.0,
+            100.0,
+            HierarchyConfig::new(tiny, tiny),
+            100.0,
+        );
+        let err = run_serve(
+            tiny_trace(10),
+            &machine,
+            &ServeConfig::default_bench(),
+            ServePolicy::Hierarchical,
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("invalid serving configuration"),
+            "{err}"
+        );
+        assert!(run_offline(tiny_trace(10), &machine, ServePolicy::Flat).is_err());
     }
 }

@@ -6,9 +6,20 @@
 //! SplitMix64 derived from [`TraceConfig::seed`], with no dependence on
 //! platform, thread timing, or `HashMap` iteration order — the
 //! determinism golden tests commit FNV-1a digests of generated
-//! prefixes and those must reproduce everywhere.
+//! prefixes and those must reproduce everywhere. That is also why the
+//! Zipf CDF and the exponential inter-arrival draw use
+//! [`crate::detmath`] instead of `f64::powf`/`f64::ln`: libm is not
+//! correctly rounded, so its results may differ between libc versions,
+//! which would silently shift every committed golden.
 
+use crate::detmath::{det_ln, det_powf};
 use locality_sched::Hints;
+
+/// Upper bound on the materialized CDF table (one `f64` per object).
+/// A config asking for more objects than this is clamped rather than
+/// aborting inside `Vec::with_capacity` on a huge or `usize`-overflow
+/// request.
+const MAX_CDF_OBJECTS: u64 = 1 << 26;
 
 /// Parameters of one synthetic trace. Every field participates in the
 /// generator's PRNG stream, so two configs differing in any field
@@ -110,14 +121,18 @@ pub struct TraceGen {
 }
 
 impl TraceGen {
-    /// Builds the generator, precomputing the popularity CDF.
+    /// Builds the generator, precomputing the popularity CDF. The
+    /// object universe is clamped to `MAX_CDF_OBJECTS` (2^26) — the CDF is
+    /// materialized one `f64` per object, and an absurd `objects` value
+    /// must not become an allocator abort.
     pub fn new(config: TraceConfig) -> Self {
-        let objects = config.objects.max(1);
-        let mut cdf = Vec::with_capacity(usize::try_from(objects).unwrap_or(usize::MAX));
+        let objects = config.objects.clamp(1, MAX_CDF_OBJECTS);
+        let mut cdf =
+            Vec::with_capacity(usize::try_from(objects).expect("objects clamped to 2^26"));
         let mut total = 0.0f64;
         for rank in 1..=objects {
             #[allow(clippy::cast_precision_loss)]
-            let w = (rank as f64).powf(-config.zipf_s);
+            let w = det_powf(rank as f64, -config.zipf_s);
             total += w;
             cdf.push(total);
         }
@@ -185,7 +200,7 @@ impl Iterator for TraceGen {
             };
             let u = unit_open(&mut self.state);
             #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-            let dt = (-u.ln() * mean / factor).round() as u64;
+            let dt = (-det_ln(u) * mean / factor).round() as u64;
             self.clock_ns = self.clock_ns.saturating_add(dt);
         } else {
             // Burn one draw so request 0's object draw stays aligned
@@ -229,6 +244,34 @@ pub fn trace_digest(config: TraceConfig, prefix: u64) -> u64 {
         fold(request.object);
         fold(request.addr);
         fold(request.bytes);
+    }
+    hash
+}
+
+/// FNV-1a over the raw bit patterns of the precomputed Zipf CDF table
+/// for `(objects, zipf_s)` — the golden that pins the popularity
+/// distribution itself, one level below the request stream. If
+/// `trace_digest` moves but this doesn't, the arrival process changed;
+/// if this moves, the deterministic `powf` replacement changed.
+pub fn cdf_digest(objects: u64, zipf_s: f64) -> u64 {
+    let config = TraceConfig {
+        seed: 0,
+        requests: 0,
+        objects,
+        zipf_s,
+        object_bytes: 1,
+        mean_interarrival_ns: 1,
+        burst_factor: 1,
+        burst_len: 1,
+        calm_len: 1,
+    };
+    let generator = TraceGen::new(config);
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &c in &generator.cdf {
+        for byte in c.to_bits().to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
     }
     hash
 }

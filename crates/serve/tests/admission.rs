@@ -1,11 +1,13 @@
 //! Admission-control edges: bounded queues under bursts, zero-length
-//! requests, and arrival-timestamp ties. The serving loop must never
-//! panic, never lose a request (admitted + rejected == offered), and
-//! never exceed its queue bound.
+//! requests, arrival-timestamp ties, and the shedding policies. The
+//! serving loop must never panic, never lose a request
+//! (`admitted + rejected == offered` and `completed + shed ==
+//! admitted`), and never exceed its queue bound.
 
 use cachesim::MachineModel;
+use locality_sched::EvictionPolicy;
 use proptest::prelude::*;
-use serve::{run_serve, Request, ServeConfig, ServePolicy, TraceConfig, TraceGen};
+use serve::{run_serve, AdmissionPolicy, Request, ServeConfig, ServePolicy, TraceConfig, TraceGen};
 
 fn bursty(seed: u64, requests: u64) -> TraceConfig {
     TraceConfig {
@@ -25,6 +27,8 @@ fn bounded(lanes: usize, queue_bound: u64) -> ServeConfig {
     ServeConfig {
         lanes,
         queue_bound,
+        admission: AdmissionPolicy::Reject,
+        eviction: EvictionPolicy::Off,
         log_execution: false,
     }
 }
@@ -37,7 +41,8 @@ fn queue_full_rejections_are_accounted_exactly() {
         &machine,
         &bounded(1, 16),
         ServePolicy::Flat,
-    );
+    )
+    .unwrap();
     assert_eq!(out.report.offered, 5_000);
     assert_eq!(
         out.report.admitted + out.report.rejected,
@@ -66,7 +71,8 @@ fn burst_longer_than_queue_bound_spills_not_crashes() {
         &machine,
         &bounded(1, 8),
         ServePolicy::Hierarchical,
-    );
+    )
+    .unwrap();
     assert_eq!(out.report.admitted + out.report.rejected, 2_048);
     assert_eq!(out.report.completed, out.report.admitted);
     assert!(
@@ -92,12 +98,12 @@ fn zero_length_requests_complete_as_warm_hits() {
         probes,
         &machine,
         &ServeConfig {
-            lanes: 2,
-            queue_bound: u64::MAX,
             log_execution: true,
+            ..bounded(2, u64::MAX)
         },
         ServePolicy::Flat,
-    );
+    )
+    .unwrap();
     assert_eq!(out.report.completed, 100);
     assert_eq!(out.report.warm_hits, 100, "zero lines touched ⇒ warm");
     assert_eq!(out.report.cold_misses, 0);
@@ -120,12 +126,12 @@ fn arrival_timestamp_ties_keep_trace_order() {
         tied,
         &machine,
         &ServeConfig {
-            lanes: 1,
-            queue_bound: u64::MAX,
             log_execution: true,
+            ..bounded(1, u64::MAX)
         },
         ServePolicy::SingleBin,
-    );
+    )
+    .unwrap();
     assert_eq!(out.report.completed, 64);
     let order: Vec<u64> = out.log.iter().map(|r| r.id).collect();
     assert_eq!(order, (0..64).collect::<Vec<u64>>());
@@ -143,16 +149,71 @@ fn ties_at_the_bound_admit_exactly_the_bound() {
         addr: 0x3_0000 + id * 65_536,
         bytes: 128,
     });
-    let out = run_serve(tied, &machine, &bounded(4, 10), ServePolicy::UniqueBin);
+    let out = run_serve(tied, &machine, &bounded(4, 10), ServePolicy::UniqueBin).unwrap();
     assert_eq!(out.report.admitted, 10);
     assert_eq!(out.report.rejected, 22);
     assert_eq!(out.report.completed, 10);
 }
 
+/// Under ShedOldest with simultaneous arrivals, the bound still holds
+/// and each arrival past the bound cancels the then-oldest waiting
+/// request: the survivors are the *last* k of the batch.
+#[test]
+fn shed_oldest_on_ties_keeps_the_newest() {
+    let machine = MachineModel::r8000();
+    let tied = (0..32u64).map(|id| Request {
+        id,
+        arrival_ns: 0,
+        object: id,
+        addr: 0x3_0000 + id * 65_536,
+        bytes: 128,
+    });
+    let config = ServeConfig {
+        admission: AdmissionPolicy::ShedOldest,
+        log_execution: true,
+        ..bounded(1, 10)
+    };
+    let out = run_serve(tied, &machine, &config, ServePolicy::SingleBin).unwrap();
+    assert_eq!(
+        out.report.admitted, 32,
+        "every arrival displaced an older one"
+    );
+    assert_eq!(out.report.rejected, 0);
+    assert_eq!(out.report.shed, 22);
+    assert_eq!(out.report.completed, 10);
+    let order: Vec<u64> = out.log.iter().map(|r| r.id).collect();
+    assert_eq!(order, (22..32).collect::<Vec<u64>>());
+}
+
+/// DeadlineDrop cancels exactly the expired queue prefix; requests
+/// young enough to meet the SLO survive even under overload.
+#[test]
+fn deadline_drop_sheds_only_expired_work() {
+    let machine = MachineModel::r8000();
+    let config = ServeConfig {
+        admission: AdmissionPolicy::DeadlineDrop { slo_ns: 50_000 },
+        ..bounded(1, 8)
+    };
+    let out = run_serve(
+        TraceGen::new(bursty(13, 4_096)),
+        &machine,
+        &config,
+        ServePolicy::Flat,
+    )
+    .unwrap();
+    assert_eq!(out.report.admitted + out.report.rejected, 4_096);
+    assert_eq!(out.report.completed + out.report.shed, out.report.admitted);
+    assert!(out.report.shed > 0, "bursts must age requests past the SLO");
+    assert!(out.report.max_queue_depth <= 8);
+    assert!(out.report.wasted_memory_time > 0);
+}
+
 proptest! {
     /// Fuzz the whole admission surface: random traces, bounds, lane
-    /// counts, policies. Invariants: accounting balances, the bound
-    /// holds, all admitted requests complete, and nothing panics.
+    /// counts, bin policies, admission policies, eviction. Invariants:
+    /// accounting balances (`admitted + rejected == offered`,
+    /// `completed + shed == admitted`), the bound holds, and nothing
+    /// panics.
     #[test]
     fn admission_invariants_hold_under_fuzz(
         seed in any::<u64>(),
@@ -160,6 +221,17 @@ proptest! {
         queue_bound in prop_oneof![Just(1u64), Just(4), Just(64), Just(u64::MAX)],
         lanes in 1usize..5,
         policy_index in 0usize..4,
+        admission in prop_oneof![
+            Just(AdmissionPolicy::Reject),
+            Just(AdmissionPolicy::ShedOldest),
+            Just(AdmissionPolicy::ShedNewest),
+            Just(AdmissionPolicy::DeadlineDrop { slo_ns: 10_000 }),
+        ],
+        eviction in prop_oneof![
+            Just(EvictionPolicy::Off),
+            Just(EvictionPolicy::LruCap { max_records: 8 }),
+            Just(EvictionPolicy::IdleAge { max_idle_drains: 3 }),
+        ],
         object_bytes in prop_oneof![Just(0u64), Just(64), Just(4096), Just(1 << 16)],
         mean_interarrival_ns in prop_oneof![Just(0u64), Just(100), Just(10_000)],
     ) {
@@ -176,20 +248,26 @@ proptest! {
         };
         let machine = MachineModel::r8000();
         let policy = ServePolicy::all()[policy_index];
-        let out = run_serve(
-            TraceGen::new(config),
-            &machine,
-            &bounded(lanes, queue_bound),
-            policy,
-        );
+        let serve_config = ServeConfig {
+            admission,
+            eviction,
+            ..bounded(lanes, queue_bound)
+        };
+        let out = run_serve(TraceGen::new(config), &machine, &serve_config, policy).unwrap();
         prop_assert_eq!(out.report.offered, requests);
         prop_assert_eq!(out.report.admitted + out.report.rejected, requests);
-        prop_assert_eq!(out.report.completed, out.report.admitted);
+        prop_assert_eq!(out.report.completed + out.report.shed, out.report.admitted);
         prop_assert_eq!(
             out.report.warm_hits + out.report.cold_misses,
             out.report.completed
         );
         prop_assert!(out.report.max_queue_depth <= queue_bound);
         prop_assert!(out.report.p50_latency_ns <= out.report.p99_latency_ns);
+        if eviction == EvictionPolicy::Off {
+            prop_assert_eq!(out.report.evictions, 0);
+        }
+        if admission == AdmissionPolicy::Reject {
+            prop_assert_eq!(out.report.shed, 0);
+        }
     }
 }

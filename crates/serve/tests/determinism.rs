@@ -8,7 +8,7 @@
 //! byte-reproducibility gate. Do not update a digest without
 //! regenerating `baselines/BENCH_serve_smoke.json` in the same change.
 
-use serve::{trace_digest, ServeConfig, ServePolicy, TraceConfig, TraceGen};
+use serve::{cdf_digest, trace_digest, ServeConfig, ServePolicy, TraceConfig, TraceGen};
 
 const GOLDEN_PREFIX: u64 = 10_000;
 
@@ -69,9 +69,30 @@ fn serving_run_is_deterministic_end_to_end() {
     let machine = cachesim::MachineModel::r8000();
     let serve_config = ServeConfig::default_bench();
     for policy in [ServePolicy::Flat, ServePolicy::Hierarchical] {
-        let a = serve::run_serve(TraceGen::new(config), &machine, &serve_config, policy);
-        let b = serve::run_serve(TraceGen::new(config), &machine, &serve_config, policy);
+        let a = serve::run_serve(TraceGen::new(config), &machine, &serve_config, policy).unwrap();
+        let b = serve::run_serve(TraceGen::new(config), &machine, &serve_config, policy).unwrap();
         assert_eq!(a.report, b.report, "{} report drifted", policy.name());
         assert_eq!(a.sim, b.sim, "{} cache stats drifted", policy.name());
+    }
+}
+
+/// The popularity CDF itself is pinned, not just the sampled stream:
+/// the CDF is where `powf`/`ln` platform drift would first appear, and
+/// a stream digest over 10k requests could miss a one-ulp wiggle deep
+/// in the tail. Bit-exact CDF ⇒ bit-exact sampling forever.
+#[test]
+fn zipf_cdf_table_matches_committed_goldens() {
+    let goldens: [(u64, f64, u64); 3] = [
+        (1 << 16, 0.99, 0x6276_840e_8422_d5fa),
+        (1 << 16, 0.0, 0xee15_ac01_0fa6_b4fa),
+        (4_096, 1.1, 0x5ee1_1519_51d5_e917),
+    ];
+    for (objects, zipf_s, expected) in goldens {
+        let digest = cdf_digest(objects, zipf_s);
+        assert_eq!(
+            digest, expected,
+            "Zipf CDF diverged for {objects} objects, s={zipf_s}: got {digest:#018x} — \
+             deterministic math changed; regenerate trace goldens and serve baselines together"
+        );
     }
 }

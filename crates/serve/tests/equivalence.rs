@@ -9,9 +9,11 @@
 //! ready-queue reproduces the batch tour.
 
 use cachesim::MachineModel;
+use locality_sched::EvictionPolicy;
 use proptest::prelude::*;
 use serve::{
-    run_offline, run_serve, ExecRecord, Request, ServeConfig, ServePolicy, TraceConfig, TraceGen,
+    run_offline, run_serve, AdmissionPolicy, ExecRecord, Request, ServeConfig, ServePolicy,
+    TraceConfig, TraceGen,
 };
 
 /// The t=0 variant of a trace: same requests, all arriving at the
@@ -40,13 +42,21 @@ fn online_log(
     lanes: usize,
     policy: ServePolicy,
 ) -> Vec<ExecRecord> {
+    // Eviction and shedding at their bench defaults: the equivalence
+    // contract requires that a t=0 run NEVER evicts (only insert-time
+    // reaping, and every insert precedes the first drain) and an
+    // unbounded queue never sheds — so the log must still match batch.
     let serve_config = ServeConfig {
         lanes,
         queue_bound: u64::MAX,
+        admission: AdmissionPolicy::ShedOldest,
+        eviction: EvictionPolicy::LruCap { max_records: 8192 },
         log_execution: true,
     };
-    let out = run_serve(at_epoch(config), machine, &serve_config, policy);
+    let out = run_serve(at_epoch(config), machine, &serve_config, policy).unwrap();
     assert_eq!(out.report.rejected, 0, "unbounded queue rejected");
+    assert_eq!(out.report.shed, 0, "unbounded queue shed");
+    assert_eq!(out.report.evictions, 0, "a t=0 run must never evict");
     assert_eq!(out.report.completed, config.requests, "requests dropped");
     out.log
 }
@@ -80,7 +90,7 @@ proptest! {
         let config = trace_config(seed, requests, objects, zipf_s);
         let machine = machine(machine_index);
         let policy = policy(policy_index);
-        let offline = run_offline(at_epoch(config), &machine, policy);
+        let offline = run_offline(at_epoch(config), &machine, policy).unwrap();
         prop_assert_eq!(offline.len() as u64, requests);
         for lanes in [1usize, 2, 4] {
             let online = online_log(config, &machine, lanes, policy);
@@ -103,7 +113,7 @@ fn all_policy_lane_cells_agree_on_fixed_trace() {
     let config = trace_config(0xA5A5, 600, 256, 0.99);
     for machine in [MachineModel::r8000(), MachineModel::r10000()] {
         for policy in ServePolicy::all() {
-            let offline = run_offline(at_epoch(config), &machine, policy);
+            let offline = run_offline(at_epoch(config), &machine, policy).unwrap();
             for lanes in [1usize, 2, 4] {
                 let online = online_log(config, &machine, lanes, policy);
                 assert_eq!(
@@ -126,27 +136,28 @@ fn all_policy_lane_cells_agree_on_fixed_trace() {
 fn lane_count_preserves_order_derived_metrics() {
     let config = trace_config(77, 800, 512, 0.9);
     let machine = MachineModel::r8000();
+    let unbounded = |lanes: usize| ServeConfig {
+        lanes,
+        queue_bound: u64::MAX,
+        admission: AdmissionPolicy::Reject,
+        eviction: EvictionPolicy::Off,
+        log_execution: false,
+    };
     let base = run_serve(
         at_epoch(config),
         &machine,
-        &ServeConfig {
-            lanes: 1,
-            queue_bound: u64::MAX,
-            log_execution: false,
-        },
+        &unbounded(1),
         ServePolicy::Hierarchical,
-    );
+    )
+    .unwrap();
     for lanes in [2usize, 4] {
         let other = run_serve(
             at_epoch(config),
             &machine,
-            &ServeConfig {
-                lanes,
-                queue_bound: u64::MAX,
-                log_execution: false,
-            },
+            &unbounded(lanes),
             ServePolicy::Hierarchical,
-        );
+        )
+        .unwrap();
         assert_eq!(other.report.completed, base.report.completed);
         assert_eq!(other.report.warm_hits, base.report.warm_hits);
         assert_eq!(other.report.drains, base.report.drains);
