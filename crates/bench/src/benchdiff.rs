@@ -11,12 +11,15 @@
 //! (`*_ns`, `*per_sec`) depend on the host machine, and the probe
 //! layer's `run_profile` counters track nondeterministic runtime
 //! behaviour (steal interleavings); those compare *informationally* —
-//! shown when they move, never failing the run — unless `--gate-all`
-//! promotes them (for same-machine A/B comparisons). What gates by
-//! default is what a checked-in baseline from another machine can
-//! promise: `speedup*` ratios (higher is better) and deterministic
-//! workload counts like `accesses` (must match within threshold in
-//! either direction).
+//! shown when they move, never failing the run — unless a
+//! [`GatePolicy`] promotes them. `--gate-throughput` promotes just the
+//! `*per_sec` leaves (higher is better) for CI legs where baseline and
+//! current run on the same runner class back-to-back; `--gate-all`
+//! additionally promotes wall times and runtime counters for strict
+//! same-machine A/B comparisons. What gates by default is what a
+//! checked-in baseline from another machine can promise: `speedup*`
+//! ratios (higher is better) and deterministic workload counts like
+//! `accesses` (must match within threshold in either direction).
 
 use std::fmt::Write as _;
 
@@ -263,7 +266,7 @@ fn row_label(row: &Json, index: usize) -> String {
 
 /// Flattens numeric leaves to `path → value`, in document order.
 ///
-/// Arrays of objects recurse with row labels (`rows[matmul].fast_ns`);
+/// Arrays of objects recurse with row labels (`rows[matmul@s4].fast_ns`);
 /// arrays of anything else (histogram bucket pairs, bare number lists)
 /// are skipped — their comparable summaries (`count`, `p50`, …) are
 /// already scalar fields next to them. Strings and booleans are
@@ -323,6 +326,9 @@ const STABLE_LEAVES: &[&str] = &[
     "threads",
     "workers",
     "threads_run",
+    // The effective shard count is machine-geometry-derived config, not
+    // a measurement: it must reproduce exactly.
+    "shards",
     // Trace-driven simulation results are bit-deterministic: the same
     // program order produces the same miss counts on any host.
     "l1_misses",
@@ -356,12 +362,53 @@ const STABLE_LEAVES: &[&str] = &[
     "wasted_memory_time",
 ];
 
-/// Classifies a flattened path. `gate_all` promotes machine-dependent
-/// metrics from [`Direction::Info`] to a gated direction for
-/// same-machine A/B comparisons.
-pub fn classify(path: &str, gate_all: bool) -> Direction {
+/// Which machine-dependent metric families are promoted from
+/// [`Direction::Info`] to a gated direction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GatePolicy {
+    /// Gate `*per_sec` throughputs (higher is better): for CI legs
+    /// where baseline and current run back-to-back on the same runner
+    /// class, so a throughput drop is a code regression, not machine
+    /// noise. A throughput *rise* never fails.
+    pub throughput: bool,
+    /// Gate everything gateable — wall times (lower is better) and the
+    /// remaining runtime counters (stable) too. Strict same-machine
+    /// A/B comparisons only. Implies the throughput gate.
+    pub all: bool,
+}
+
+impl GatePolicy {
+    /// The default cross-machine policy: ratios and deterministic
+    /// counts only.
+    pub fn baseline() -> Self {
+        GatePolicy::default()
+    }
+
+    /// `--gate-throughput`.
+    pub fn throughput() -> Self {
+        GatePolicy {
+            throughput: true,
+            all: false,
+        }
+    }
+
+    /// `--gate-all`.
+    pub fn all() -> Self {
+        GatePolicy {
+            throughput: true,
+            all: true,
+        }
+    }
+
+    fn gates_throughput(self) -> bool {
+        self.throughput || self.all
+    }
+}
+
+/// Classifies a flattened path under a [`GatePolicy`].
+pub fn classify(path: &str, policy: GatePolicy) -> Direction {
     let leaf = path.rsplit('.').next().unwrap_or(path);
-    if leaf.starts_with("speedup") {
+    if leaf.starts_with("speedup") || leaf.ends_with("speedup") {
         return Direction::Higher;
     }
     if path.contains("run_profile") {
@@ -374,14 +421,14 @@ pub fn classify(path: &str, gate_all: bool) -> Direction {
         return Direction::Stable;
     }
     if leaf.contains("per_sec") {
-        return if gate_all {
+        return if policy.gates_throughput() {
             Direction::Higher
         } else {
             Direction::Info
         };
     }
     if leaf.ends_with("_ns") {
-        return if gate_all {
+        return if policy.all {
             Direction::Lower
         } else {
             Direction::Info
@@ -389,7 +436,7 @@ pub fn classify(path: &str, gate_all: bool) -> Direction {
     }
     // Remaining leaves are runtime-dependent counters (steal counts,
     // per-worker executed totals, makespan units).
-    if gate_all {
+    if policy.all {
         Direction::Stable
     } else {
         Direction::Info
@@ -504,13 +551,13 @@ pub fn diff(
     baseline: &str,
     current: &str,
     threshold: f64,
-    gate_all: bool,
+    policy: GatePolicy,
 ) -> Result<DiffReport, String> {
     let base = flatten(&Json::parse(baseline).map_err(|e| format!("baseline: {e}"))?);
     let cur = flatten(&Json::parse(current).map_err(|e| format!("current: {e}"))?);
     let mut rows = Vec::new();
     for (path, base_value) in &base {
-        let direction = classify(path, gate_all);
+        let direction = classify(path, policy);
         let current_value = cur.iter().find(|(p, _)| p == path).map(|&(_, v)| v);
         let delta = current_value
             .and_then(|c| (*base_value != 0.0).then(|| (c - base_value) / base_value.abs()));
@@ -555,15 +602,24 @@ mod tests {
     use super::*;
 
     fn sim_json(fast_ns: u64) -> String {
+        sharded_sim_json(fast_ns, 50000)
+    }
+
+    fn sharded_sim_json(fast_ns: u64, sharded_ns: u64) -> String {
         // Shape matches SimBenchResult::to_json.
         format!(
             "{{\"experiment\":\"simbench\",\"reps\":3,\"rows\":[\
-             {{\"workload\":\"matmul\",\"accesses\":1000,\"slow_ns\":200000,\
-             \"fast_ns\":{fast_ns},\"slow_accesses_per_sec\":5000000.0,\
-             \"fast_accesses_per_sec\":{:.1},\"speedup\":{:.3}}}],\
+             {{\"workload\":\"matmul@s4\",\"accesses\":1000,\"shards\":4,\
+             \"slow_ns\":200000,\"fast_ns\":{fast_ns},\"sharded_ns\":{sharded_ns},\
+             \"slow_accesses_per_sec\":5000000.0,\
+             \"fast_accesses_per_sec\":{:.1},\
+             \"sharded_accesses_per_sec\":{:.1},\
+             \"speedup\":{:.3},\"sharded_speedup\":{:.3}}}],\
              \"run_profile\":{{\"matmul.l1\":{{\"hits\":900,\"misses\":100}}}}}}",
             1000.0 / (fast_ns as f64 / 1e9),
+            1000.0 / (sharded_ns as f64 / 1e9),
             200000.0 / fast_ns as f64,
+            200000.0 / sharded_ns as f64,
         )
     }
 
@@ -594,7 +650,7 @@ mod tests {
         let doc = Json::parse(&sim_json(100000)).expect("valid JSON");
         let flat = flatten(&doc);
         let paths: Vec<&str> = flat.iter().map(|(p, _)| p.as_str()).collect();
-        assert!(paths.contains(&"rows[matmul].fast_ns"), "{paths:?}");
+        assert!(paths.contains(&"rows[matmul@s4].fast_ns"), "{paths:?}");
         assert!(paths.contains(&"run_profile.matmul.l1.hits"), "{paths:?}");
         assert!(!paths.iter().any(|p| p.contains("[0]")), "{paths:?}");
     }
@@ -602,7 +658,7 @@ mod tests {
     #[test]
     fn identical_reports_pass() {
         let a = sim_json(100000);
-        let report = diff(&a, &a, 0.15, true).expect("diff");
+        let report = diff(&a, &a, 0.15, GatePolicy::all()).expect("diff");
         assert!(report.passed(), "{}", report.to_markdown());
         assert!(report.to_markdown().contains("**PASS**"));
     }
@@ -610,22 +666,34 @@ mod tests {
     #[test]
     fn small_throughput_drop_is_accepted() {
         // 5% slower fast path: under the 15% gate even with --gate-all.
-        let report = diff(&sim_json(100000), &sim_json(105000), 0.15, true).expect("diff");
+        let report = diff(
+            &sim_json(100000),
+            &sim_json(105000),
+            0.15,
+            GatePolicy::all(),
+        )
+        .expect("diff");
         assert!(report.passed(), "{}", report.to_markdown());
     }
 
     #[test]
     fn large_throughput_drop_is_flagged_under_gate_all() {
         // 25% slower fast path: throughput and speedup both breach 15%.
-        let report = diff(&sim_json(100000), &sim_json(125000), 0.15, true).expect("diff");
+        let report = diff(
+            &sim_json(100000),
+            &sim_json(125000),
+            0.15,
+            GatePolicy::all(),
+        )
+        .expect("diff");
         assert!(!report.passed());
         let failing: Vec<&str> = report.regressions().map(|r| r.path.as_str()).collect();
         assert!(
-            failing.contains(&"rows[matmul].fast_accesses_per_sec"),
+            failing.contains(&"rows[matmul@s4].fast_accesses_per_sec"),
             "{failing:?}"
         );
-        assert!(failing.contains(&"rows[matmul].speedup"), "{failing:?}");
-        assert!(failing.contains(&"rows[matmul].fast_ns"), "{failing:?}");
+        assert!(failing.contains(&"rows[matmul@s4].speedup"), "{failing:?}");
+        assert!(failing.contains(&"rows[matmul@s4].fast_ns"), "{failing:?}");
         let md = report.to_markdown();
         assert!(md.contains("**FAIL**"), "{md}");
         assert!(md.contains("**REGRESSION**"), "{md}");
@@ -637,30 +705,89 @@ mod tests {
         // throughputs are informational (another machine is simply
         // faster), but the speedup *ratio* still gates — and it moved
         // beyond 15%, so the diff fails on exactly that.
-        let report = diff(&sim_json(100000), &sim_json(125000), 0.15, false).expect("diff");
+        let report = diff(
+            &sim_json(100000),
+            &sim_json(125000),
+            0.15,
+            GatePolicy::baseline(),
+        )
+        .expect("diff");
         let failing: Vec<&str> = report.regressions().map(|r| r.path.as_str()).collect();
-        assert_eq!(failing, vec!["rows[matmul].speedup"], "{failing:?}");
+        assert_eq!(failing, vec!["rows[matmul@s4].speedup"], "{failing:?}");
+    }
+
+    #[test]
+    fn throughput_gate_promotes_per_sec_drops_only() {
+        // 25% slower sharded replay. Under the default policy only the
+        // sharded_speedup ratio gates; --gate-throughput additionally
+        // fails the raw accesses/sec drop, while wall times stay
+        // informational (that is --gate-all territory).
+        let base = sharded_sim_json(100000, 40000);
+        let slower = sharded_sim_json(100000, 50000);
+        let default_fail: Vec<String> = diff(&base, &slower, 0.15, GatePolicy::baseline())
+            .expect("diff")
+            .regressions()
+            .map(|r| r.path.clone())
+            .collect();
+        assert_eq!(default_fail, vec!["rows[matmul@s4].sharded_speedup"]);
+        let gated = diff(&base, &slower, 0.15, GatePolicy::throughput()).expect("diff");
+        let failing: Vec<&str> = gated.regressions().map(|r| r.path.as_str()).collect();
+        assert!(
+            failing.contains(&"rows[matmul@s4].sharded_accesses_per_sec"),
+            "{failing:?}"
+        );
+        assert!(
+            !failing.iter().any(|p| p.ends_with("_ns")),
+            "wall times must not gate under --gate-throughput: {failing:?}"
+        );
+    }
+
+    #[test]
+    fn throughput_gate_is_one_sided() {
+        // A throughput *rise* is an improvement, not a regression.
+        let report = diff(
+            &sharded_sim_json(100000, 50000),
+            &sharded_sim_json(100000, 30000),
+            0.15,
+            GatePolicy::throughput(),
+        )
+        .expect("diff");
+        assert!(report.passed(), "{}", report.to_markdown());
+    }
+
+    #[test]
+    fn shard_count_in_identity_splits_rows() {
+        // A baseline recorded at 4 shards never silently compares
+        // against an 8-shard run: the row labels differ, so every
+        // gated 4-shard metric reports as missing.
+        let base = sharded_sim_json(100000, 50000);
+        let other = base.replace("@s4", "@s8");
+        let report = diff(&base, &other, 0.15, GatePolicy::baseline()).expect("diff");
+        assert!(!report.passed());
+        assert!(report
+            .regressions()
+            .any(|r| r.path == "rows[matmul@s4].speedup" && r.current.is_none()));
     }
 
     #[test]
     fn stable_counts_gate_both_directions() {
         let base = sim_json(100000);
         let grown = base.replace("\"accesses\":1000", "\"accesses\":2000");
-        let report = diff(&base, &grown, 0.15, false).expect("diff");
+        let report = diff(&base, &grown, 0.15, GatePolicy::baseline()).expect("diff");
         let failing: Vec<&str> = report.regressions().map(|r| r.path.as_str()).collect();
-        assert!(failing.contains(&"rows[matmul].accesses"), "{failing:?}");
+        assert!(failing.contains(&"rows[matmul@s4].accesses"), "{failing:?}");
     }
 
     #[test]
     fn missing_gated_metric_is_a_regression() {
         let base = sim_json(100000);
         let renamed = base.replace("\"speedup\"", "\"speedupX\"");
-        let report = diff(&base, &renamed, 0.15, false).expect("diff");
+        let report = diff(&base, &renamed, 0.15, GatePolicy::baseline()).expect("diff");
         assert!(!report.passed());
         let row = report
             .rows
             .iter()
-            .find(|r| r.path == "rows[matmul].speedup")
+            .find(|r| r.path == "rows[matmul@s4].speedup")
             .expect("baseline row kept");
         assert!(row.current.is_none() && row.regression);
     }
@@ -669,7 +796,7 @@ mod tests {
     fn run_profile_never_gates() {
         let base = sim_json(100000);
         let drifted = base.replace("\"hits\":900", "\"hits\":1");
-        let report = diff(&base, &drifted, 0.15, true).expect("diff");
+        let report = diff(&base, &drifted, 0.15, GatePolicy::all()).expect("diff");
         assert!(report.passed(), "{}", report.to_markdown());
         // ... but the movement is surfaced in the table.
         assert!(

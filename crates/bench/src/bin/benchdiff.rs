@@ -2,18 +2,28 @@
 //! nonzero when a gated metric regressed.
 //!
 //! ```text
-//! benchdiff <baseline.json> <current.json> [--threshold 0.15] [--gate-all]
+//! benchdiff <baseline.json> <current.json> [--threshold 0.15]
+//!           [--gate-throughput] [--gate-all]
 //! ```
+//!
+//! `--gate-throughput` promotes `*per_sec` metrics to gated
+//! (higher-is-better: a drop beyond the threshold fails) for CI legs
+//! that produce baseline and current on the same runner class;
+//! `--gate-all` additionally gates wall times and runtime counters for
+//! strict same-machine A/B runs.
 //!
 //! Prints a markdown delta table to stdout (pipe into
 //! `$GITHUB_STEP_SUMMARY` in CI). Exit codes: 0 = pass, 1 = at least
 //! one regression, 2 = usage or parse error.
 
-use repro::benchdiff::diff;
+use repro::benchdiff::{diff, GatePolicy};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: benchdiff <baseline.json> <current.json> [--threshold <rel>] [--gate-all]");
+    eprintln!(
+        "usage: benchdiff <baseline.json> <current.json> [--threshold <rel>] \
+         [--gate-throughput] [--gate-all]"
+    );
     ExitCode::from(2)
 }
 
@@ -21,7 +31,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut files = Vec::new();
     let mut threshold = 0.15f64;
-    let mut gate_all = false;
+    let mut policy = GatePolicy::baseline();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -37,7 +47,8 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            "--gate-all" => gate_all = true,
+            "--gate-throughput" => policy.throughput = true,
+            "--gate-all" => policy = GatePolicy::all(),
             "--help" | "-h" => return usage(),
             other if other.starts_with('-') => {
                 eprintln!("benchdiff: unknown flag '{other}'");
@@ -54,7 +65,7 @@ fn main() -> ExitCode {
     };
     let result = read(baseline_path)
         .and_then(|base| read(current_path).map(|cur| (base, cur)))
-        .and_then(|(base, cur)| diff(&base, &cur, threshold, gate_all));
+        .and_then(|(base, cur)| diff(&base, &cur, threshold, policy));
     match result {
         Ok(report) => {
             println!("### benchdiff: `{baseline_path}` → `{current_path}`\n");

@@ -4,7 +4,8 @@ use crate::scale::scale_from_args;
 use crate::{paper, print};
 
 /// Runs one named experiment at the scale selected by the process's
-/// command-line flags (`--full`, `--smoke`, default scaled).
+/// command-line flags (`--full`, `--smoke`, default scaled; `simbench`
+/// additionally honours `--shards N`).
 ///
 /// Recognised names: `table1` … `table9`, `figure4`, `steal`,
 /// `simbench`, `binpolicy`, `servebench` (those four also write their
@@ -83,7 +84,13 @@ pub fn run_at(experiment: &str, scale: &crate::ExpScale) {
         ),
         "figure4" => print::figure4(&crate::figure4(scale)),
         "simbench" => {
-            let result = crate::simbench::simbench(scale, 3);
+            // `--shards N` (default 4) sizes the sharded replay cell;
+            // the planner clamps to what the machine geometry allows.
+            let shards = crate::scale::shards_from_args(
+                std::env::args().skip(1),
+                crate::simbench::DEFAULT_SHARDS,
+            );
+            let result = crate::simbench::simbench(scale, 3, shards);
             print::simbench(&result);
             let path = "BENCH_sim.json";
             match std::fs::write(path, result.to_json()) {

@@ -83,11 +83,23 @@ pub fn driver_profile() -> probe::Section {
     section
 }
 
-/// Runs one cell under the driver's probes.
-fn timed_cell(cell: Cell) -> (String, SimReport) {
+/// Runs `work` as one driver cell: counted in the `"driver"` probe
+/// section and timed into its wall-clock histogram.
+///
+/// This is the accounting entry point for *every* independent
+/// simulation the process runs — [`run_cells`] batches route through it
+/// per cell, and benchmark mains that time runs directly (simbench's
+/// slow/fast/sharded repetitions) must wrap each timed run in it, or
+/// the published `"driver":{"cells":…}` counter silently reads zero.
+pub fn drive<T>(work: impl FnOnce() -> T) -> T {
     let _span = DRIVER_OBS.cell_wall_ns.span();
     DRIVER_OBS.cells.incr();
-    cell()
+    work()
+}
+
+/// Runs one cell under the driver's probes.
+fn timed_cell(cell: Cell) -> (String, SimReport) {
+    drive(cell)
 }
 
 /// Runs `cells` under `driver`, returning results in cell order.

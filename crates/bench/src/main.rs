@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [all|table1|table2|...|table9|figure4|steal|simbench|binpolicy|servebench|analyze]...
-//!       [--full|--smoke] [--analyze]
+//!       [--full|--smoke] [--analyze] [--shards N]
 //! ```
 //!
 //! `--analyze` (or the `analyze` experiment name) appends the
@@ -14,11 +14,15 @@ use repro::scale::scale_from_args;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = scale_from_args(args.iter().cloned());
-    let mut wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let mut wanted: Vec<&str> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--shards" {
+            iter.next(); // skip the count; cli::run_at re-parses it
+        } else if !arg.starts_with("--") {
+            wanted.push(arg.as_str());
+        }
+    }
     if wanted.is_empty() || wanted.contains(&"all") {
         wanted = vec![
             "table1",

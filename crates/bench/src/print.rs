@@ -188,10 +188,12 @@ pub fn paper_columns2(rows: &[(&str, u64, u64)]) -> Vec<Vec<u64>> {
 
 /// Prints the fast-path simulation benchmark: per workload the
 /// simulated-access throughput with the fast lookup paths off and on,
-/// after the built-in check that both produce identical reports.
+/// plus the sharded replay pipeline, after the built-in check that all
+/// three produce identical reports. The sharded column times trace
+/// *replay* only (capture excluded), so it measures the engine.
 pub fn simbench(result: &SimBenchResult) {
     println!(
-        "Simulation fast-path benchmark: accesses/sec, slow (exhaustive) vs fast path, best of {} (reports verified identical)\n",
+        "Simulation fast-path benchmark: accesses/sec, slow (exhaustive) vs fast path vs sharded replay, best of {} (reports verified identical)\n",
         result.reps
     );
     let mut t = TextTable::new(vec![
@@ -199,19 +201,25 @@ pub fn simbench(result: &SimBenchResult) {
         "accesses",
         "slow (ms)",
         "fast (ms)",
+        "shard (ms)",
         "slow Macc/s",
         "fast Macc/s",
+        "shard Macc/s",
         "speedup",
+        "shard speedup",
     ]);
     for row in &result.rows {
         t.row(vec![
-            row.workload.clone(),
+            row.label(),
             thousands(row.accesses),
             format!("{:.2}", row.slow_ns as f64 / 1e6),
             format!("{:.2}", row.fast_ns as f64 / 1e6),
+            format!("{:.2}", row.sharded_ns as f64 / 1e6),
             format!("{:.2}", row.slow_accesses_per_sec() / 1e6),
             format!("{:.2}", row.fast_accesses_per_sec() / 1e6),
+            format!("{:.2}", row.sharded_accesses_per_sec() / 1e6),
             ratio(row.speedup()),
+            ratio(row.sharded_speedup()),
         ]);
     }
     print!("{}", t.render());

@@ -127,6 +127,32 @@ pub fn scale_from_args<I: IntoIterator<Item = String>>(args: I) -> ExpScale {
     scale
 }
 
+/// Picks the shard count for experiments with a sharded cell from a
+/// `--shards N` flag, defaulting when absent. The count is a *request*:
+/// the shard planner still clamps it to what the simulated machine's
+/// geometry supports (see `cachesim::ShardPlan`).
+pub fn shards_from_args<I: IntoIterator<Item = String>>(args: I, default: u32) -> u32 {
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        if arg == "--shards" {
+            if let Some(n) = args.next().and_then(|n| n.parse().ok()) {
+                return n;
+            }
+            eprintln!("--shards needs a count; using {default}");
+            return default;
+        } else if let Some(n) = arg.strip_prefix("--shards=") {
+            match n.parse() {
+                Ok(n) => return n,
+                Err(_) => {
+                    eprintln!("--shards needs a count; using {default}");
+                    return default;
+                }
+            }
+        }
+    }
+    default
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +171,16 @@ mod tests {
             (r_full - r_scaled).abs() / r_full < 0.05,
             "{r_full} vs {r_scaled}"
         );
+    }
+
+    #[test]
+    fn shards_flag_parses_both_spellings_and_defaults() {
+        let argv = |s: &[&str]| s.iter().map(|a| (*a).to_owned()).collect::<Vec<_>>();
+        assert_eq!(shards_from_args(argv(&["--smoke"]), 4), 4);
+        assert_eq!(shards_from_args(argv(&["--shards", "8"]), 4), 8);
+        assert_eq!(shards_from_args(argv(&["--shards=2"]), 4), 2);
+        assert_eq!(shards_from_args(argv(&["--shards", "nope"]), 4), 4);
+        assert_eq!(shards_from_args(argv(&["--shards"]), 4), 4);
     }
 
     #[test]

@@ -8,26 +8,67 @@
 //! The benchmark therefore doubles as the differential suite's
 //! release-mode leg: a fast path that drifts from the reference by a
 //! single counter aborts the run instead of publishing numbers.
+//!
+//! A third cell times the *sharded* pipeline: the workload's trace is
+//! captured once (setup, untimed), then replayed through a
+//! [`ShardedSimSink`] — partition, compact per-shard queues, private
+//! per-shard hierarchies, deterministic merge — and that report too
+//! must be bit-identical before its throughput is published. The
+//! sharded time is replay-only (trace *generation* is excluded, since a
+//! production sharded run would capture once and drain continuously),
+//! so `sharded_accesses_per_sec` measures the simulation engine, not
+//! the traced workload; `slow`/`fast` times keep the original
+//! generate-and-simulate definition for baseline continuity.
 
-use crate::experiments::machines;
+use crate::experiments::{drive, machines};
 use crate::ExpScale;
-use cachesim::{MachineModel, SimReport, SimSink};
-use memtrace::AddressSpace;
+use cachesim::{MachineModel, ShardedSimSink, SimReport, SimSink};
+use memtrace::{Access, AddressSpace, TraceSink};
 use std::fmt::Write as _;
 use std::time::Instant;
 use workloads::{matmul, nbody, pde, sor};
+
+/// Shard count the benchmark's sharded cell uses by default.
+pub const DEFAULT_SHARDS: u32 = 4;
+
+/// Captures a workload's reference stream for later replay: the
+/// accesses verbatim plus the analytic instruction count.
+#[derive(Default)]
+struct CaptureSink {
+    accesses: Vec<Access>,
+    instructions: u64,
+}
+
+impl TraceSink for CaptureSink {
+    fn access(&mut self, access: Access) {
+        self.accesses.push(access);
+    }
+
+    fn access_batch(&mut self, accesses: &[Access]) {
+        self.accesses.extend_from_slice(accesses);
+    }
+
+    fn instructions(&mut self, count: u64) {
+        self.instructions += count;
+    }
+}
 
 /// Before/after measurement of one workload's trace simulation.
 #[derive(Clone, Debug)]
 pub struct SimBenchRow {
     /// Workload name (`matmul`, `pde`, `sor`, `nbody`).
     pub workload: String,
-    /// Trace accesses per run (reads + writes, identical both ways).
+    /// Trace accesses per run (reads + writes, identical all ways).
     pub accesses: u64,
     /// Best wall time with the fast paths disabled (nanoseconds).
     pub slow_ns: u64,
     /// Best wall time with the fast paths enabled (nanoseconds).
     pub fast_ns: u64,
+    /// Shards the sharded replay cell used (effective count).
+    pub shards: u32,
+    /// Best wall time replaying the captured trace through the sharded
+    /// pipeline (nanoseconds).
+    pub sharded_ns: u64,
 }
 
 impl SimBenchRow {
@@ -41,9 +82,27 @@ impl SimBenchRow {
         self.accesses as f64 / (self.fast_ns as f64 / 1e9)
     }
 
+    /// Accesses simulated per second by the sharded replay.
+    pub fn sharded_accesses_per_sec(&self) -> f64 {
+        self.accesses as f64 / (self.sharded_ns as f64 / 1e9)
+    }
+
     /// Throughput ratio, fast over slow.
     pub fn speedup(&self) -> f64 {
         self.slow_ns as f64 / self.fast_ns as f64
+    }
+
+    /// Throughput ratio, sharded replay over slow (the same
+    /// denominator convention as [`speedup`](Self::speedup)).
+    pub fn sharded_speedup(&self) -> f64 {
+        self.slow_ns as f64 / self.sharded_ns as f64
+    }
+
+    /// Row identity label: workload plus the shard count its sharded
+    /// cell ran at, so baselines from different shard configurations
+    /// never silently compare against each other.
+    pub fn label(&self) -> String {
+        format!("{}@s{}", self.workload, self.shards)
     }
 }
 
@@ -55,8 +114,10 @@ pub struct SimBenchResult {
     /// One row per workload.
     pub rows: Vec<SimBenchRow>,
     /// Probe observations of each workload's fast run (sections
-    /// namespaced `"<workload>.<layer>"`) plus the experiment driver's
-    /// section; empty when the probe layer is compiled out.
+    /// namespaced `"<workload>.<layer>"`) and sharded replay
+    /// (`"<workload>.sharding"`, `"<workload>.shard<i>.<layer>"`) plus
+    /// the experiment driver's section; empty when the probe layer is
+    /// compiled out.
     pub profile: probe::RunProfile,
 }
 
@@ -73,16 +134,22 @@ impl SimBenchResult {
             }
             write!(
                 json,
-                "{{\"workload\":\"{}\",\"accesses\":{},\"slow_ns\":{},\"fast_ns\":{},\
+                "{{\"workload\":\"{}\",\"accesses\":{},\"shards\":{},\
+                 \"slow_ns\":{},\"fast_ns\":{},\"sharded_ns\":{},\
                  \"slow_accesses_per_sec\":{:.1},\"fast_accesses_per_sec\":{:.1},\
-                 \"speedup\":{:.3}}}",
-                row.workload,
+                 \"sharded_accesses_per_sec\":{:.1},\
+                 \"speedup\":{:.3},\"sharded_speedup\":{:.3}}}",
+                row.label(),
                 row.accesses,
+                row.shards,
                 row.slow_ns,
                 row.fast_ns,
+                row.sharded_ns,
                 row.slow_accesses_per_sec(),
                 row.fast_accesses_per_sec(),
+                row.sharded_accesses_per_sec(),
                 row.speedup(),
+                row.sharded_speedup(),
             )
             .expect("writing to String cannot fail");
         }
@@ -96,16 +163,17 @@ impl SimBenchResult {
     }
 }
 
-/// Times one workload both ways, best of `reps`, asserting the reports
-/// identical before returning the row plus the fast run's probe
-/// profile (per-level hit/rehit counts, miss-latency histogram,
-/// classifier verdicts).
+/// Times one workload three ways — slow, fast, sharded replay — best of
+/// `reps`, asserting all reports identical before returning the row
+/// plus the merged probe profile (the fast run's per-level counters and
+/// the sharded run's partition/per-shard sections).
 fn bench<D>(
     name: &str,
     machine: &MachineModel,
     reps: u32,
+    shards: u32,
     make: impl Fn(&mut AddressSpace) -> D,
-    run: impl Fn(&mut D, &mut AddressSpace, &mut SimSink),
+    run: impl Fn(&mut D, &mut AddressSpace, &mut dyn TraceSink),
 ) -> (SimBenchRow, probe::RunProfile) {
     let time = |fast: bool| -> (SimReport, u64, probe::RunProfile) {
         let mut best = u64::MAX;
@@ -116,9 +184,12 @@ fn bench<D>(
             let mut data = make(&mut space);
             let mut sim = SimSink::new(machine.hierarchy());
             sim.set_fast_path(fast);
-            let start = Instant::now();
-            run(&mut data, &mut space, &mut sim);
-            best = best.min((start.elapsed().as_nanos() as u64).max(1));
+            let elapsed = drive(|| {
+                let start = Instant::now();
+                run(&mut data, &mut space, &mut sim);
+                start.elapsed()
+            });
+            best = best.min((elapsed.as_nanos() as u64).max(1));
             // Capture probes before finish() consumes the sink; any
             // repetition works — the trace is deterministic.
             profile = sim.run_profile();
@@ -131,23 +202,66 @@ fn bench<D>(
         (report.expect("at least one repetition"), best, profile)
     };
     let (slow_report, slow_ns, _) = time(false);
-    let (fast_report, fast_ns, profile) = time(true);
+    let (fast_report, fast_ns, mut profile) = time(true);
     assert_eq!(
         slow_report, fast_report,
         "{name}: fast path diverged from the exhaustive reference"
     );
+
+    // Sharded replay cell. Trace capture is setup, not measurement: run
+    // the workload once into a buffer, then time draining that buffer
+    // through the sharded pipeline.
+    let mut capture = CaptureSink::default();
+    {
+        let mut space = AddressSpace::new();
+        let mut data = make(&mut space);
+        run(&mut data, &mut space, &mut capture);
+    }
+    let mut sharded_best = u64::MAX;
+    let mut sharded_profile = probe::RunProfile::new();
+    let mut effective_shards = shards;
+    for _ in 0..reps.max(1) {
+        let mut sim = ShardedSimSink::new(machine.hierarchy(), shards);
+        effective_shards = sim.plan().shards();
+        let elapsed = drive(|| {
+            let start = Instant::now();
+            for chunk in capture.accesses.chunks(8192) {
+                sim.access_batch(chunk);
+            }
+            sim.instructions(capture.instructions);
+            let report = sim.report();
+            (start.elapsed(), report)
+        });
+        sharded_best = sharded_best.min((elapsed.0.as_nanos() as u64).max(1));
+        assert_eq!(
+            elapsed.1, fast_report,
+            "{name}: sharded replay diverged from the unsharded reference"
+        );
+        sharded_profile = sim.run_profile();
+    }
+    for section in sharded_profile.into_sections() {
+        // Keep the partition/queue stats and per-shard hierarchies;
+        // the unsharded per-level sections are already in `profile`.
+        if section.name() == "sharding" || section.name().starts_with("shard") {
+            profile.push(section);
+        }
+    }
+
     let row = SimBenchRow {
         workload: name.to_owned(),
         accesses: slow_report.reads + slow_report.writes,
         slow_ns,
         fast_ns,
+        shards: effective_shards,
+        sharded_ns: sharded_best,
     };
     (row, profile)
 }
 
 /// Runs the benchmark: each workload's sequential baseline version on
-/// its table's scaled R8000, fast vs slow, best of `reps`.
-pub fn simbench(scale: &ExpScale, reps: u32) -> SimBenchResult {
+/// its table's scaled R8000 — fast vs slow vs sharded replay, best of
+/// `reps`.
+pub fn simbench(scale: &ExpScale, reps: u32, shards: u32) -> SimBenchResult {
     let mut rows = Vec::new();
     let mut profile = probe::RunProfile::new();
     // Namespaces one workload's sections into the merged profile
@@ -171,9 +285,10 @@ pub fn simbench(scale: &ExpScale, reps: u32) -> SimBenchResult {
             "matmul",
             &machines(scale.matmul_factor).0,
             reps,
+            shards,
             |space| matmul::MatMulData::new(space, n, 42),
-            |data, _sp, sim| {
-                matmul::interchanged(data, sim);
+            |data, _sp, mut sim| {
+                matmul::interchanged(data, &mut sim);
             },
         ),
     );
@@ -185,9 +300,10 @@ pub fn simbench(scale: &ExpScale, reps: u32) -> SimBenchResult {
             "pde",
             &machines(scale.pde_factor).0,
             reps,
+            shards,
             |space| pde::PdeData::new(space, pn, 7),
-            |data, _sp, sim| {
-                pde::regular(data, iters, sim);
+            |data, _sp, mut sim| {
+                pde::regular(data, iters, &mut sim);
             },
         ),
     );
@@ -199,9 +315,10 @@ pub fn simbench(scale: &ExpScale, reps: u32) -> SimBenchResult {
             "sor",
             &machines(scale.sor_factor).0,
             reps,
+            shards,
             |space| sor::SorData::new(space, sn, 99),
-            |data, _sp, sim| {
-                sor::untiled(data, t, sim);
+            |data, _sp, mut sim| {
+                sor::untiled(data, t, &mut sim);
             },
         ),
     );
@@ -218,9 +335,10 @@ pub fn simbench(scale: &ExpScale, reps: u32) -> SimBenchResult {
             "nbody",
             &nbody_machine,
             reps,
+            shards,
             |space| nbody::NBodyData::new(space, bn, 2024),
-            |data, _sp, sim| {
-                nbody::unthreaded(data, 1, params, sim);
+            |data, _sp, mut sim| {
+                nbody::unthreaded(data, 1, params, &mut sim);
             },
         ),
     );
@@ -238,21 +356,42 @@ mod tests {
 
     #[test]
     fn simbench_smoke_checks_identity_and_reports_json() {
-        let result = simbench(&ExpScale::smoke(), 1);
+        let result = simbench(&ExpScale::smoke(), 1, DEFAULT_SHARDS);
         assert_eq!(result.rows.len(), 4);
         for row in &result.rows {
             assert!(row.accesses > 0, "{}", row.workload);
             assert!(row.speedup() > 0.0);
             assert!(row.fast_accesses_per_sec() > 0.0);
+            assert!(row.sharded_speedup() > 0.0);
+            assert_eq!(row.shards, DEFAULT_SHARDS, "{}", row.workload);
+            assert_eq!(row.label(), format!("{}@s4", row.workload));
         }
         let json = result.to_json();
         assert!(json.contains("\"experiment\":\"simbench\""), "{json}");
-        assert!(json.contains("\"workload\":\"nbody\""), "{json}");
+        assert!(json.contains("\"workload\":\"nbody@s4\""), "{json}");
         assert!(json.contains("\"speedup\":"), "{json}");
+        assert!(json.contains("\"sharded_speedup\":"), "{json}");
+        assert!(json.contains("\"shards\":4"), "{json}");
         if probe::enabled() {
             assert!(json.contains("\"run_profile\":"), "{json}");
             assert!(json.contains("\"matmul.l1\":"), "{json}");
             assert!(json.contains("\"nbody.classifier\":"), "{json}");
+            assert!(json.contains("\"matmul.sharding\":"), "{json}");
+            assert!(json.contains("\"sor.shard0.l1\":"), "{json}");
+            // The driver cell counter must reflect the benchmark's
+            // timed runs — 4 workloads × (slow + fast + sharded) — not
+            // the zero it silently published before the runs were
+            // routed through the driver's accounting.
+            let driver = json
+                .split("\"driver\":{\"cells\":")
+                .nth(1)
+                .expect("driver section present");
+            let cells: u64 = driver
+                .split(|c: char| !c.is_ascii_digit())
+                .next()
+                .and_then(|d| d.parse().ok())
+                .expect("cells count");
+            assert!(cells >= 12, "driver cells = {cells}");
         } else {
             assert!(!json.contains("run_profile"), "{json}");
         }

@@ -34,6 +34,16 @@ impl CacheStats {
         self.references() - self.misses()
     }
 
+    /// Accumulates another level's counters into this one — the reduce
+    /// step when per-shard statistics are summed into machine totals.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.read_misses += other.read_misses;
+        self.write_misses += other.write_misses;
+        self.writebacks += other.writebacks;
+    }
+
     /// Miss ratio in percent (0 if no references).
     pub fn miss_rate_percent(&self) -> f64 {
         if self.references() == 0 {
@@ -42,15 +52,6 @@ impl CacheStats {
             100.0 * self.misses() as f64 / self.references() as f64
         }
     }
-}
-
-#[derive(Clone, Copy, Debug)]
-struct Way {
-    /// Full line index (address / line size); `u64::MAX` = invalid.
-    line: u64,
-    dirty: bool,
-    /// Global tick of last use, for LRU.
-    last_used: u64,
 }
 
 const INVALID: u64 = u64::MAX;
@@ -101,7 +102,17 @@ pub(crate) struct LineOutcome {
 #[derive(Clone, Debug)]
 pub struct Cache {
     config: CacheConfig,
-    ways: Vec<Way>,
+    /// Structure-of-arrays set metadata, one flat allocation per field,
+    /// indexed by `set * assoc + way`. The hit scan touches only
+    /// `lines`; `stamps` is read only when choosing a victim and
+    /// `dirty` only on hits and evictions, so the common probe streams
+    /// through one contiguous tag array instead of striding over
+    /// per-line structs.
+    lines: Vec<u64>,
+    /// Global tick of last use per way, for LRU victim choice.
+    stamps: Vec<u64>,
+    /// Dirty flag per way.
+    dirty: Vec<bool>,
     set_shift: u32,
     set_mask: u64,
     assoc: usize,
@@ -134,14 +145,9 @@ impl Cache {
         let assoc = config.assoc() as usize;
         Cache {
             config,
-            ways: vec![
-                Way {
-                    line: INVALID,
-                    dirty: false,
-                    last_used: 0,
-                };
-                sets * assoc
-            ],
+            lines: vec![INVALID; sets * assoc],
+            stamps: vec![0; sets * assoc],
+            dirty: vec![false; sets * assoc],
             set_shift: config.line().trailing_zeros(),
             set_mask: config.sets() - 1,
             assoc,
@@ -219,10 +225,9 @@ impl Cache {
         // a hit here is exactly the hit the scan below would have found.
         if self.fast_path {
             let mru_way = base + self.mru[set] as usize;
-            let way = &mut self.ways[mru_way];
-            if way.line == line {
-                way.last_used = self.tick;
-                way.dirty |= is_write && !write_through;
+            if self.lines[mru_way] == line {
+                self.stamps[mru_way] = self.tick;
+                self.dirty[mru_way] |= is_write && !write_through;
                 self.last_line = line;
                 self.last_way = mru_way as u32;
                 self.obs.mru_hits.incr();
@@ -233,33 +238,24 @@ impl Cache {
             }
         }
 
-        let ways = &mut self.ways[base..base + self.assoc];
-
-        // Hit path.
-        let mut victim = 0usize;
-        let mut victim_tick = u64::MAX;
-        for (i, way) in ways.iter_mut().enumerate() {
-            if way.line == line {
-                way.last_used = self.tick;
+        // Hit path: a pure tag scan over the contiguous `lines` slice.
+        // Victim ranking is deferred to the miss path below, so hits
+        // never touch the stamp array.
+        let tags = &self.lines[base..base + self.assoc];
+        for (i, &tag) in tags.iter().enumerate() {
+            if tag == line {
+                let way = base + i;
+                self.stamps[way] = self.tick;
                 // Write-through lines are never dirty: the write goes
                 // down immediately (the caller propagates it).
-                way.dirty |= is_write && !write_through;
+                self.dirty[way] |= is_write && !write_through;
                 self.mru[set] = i as u32;
                 self.last_line = line;
-                self.last_way = (base + i) as u32;
+                self.last_way = way as u32;
                 return LineOutcome {
                     hit: true,
                     writeback: None,
                 };
-            }
-            let rank = if way.line == INVALID {
-                0
-            } else {
-                way.last_used
-            };
-            if rank < victim_tick {
-                victim_tick = rank;
-                victim = i;
             }
         }
 
@@ -278,20 +274,33 @@ impl Cache {
                 writeback: None,
             };
         }
-        // Allocate into the LRU (or an invalid) way.
-        let way = &mut ways[victim];
-        let writeback = if way.line != INVALID && way.dirty {
+        // Choose the LRU (or an invalid) way as the victim.
+        let mut victim = 0usize;
+        let mut victim_tick = u64::MAX;
+        for i in 0..self.assoc {
+            let rank = if self.lines[base + i] == INVALID {
+                0
+            } else {
+                self.stamps[base + i]
+            };
+            if rank < victim_tick {
+                victim_tick = rank;
+                victim = i;
+            }
+        }
+        let way = base + victim;
+        let writeback = if self.lines[way] != INVALID && self.dirty[way] {
             self.stats.writebacks += 1;
-            Some(way.line)
+            Some(self.lines[way])
         } else {
             None
         };
-        way.line = line;
-        way.dirty = is_write && !write_through;
-        way.last_used = self.tick;
+        self.lines[way] = line;
+        self.dirty[way] = is_write && !write_through;
+        self.stamps[way] = self.tick;
         self.mru[set] = victim as u32;
         self.last_line = line;
-        self.last_way = (base + victim) as u32;
+        self.last_way = way as u32;
         LineOutcome {
             hit: false,
             writeback,
@@ -320,11 +329,40 @@ impl Cache {
         } else {
             self.stats.reads += 1;
         }
-        let way = &mut self.ways[self.last_way as usize];
-        debug_assert_eq!(way.line, line);
-        way.last_used = self.tick;
-        way.dirty |= is_write;
+        let way = self.last_way as usize;
+        debug_assert_eq!(self.lines[way], line);
+        self.stamps[way] = self.tick;
+        self.dirty[way] |= is_write;
         self.obs.rehits.incr();
+        true
+    }
+
+    /// Bulk form of [`try_rehit`](Cache::try_rehit): records `reads`
+    /// read hits and `writes` write hits to `line` in O(1), exactly as
+    /// if `try_rehit` had been called once per reference. Used by the
+    /// sharded replay loop, whose compact queues carry run-length
+    /// collapsed same-line records.
+    ///
+    /// Equivalence: `n` consecutive rehits bump the tick `n` times and
+    /// leave the way's stamp at the final tick; intermediate stamps are
+    /// unobservable because no other reference enters the cache in
+    /// between. Declined (returning `false`, having recorded nothing)
+    /// under exactly the conditions `try_rehit` declines for any
+    /// reference in the run — the caller then replays per-reference.
+    #[inline]
+    pub(crate) fn rehit_many(&mut self, line: u64, reads: u64, writes: u64) -> bool {
+        if line != self.last_line || !self.fast_path || (writes > 0 && self.write_through) {
+            return false;
+        }
+        let n = reads + writes;
+        self.tick += n;
+        self.stats.reads += reads;
+        self.stats.writes += writes;
+        let way = self.last_way as usize;
+        debug_assert_eq!(self.lines[way], line);
+        self.stamps[way] = self.tick;
+        self.dirty[way] |= writes > 0;
+        self.obs.rehits.add(n);
         true
     }
 
@@ -352,11 +390,9 @@ impl Cache {
 
     /// Invalidates all lines and zeroes the statistics.
     pub fn reset(&mut self) {
-        for way in &mut self.ways {
-            way.line = INVALID;
-            way.dirty = false;
-            way.last_used = 0;
-        }
+        self.lines.fill(INVALID);
+        self.stamps.fill(0);
+        self.dirty.fill(false);
         self.tick = 0;
         self.stats = CacheStats::default();
         self.mru.fill(0);

@@ -30,6 +30,19 @@ impl Mmu {
     }
 }
 
+/// One reference of the DRAM-facing level's stream, recorded instead of
+/// classified when deferred classification is on (see
+/// [`Hierarchy::set_deferred_classification`]). The sharded simulator
+/// replays these into a single shared [`MissClassifier`] in program
+/// order after its workers drain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct LlcEvent {
+    /// Line index at the DRAM-facing level.
+    pub line: u64,
+    /// Whether the reference hit.
+    pub hit: bool,
+}
+
 /// Geometry of a two-level hierarchy: a (split) L1 data cache backed by
 /// a unified L2.
 ///
@@ -126,6 +139,13 @@ pub struct Hierarchy {
     l2_line_shift: u32,
     l3_line_shift: u32,
     mmu: Option<Mmu>,
+    /// When `Some`, the DRAM-facing level's references are appended
+    /// here instead of being fed to `classifier` (deferred
+    /// classification). The LLC same-line short-circuit is disabled in
+    /// this mode: its "`note_hit` would be a structural no-op" argument
+    /// holds only against the *local* previous reference, and the
+    /// sharded replay interleaves several hierarchies' streams.
+    llc_log: Option<Vec<LlcEvent>>,
     memory_reads: u64,
     memory_writebacks: u64,
     /// Modelled service latency (ns) of each reference that left the
@@ -155,6 +175,7 @@ impl Hierarchy {
             l2_line_shift: config.l2.line().trailing_zeros(),
             l3_line_shift: last_level.line().trailing_zeros(),
             mmu: None,
+            llc_log: None,
             memory_reads: 0,
             memory_writebacks: 0,
             miss_latency_ns: probe::Histogram::new(),
@@ -273,6 +294,68 @@ impl Hierarchy {
         }
     }
 
+    /// Switches deferred classification on or off. While on, the
+    /// DRAM-facing level's reference stream is recorded as
+    /// [`LlcEvent`]s (see [`take_llc_events`](Self::take_llc_events))
+    /// instead of being classified locally, and the LLC same-line
+    /// short-circuit is disabled so the log is complete.
+    pub(crate) fn set_deferred_classification(&mut self, on: bool) {
+        if on {
+            self.llc_log.get_or_insert_with(Vec::new);
+        } else {
+            self.llc_log = None;
+        }
+    }
+
+    /// Number of deferred LLC events currently buffered.
+    pub(crate) fn llc_event_count(&self) -> usize {
+        self.llc_log.as_ref().map_or(0, Vec::len)
+    }
+
+    /// Drains the deferred LLC event log, in the order the references
+    /// entered the DRAM-facing level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if deferred classification is not enabled.
+    pub(crate) fn drain_llc_events(&mut self, into: &mut Vec<LlcEvent>) {
+        let log = self
+            .llc_log
+            .as_mut()
+            .expect("deferred classification not enabled");
+        into.append(log);
+    }
+
+    /// Replays one reference contained in a single L1 line. Statistics
+    /// are identical to [`access`](Self::access) with any access whose
+    /// bytes all fall in `l1_line`, minus the address arithmetic the
+    /// sharded decoder has already done to know the line. Only valid
+    /// without an MMU (no TLB traffic is recorded).
+    #[inline]
+    pub(crate) fn access_l1_line(&mut self, l1_line: u64, is_write: bool) {
+        debug_assert!(self.mmu.is_none(), "single-line entry skips the TLB");
+        if self.l1d.try_rehit(l1_line, is_write) {
+            return;
+        }
+        self.touch_l1_line(l1_line, is_write);
+    }
+
+    /// Bulk same-line L1 rehit for run-length collapsed replay records:
+    /// `reads` + `writes` references to `l1_line`, all guaranteed by
+    /// the encoder to lie within that line. `false` means nothing was
+    /// recorded and the caller must replay per-reference. Only
+    /// meaningful without an MMU (no TLB traffic is recorded).
+    #[inline]
+    pub(crate) fn rehit_run(&mut self, l1_line: u64, reads: u64, writes: u64) -> bool {
+        debug_assert!(self.mmu.is_none(), "rehit_run skips TLB accounting");
+        self.l1d.rehit_many(l1_line, reads, writes)
+    }
+
+    /// Whether an MMU (TLB + physically-indexed L2) is attached.
+    pub(crate) fn has_mmu(&self) -> bool {
+        self.mmu.is_some()
+    }
+
     /// Maps a virtual L1 line index to the L2 line index that backs it
     /// — through the page mapping when an MMU is attached.
     #[inline]
@@ -313,16 +396,29 @@ impl Hierarchy {
         // the classifier already holds it at the MRU position of the
         // fully-associative model and in its seen-set — `note_hit`
         // would be a structural no-op. Nothing propagates downward on a
-        // hit, so the short-circuit is complete.
-        if self.l2.try_rehit(l2_line, is_write) {
+        // hit, so the short-circuit is complete. When the L2 is the
+        // DRAM-facing level and classification is deferred, every
+        // reference must produce a log event, so the short-circuit is
+        // skipped (an L3 below makes the L2 stream unclassified and the
+        // rehit always safe).
+        if (self.l3.is_some() || self.llc_log.is_none()) && self.l2.try_rehit(l2_line, is_write) {
             self.record_latency(true);
             return;
         }
         let outcome = self.l2.access_line(l2_line, is_write);
         match &mut self.l3 {
             None => {
-                // The L2 is the DRAM-facing level: classify its stream.
-                if outcome.hit {
+                // The L2 is the DRAM-facing level: classify its stream
+                // (or log it for a deferred, merged classification).
+                if let Some(log) = &mut self.llc_log {
+                    log.push(LlcEvent {
+                        line: l2_line,
+                        hit: outcome.hit,
+                    });
+                    if !outcome.hit {
+                        self.memory_reads += 1;
+                    }
+                } else if outcome.hit {
                     self.classifier.note_hit(l2_line);
                 } else {
                     self.classifier.classify_miss(l2_line);
@@ -352,12 +448,22 @@ impl Hierarchy {
         let l3 = self.l3.as_mut().expect("only called with an L3");
         // Same-line short-circuit, with the same classifier argument as
         // in `reference_l2`: the previous L3 reference was this line.
-        if l3.try_rehit(l3_line, is_write) {
+        // Skipped under deferred classification for the same reason as
+        // there (the L3 is always the DRAM-facing level).
+        if self.llc_log.is_none() && l3.try_rehit(l3_line, is_write) {
             self.record_latency(true);
             return;
         }
         let outcome = l3.access_line(l3_line, is_write);
-        if outcome.hit {
+        if let Some(log) = &mut self.llc_log {
+            log.push(LlcEvent {
+                line: l3_line,
+                hit: outcome.hit,
+            });
+            if !outcome.hit {
+                self.memory_reads += 1;
+            }
+        } else if outcome.hit {
             self.classifier.note_hit(l3_line);
         } else {
             self.classifier.classify_miss(l3_line);
@@ -447,6 +553,9 @@ impl Hierarchy {
             l3.reset_stats();
         }
         self.classifier.reset_counts();
+        if let Some(log) = &mut self.llc_log {
+            log.clear();
+        }
         if let Some(mmu) = &mut self.mmu {
             mmu.tlb.reset_stats();
         }

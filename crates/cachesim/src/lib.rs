@@ -53,6 +53,7 @@ mod lru;
 mod machine;
 mod paging;
 mod report;
+mod shard;
 mod sink;
 mod timing;
 
@@ -63,5 +64,6 @@ pub use hierarchy::{Hierarchy, HierarchyConfig, Mmu};
 pub use machine::MachineModel;
 pub use paging::{PageMapper, PagePolicy, Tlb, TlbStats};
 pub use report::SimReport;
+pub use shard::{ShardPlan, ShardedSimSink};
 pub use sink::SimSink;
 pub use timing::{TimeBreakdown, TimingModel};

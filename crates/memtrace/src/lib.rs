@@ -36,6 +36,7 @@
 
 mod access;
 mod buf;
+pub mod compact;
 mod footprint;
 mod matrix;
 mod regions;
@@ -45,6 +46,7 @@ mod tracefile;
 
 pub use access::{Access, AccessKind, Addr};
 pub use buf::TracedBuf;
+pub use compact::{CompactBuf, CompactIter};
 pub use footprint::{FootprintSink, PhaseTrace, ThreadFootprint, WORD_BYTES};
 pub use matrix::{MatrixLayout, TracedMatrix};
 pub use regions::{RegionSink, RegionTraffic};

@@ -6,13 +6,22 @@
 //! batched on their way into the sink. The reports are a pure function
 //! of the reference stream; the fast paths may only change how quickly
 //! they are computed.
+//!
+//! The same contract extends to the *sharded* simulation pipeline:
+//! [`ShardedSimSink`] partitions the reference stream by address-region
+//! selector bits, simulates the shards on private hierarchies, and
+//! reduces — and its report must be bit-identical to the unsharded
+//! [`SimSink`]'s for every workload, shard count, and valid selector
+//! shift, including the degenerate cases (one shard, an MMU forcing the
+//! inline fallback).
 
+use proptest::prelude::*;
 use thread_locality::apps::{matmul, nbody, pde, sor};
 use thread_locality::sim::{
-    CacheConfig, Hierarchy, HierarchyConfig, MachineModel, Mmu, PageMapper, PagePolicy, SimReport,
-    SimSink,
+    CacheConfig, Hierarchy, HierarchyConfig, MachineModel, Mmu, PageMapper, PagePolicy, ShardPlan,
+    ShardedSimSink, SimReport, SimSink,
 };
-use thread_locality::trace::{AddressSpace, TraceSink, VecSink};
+use thread_locality::trace::{Access, AccessKind, Addr, AddressSpace, TraceSink, VecSink};
 
 /// A machine small enough that the toy working sets below still
 /// overflow the caches (otherwise the fast paths would never face an
@@ -102,6 +111,147 @@ fn fast_equals_slow_with_mmu_attached() {
     assert_eq!(fast, slow);
     assert!(fast.tlb.accesses > 0, "the MMU must have been consulted");
     assert!(fast.tlb.misses > 0, "an 8-entry TLB must thrash here");
+}
+
+// ---------------------------------------------------------------------
+// Sharded ≡ unsharded: the tentpole safety contract. Shard counts to
+// exercise come from `SIM_SHARDS` when set (the CI matrix pins one
+// count per leg) and default to the full sweep locally.
+// ---------------------------------------------------------------------
+
+fn shard_counts() -> Vec<u32> {
+    match std::env::var("SIM_SHARDS") {
+        Ok(s) => vec![s.parse().expect("SIM_SHARDS must be a shard count")],
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+/// Runs `$workload` (generic over the sink) once through the unsharded
+/// sink and once per shard count through the sharded sink; every report
+/// must be bit-identical. A macro because the workload kernels are
+/// generic functions — they need monomorphizing per concrete sink type.
+macro_rules! assert_sharded_matches_unsharded {
+    ($name:literal, |$sim:ident| $workload:expr) => {{
+        let machine = machine();
+        let unsharded = {
+            let mut $sim = SimSink::new(machine.hierarchy());
+            $workload;
+            $sim.finish()
+        };
+        for shards in shard_counts() {
+            let mut $sim = ShardedSimSink::new(machine.hierarchy(), shards);
+            $workload;
+            assert_eq!($sim.finish(), unsharded, "{} @ {shards} shards", $name);
+        }
+    }};
+}
+
+#[test]
+fn matmul_sharded_equals_unsharded() {
+    assert_sharded_matches_unsharded!("matmul", |sim| {
+        let mut space = AddressSpace::new();
+        let mut data = matmul::MatMulData::new(&mut space, 40, 7);
+        matmul::interchanged(&mut data, &mut sim);
+    });
+}
+
+#[test]
+fn pde_sharded_equals_unsharded() {
+    assert_sharded_matches_unsharded!("pde", |sim| {
+        let mut space = AddressSpace::new();
+        let mut data = pde::PdeData::new(&mut space, 48, 3);
+        pde::regular(&mut data, 2, &mut sim);
+    });
+}
+
+#[test]
+fn sor_sharded_equals_unsharded() {
+    assert_sharded_matches_unsharded!("sor", |sim| {
+        let mut space = AddressSpace::new();
+        let mut data = sor::SorData::new(&mut space, 64, 11);
+        sor::untiled(&mut data, 2, &mut sim);
+    });
+}
+
+#[test]
+fn nbody_sharded_equals_unsharded() {
+    assert_sharded_matches_unsharded!("nbody", |sim| {
+        let mut space = AddressSpace::new();
+        let mut data = nbody::NBodyData::new(&mut space, 96, 2024);
+        nbody::unthreaded(&mut data, 1, nbody::NBodyParams::default(), &mut sim);
+    });
+}
+
+#[test]
+fn sharded_with_mmu_falls_back_inline_and_matches() {
+    // An MMU breaks the selector-bit partition (fully-associative TLB,
+    // physically-indexed levels), so the sharded sink must degrade to
+    // one inline shard — and still match, TLB stats included.
+    let config = HierarchyConfig::new(
+        CacheConfig::new(1 << 12, 32, 1).unwrap(),
+        CacheConfig::new(1 << 16, 128, 4).unwrap(),
+    );
+    let hierarchy = || {
+        let mmu = Mmu::new(PageMapper::new(PagePolicy::RandomSeeded(5), 4096), 8);
+        Hierarchy::with_mmu(config, mmu)
+    };
+    assert_eq!(ShardPlan::for_hierarchy(&hierarchy(), 8).shards(), 1);
+    let workload = |sink: &mut VecSink| {
+        let mut space = AddressSpace::new();
+        let mut data = matmul::MatMulData::new(&mut space, 40, 9);
+        matmul::interchanged(&mut data, sink);
+    };
+    let mut recorded = VecSink::new();
+    workload(&mut recorded);
+    let mut unsharded = SimSink::new(hierarchy());
+    let mut sharded = ShardedSimSink::new(hierarchy(), 8);
+    unsharded.access_batch(recorded.accesses());
+    sharded.access_batch(recorded.accesses());
+    let (unsharded, sharded) = (unsharded.finish(), sharded.finish());
+    assert_eq!(unsharded, sharded);
+    assert!(sharded.tlb.misses > 0, "the TLB must have been exercised");
+}
+
+proptest! {
+    /// Any shard count × any *valid* selector shift × an arbitrary
+    /// access stream: the sharded report is byte-identical to the
+    /// unsharded one. This sweeps partitions the auto-planner never
+    /// picks (high shifts split on coarse regions and skew the queue
+    /// load) — skew may cost throughput, never correctness.
+    #[test]
+    fn any_partition_yields_identical_reports(
+        shards in 1u32..=8,
+        // Valid selector field for the scaled r8000 below: L2 line 128
+        // (lo = 7) and the smallest way is 16 KiB / 16 = 1 KiB... use
+        // with_shift's own validation to skip invalid combinations.
+        shift in 7u32..14,
+        records in prop::collection::vec(
+            (0u64..(1 << 21), 1u32..=512, any::<bool>()),
+            1..800,
+        ),
+    ) {
+        let machine = MachineModel::r8000().scaled(1.0 / 16.0);
+        // Shifts outside this geometry's selector field are skipped:
+        // ShardPlan::for_hierarchy never produces them.
+        let plan = ShardPlan::with_shift(&machine.hierarchy(), shards, shift);
+        prop_assume!(plan.is_some());
+        let plan = plan.unwrap();
+        let accesses: Vec<Access> = records
+            .iter()
+            .map(|&(addr, size, is_write)| Access {
+                addr: Addr::new(addr),
+                size,
+                kind: if is_write { AccessKind::Write } else { AccessKind::Read },
+            })
+            .collect();
+        let mut unsharded = SimSink::new(machine.hierarchy());
+        let mut sharded = ShardedSimSink::with_plan(machine.hierarchy(), plan);
+        for chunk in accesses.chunks(64) {
+            unsharded.access_batch(chunk);
+            sharded.access_batch(chunk);
+        }
+        prop_assert_eq!(unsharded.finish(), sharded.finish());
+    }
 }
 
 #[test]
