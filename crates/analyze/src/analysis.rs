@@ -1,12 +1,13 @@
 //! The four analyses, run over one [`Capture`].
 
 use crate::capture::{Capture, PhaseModel};
-use crate::conflict::conflict_pairs;
+use crate::conflict::{conflict_pairs, ConflictPair};
 use crate::policies::{
     assign_bins, dispatch_order, paper_policy, single_policy, unique_policy, BinAssignment,
     PolicyKind,
 };
 use crate::{Finding, Severity};
+use locality_sched::BinPolicy;
 use memtrace::{ThreadFootprint, WORD_BYTES};
 use std::collections::{BTreeMap, BTreeSet};
 use workloads::{HintKind, OrderSemantics};
@@ -81,6 +82,10 @@ pub struct KernelSummary {
     /// Cache lines falsely shared across bins (distinct words, same
     /// line, ≥ 1 writer, different bins).
     pub false_sharing_lines: u64,
+    /// Conflicting pairs whose bins live under different subtrees of
+    /// the coarsest topology level (0 unless the capture carries a
+    /// depth-≥ 3 topology).
+    pub cross_node_pairs: u64,
     /// Per-policy order-safety results.
     pub checks: Vec<PolicyCheck>,
     /// All findings, most severe first.
@@ -126,6 +131,7 @@ pub fn analyze(capture: &Capture, opts: &AnalyzeOptions) -> KernelSummary {
     let mut coverage = CoverageStats::default();
     let mut overflow = OverflowStats::default();
     let mut false_sharing = FalseSharingStats::default();
+    let mut cross_node = CrossNodeStats::default();
     let mut order_examples: BTreeMap<&'static str, String> = BTreeMap::new();
 
     for (phase_ix, phase) in capture.phases.iter().enumerate() {
@@ -191,6 +197,7 @@ pub fn analyze(capture: &Capture, opts: &AnalyzeOptions) -> KernelSummary {
         }
         overflow.accumulate(capture, phase_ix, phase, &paper_bins);
         false_sharing.accumulate(capture, phase_ix, phase, &paper_bins);
+        cross_node.accumulate(capture, phase_ix, phase, &conflicts);
     }
 
     // Findings: conflict-order errors per policy, then the rest.
@@ -246,6 +253,7 @@ pub fn analyze(capture: &Capture, opts: &AnalyzeOptions) -> KernelSummary {
     coverage.report(capture, opts, &mut findings);
     overflow.report(capture, &mut findings);
     false_sharing.report(capture, &mut findings);
+    cross_node.report(capture, &mut findings);
     findings.sort_by_key(|f| std::cmp::Reverse(f.severity));
 
     KernelSummary {
@@ -262,6 +270,7 @@ pub fn analyze(capture: &Capture, opts: &AnalyzeOptions) -> KernelSummary {
         overflow_bins: overflow.flat,
         overflow_subbins: overflow.sub,
         false_sharing_lines: false_sharing.lines,
+        cross_node_pairs: cross_node.pairs,
         checks,
         findings,
     }
@@ -539,6 +548,68 @@ impl FalseSharingStats {
                 "{} cache line(s) falsely shared across bins ({}); threads in \
                  different bins write/read distinct words of the same line",
                 self.lines,
+                self.examples.join("; ")
+            ),
+        });
+    }
+}
+
+/// Cross-node sharing accumulator: conflicting pairs whose hint bins
+/// sit under different subtrees of the coarsest topology level. Only
+/// engages at depth ≥ 3 — with two levels the coarsest rung is the L2
+/// itself, and bin containment (steal-safety) already covers that.
+#[derive(Default)]
+struct CrossNodeStats {
+    pairs: u64,
+    examples: Vec<String>,
+}
+
+impl CrossNodeStats {
+    fn accumulate(
+        &mut self,
+        capture: &Capture,
+        phase_ix: usize,
+        phase: &PhaseModel,
+        conflicts: &[ConflictPair],
+    ) {
+        let Some(mut policy) = capture.topology else {
+            return;
+        };
+        let depth = policy.depth();
+        if depth < 3 {
+            return;
+        }
+        for pair in conflicts {
+            let key_a = policy.bin_key(phase.hints[pair.a]);
+            let key_b = policy.bin_key(phase.hints[pair.b]);
+            if policy.ancestor_key(key_a, depth - 1) != policy.ancestor_key(key_b, depth - 1) {
+                self.pairs += 1;
+                if self.examples.len() < 3 {
+                    self.examples.push(format!(
+                        "phase {phase_ix}: threads {} and {} share word {:#x} across \
+                         node subtrees",
+                        pair.a,
+                        pair.b,
+                        pair.example_word * WORD_BYTES
+                    ));
+                }
+            }
+        }
+    }
+
+    fn report(&self, capture: &Capture, findings: &mut Vec<Finding>) {
+        if self.pairs == 0 {
+            return;
+        }
+        findings.push(Finding {
+            severity: Severity::Warning,
+            analysis: "cross-node-sharing",
+            workload: capture.workload.clone(),
+            detail: format!(
+                "{} conflicting pair(s) span different node subtrees ({}); the shared \
+                 words ping-pong across the machine's coarsest level no matter how \
+                 bins are drained",
+                self.pairs,
                 self.examples.join("; ")
             ),
         });

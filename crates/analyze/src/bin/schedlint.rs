@@ -28,7 +28,8 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: schedlint [--kernel matmul|pde|sor|nbody|all] [--fixture wrong-hint|false-sharing]\n\
+        "usage: schedlint [--kernel matmul|pde|sor|nbody|all]\n\
+         \x20                [--fixture wrong-hint|false-sharing|cross-node]\n\
          \x20                [--hint-threshold PCT] [--json PATH] [--gate] [--gate-warnings] [--quiet]\n\
          \n\
          Analyzes captured thread footprints for schedule-safety violations,\n\

@@ -12,7 +12,9 @@
 
 use crate::policies::{dispatch_order, paper_policy};
 use cachesim::MachineModel;
-use locality_sched::{Hierarchical, Hints, SchedulerConfig, MAX_DIMS, PACKAGE_TRACE_BASE};
+use locality_sched::{
+    Hierarchical, Hints, SchedulerConfig, TopologyPolicy, MAX_DIMS, PACKAGE_TRACE_BASE,
+};
 use memtrace::{Addr, AddressSpace, FootprintSink, PhaseTrace, ThreadFootprint};
 use workloads::{matmul, nbody, pde, sor, BinGeometry, HintKind, Kernel, OrderSemantics};
 
@@ -60,7 +62,9 @@ impl Default for AnalyzeScale {
 /// bins (L1 16 KB → 1 KB, L2 2 MB → 8 KB), the same shrink-the-cache
 /// trick the bench suite's smoke tier uses.
 pub fn default_machine() -> MachineModel {
-    MachineModel::r8000().scaled_split(1.0 / 16.0, 1.0 / 256.0)
+    MachineModel::r8000()
+        .scaled_split(1.0 / 16.0, 1.0 / 256.0)
+        .expect("valid scaled machine")
 }
 
 /// One phase, fork-indexed: `hints[i]` and `footprints[i]` both refer
@@ -131,6 +135,10 @@ pub struct Capture {
     /// Hierarchical (L1-in-L2) policy to check, when the geometry
     /// supports one.
     pub hierarchical: Option<Hierarchical>,
+    /// Full-depth topology policy, when the geometry supports one.
+    /// Drives the cross-node sharing lint (which only engages at
+    /// depth ≥ 3, where the coarsest level is a node, not a cache).
+    pub topology: Option<TopologyPolicy>,
     /// The machine whose caches define line sizes and capacities.
     pub machine: MachineModel,
     /// Fork-indexed phases.
@@ -191,6 +199,7 @@ pub fn capture_kernel(kernel: Kernel, machine: &MachineModel, scale: &AnalyzeSca
         hint_kind: kernel.hint_kind(),
         config,
         hierarchical: geometry.hierarchical(kernel).ok(),
+        topology: geometry.topology_policy(kernel).ok(),
         machine: machine.clone(),
         phases,
     }

@@ -9,7 +9,9 @@
 
 use crate::capture::{Capture, PhaseModel};
 use cachesim::MachineModel;
-use locality_sched::{Hierarchical, Hints, PaperBlockHash, RunMode, Scheduler, SchedulerConfig};
+use locality_sched::{
+    Hierarchical, Hints, PaperBlockHash, RunMode, Scheduler, SchedulerConfig, TopologyPolicy,
+};
 use memtrace::{Addr, FootprintSink, TraceSink};
 use workloads::{HintKind, OrderSemantics};
 
@@ -19,6 +21,8 @@ const BLOCK: u64 = 4096;
 const SUB_BLOCK: u64 = 1024;
 /// Base address of the fixtures' data regions.
 const BASE: u64 = 0x10_000;
+/// Coarsest ("node") rung of the cross-node fixture's depth-3 ladder.
+const NODE_BLOCK: u64 = 64 * 1024;
 
 /// The injected-bug fixtures.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,17 +38,29 @@ pub enum Fixture {
     /// different bins: exactly one false-sharing **warning** and
     /// nothing else.
     FalseSharing,
+    /// Two threads under *convergent* semantics, each working in its
+    /// own hinted region, that both write one contended word — and the
+    /// two regions sit under different node subtrees of a depth-3
+    /// topology on the NUMA machine. The word ping-pongs across the
+    /// coarsest level no matter how bins are drained: exactly one
+    /// cross-node-sharing **warning** and nothing else.
+    CrossNode,
 }
 
 impl Fixture {
     /// Every fixture.
-    pub const ALL: [Fixture; 2] = [Fixture::WrongHint, Fixture::FalseSharing];
+    pub const ALL: [Fixture; 3] = [
+        Fixture::WrongHint,
+        Fixture::FalseSharing,
+        Fixture::CrossNode,
+    ];
 
     /// CLI name.
     pub fn name(self) -> &'static str {
         match self {
             Fixture::WrongHint => "wrong-hint",
             Fixture::FalseSharing => "false-sharing",
+            Fixture::CrossNode => "cross-node",
         }
     }
 
@@ -58,8 +74,17 @@ impl Fixture {
         let (plan, hints) = match self {
             Fixture::WrongHint => wrong_hint_plan(),
             Fixture::FalseSharing => false_sharing_plan(),
+            Fixture::CrossNode => cross_node_plan(),
         };
-        capture_plan(self.name(), plan, hints)
+        let mut capture = capture_plan(self.name(), plan, hints);
+        if self == Fixture::CrossNode {
+            // Convergent semantics: the same-word conflict is allowed,
+            // so the only finding left is the cross-node warning.
+            capture.semantics = OrderSemantics::Convergent;
+            capture.machine = MachineModel::numa2();
+            capture.topology = TopologyPolicy::uniform(&[SUB_BLOCK, BLOCK, NODE_BLOCK], false).ok();
+        }
+        capture
     }
 }
 
@@ -97,6 +122,28 @@ fn false_sharing_plan() -> (Vec<Vec<Op>>, Vec<Hints>) {
     // Same 128-byte line, distinct words: false sharing, not a conflict.
     ops_a.push((true, SHARED_LINE));
     ops_b.push((false, SHARED_LINE + 8));
+    (
+        vec![ops_a, ops_b],
+        vec![
+            Hints::one(Addr::new(region_a)),
+            Hints::one(Addr::new(region_b)),
+        ],
+    )
+}
+
+/// The contended word both cross-node threads write: inside thread 0's
+/// node subtree but outside both hinted blocks.
+const CONTENDED: u64 = BASE + 2 * BLOCK;
+
+fn cross_node_plan() -> (Vec<Vec<Op>>, Vec<Hints>) {
+    let region_a = BASE;
+    let region_b = BASE + NODE_BLOCK;
+    let mut ops_a: Vec<Op> = (0..10).map(|k| (true, region_a + k * 0x100)).collect();
+    let mut ops_b: Vec<Op> = (0..10).map(|k| (true, region_b + k * 0x100)).collect();
+    // Same word, both writing: a true conflict (fine under convergent
+    // semantics) between threads binned under different node subtrees.
+    ops_a.push((true, CONTENDED));
+    ops_b.push((true, CONTENDED));
     (
         vec![ops_a, ops_b],
         vec![
@@ -150,6 +197,7 @@ fn capture_plan(name: &str, plan: Vec<Vec<Op>>, hints: Vec<Hints>) -> Capture {
         hint_kind: HintKind::Address,
         config,
         hierarchical: Hierarchical::uniform(SUB_BLOCK, BLOCK, false).ok(),
+        topology: None,
         machine: MachineModel::r8000(),
         phases,
     }

@@ -23,6 +23,10 @@
 //!    the policy promises.
 //! 4. **False-sharing detector** — distinct-word, same-line accesses
 //!    from threads in different bins.
+//! 5. **Cross-node sharing lint** — conflicting pairs whose bins sit
+//!    under different subtrees of the coarsest level of a depth-≥ 3
+//!    [`TopologyPolicy`](locality_sched::TopologyPolicy): words that
+//!    ping-pong across the machine no matter how bins are drained.
 //!
 //! Findings serialize to JSON in the bench report idiom
 //! (`{"experiment": ..., "rows": [...]}`, consumable by `benchdiff`)
@@ -75,7 +79,8 @@ pub struct Finding {
     /// Severity of the finding.
     pub severity: Severity,
     /// Which analysis produced it: `"conflict-order"`, `"steal-safety"`,
-    /// `"hint-accuracy"`, `"bin-overflow"`, or `"false-sharing"`.
+    /// `"hint-accuracy"`, `"bin-overflow"`, `"false-sharing"`, or
+    /// `"cross-node-sharing"`.
     pub analysis: &'static str,
     /// The workload (kernel or fixture) the finding belongs to.
     pub workload: String,

@@ -101,7 +101,7 @@ pub struct BinAssignment {
 /// `hints` in fork order (a fresh policy instance, so stateful
 /// policies like [`UniqueBin`] start from their fork-counter origin).
 pub fn assign_bins<P: BinPolicy>(mut policy: P, hints: &[Hints]) -> BinAssignment {
-    let levels = policy.levels();
+    let levels = policy.depth();
     let unique = policy.always_unique();
     let mut fine_ix: HashMap<[u64; MAX_DIMS], usize> = HashMap::new();
     let mut parent_ix: HashMap<[u64; MAX_DIMS], usize> = HashMap::new();
@@ -119,7 +119,9 @@ pub fn assign_bins<P: BinPolicy>(mut policy: P, hints: &[Hints]) -> BinAssignmen
             fid
         } else {
             let next = parent_ix.len();
-            *parent_ix.entry(policy.parent_key(key)).or_insert(next)
+            *parent_ix
+                .entry(policy.ancestor_key(key, levels - 1))
+                .or_insert(next)
         };
         fine.push(fid);
         parent.push(pid);

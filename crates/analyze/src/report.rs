@@ -61,7 +61,7 @@ impl AnalyzeReport {
                 "{{\"workload\":\"{}\",\"threads\":{},\"phases\":{},\"bins\":{},\
                  \"conflict_pairs\":{},\"violations\":{},\"reordered_convergent\":{},\
                  \"steal_unsafe_pairs\":{},\"overflow_bins\":{},\"overflow_subbins\":{},\
-                 \"false_sharing_lines\":{},\"errors\":{},\"warnings\":{}",
+                 \"false_sharing_lines\":{},\"cross_node_pairs\":{},\"errors\":{},\"warnings\":{}",
                 escape(&k.workload),
                 k.threads,
                 k.phases,
@@ -73,6 +73,7 @@ impl AnalyzeReport {
                 k.overflow_bins,
                 k.overflow_subbins,
                 k.false_sharing_lines,
+                k.cross_node_pairs,
                 k.errors(),
                 k.warnings(),
             )
@@ -213,6 +214,7 @@ mod tests {
             overflow_bins: 0,
             overflow_subbins: 0,
             false_sharing_lines: 1,
+            cross_node_pairs: 0,
             checks: vec![PolicyCheck {
                 policy: "paper",
                 checked: true,

@@ -67,6 +67,35 @@ fn false_sharing_fixture_reports_exactly_one_false_sharing_warning() {
 }
 
 #[test]
+fn cross_node_fixture_reports_exactly_one_cross_node_warning() {
+    let report = report_for(Fixture::CrossNode);
+    let summary = &report.kernels[0];
+    assert_eq!(
+        summary.findings.len(),
+        1,
+        "over-reporting: {:#?}",
+        summary.findings
+    );
+    let finding = &summary.findings[0];
+    assert_eq!(finding.severity, Severity::Warning);
+    assert_eq!(finding.analysis, "cross-node-sharing");
+    assert!(
+        finding.detail.contains("threads 0 and 1"),
+        "wrong pair: {}",
+        finding.detail
+    );
+    assert_eq!(summary.cross_node_pairs, 1);
+    // The contended word is a true conflict, allowed by the fixture's
+    // convergent semantics — and same-word sharing is not false sharing.
+    assert_eq!(summary.conflict_pairs, 1);
+    assert_eq!(summary.violations, 0);
+    assert_eq!(summary.false_sharing_lines, 0);
+    // Gate: warnings pass `--gate` but fail `--gate-warnings`.
+    assert!(!report.gate_failed(false));
+    assert!(report.gate_failed(true));
+}
+
+#[test]
 fn fixture_findings_serialize_into_the_report_json() {
     let report = report_for(Fixture::WrongHint);
     let json = report.to_json();

@@ -69,7 +69,7 @@ proptest! {
         iters in 1usize..4,
         l2_shrink in prop_oneof![Just(64.0), Just(256.0), Just(1024.0)],
     ) {
-        let machine = MachineModel::r8000().scaled_split(1.0 / 16.0, 1.0 / l2_shrink);
+        let machine = MachineModel::r8000().scaled_split(1.0 / 16.0, 1.0 / l2_shrink).expect("valid scaled machine");
         let scale = AnalyzeScale {
             pde_n: n,
             pde_iters: iters,

@@ -417,6 +417,16 @@ pub fn classify(path: &str, policy: GatePolicy) -> Direction {
         // --gate-all.
         return Direction::Info;
     }
+    if leaf == "makespan_ns" && path.contains(".report.") {
+        // A `ParRunReport`'s makespan is the max *wall-clock* busy
+        // time across workers — machine-dependent, unlike the serving
+        // rows' virtual-clock leaf of the same name.
+        return if policy.all {
+            Direction::Lower
+        } else {
+            Direction::Info
+        };
+    }
     if STABLE_LEAVES.contains(&leaf) {
         return Direction::Stable;
     }
@@ -653,6 +663,32 @@ mod tests {
         assert!(paths.contains(&"rows[matmul@s4].fast_ns"), "{paths:?}");
         assert!(paths.contains(&"run_profile.matmul.l1.hits"), "{paths:?}");
         assert!(!paths.iter().any(|p| p.contains("[0]")), "{paths:?}");
+    }
+
+    #[test]
+    fn wall_clock_report_makespan_is_informational() {
+        // The serving rows' virtual-clock makespan stays gated…
+        assert_eq!(
+            classify("rows[flat].makespan_ns", GatePolicy::baseline()),
+            Direction::Stable
+        );
+        // …but a ParRunReport's wall-clock makespan never gates
+        // cross-machine, and gates as a time (lower is better) only
+        // under --gate-all.
+        assert_eq!(
+            classify(
+                "rows[locality-aware.w4].report.makespan_ns",
+                GatePolicy::baseline()
+            ),
+            Direction::Info
+        );
+        assert_eq!(
+            classify(
+                "rows[locality-aware.w4].report.makespan_ns",
+                GatePolicy::all()
+            ),
+            Direction::Lower
+        );
     }
 
     #[test]

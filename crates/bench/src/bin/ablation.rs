@@ -41,7 +41,9 @@ fn steal_policy_ablation(scale: &repro::ExpScale) {
 
 fn tour_ablation(scale: &repro::ExpScale) {
     println!("Ablation 1: bin tour policy (threaded matmul, scaled R8000)\n");
-    let machine = MachineModel::r8000().scaled_split(1.0, scale.matmul_factor);
+    let machine = MachineModel::r8000()
+        .scaled_split(1.0, scale.matmul_factor)
+        .expect("valid scaled machine");
     let mut table = TextTable::new(vec!["tour", "L2 misses", "L2 capacity", "modeled s"]);
     for (name, tour) in [
         ("allocation-order (paper)", Tour::AllocationOrder),
@@ -77,7 +79,9 @@ fn tour_ablation(scale: &repro::ExpScale) {
 /// ordered pairs — the situation §2.3's symmetric folding targets.
 fn symmetric_ablation() {
     println!("Ablation 2: symmetric-hint folding (pairwise column kernel)\n");
-    let machine = MachineModel::r8000().scaled_split(1.0, 1.0 / 32.0);
+    let machine = MachineModel::r8000()
+        .scaled_split(1.0, 1.0 / 32.0)
+        .expect("valid scaled machine");
     let n = 96usize;
     let mut table = TextTable::new(vec!["folding", "bins", "L2 misses", "modeled s"]);
     for (name, symmetric) in [("off", false), ("on (paper's 50% saving)", true)] {
@@ -130,7 +134,9 @@ fn symmetric_ablation() {
 
 fn paging_ablation(scale: &repro::ExpScale) {
     println!("Ablation 3: page mapping under a physically-indexed L2 (threaded SOR)\n");
-    let machine = MachineModel::r8000().scaled_split(1.0, scale.sor_factor);
+    let machine = MachineModel::r8000()
+        .scaled_split(1.0, scale.sor_factor)
+        .expect("valid scaled machine");
     let mut table = TextTable::new(vec![
         "mapping",
         "L2 misses",
@@ -172,7 +178,9 @@ fn paging_ablation(scale: &repro::ExpScale) {
 
 fn hint_dims_ablation(scale: &repro::ExpScale) {
     println!("Ablation 4: N-body hint dimensionality (one timestep, scaled R8000)\n");
-    let machine = MachineModel::r8000().scaled_split(1.0, scale.nbody_factor);
+    let machine = MachineModel::r8000()
+        .scaled_split(1.0, scale.nbody_factor)
+        .expect("valid scaled machine");
     let mut table = TextTable::new(vec!["hints", "bins", "L2 misses", "L2 capacity"]);
     for dims in [1usize, 2, 3] {
         let params = nbody::NBodyParams {

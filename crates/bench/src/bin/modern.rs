@@ -31,8 +31,12 @@ fn main() {
     let target_llc = (data as f64 / full_llc_ratio) as u64;
     let modern_full = MachineModel::modern();
     let factor = target_llc as f64 / llc(&modern_full) as f64;
-    let modern = modern_full.scaled_split(1.0, factor);
-    let r8000 = MachineModel::r8000().scaled_split(1.0, scale.matmul_factor);
+    let modern = modern_full
+        .scaled_split(1.0, factor)
+        .expect("valid scaled machine");
+    let r8000 = MachineModel::r8000()
+        .scaled_split(1.0, scale.matmul_factor)
+        .expect("valid scaled machine");
 
     println!(
         "Locality scheduling, 1996 vs a modern hierarchy (matmul n = {})\n",
@@ -73,11 +77,15 @@ fn main() {
     print!("{}", t.render());
 
     println!("\nSOR (n = {}, t = {}):\n", scale.sor_n, scale.sor_t);
-    let modern_sor = modern_full.scaled_split(
-        1.0,
-        (scale.sor_n * scale.sor_n * 8) as f64 / 16.0 / llc(&modern_full) as f64,
-    );
-    let r8000_sor = MachineModel::r8000().scaled_split(1.0, scale.sor_factor);
+    let modern_sor = modern_full
+        .scaled_split(
+            1.0,
+            (scale.sor_n * scale.sor_n * 8) as f64 / 16.0 / llc(&modern_full) as f64,
+        )
+        .expect("valid scaled machine");
+    let r8000_sor = MachineModel::r8000()
+        .scaled_split(1.0, scale.sor_factor)
+        .expect("valid scaled machine");
     let mut t = TextTable::new(vec![
         "machine",
         "untiled LLC misses",

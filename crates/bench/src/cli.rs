@@ -8,8 +8,8 @@ use crate::{paper, print};
 /// additionally honours `--shards N`).
 ///
 /// Recognised names: `table1` … `table9`, `figure4`, `steal`,
-/// `simbench`, `binpolicy`, `servebench` (those four also write their
-/// `BENCH_*.json` payloads), `servelong` (the long-run bounded-memory
+/// `simbench`, `binpolicy`, `topology`, `servebench` (those five also
+/// write their `BENCH_*.json` payloads), `servelong` (the long-run bounded-memory
 /// gate — exits nonzero if the bin table ever exceeded its cap), and
 /// `analyze` (the `schedlint` four-kernel self-check, writing
 /// `ANALYZE_smoke.json`).
@@ -102,6 +102,15 @@ pub fn run_at(experiment: &str, scale: &crate::ExpScale) {
             let result = crate::experiments::binpolicy(scale);
             print::binpolicy(&result);
             let path = "BENCH_binpolicy.json";
+            match std::fs::write(path, result.to_json()) {
+                Ok(()) => println!("\nwrote {path}"),
+                Err(err) => eprintln!("could not write {path}: {err}"),
+            }
+        }
+        "topology" => {
+            let result = crate::experiments::topology(scale);
+            print::topology(&result);
+            let path = "BENCH_topology.json";
             match std::fs::write(path, result.to_json()) {
                 Ok(()) => println!("\nwrote {path}"),
                 Err(err) => eprintln!("could not write {path}: {err}"),

@@ -363,8 +363,12 @@ fn time_rows(
 /// would fabricate conflict thrashing the paper's machines never saw.
 pub fn machines(factor: f64) -> (MachineModel, MachineModel) {
     (
-        MachineModel::r8000().scaled_split(1.0, factor),
-        MachineModel::r10000().scaled_split(1.0, factor),
+        MachineModel::r8000()
+            .scaled_split(1.0, factor)
+            .expect("valid scaled machine"),
+        MachineModel::r10000()
+            .scaled_split(1.0, factor)
+            .expect("valid scaled machine"),
     )
 }
 
@@ -1043,6 +1047,268 @@ pub fn binpolicy_with(scale: &ExpScale, driver: Driver) -> BinPolicyResult {
     BinPolicyResult { rows }
 }
 
+// ---------------------------------------------------------------------
+// Topology ablation: flat vs 2-level vs full machine-tree binning
+// ---------------------------------------------------------------------
+
+/// One measured cell of the topology ablation: one threaded workload
+/// under one binning depth on one machine, fully simulated.
+#[derive(Clone, Debug)]
+pub struct TopologyRow {
+    /// Unique row label `"<kernel>.<machine>.<policy>"` — the benchdiff
+    /// row key.
+    pub workload: String,
+    /// Kernel name (`"matmul"`, `"pde"`, `"sor"`, `"nbody"`).
+    pub kernel: String,
+    /// Machine name (`"r8000"` / `"numa2"`).
+    pub machine: String,
+    /// Policy name (`"flat"` / `"hierarchical"` / `"topology"`).
+    pub policy: String,
+    /// Block-size ladder the policy bins with, finest first. One entry
+    /// for flat, two for hierarchical, one per machine-tree level for
+    /// the full topology policy.
+    pub blocks: Vec<u64>,
+    /// Threads forked and run.
+    pub threads: u64,
+    /// Simulated data references (deterministic).
+    pub accesses: u64,
+    /// Full simulation report for this cell.
+    pub report: SimReport,
+    /// Modeled nanoseconds on this row's machine.
+    pub modeled_ns: u64,
+}
+
+/// The topology ablation: each threaded kernel binned flat (paper
+/// §3.2), two-level (L1-in-L2), and at the machine tree's full depth —
+/// on a two-level paper machine (where the tree policy must collapse
+/// to hierarchical) and on the four-level NUMA bench machine (where
+/// the extra rungs group bins under L3 and socket subtrees).
+#[derive(Clone, Debug)]
+pub struct TopologyResult {
+    /// One row per (kernel × machine × policy).
+    pub rows: Vec<TopologyRow>,
+}
+
+impl TopologyResult {
+    /// The measured cell for one (kernel, machine, policy).
+    pub fn row(&self, kernel: &str, machine: &str, policy: &str) -> Option<&TopologyRow> {
+        self.rows
+            .iter()
+            .find(|r| r.kernel == kernel && r.machine == machine && r.policy == policy)
+    }
+
+    fn delta_pct(flat: u64, other: u64) -> f64 {
+        if flat == 0 {
+            0.0
+        } else {
+            100.0 * (other as f64 - flat as f64) / flat as f64
+        }
+    }
+
+    /// `policy`-vs-flat L1 miss delta in percent (negative = the
+    /// deeper policy misses less).
+    pub fn l1_miss_delta_pct(&self, kernel: &str, machine: &str, policy: &str) -> f64 {
+        match (
+            self.row(kernel, machine, "flat"),
+            self.row(kernel, machine, policy),
+        ) {
+            (Some(f), Some(p)) => Self::delta_pct(f.report.l1.misses(), p.report.l1.misses()),
+            _ => 0.0,
+        }
+    }
+
+    /// `policy`-vs-flat L2 miss delta in percent.
+    pub fn l2_miss_delta_pct(&self, kernel: &str, machine: &str, policy: &str) -> f64 {
+        match (
+            self.row(kernel, machine, "flat"),
+            self.row(kernel, machine, policy),
+        ) {
+            (Some(f), Some(p)) => Self::delta_pct(f.report.l2.misses(), p.report.l2.misses()),
+            _ => 0.0,
+        }
+    }
+
+    /// `policy`-vs-flat modeled-time delta in percent.
+    pub fn modeled_delta_pct(&self, kernel: &str, machine: &str, policy: &str) -> f64 {
+        match (
+            self.row(kernel, machine, "flat"),
+            self.row(kernel, machine, policy),
+        ) {
+            (Some(f), Some(p)) => Self::delta_pct(f.modeled_ns, p.modeled_ns),
+            _ => 0.0,
+        }
+    }
+
+    /// The (kernel, machine) pairs present, in row order.
+    pub fn pairs(&self) -> Vec<(String, String)> {
+        let mut pairs: Vec<(String, String)> = Vec::new();
+        for row in &self.rows {
+            let pair = (row.kernel.clone(), row.machine.clone());
+            if !pairs.contains(&pair) {
+                pairs.push(pair);
+            }
+        }
+        pairs
+    }
+
+    /// Serializes the ablation as the `BENCH_topology.json` payload:
+    /// per-cell deterministic miss counts/rates (benchdiff-gated) plus
+    /// per-(kernel, machine) deltas of each deeper policy vs flat.
+    pub fn to_json(&self) -> String {
+        let mut json = String::from("{\"experiment\":\"topology\",\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                json.push(',');
+            }
+            let blocks = row
+                .blocks
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            write!(
+                json,
+                "{{\"workload\":\"{}\",\"kernel\":\"{}\",\"machine\":\"{}\",\
+                 \"policy\":\"{}\",\"depth\":{},\"blocks\":[{}],\"threads\":{},\
+                 \"accesses\":{},\"l1_misses\":{},\"l2_misses\":{},\
+                 \"l1_miss_rate_pct\":{:.4},\"l2_miss_rate_pct\":{:.4},\"modeled_ns\":{}}}",
+                row.workload,
+                row.kernel,
+                row.machine,
+                row.policy,
+                row.blocks.len(),
+                blocks,
+                row.threads,
+                row.accesses,
+                row.report.l1.misses(),
+                row.report.l2.misses(),
+                row.report.l1_miss_rate_percent(),
+                row.report.l2_miss_rate_percent(),
+                row.modeled_ns,
+            )
+            .expect("writing to String cannot fail");
+        }
+        json.push_str("],\"deltas\":[");
+        let mut first = true;
+        for (kernel, machine) in self.pairs() {
+            for policy in ["hierarchical", "topology"] {
+                if !first {
+                    json.push(',');
+                }
+                first = false;
+                write!(
+                    json,
+                    "{{\"workload\":\"{kernel}.{machine}.{policy}\",\
+                     \"l1_miss_delta_pct\":{:.4},\"l2_miss_delta_pct\":{:.4},\
+                     \"modeled_delta_pct\":{:.4}}}",
+                    self.l1_miss_delta_pct(&kernel, &machine, policy),
+                    self.l2_miss_delta_pct(&kernel, &machine, policy),
+                    self.modeled_delta_pct(&kernel, &machine, policy),
+                )
+                .expect("writing to String cannot fail");
+            }
+        }
+        json.push_str("]}");
+        json
+    }
+}
+
+/// The topology ablation at `scale`: flat vs two-level vs full-tree
+/// binning for every threaded kernel, on the scaled two-level R8000
+/// and the scaled four-level NUMA machine.
+pub fn topology(scale: &ExpScale) -> TopologyResult {
+    topology_with(scale, Driver::default())
+}
+
+/// [`topology`] under an explicit [`Driver`].
+pub fn topology_with(scale: &ExpScale, driver: Driver) -> TopologyResult {
+    let kernels = [
+        ("matmul", Kernel::MatMul, scale.matmul_factor),
+        ("pde", Kernel::Pde, scale.pde_factor),
+        ("sor", Kernel::Sor, scale.sor_factor),
+        ("nbody", Kernel::NBody, scale.nbody_factor),
+    ];
+    struct Meta {
+        kernel: &'static str,
+        machine_name: &'static str,
+        policy: &'static str,
+        blocks: Vec<u64>,
+        machine: MachineModel,
+    }
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut meta: Vec<Meta> = Vec::new();
+    for (kname, kernel, factor) in kernels {
+        // Same ratio-preserving scaling as the paper tables: coarse
+        // levels shrink with the problem area, the L1 stays full-size.
+        let r8000 = MachineModel::r8000()
+            .scaled_split(1.0, factor)
+            .expect("valid scaled machine");
+        let numa2 = MachineModel::numa2()
+            .scaled_split(1.0, factor)
+            .expect("valid scaled machine");
+        for (mname, machine) in [("r8000", &r8000), ("numa2", &numa2)] {
+            let geo = BinGeometry::for_machine(machine);
+            let config = geo.flat_config(kernel);
+            cells.push(binpolicy_cell(
+                scale,
+                kernel,
+                machine,
+                config,
+                PaperBlockHash::from_config(&config),
+            ));
+            meta.push(Meta {
+                kernel: kname,
+                machine_name: mname,
+                policy: "flat",
+                blocks: vec![geo.l2_block(kernel)],
+                machine: machine.clone(),
+            });
+            let hier = geo
+                .hierarchical(kernel)
+                .expect("machine-derived geometry is valid");
+            cells.push(binpolicy_cell(scale, kernel, machine, config, hier));
+            meta.push(Meta {
+                kernel: kname,
+                machine_name: mname,
+                policy: "hierarchical",
+                blocks: vec![geo.l1_block(kernel), geo.l2_block(kernel)],
+                machine: machine.clone(),
+            });
+            let tree = geo
+                .topology_policy(kernel)
+                .expect("machine-derived ladder is valid");
+            cells.push(binpolicy_cell(scale, kernel, machine, config, tree));
+            meta.push(Meta {
+                kernel: kname,
+                machine_name: mname,
+                policy: "topology",
+                blocks: geo.level_blocks(kernel),
+                machine: machine.clone(),
+            });
+        }
+    }
+    let results = run_cells(cells, driver);
+    let rows = meta
+        .into_iter()
+        .zip(results)
+        .map(|(m, (_name, report))| {
+            let modeled_ns = (report.time_on(&m.machine).total() * 1e9).round() as u64;
+            TopologyRow {
+                workload: format!("{}.{}.{}", m.kernel, m.machine_name, m.policy),
+                kernel: m.kernel.to_owned(),
+                machine: m.machine_name.to_owned(),
+                policy: m.policy.to_owned(),
+                blocks: m.blocks,
+                threads: report.threads,
+                accesses: report.data_references(),
+                report,
+                modeled_ns,
+            }
+        })
+        .collect();
+    TopologyResult { rows }
+}
+
 /// Figure 4 data: modeled execution time on the scaled R8000 as a
 /// function of the block dimension size, for the threaded version of
 /// all four applications.
@@ -1065,7 +1331,9 @@ pub fn figure4(scale: &ExpScale) -> Figure4Result {
         |name: &str,
          factor: f64,
          run: &mut dyn FnMut(&MachineModel, SchedulerConfig) -> SimReport| {
-            let machine = MachineModel::r8000().scaled_split(1.0, factor);
+            let machine = MachineModel::r8000()
+                .scaled_split(1.0, factor)
+                .expect("valid scaled machine");
             let mut times = Vec::new();
             for &full_block in &block_sizes {
                 let block = prev_power_of_two(((full_block as f64 * factor) as u64).max(64));
@@ -1283,6 +1551,76 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn topology_reports_all_cells() {
+        let result = topology(&tiny_scale());
+        assert_eq!(result.rows.len(), 24, "4 kernels × 2 machines × 3 policies");
+        for kernel in ["matmul", "pde", "sor", "nbody"] {
+            for machine in ["r8000", "numa2"] {
+                let flat = result.row(kernel, machine, "flat").expect("flat cell");
+                let hier = result
+                    .row(kernel, machine, "hierarchical")
+                    .expect("hierarchical cell");
+                let tree = result
+                    .row(kernel, machine, "topology")
+                    .expect("topology cell");
+                assert_eq!(flat.blocks.len(), 1, "{kernel}.{machine}");
+                assert_eq!(hier.blocks.len(), 2, "{kernel}.{machine}");
+                assert_eq!(flat.threads, hier.threads, "{kernel}.{machine}");
+                assert_eq!(flat.threads, tree.threads, "{kernel}.{machine}");
+                assert!(flat.report.l1.misses() > 0, "{kernel}.{machine}");
+            }
+            // On a two-level machine the full-tree policy must be
+            // bit-identical to the two-level hierarchical policy — the
+            // generalization adds depth, never changes the depth-2 case.
+            let hier = result.row(kernel, "r8000", "hierarchical").unwrap();
+            let tree = result.row(kernel, "r8000", "topology").unwrap();
+            assert_eq!(tree.blocks.len(), 2, "{kernel}: r8000 tree depth");
+            assert_eq!(tree.blocks, hier.blocks, "{kernel}");
+            assert_eq!(tree.report, hier.report, "{kernel}: depth-2 equivalence");
+            // On the NUMA machine the tree has four rungs.
+            let deep = result.row(kernel, "numa2", "topology").unwrap();
+            assert_eq!(deep.blocks.len(), 4, "{kernel}: numa2 tree depth");
+        }
+        // The extra rungs must actually change scheduling somewhere:
+        // on the four-level machine, flat vs full-tree binning has to
+        // move misses or modeled time on at least two kernels.
+        let moved = ["matmul", "pde", "sor", "nbody"]
+            .iter()
+            .filter(|kernel| {
+                let flat = result.row(kernel, "numa2", "flat").unwrap();
+                let tree = result.row(kernel, "numa2", "topology").unwrap();
+                flat.report.l1.misses() != tree.report.l1.misses()
+                    || flat.report.l2.misses() != tree.report.l2.misses()
+                    || flat.modeled_ns != tree.modeled_ns
+            })
+            .count();
+        assert!(
+            moved >= 2,
+            "full-depth binning is a no-op on {} of 4 kernels",
+            4 - moved
+        );
+        let json = result.to_json();
+        assert!(json.contains("\"experiment\":\"topology\""), "{json}");
+        assert!(
+            json.contains("\"workload\":\"matmul.numa2.topology\""),
+            "{json}"
+        );
+        assert!(json.contains("\"depth\":4"), "{json}");
+        assert!(
+            json.contains("\"workload\":\"nbody.numa2.topology\",\"l1_miss_delta_pct\":"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn topology_parallel_driver_matches_sequential() {
+        let scale = tiny_scale();
+        let seq = topology_with(&scale, Driver::Sequential);
+        let par = topology_with(&scale, Driver::Parallel);
+        assert_eq!(seq.to_json(), par.to_json());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `repro` — runs any or all of the paper's tables/figures.
 //!
 //! ```text
-//! repro [all|table1|table2|...|table9|figure4|steal|simbench|binpolicy|servebench|analyze]...
+//! repro [all|table1|table2|...|table9|figure4|steal|simbench|binpolicy|topology|servebench|analyze]...
 //!       [--full|--smoke] [--analyze] [--shards N]
 //! ```
 //!
@@ -38,6 +38,7 @@ fn main() {
             "steal",
             "simbench",
             "binpolicy",
+            "topology",
             "servebench",
         ];
     }

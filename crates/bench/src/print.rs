@@ -2,6 +2,7 @@
 
 use crate::experiments::{
     BinPolicyResult, Figure4Result, MissRow, StealAblationResult, Table1Result, TimeRow,
+    TopologyResult,
 };
 use crate::fmt::{ratio, secs, thousands, TextTable};
 use crate::paper;
@@ -342,6 +343,89 @@ pub fn binpolicy(result: &BinPolicyResult) {
     print!("{}", d.render());
     println!(
         "\nΔ = hierarchical vs flat (negative = hierarchical better). Sub-bins\nkeep each L1-sized working set resident while the parent bin still\nbounds the L2 working set; the L2 columns should be ~unchanged while\nL1 misses move."
+    );
+}
+
+/// Prints the topology ablation: per (kernel, machine) the simulated
+/// misses under flat, two-level, and full machine-tree binning, and
+/// each deeper policy's deltas against flat.
+pub fn topology(result: &TopologyResult) {
+    println!(
+        "Topology ablation: flat (paper §3.2) vs two-level (L1-in-L2) vs full\nmachine-tree binning, threaded versions, simulated on a two-level paper\nmachine and a four-level NUMA machine\n"
+    );
+    let mut t = TextTable::new(vec![
+        "workload",
+        "machine",
+        "policy",
+        "ladder",
+        "threads",
+        "L1 misses",
+        "L2 misses",
+        "L1 rate",
+        "L2 rate",
+        "modeled (ms)",
+    ]);
+    let block = |b: u64| {
+        if b >= 1 << 10 {
+            format!("{}K", b >> 10)
+        } else {
+            format!("{b}")
+        }
+    };
+    for row in &result.rows {
+        let ladder = row
+            .blocks
+            .iter()
+            .map(|&b| block(b))
+            .collect::<Vec<_>>()
+            .join(" in ");
+        t.row(vec![
+            row.kernel.clone(),
+            row.machine.clone(),
+            row.policy.clone(),
+            ladder,
+            thousands(row.threads),
+            thousands(row.report.l1.misses()),
+            thousands(row.report.l2.misses()),
+            format!("{:.1}%", row.report.l1_miss_rate_percent()),
+            format!("{:.1}%", row.report.l2_miss_rate_percent()),
+            format!("{:.3}", row.modeled_ns as f64 / 1e6),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+    let mut d = TextTable::new(vec![
+        "workload",
+        "machine",
+        "policy",
+        "L1 miss Δ",
+        "L2 miss Δ",
+        "modeled Δ",
+    ]);
+    for (kernel, machine) in result.pairs() {
+        for policy in ["hierarchical", "topology"] {
+            d.row(vec![
+                kernel.clone(),
+                machine.clone(),
+                policy.to_owned(),
+                format!(
+                    "{:+.1}%",
+                    result.l1_miss_delta_pct(&kernel, &machine, policy)
+                ),
+                format!(
+                    "{:+.1}%",
+                    result.l2_miss_delta_pct(&kernel, &machine, policy)
+                ),
+                format!(
+                    "{:+.1}%",
+                    result.modeled_delta_pct(&kernel, &machine, policy)
+                ),
+            ]);
+        }
+    }
+    print!("{}", d.render());
+    println!(
+        "\nΔ = policy vs flat (negative = deeper binning better). On the two-level\nmachine the topology policy must match hierarchical exactly; on the NUMA\nmachine its extra rungs keep sibling bins under the same L3/socket\nsubtree adjacent in the tour."
     );
 }
 

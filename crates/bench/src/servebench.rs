@@ -21,8 +21,8 @@ const TRACE_SEED: u64 = 1996;
 /// One policy's serving scoreboard.
 #[derive(Clone, Debug)]
 pub struct ServeBenchRow {
-    /// Policy identifier (`flat`, `hierarchical`, `single_bin`,
-    /// `unique_bin`).
+    /// Policy identifier (`flat`, `hierarchical`, `topology`,
+    /// `single_bin`, `unique_bin`).
     pub policy: &'static str,
     /// The run's full outcome (report + final cache stats).
     pub outcome: ServeOutcome,
@@ -231,8 +231,14 @@ mod tests {
     #[test]
     fn reports_all_policies_and_is_deterministic() {
         let a = servebench(&tiny());
-        assert_eq!(a.rows.len(), 4);
-        for policy in ["flat", "hierarchical", "single_bin", "unique_bin"] {
+        assert_eq!(a.rows.len(), 5);
+        for policy in [
+            "flat",
+            "hierarchical",
+            "topology",
+            "single_bin",
+            "unique_bin",
+        ] {
             let row = a.row(policy).expect("policy measured");
             let report = &row.outcome.report;
             assert_eq!(report.offered, 3_000, "{policy}");

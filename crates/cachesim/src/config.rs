@@ -52,7 +52,7 @@ impl fmt::Display for CacheConfigError {
 impl Error for CacheConfigError {}
 
 impl CacheConfigError {
-    fn new(message: impl Into<String>) -> Self {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
         CacheConfigError {
             message: message.into(),
         }
@@ -188,7 +188,7 @@ impl fmt::Display for CacheConfig {
     }
 }
 
-fn round_to_power_of_two(x: f64) -> u64 {
+pub(crate) fn round_to_power_of_two(x: f64) -> u64 {
     let lower = (x.log2().floor()).exp2();
     let upper = lower * 2.0;
     let rounded = if x - lower <= upper - x { lower } else { upper };

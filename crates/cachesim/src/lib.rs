@@ -56,6 +56,7 @@ mod report;
 mod shard;
 mod sink;
 mod timing;
+mod topology;
 
 pub use cache::{Cache, CacheStats};
 pub use classify::{MissClass, MissClassCounts, MissClassifier};
@@ -67,3 +68,4 @@ pub use report::SimReport;
 pub use shard::{ShardPlan, ShardedSimSink};
 pub use sink::SimSink;
 pub use timing::{TimeBreakdown, TimingModel};
+pub use topology::{MachineTopology, TopologyLevel, MAX_TOPOLOGY_LEVELS};

@@ -1,7 +1,8 @@
 //! Models of the paper's two evaluation machines.
 
 use crate::paging::{PageMapper, PagePolicy};
-use crate::{CacheConfig, Hierarchy, HierarchyConfig, Mmu, TimingModel};
+use crate::topology::{MachineTopology, TopologyLevel};
+use crate::{CacheConfig, CacheConfigError, Hierarchy, HierarchyConfig, Mmu, TimingModel};
 use std::fmt;
 
 /// A machine model: cache geometry plus the paper's crude timing
@@ -21,8 +22,9 @@ use std::fmt;
 /// let m = MachineModel::r8000();
 /// assert_eq!(m.l2_config().size(), 2 << 20);
 /// // Scale the caches down 16x for a scaled-problem experiment:
-/// let small = m.scaled(1.0 / 16.0);
+/// let small = m.scaled(1.0 / 16.0)?;
 /// assert_eq!(small.l2_config().size(), 128 << 10);
+/// # Ok::<(), cachesim::CacheConfigError>(())
 /// ```
 #[derive(Clone, Debug)]
 pub struct MachineModel {
@@ -32,6 +34,8 @@ pub struct MachineModel {
     l1_miss_penalty_cycles: f64,
     l2_miss_penalty_ns: f64,
     hierarchy: HierarchyConfig,
+    /// Explicit locality topology; `None` derives one from `hierarchy`.
+    topology: Option<MachineTopology>,
     /// Per-thread fork+run overhead (paper Table 1), in nanoseconds.
     thread_overhead_ns: f64,
     /// Fully-associative TLB entries (both MIPS parts: 64 dual entries).
@@ -60,6 +64,7 @@ impl MachineModel {
                 CacheConfig::new(16 << 10, 32, 1).expect("static config"),
                 CacheConfig::new(2 << 20, 128, 4).expect("static config"),
             ),
+            topology: None,
             thread_overhead_ns: 1600.0,
             tlb_entries: 64,
             tlb_miss_penalty_cycles: 40.0,
@@ -86,6 +91,7 @@ impl MachineModel {
                 CacheConfig::new(32 << 10, 32, 2).expect("static config"),
                 CacheConfig::new(1 << 20, 128, 2).expect("static config"),
             ),
+            topology: None,
             thread_overhead_ns: 1090.0,
             tlb_entries: 64,
             tlb_miss_penalty_cycles: 40.0,
@@ -111,6 +117,7 @@ impl MachineModel {
                 CacheConfig::new(512 << 10, 64, 8).expect("static config"),
                 CacheConfig::new(32 << 20, 64, 16).expect("static config"),
             ),
+            topology: None,
             thread_overhead_ns: 30.0,
             tlb_entries: 1536,
             tlb_miss_penalty_cycles: 20.0,
@@ -135,11 +142,88 @@ impl MachineModel {
             l1_miss_penalty_cycles,
             l2_miss_penalty_ns,
             hierarchy,
+            topology: None,
             thread_overhead_ns,
             tlb_entries: 64,
             tlb_miss_penalty_cycles: 40.0,
             page_size: 4096,
         }
+    }
+
+    /// A synthetic 2-socket NUMA machine for topology-depth studies:
+    /// per-core 32 KB L1D and 256 KB L2, an 8 MB L3 shared by four
+    /// cores, and a 64 MB socket-local memory domain, two sockets —
+    /// a four-level locality tree (L1 ⊂ L2 ⊂ L3 ⊂ socket). The
+    /// simulated cache hierarchy models the three cache levels; the
+    /// socket level exists only in the topology, where schedulers and
+    /// lints see it.
+    pub fn numa2() -> Self {
+        let topology = MachineTopology::new(vec![
+            TopologyLevel::new(32 << 10, 64, 1),
+            TopologyLevel::new(256 << 10, 64, 1),
+            TopologyLevel::new(8 << 20, 64, 4),
+            TopologyLevel::new(64 << 20, 64, 2),
+        ])
+        .expect("static topology");
+        MachineModel {
+            name: "NUMA2".to_owned(),
+            clock_hz: 2.5e9,
+            instructions_per_cycle: 3.0,
+            l1_miss_penalty_cycles: 12.0,
+            l2_miss_penalty_ns: 90.0,
+            hierarchy: HierarchyConfig::new3(
+                CacheConfig::new(32 << 10, 64, 8).expect("static config"),
+                CacheConfig::new(256 << 10, 64, 8).expect("static config"),
+                CacheConfig::new(8 << 20, 64, 16).expect("static config"),
+            ),
+            topology: Some(topology),
+            thread_overhead_ns: 30.0,
+            tlb_entries: 1536,
+            tlb_miss_penalty_cycles: 20.0,
+            page_size: 4096,
+        }
+    }
+
+    /// Attaches an explicit locality topology (already validated by
+    /// [`MachineTopology::new`]), overriding the tree derived from the
+    /// cache hierarchy.
+    pub fn with_topology(mut self, topology: MachineTopology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// The machine's locality topology — the single source of
+    /// hierarchy truth for schedulers, bin geometry, and lints.
+    ///
+    /// Machines without an explicit topology derive one from their
+    /// simulated cache hierarchy (two levels for the paper machines,
+    /// three for [`modern`](Self::modern)), clamped so capacities come
+    /// out strictly ordered even on scaled models whose L2 shrinks
+    /// under the L1. A hierarchy too degenerate to clamp (capacity
+    /// under line size) collapses to its coarsest level.
+    pub fn topology(&self) -> MachineTopology {
+        if let Some(topology) = &self.topology {
+            return topology.clone();
+        }
+        let mut levels = vec![
+            TopologyLevel::new(self.hierarchy.l1d.size(), self.hierarchy.l1d.line(), 1),
+            TopologyLevel::new(self.hierarchy.l2.size(), self.hierarchy.l2.line(), 1),
+        ];
+        if let Some(l3) = self.hierarchy.l3 {
+            levels.push(TopologyLevel::new(l3.size(), l3.line(), 1));
+        }
+        // Lines may shrink as scaled capacities cross; widen each
+        // level's line to the running maximum so the derived tree
+        // always validates on that axis.
+        let mut widest = 0;
+        for level in &mut levels {
+            widest = widest.max(level.line());
+            *level = TopologyLevel::new(level.capacity(), widest, level.fanout());
+        }
+        let coarsest = *levels.last().expect("at least one level");
+        MachineTopology::clamped(levels).unwrap_or_else(|_| {
+            MachineTopology::new(vec![coarsest]).expect("single cache level is a valid topology")
+        })
     }
 
     /// Returns this machine with both cache capacities multiplied by
@@ -148,7 +232,13 @@ impl MachineModel {
     /// Scaled machines pair with scaled problem sizes to preserve the
     /// paper's data-set : cache ratios while keeping trace-driven
     /// simulation affordable; see EXPERIMENTS.md.
-    pub fn scaled(&self, factor: f64) -> MachineModel {
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if scaling degenerates the locality topology —
+    /// a level's capacity would fall below its line size even after
+    /// clamping — rather than silently flattening the tree.
+    pub fn scaled(&self, factor: f64) -> Result<MachineModel, CacheConfigError> {
         self.scaled_split(factor, factor)
     }
 
@@ -161,7 +251,20 @@ impl MachineModel {
     /// the L2-level working set (whole arrays) scales with the area. So
     /// the ratio-preserving choice is `l1_factor = √l2_factor`; see
     /// EXPERIMENTS.md.
-    pub fn scaled_split(&self, l1_factor: f64, l2_factor: f64) -> MachineModel {
+    ///
+    /// An explicit topology is scaled with the machine: the finest
+    /// level by `l1_factor`, every coarser level by `l2_factor`,
+    /// clamped so capacities stay strictly ordered.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the scaled topology degenerates (a level's
+    /// capacity falls below its line size after clamping).
+    pub fn scaled_split(
+        &self,
+        l1_factor: f64,
+        l2_factor: f64,
+    ) -> Result<MachineModel, CacheConfigError> {
         let mut scaled = self.clone();
         scaled.name = format!("{}/{:.3}x", self.name, l2_factor);
         scaled.hierarchy = HierarchyConfig::new(
@@ -169,7 +272,20 @@ impl MachineModel {
             self.hierarchy.l2.scaled(l2_factor),
         );
         scaled.hierarchy.l3 = self.hierarchy.l3.map(|l3| l3.scaled(l2_factor));
-        scaled
+        scaled.topology = match &self.topology {
+            Some(topology) => Some(topology.scaled_split(l1_factor, l2_factor)?),
+            None => None,
+        };
+        // A derived topology must also survive the scaling; reject the
+        // machine if it cannot, instead of handing out a model whose
+        // topology() silently flattened.
+        if scaled.topology.is_none() && scaled.topology().depth() < self.topology().depth() {
+            return Err(CacheConfigError::new(format!(
+                "scaling {} by ({l1_factor}, {l2_factor}) degenerates its locality topology",
+                self.name
+            )));
+        }
+        Ok(scaled)
     }
 
     /// Machine name.
@@ -328,11 +444,78 @@ mod tests {
 
     #[test]
     fn scaling_scales_both_levels() {
-        let m = MachineModel::r8000().scaled(0.25);
+        let m = MachineModel::r8000().scaled(0.25).unwrap();
         assert_eq!(m.l2_config().size(), 512 << 10);
         assert_eq!(m.l1_config().size(), 4 << 10);
         assert_eq!(m.l2_config().line(), 128, "line size preserved");
         assert!(m.name().contains("R8000"));
+    }
+
+    #[test]
+    fn derived_topology_matches_hierarchy() {
+        let t = MachineModel::r8000().topology();
+        assert_eq!(t.capacities(), vec![16 << 10, 2 << 20]);
+        assert_eq!(t.level(0).line(), 32);
+        assert_eq!(t.level(1).line(), 128);
+        let t3 = MachineModel::modern().topology();
+        assert_eq!(t3.capacities(), vec![32 << 10, 512 << 10, 32 << 20]);
+    }
+
+    #[test]
+    fn derived_topology_clamps_crossed_scaled_levels() {
+        // Bench machines scale L2 only; at 1/256 the L2 (8 KB) drops
+        // under the full-size L1 (16 KB). The derived tree must clamp
+        // the L1 level back under the L2, not flatten or invert.
+        let m = MachineModel::r8000()
+            .scaled_split(1.0, 1.0 / 256.0)
+            .unwrap();
+        let t = m.topology();
+        assert_eq!(t.capacities(), vec![4 << 10, 8 << 10]);
+        assert_eq!(t.level(0).line(), 32);
+        assert_eq!(t.level(1).line(), 128);
+    }
+
+    #[test]
+    fn numa2_has_a_four_level_tree() {
+        let m = MachineModel::numa2();
+        let t = m.topology();
+        assert_eq!(t.depth(), 4);
+        assert_eq!(t.capacities(), vec![32 << 10, 256 << 10, 8 << 20, 64 << 20]);
+        assert_eq!(t.level(3).fanout(), 2, "two sockets");
+        // The simulated hierarchy covers the three cache levels.
+        assert_eq!(m.hierarchy_config().l3.unwrap().size(), 8 << 20);
+    }
+
+    #[test]
+    fn scaling_scales_the_whole_topology_coherently() {
+        let m = MachineModel::numa2().scaled_split(1.0, 1.0 / 8.0).unwrap();
+        let t = m.topology();
+        assert_eq!(t.depth(), 4, "no level silently dropped");
+        // Coarse levels shrink 8x; the unscaled L1 clamps under the L2.
+        assert_eq!(t.capacities(), vec![16 << 10, 32 << 10, 1 << 20, 8 << 20]);
+        let caps = t.capacities();
+        assert!(caps.windows(2).all(|w| w[0] < w[1]), "strictly ordered");
+    }
+
+    #[test]
+    fn degenerate_scaling_is_an_error() {
+        // Scaling the explicit tree to below its line sizes must be
+        // rejected, not silently flattened (mirrors the serve crate's
+        // degenerate-L2 config error).
+        let err = MachineModel::numa2().scaled(1e-6).unwrap_err();
+        assert!(err.to_string().contains("line"), "{err}");
+        // with_topology attaches an explicit (validated) tree.
+        let custom = MachineModel::r8000().with_topology(
+            MachineTopology::new(vec![
+                TopologyLevel::new(16 << 10, 32, 1),
+                TopologyLevel::new(2 << 20, 128, 1),
+                TopologyLevel::new(32 << 20, 128, 2),
+            ])
+            .unwrap(),
+        );
+        assert_eq!(custom.topology().depth(), 3);
+        assert!(custom.scaled(1.0 / 4.0).is_ok());
+        assert!(custom.scaled(1e-7).is_err());
     }
 
     #[test]

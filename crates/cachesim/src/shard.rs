@@ -886,7 +886,9 @@ mod tests {
 
     #[test]
     fn sharded_equals_unsharded_across_shard_counts() {
-        let machine = MachineModel::r8000().scaled(1.0 / 16.0);
+        let machine = MachineModel::r8000()
+            .scaled(1.0 / 16.0)
+            .expect("valid scaled machine");
         let accesses = stream(120_000, 7);
         for shards in [1, 2, 4, 8] {
             reports_match(|| machine.hierarchy(), shards, &accesses);
@@ -895,13 +897,17 @@ mod tests {
 
     #[test]
     fn sharded_equals_unsharded_on_three_level_hierarchy() {
-        let machine = MachineModel::modern().scaled(1.0 / 64.0);
+        let machine = MachineModel::modern()
+            .scaled(1.0 / 64.0)
+            .expect("valid scaled machine");
         reports_match(|| machine.hierarchy(), 4, &stream(120_000, 3));
     }
 
     #[test]
     fn sharded_slow_mode_is_identical_too() {
-        let machine = MachineModel::r8000().scaled(1.0 / 16.0);
+        let machine = MachineModel::r8000()
+            .scaled(1.0 / 16.0)
+            .expect("valid scaled machine");
         let accesses = stream(60_000, 5);
         let mut fast = ShardedSimSink::new(machine.hierarchy(), 4);
         let mut slow = ShardedSimSink::new(machine.hierarchy(), 4);
@@ -926,7 +932,9 @@ mod tests {
 
     #[test]
     fn mid_stream_reports_drain_and_stay_identical() {
-        let machine = MachineModel::r8000().scaled(1.0 / 16.0);
+        let machine = MachineModel::r8000()
+            .scaled(1.0 / 16.0)
+            .expect("valid scaled machine");
         let accesses = stream(50_000, 29);
         let mut plain = SimSink::new(machine.hierarchy());
         let mut sharded = ShardedSimSink::new(machine.hierarchy(), 4);

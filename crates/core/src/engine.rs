@@ -18,7 +18,7 @@ use crate::stats::{RunStats, SchedulerStats};
 use crate::table::{BinId, BinTable};
 use crate::{Hints, RunMode, Tour};
 use memtrace::{Addr, TraceSink};
-use std::cmp::Reverse;
+use std::cmp::{Ordering, Reverse};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 /// Fixed base of the package's synthetic memory: every reference the
@@ -252,6 +252,36 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
         &self.policy
     }
 
+    /// The coarsest-level ancestor of a fine bin key — the drain-unit
+    /// grouping key. Identity for flat policies.
+    #[inline]
+    fn group_key(&self, key: [u64; MAX_DIMS]) -> [u64; MAX_DIMS] {
+        self.policy.ancestor_key(key, self.policy.depth() - 1)
+    }
+
+    /// Orders two fine keys within one coarsest-level group by their
+    /// full ancestor ladder: compare intermediate ancestor keys coarse
+    /// → fine, tie-breaking on the fine key itself. Shifting is not
+    /// monotone under plain lexicographic key order (e.g. keys `(1, 9)`
+    /// < `(2, 0)` but their `>> 2` ancestors `(0, 2)` > `(0, 0)`), so
+    /// sorting by the ladder — not the fine key — is what keeps each
+    /// intermediate level's bins contiguous. At depth 2 the ladder is
+    /// just the fine key, bit-identical to the pre-topology sort.
+    #[inline]
+    fn nested_cmp(&self, a: [u64; MAX_DIMS], b: [u64; MAX_DIMS]) -> Ordering {
+        for level in (1..self.policy.depth().saturating_sub(1)).rev() {
+            match self
+                .policy
+                .ancestor_key(a, level)
+                .cmp(&self.policy.ancestor_key(b, level))
+            {
+                Ordering::Equal => {}
+                other => return other,
+            }
+        }
+        a.cmp(&b)
+    }
+
     /// Enables tracing of the package's own memory traffic (see
     /// [`Scheduler::trace_package_memory`](crate::Scheduler::trace_package_memory)).
     pub(crate) fn trace_package_memory(&mut self) {
@@ -372,8 +402,9 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
         }
         bin.threads += 1;
         self.threads += 1;
-        if let Some(state) = &mut self.online {
-            let parent = self.policy.parent_key(key);
+        if self.online.is_some() {
+            let parent = self.group_key(key);
+            let state = self.online.as_mut().expect("checked above");
             if created {
                 state.members.entry(parent).or_default().push(id);
             }
@@ -407,7 +438,7 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
     /// no threads, is not queued, and ids of other bins don't shift.
     fn evict(&mut self, id: BinId) {
         debug_assert_eq!(self.bins[id as usize].threads, 0);
-        let parent = self.policy.parent_key(self.table.key(id));
+        let parent = self.group_key(self.table.key(id));
         self.table.remove(id);
         // Drop the group storage; the slot is reused by a later insert.
         self.bins[id as usize] = Bin::new(Addr::NULL);
@@ -480,7 +511,7 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
         }
         let mut state = OnlineState::with_eviction(eviction);
         for (id, bin) in self.bins.iter().enumerate() {
-            let parent = self.policy.parent_key(self.table.key(id as BinId));
+            let parent = self.group_key(self.table.key(id as BinId));
             state.members.entry(parent).or_default().push(id as BinId);
             if bin.threads > 0 {
                 state.queue(&self.tour, parent);
@@ -526,9 +557,9 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
             .copied()
             .filter(|&id| self.bins[id as usize].threads > 0)
             .collect();
-        subs.sort_unstable_by_key(|&id| self.table.key(id));
+        subs.sort_unstable_by(|&a, &b| self.nested_cmp(self.table.key(a), self.table.key(b)));
         let tracing = self.meta.is_some();
-        let hierarchical = self.policy.levels() > 1;
+        let hierarchical = self.policy.depth() > 1;
         let mut dispatched = state.dispatched;
         let mut threads_run = 0u64;
         let mut bins_visited = 0usize;
@@ -604,45 +635,57 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
     /// The order in which bins will be drained.
     ///
     /// Flat policies tour the bin keys directly (the paper's path,
-    /// bit-identical to the pre-refactor schedulers). Hierarchical
-    /// policies tour the *parent* keys — so inter-group order matches
-    /// the flat policy at parent granularity — and drain each parent's
-    /// sub-bins in sorted fine-key order, back-to-back.
+    /// bit-identical to the pre-refactor schedulers). Multi-level
+    /// policies tour the *coarsest-level* group keys — so inter-group
+    /// order matches the flat policy at that granularity — and drain
+    /// each group's bins sorted by their full ancestor ladder,
+    /// back-to-back, so every intermediate level's bins also come out
+    /// contiguous.
     pub(crate) fn tour_order(&self) -> Vec<BinId> {
         let keys = self.table.keys();
-        if self.policy.levels() <= 1 {
+        if self.policy.depth() <= 1 {
             return self.tour.order(keys);
         }
         let mut parent_keys: Vec<[u64; MAX_DIMS]> = Vec::new();
         let mut parent_index: HashMap<[u64; MAX_DIMS], usize> = HashMap::new();
         let mut members: Vec<Vec<BinId>> = Vec::new();
-        // Parents in first-appearance (allocation) order, matching the
-        // ready-list semantics a flat L2 policy would have.
+        // Groups in first-appearance (allocation) order, matching the
+        // ready-list semantics a flat coarsest-level policy would have.
         for (id, &key) in keys.iter().enumerate() {
-            let idx = *parent_index
-                .entry(self.policy.parent_key(key))
-                .or_insert_with(|| {
-                    parent_keys.push(self.policy.parent_key(key));
-                    members.push(Vec::new());
-                    parent_keys.len() - 1
-                });
+            let idx = *parent_index.entry(self.group_key(key)).or_insert_with(|| {
+                parent_keys.push(self.group_key(key));
+                members.push(Vec::new());
+                parent_keys.len() - 1
+            });
             members[idx].push(id as BinId);
         }
         let mut order = Vec::with_capacity(keys.len());
         for parent in self.tour.order(&parent_keys) {
             let subs = &mut members[parent as usize];
-            subs.sort_unstable_by_key(|&id| keys[id as usize]);
+            subs.sort_unstable_by(|&a, &b| self.nested_cmp(keys[a as usize], keys[b as usize]));
             order.append(subs);
         }
         order
     }
 
-    /// Block-coordinate key of one bin at *parent* granularity — the
-    /// coordinates work stealing scores distance over. Identity for
-    /// flat policies.
+    /// Block-coordinate key of one bin at the coarsest (group)
+    /// granularity — the coordinates manhattan-distance stealing scores
+    /// over. Identity for flat policies.
     #[inline]
     pub(crate) fn steal_key(&self, id: BinId) -> [u64; MAX_DIMS] {
-        self.policy.parent_key(self.table.key(id))
+        self.group_key(self.table.key(id))
+    }
+
+    /// The full ancestor ladder of one bin, finest level first — the
+    /// coordinates topology-aware stealing scores
+    /// lowest-common-ancestor depth over. A single-entry ladder for
+    /// flat policies.
+    #[inline]
+    pub(crate) fn steal_ladder(&self, id: BinId) -> Vec<[u64; MAX_DIMS]> {
+        let key = self.table.key(id);
+        (0..self.policy.depth())
+            .map(|level| self.policy.ancestor_key(key, level))
+            .collect()
     }
 
     /// The allocated bins, indexed by bin id.
@@ -668,7 +711,7 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
     ) -> RunStats {
         let order = self.tour_order();
         let tracing = self.meta.is_some();
-        let hierarchical = self.policy.levels() > 1;
+        let hierarchical = self.policy.depth() > 1;
         let mut threads_run = 0u64;
         let mut bins_visited = 0usize;
         let mut dispatched = 0u64;
@@ -687,7 +730,7 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
                 self.obs.bin_occupancy.record(bin.threads);
                 if hierarchical {
                     self.obs.subbins_run.incr();
-                    let pk = self.policy.parent_key(self.table.key(id));
+                    let pk = self.group_key(self.table.key(id));
                     match &mut parent {
                         Some((key, threads)) if *key == pk => *threads += bin.threads,
                         _ => {
@@ -782,7 +825,7 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
             .histogram("bin_occupancy", &self.obs.bin_occupancy)
             .histogram("bin_drain_ns", &self.obs.bin_drain_ns)
             .histogram("run_ns", &self.obs.run_ns);
-        if self.policy.levels() > 1 {
+        if self.policy.depth() > 1 {
             section
                 .counter("subbins_run", self.obs.subbins_run.get())
                 .histogram("parent_occupancy", &self.obs.parent_occupancy);

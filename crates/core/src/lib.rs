@@ -89,7 +89,9 @@ pub use engine::PACKAGE_TRACE_BASE;
 pub use hint::{Hints, MAX_DIMS};
 pub use parallel::{ParRunReport, ParScheduler, ParThreadFn};
 pub use phased::PhasedScheduler;
-pub use policy::{BinPolicy, Hierarchical, PaperBlockHash, SingleBin, UniqueBin};
+pub use policy::{
+    BinPolicy, Hierarchical, PaperBlockHash, SingleBin, TopologyPolicy, UniqueBin, MAX_LEVELS,
+};
 pub use scheduler::{RunMode, Scheduler, ThreadFn, ThreadScheduler};
 pub use stats::{RunStats, SchedulerStats, WorkerStats};
 pub use tour::Tour;

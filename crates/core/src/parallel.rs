@@ -34,6 +34,12 @@
 //! coordinates) from that victim's currently-executing bin — the bins
 //! least likely to share a cache-sized working set with the victim's
 //! near-term work, so the transfer costs the victim the least reuse.
+//! [`StealPolicy::TopologyAware`] instead scores victims from the
+//! *thief's* side: over the policy's ancestor ladder (derived from the
+//! machine topology), it ranks each victim's cold end by the depth of
+//! its lowest common ancestor with the bin the thief just finished and
+//! steals from the nearest subtree first — work that still shares part
+//! of the thief's warm cache hierarchy.
 //!
 //! # Concurrency contract
 //!
@@ -111,6 +117,10 @@ struct ParObs {
     bin_run_ns: probe::Histogram,
     /// Steals that moved at least one tour position.
     half_steals: probe::Counter,
+    /// Lowest-common-ancestor depth of each successful topology-aware
+    /// steal (0 = same finest bin block, ladder depth = unrelated
+    /// subtrees). Empty under the other policies.
+    steal_distance: probe::Histogram,
 }
 
 impl ParObs {
@@ -121,7 +131,8 @@ impl ParObs {
             .counter("half_steals", self.half_steals.get())
             .histogram("steal_size", &self.steal_size)
             .histogram("deque_depth", &self.deque_depth)
-            .histogram("bin_run_ns", &self.bin_run_ns);
+            .histogram("bin_run_ns", &self.bin_run_ns)
+            .histogram("steal_distance", &self.steal_distance);
         section
     }
 }
@@ -299,12 +310,22 @@ impl<C: Sync, P: BinPolicy> ParScheduler<C, P> {
         let policy = self.config.steal_policy();
         let mut stats = self.stats();
         let order = self.engine.tour_order();
-        // Block coordinates per *tour position* at parent (steal)
-        // granularity, for victim scoring. A hierarchical policy's
-        // sub-bins score as their L2-sized parent — working-set
-        // distance is an L2 notion.
+        // Block coordinates per *tour position* at the coarsest (steal)
+        // granularity, for victim scoring. A multi-level policy's bins
+        // score as their coarsest-level group — working-set distance is
+        // a last-level notion.
         let keys: Vec<[u64; MAX_DIMS]> =
             order.iter().map(|&id| self.engine.steal_key(id)).collect();
+        // Full ancestor ladders per tour position, only materialized
+        // for the policy that scores lowest-common-ancestor depth.
+        let ladders: Vec<Vec<[u64; MAX_DIMS]>> = if policy == StealPolicy::TopologyAware {
+            order
+                .iter()
+                .map(|&id| self.engine.steal_ladder(id))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let bins = self.engine.bins_slice();
 
         // Contiguous partition of the tour, balanced by thread count:
@@ -341,9 +362,11 @@ impl<C: Sync, P: BinPolicy> ParScheduler<C, P> {
                     let queues = &queues;
                     let order = &order;
                     let keys = &keys;
+                    let ladders = &ladders;
                     let obs = &obs;
-                    scope
-                        .spawn(move || worker_loop(me, queues, order, keys, bins, policy, ctx, obs))
+                    scope.spawn(move || {
+                        worker_loop(me, queues, order, keys, ladders, bins, policy, ctx, obs)
+                    })
                 })
                 .collect();
             handles
@@ -379,6 +402,7 @@ fn worker_loop<C: Sync>(
     queues: &[WorkerQueue],
     order: &[BinId],
     keys: &[[u64; MAX_DIMS]],
+    ladders: &[Vec<[u64; MAX_DIMS]>],
     bins: &[Bin<ParSpec<C>>],
     policy: StealPolicy,
     ctx: &C,
@@ -412,6 +436,7 @@ fn worker_loop<C: Sync>(
             StealPolicy::None => unreachable!("handled above"),
             StealPolicy::Random => steal_random(me, queues, &mut rng, &mut stats, obs),
             StealPolicy::LocalityAware => steal_locality(me, queues, keys, &mut stats, obs),
+            StealPolicy::TopologyAware => steal_topology(me, queues, ladders, &mut stats, obs),
         };
         stats.parked_ns += parked.elapsed().as_nanos() as u64;
         if !got {
@@ -522,6 +547,76 @@ fn steal_locality(
     }
 }
 
+/// Topology-aware policy: score every victim by the
+/// lowest-common-ancestor depth between its cold-end bin and the bin
+/// the *thief* is (or was last) executing, and steal from the nearest —
+/// the work that still shares the deepest level of the thief's warm
+/// hierarchy. Ties break toward the larger backlog, then the lower
+/// worker index. A thief that has not run anything yet scores every
+/// victim at distance 0, so ties pick the deepest backlog.
+fn steal_topology(
+    me: usize,
+    queues: &[WorkerQueue],
+    ladders: &[Vec<[u64; MAX_DIMS]>],
+    stats: &mut WorkerStats,
+    obs: &ParObs,
+) -> bool {
+    loop {
+        let anchor = queues[me].current.load(Ordering::Relaxed);
+        // (distance, backlog, victim); minimize distance, maximize
+        // backlog, minimize index.
+        let mut best: Option<(u64, usize, usize)> = None;
+        for (victim, queue) in queues.iter().enumerate() {
+            if victim == me {
+                continue;
+            }
+            let (back, backlog) = {
+                let dq = queue.deque.lock().expect("deque poisoned");
+                (dq.back().copied(), dq.len())
+            };
+            let Some(back) = back else { continue };
+            let distance = if anchor == NO_BIN {
+                0
+            } else {
+                lca_distance(&ladders[back as usize], &ladders[anchor])
+            };
+            let better = match best {
+                None => true,
+                Some((d, b, _)) => distance < d || (distance == d && backlog > b),
+            };
+            if better {
+                best = Some((distance, backlog, victim));
+            }
+        }
+        let Some((distance, _, victim)) = best else {
+            return false;
+        };
+        stats.steals_attempted += 1;
+        if steal_half(queues, victim, me, obs) > 0 {
+            stats.steals_succeeded += 1;
+            obs.steal_distance.record(distance);
+            return true;
+        }
+        // The chosen victim drained between scoring and stealing;
+        // rescan (total work shrinks monotonically, so this ends).
+    }
+}
+
+/// Depth of the lowest common ancestor of two bins over their ancestor
+/// ladders: 0 when they are the same finest-level bin block, `d` when
+/// level `d` is the first the two keys share, and the full ladder depth
+/// when they share no level at all (different top-level subtrees).
+#[inline]
+fn lca_distance(a: &[[u64; MAX_DIMS]], b: &[[u64; MAX_DIMS]]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    for (level, (ka, kb)) in a.iter().zip(b.iter()).enumerate() {
+        if ka == kb {
+            return level as u64;
+        }
+    }
+    a.len() as u64
+}
+
 /// Manhattan distance between two block-coordinate keys.
 #[inline]
 fn manhattan(a: [u64; MAX_DIMS], b: [u64; MAX_DIMS]) -> u64 {
@@ -584,10 +679,11 @@ mod tests {
         }
     }
 
-    const ALL_POLICIES: [StealPolicy; 3] = [
+    const ALL_POLICIES: [StealPolicy; 4] = [
         StealPolicy::None,
         StealPolicy::Random,
         StealPolicy::LocalityAware,
+        StealPolicy::TopologyAware,
     ];
 
     #[test]
@@ -814,6 +910,46 @@ mod tests {
         assert!(json.contains("\"makespan_ns\":"), "{json}");
         assert!(json.contains("\"busy_ns\":"), "{json}");
         assert!(json.contains("\"parked_ns\":"), "{json}");
+    }
+
+    #[test]
+    fn lca_distance_walks_the_ladder() {
+        let a = vec![[1, 0, 0, 0], [0, 0, 0, 0], [0, 0, 0, 0]];
+        let b = vec![[2, 0, 0, 0], [0, 0, 0, 0], [0, 0, 0, 0]];
+        let c = vec![[9, 0, 0, 0], [4, 0, 0, 0], [0, 0, 0, 0]];
+        let d = vec![[7, 0, 0, 0], [3, 0, 0, 0], [1, 0, 0, 0]];
+        assert_eq!(lca_distance(&a, &a), 0, "same fine bin");
+        assert_eq!(lca_distance(&a, &b), 1, "share the mid level");
+        assert_eq!(lca_distance(&a, &c), 2, "share only the root");
+        assert_eq!(lca_distance(&a, &d), 3, "different subtrees");
+    }
+
+    #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "4 scheduler runs x 600 forks are too slow under the interpreter"
+    )]
+    fn topology_aware_steals_run_everything_with_deep_policies() {
+        use crate::policy::TopologyPolicy;
+        let policy = TopologyPolicy::uniform(&[1 << 12, 1 << 16, 1 << 20], false).unwrap();
+        for workers in [1, 2, 4, 8] {
+            let mut sched: ParScheduler<Counters, TopologyPolicy> =
+                ParScheduler::with_policy(config_with(StealPolicy::TopologyAware), policy);
+            for i in 0..600usize {
+                sched.fork(
+                    bump,
+                    i % 10,
+                    1,
+                    Hints::one(Addr::new((i as u64 % 48) * 100_000)),
+                );
+            }
+            let ctx = counters(10);
+            let report = sched.run_report(&ctx, workers);
+            assert_eq!(report.run.threads_run, 600, "workers = {workers}");
+            assert_eq!(report.policy, StealPolicy::TopologyAware);
+            let total: u64 = ctx.slots.iter().map(|s| s.load(Ordering::Relaxed)).sum();
+            assert_eq!(total, 600);
+        }
     }
 
     #[test]

@@ -9,17 +9,21 @@
 //! phased, FIFO, random, parallel — is a thin configuration of one
 //! engine instead of five copies of the fork/bin/drain loop.
 //!
-//! Two policies reproduce and extend the paper:
+//! Three policies reproduce and extend the paper:
 //!
 //! * [`PaperBlockHash`] — the paper's mapping, bit-identical to the
 //!   pre-refactor `SchedulerConfig::block_coords`: shift each hint by
 //!   `log2(block size)`, optionally fold symmetric hints by sorting
 //!   coordinates descending.
-//! * [`Hierarchical`] — two cache levels: L1-sized *sub-bins* nested
-//!   inside L2-sized bins. Threads are binned at L1 granularity; the
-//!   engine tours L2-sized parents and drains each parent's sub-bins
-//!   back-to-back, so threads sharing an L1 working set run adjacently
-//!   *within* the L2-sized groups the paper's policy would have formed.
+//! * [`TopologyPolicy`] — an arbitrary machine hierarchy (L1 ⊂ L2 ⊂ L3
+//!   ⊂ NUMA node ⊂ …): one block size per level, finest to coarsest.
+//!   Threads are binned at the finest granularity; the engine tours
+//!   the coarsest-level groups and drains nested sub-bins back-to-back
+//!   in sorted-key order at every depth.
+//! * [`Hierarchical`] — the two-level (L1-in-L2) special case, kept as
+//!   a thin depth-2 alias of [`TopologyPolicy`]; its drain order is
+//!   pinned bit-identical to the pre-topology implementation by the
+//!   golden digests.
 //!
 //! Two degenerate policies express the baselines:
 //!
@@ -31,6 +35,10 @@ use crate::config::ConfigError;
 use crate::hint::MAX_DIMS;
 use crate::{Hints, SchedulerConfig};
 
+/// Maximum depth of a [`TopologyPolicy`] ancestor ladder (matches
+/// `cachesim::MAX_TOPOLOGY_LEVELS`).
+pub const MAX_LEVELS: usize = 8;
+
 /// A policy mapping fork-time [`Hints`] to a bin key in the scheduling
 /// space. The bin engine owns everything else (hashing, ready list,
 /// tour, drain loop); the policy owns only geometry.
@@ -41,18 +49,24 @@ pub trait BinPolicy: Clone + std::fmt::Debug {
     /// Maps hints to the (finest-level) bin key.
     fn bin_key(&mut self, hints: Hints) -> [u64; MAX_DIMS];
 
-    /// Maps a fine bin key to its enclosing parent key. The engine
-    /// tours *parents* and drains each parent's bins contiguously; for
-    /// single-level policies this is the identity, so the tour sees
-    /// the bin keys themselves.
-    fn parent_key(&self, key: [u64; MAX_DIMS]) -> [u64; MAX_DIMS] {
+    /// Maps a fine bin key to its enclosing ancestor key at `level` of
+    /// the policy's ladder: level 0 is the key itself, level
+    /// `depth() - 1` the coarsest grouping. Levels at or beyond the
+    /// depth saturate at the coarsest key. The engine tours
+    /// coarsest-level groups and drains each group's bins contiguously,
+    /// sorted by their full ancestor ladder; for single-level policies
+    /// every level is the identity, so the tour sees the bin keys
+    /// themselves.
+    fn ancestor_key(&self, key: [u64; MAX_DIMS], level: u32) -> [u64; MAX_DIMS] {
+        let _ = level;
         key
     }
 
-    /// Number of nesting levels (1 = flat, 2 = sub-bins within
-    /// parents). The engine only performs parent grouping when this
-    /// exceeds 1, keeping flat policies on the paper's exact path.
-    fn levels(&self) -> u32 {
+    /// Number of ladder levels (1 = flat, 2 = sub-bins within parents,
+    /// 3+ = deeper machine hierarchies). The engine only performs
+    /// ancestor grouping when this exceeds 1, keeping flat policies on
+    /// the paper's exact path.
+    fn depth(&self) -> u32 {
         1
     }
 
@@ -135,28 +149,160 @@ impl BinPolicy for PaperBlockHash {
     }
 }
 
-/// Two-level policy: L1-cache-sized sub-bins nested inside L2-sized
-/// parent bins.
+/// Multi-level policy: one bin block size per machine-hierarchy level,
+/// finest to coarsest (L1 ⊂ L2 ⊂ L3 ⊂ NUMA node ⊂ …).
 ///
-/// Threads are keyed at L1 granularity (`addr >> log2(l1 block)`); the
-/// parent key truncates the fine key to L2 granularity. The engine
-/// tours parents — so inter-group order matches what [`PaperBlockHash`]
-/// with L2 blocks would produce — and drains each parent's sub-bins in
-/// sorted fine-key order, running threads that share an L1-sized
-/// working set back-to-back. This is the "hierarchy level as a
-/// scheduling parameter" extension (compare bubble scheduling over the
-/// cache hierarchy): L2 capacity misses are avoided by the parent
-/// grouping exactly as in the paper, and L1 capacity misses shrink
-/// because the within-parent order is no longer arbitrary ("the
-/// scheduling order of threads in the same bin can be arbitrary",
-/// §2.3 — here it is chosen to be L1-local).
+/// Threads are keyed at the finest granularity
+/// (`addr >> log2(level-0 block)`); the ancestor key at level `l`
+/// truncates the fine key to that level's block granularity. The engine
+/// tours the coarsest-level groups — so inter-group order matches what
+/// [`PaperBlockHash`] with coarsest blocks would produce — and drains
+/// each group's bins sorted by their full ancestor ladder, running
+/// threads that share any level's working set back-to-back. This is the
+/// "hierarchy level as a scheduling parameter" extension (compare
+/// bubble scheduling over the cache hierarchy): coarsest-level capacity
+/// misses are avoided by the grouping exactly as in the paper, and
+/// finer-level capacity misses shrink because the within-group order is
+/// no longer arbitrary ("the scheduling order of threads in the same
+/// bin can be arbitrary", §2.3 — here it nests locality at every
+/// depth).
+///
+/// Build one from a machine with
+/// `BinGeometry::topology_policy` (workloads crate), which derives the
+/// per-level block sizes from a
+/// `cachesim::MachineTopology`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TopologyPolicy {
+    base_shifts: [u32; MAX_DIMS],
+    /// Per-level, per-dimension cumulative shift from the fine key to
+    /// that level's ancestor key (`rel_shifts[0]` is all zeros).
+    rel_shifts: [[u32; MAX_DIMS]; MAX_LEVELS],
+    depth: u32,
+    symmetric: bool,
+}
+
+impl TopologyPolicy {
+    /// Builds a policy from per-level, per-dimension block sizes,
+    /// finest level first.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if there are no levels or more than
+    /// [`MAX_LEVELS`], if any block size is zero or not a power of two,
+    /// if a dimension's block sizes decrease up the levels, or if
+    /// `symmetric` is requested with non-uniform block sizes within any
+    /// level (folding permutes coordinates across dimensions, which is
+    /// only meaningful when every dimension uses the same geometry).
+    pub fn new(level_blocks: &[[u64; MAX_DIMS]], symmetric: bool) -> Result<Self, ConfigError> {
+        if level_blocks.is_empty() {
+            return Err(ConfigError::new("topology policy needs at least one level"));
+        }
+        if level_blocks.len() > MAX_LEVELS {
+            return Err(ConfigError::new(format!(
+                "topology policy has {} levels, more than the supported {MAX_LEVELS}",
+                level_blocks.len()
+            )));
+        }
+        let mut shifts = [[0u32; MAX_DIMS]; MAX_LEVELS];
+        for (level, blocks) in level_blocks.iter().enumerate() {
+            for (dim, &size) in blocks.iter().enumerate() {
+                if size == 0 || !size.is_power_of_two() {
+                    return Err(ConfigError::new(format!(
+                        "block size {size} in level {level} dimension {dim} is not a nonzero \
+                         power of two"
+                    )));
+                }
+                shifts[level][dim] = size.trailing_zeros();
+            }
+            if symmetric && blocks.windows(2).any(|w| w[0] != w[1]) {
+                return Err(ConfigError::new(
+                    "symmetric folding requires uniform block sizes across dimensions",
+                ));
+            }
+        }
+        for level in 1..level_blocks.len() {
+            for dim in 0..MAX_DIMS {
+                if shifts[level][dim] < shifts[level - 1][dim] {
+                    return Err(ConfigError::new(format!(
+                        "block sizes must not shrink up the levels: dimension {dim} uses {} at \
+                         level {} but {} at level {level}",
+                        level_blocks[level - 1][dim],
+                        level - 1,
+                        level_blocks[level][dim],
+                    )));
+                }
+            }
+        }
+        let base_shifts = shifts[0];
+        let mut rel_shifts = [[0u32; MAX_DIMS]; MAX_LEVELS];
+        for level in 0..level_blocks.len() {
+            for dim in 0..MAX_DIMS {
+                rel_shifts[level][dim] = shifts[level][dim] - base_shifts[dim];
+            }
+        }
+        Ok(TopologyPolicy {
+            base_shifts,
+            rel_shifts,
+            depth: level_blocks.len() as u32,
+            symmetric,
+        })
+    }
+
+    /// Convenience constructor: the same block size in every dimension
+    /// of each level.
+    pub fn uniform(level_blocks: &[u64], symmetric: bool) -> Result<Self, ConfigError> {
+        let levels: Vec<[u64; MAX_DIMS]> = level_blocks.iter().map(|&b| [b; MAX_DIMS]).collect();
+        TopologyPolicy::new(&levels, symmetric)
+    }
+}
+
+impl BinPolicy for TopologyPolicy {
+    #[inline]
+    fn bin_key(&mut self, hints: Hints) -> [u64; MAX_DIMS] {
+        let addrs = hints.as_array();
+        let mut coords = [
+            addrs[0].raw() >> self.base_shifts[0],
+            addrs[1].raw() >> self.base_shifts[1],
+            addrs[2].raw() >> self.base_shifts[2],
+            addrs[3].raw() >> self.base_shifts[3],
+        ];
+        if self.symmetric {
+            // Shifting is monotone, so descending fine keys yield
+            // descending ancestor keys: folding stays consistent across
+            // every level.
+            coords.sort_unstable_by(|a, b| b.cmp(a));
+        }
+        coords
+    }
+
+    #[inline]
+    fn ancestor_key(&self, key: [u64; MAX_DIMS], level: u32) -> [u64; MAX_DIMS] {
+        let rel = &self.rel_shifts[level.min(self.depth - 1) as usize];
+        [
+            key[0] >> rel[0],
+            key[1] >> rel[1],
+            key[2] >> rel[2],
+            key[3] >> rel[3],
+        ]
+    }
+
+    fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    fn symmetric(&self) -> bool {
+        self.symmetric
+    }
+}
+
+/// Two-level policy: L1-cache-sized sub-bins nested inside L2-sized
+/// parent bins — the depth-2 special case of [`TopologyPolicy`], kept
+/// as a named type because it is the configuration the experiment suite
+/// ablates and the golden digests pin bit-identically to the
+/// pre-topology implementation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Hierarchical {
-    l1_shifts: [u32; MAX_DIMS],
-    /// Per-dimension `log2(l2 block) - log2(l1 block)`: how many fine
-    /// coordinate bits a parent key truncates.
-    rel_shifts: [u32; MAX_DIMS],
-    symmetric: bool,
+    inner: TopologyPolicy,
 }
 
 impl Hierarchical {
@@ -175,38 +321,8 @@ impl Hierarchical {
         l2_blocks: [u64; MAX_DIMS],
         symmetric: bool,
     ) -> Result<Self, ConfigError> {
-        let mut l1_shifts = [0u32; MAX_DIMS];
-        let mut rel_shifts = [0u32; MAX_DIMS];
-        for dim in 0..MAX_DIMS {
-            let (l1, l2) = (l1_blocks[dim], l2_blocks[dim]);
-            for size in [l1, l2] {
-                if size == 0 || !size.is_power_of_two() {
-                    return Err(ConfigError::new(format!(
-                        "block size {size} in dimension {dim} is not a nonzero power of two"
-                    )));
-                }
-            }
-            if l1 > l2 {
-                return Err(ConfigError::new(format!(
-                    "L1 block {l1} exceeds L2 block {l2} in dimension {dim}"
-                )));
-            }
-            l1_shifts[dim] = l1.trailing_zeros();
-            rel_shifts[dim] = l2.trailing_zeros() - l1.trailing_zeros();
-        }
-        if symmetric
-            && (l1_blocks.windows(2).any(|w| w[0] != w[1])
-                || rel_shifts.windows(2).any(|w| w[0] != w[1]))
-        {
-            return Err(ConfigError::new(
-                "symmetric folding requires uniform block sizes across dimensions",
-            ));
-        }
-        Ok(Hierarchical {
-            l1_shifts,
-            rel_shifts,
-            symmetric,
-        })
+        let inner = TopologyPolicy::new(&[l1_blocks, l2_blocks], symmetric)?;
+        Ok(Hierarchical { inner })
     }
 
     /// Convenience constructor: the same L1 and L2 block size in every
@@ -219,38 +335,20 @@ impl Hierarchical {
 impl BinPolicy for Hierarchical {
     #[inline]
     fn bin_key(&mut self, hints: Hints) -> [u64; MAX_DIMS] {
-        let addrs = hints.as_array();
-        let mut coords = [
-            addrs[0].raw() >> self.l1_shifts[0],
-            addrs[1].raw() >> self.l1_shifts[1],
-            addrs[2].raw() >> self.l1_shifts[2],
-            addrs[3].raw() >> self.l1_shifts[3],
-        ];
-        if self.symmetric {
-            // Shifting is monotone, so descending fine keys yield
-            // descending parent keys: folding stays consistent across
-            // both levels.
-            coords.sort_unstable_by(|a, b| b.cmp(a));
-        }
-        coords
+        self.inner.bin_key(hints)
     }
 
     #[inline]
-    fn parent_key(&self, key: [u64; MAX_DIMS]) -> [u64; MAX_DIMS] {
-        [
-            key[0] >> self.rel_shifts[0],
-            key[1] >> self.rel_shifts[1],
-            key[2] >> self.rel_shifts[2],
-            key[3] >> self.rel_shifts[3],
-        ]
+    fn ancestor_key(&self, key: [u64; MAX_DIMS], level: u32) -> [u64; MAX_DIMS] {
+        self.inner.ancestor_key(key, level)
     }
 
-    fn levels(&self) -> u32 {
+    fn depth(&self) -> u32 {
         2
     }
 
     fn symmetric(&self) -> bool {
-        self.symmetric
+        self.inner.symmetric()
     }
 }
 
@@ -324,16 +422,74 @@ mod tests {
     #[test]
     fn hierarchical_nests_l1_in_l2() {
         let mut policy = Hierarchical::uniform(1 << 10, 1 << 12, false).unwrap();
-        assert_eq!(policy.levels(), 2);
+        assert_eq!(policy.depth(), 2);
         // Two addresses in the same 4 KiB parent but different 1 KiB
         // sub-blocks.
         let a = policy.bin_key(Hints::one(Addr::new(0x1000)));
         let b = policy.bin_key(Hints::one(Addr::new(0x1400)));
         assert_ne!(a, b, "distinct L1 sub-bins");
-        assert_eq!(policy.parent_key(a), policy.parent_key(b), "same L2 parent");
+        assert_eq!(
+            policy.ancestor_key(a, 1),
+            policy.ancestor_key(b, 1),
+            "same L2 parent"
+        );
         // A third address in another parent.
         let c = policy.bin_key(Hints::one(Addr::new(0x4000)));
-        assert_ne!(policy.parent_key(a), policy.parent_key(c));
+        assert_ne!(policy.ancestor_key(a, 1), policy.ancestor_key(c, 1));
+    }
+
+    #[test]
+    fn topology_policy_nests_every_level() {
+        let mut policy =
+            TopologyPolicy::uniform(&[1 << 10, 1 << 12, 1 << 14, 1 << 16], false).unwrap();
+        assert_eq!(policy.depth(), 4);
+        // Same 64 KiB node, same 16 KiB group, different 4 KiB parents.
+        let a = policy.bin_key(Hints::one(Addr::new(0x1000)));
+        let b = policy.bin_key(Hints::one(Addr::new(0x2400)));
+        assert_ne!(a, b);
+        assert_ne!(policy.ancestor_key(a, 1), policy.ancestor_key(b, 1));
+        assert_eq!(policy.ancestor_key(a, 2), policy.ancestor_key(b, 2));
+        assert_eq!(policy.ancestor_key(a, 3), policy.ancestor_key(b, 3));
+        // Level 0 is the key itself; levels beyond the depth saturate.
+        assert_eq!(policy.ancestor_key(a, 0), a);
+        assert_eq!(policy.ancestor_key(a, 9), policy.ancestor_key(a, 3));
+    }
+
+    #[test]
+    fn topology_policy_matches_hierarchical_at_depth_2() {
+        let mut hier = Hierarchical::uniform(1 << 10, 1 << 13, true).unwrap();
+        let mut topo = TopologyPolicy::uniform(&[1 << 10, 1 << 13], true).unwrap();
+        for addrs in [(0x1000, 0x9000), (0x9000, 0x1000), (0x123456, 0xffff)] {
+            let hints = Hints::two(Addr::new(addrs.0), Addr::new(addrs.1));
+            let (hk, tk) = (hier.bin_key(hints), topo.bin_key(hints));
+            assert_eq!(hk, tk);
+            for level in 0..2 {
+                assert_eq!(hier.ancestor_key(hk, level), topo.ancestor_key(tk, level));
+            }
+        }
+        assert_eq!(hier.depth(), topo.depth());
+        assert_eq!(hier.symmetric(), topo.symmetric());
+    }
+
+    #[test]
+    fn topology_policy_validates_geometry() {
+        assert!(TopologyPolicy::uniform(&[], false).is_err(), "no levels");
+        assert!(
+            TopologyPolicy::uniform(&[1 << 12, 1 << 10], false).is_err(),
+            "blocks shrink up the levels"
+        );
+        assert!(TopologyPolicy::uniform(&[0, 1 << 10], false).is_err());
+        assert!(TopologyPolicy::uniform(&[3000], false).is_err());
+        assert!(
+            TopologyPolicy::new(&[[512, 1024, 512, 512], [4096; 4]], true).is_err(),
+            "symmetric folding needs uniform blocks"
+        );
+        let nine: Vec<u64> = (0..9).map(|i| 1u64 << (10 + i)).collect();
+        assert!(TopologyPolicy::uniform(&nine, false).is_err(), "too deep");
+        assert!(TopologyPolicy::uniform(&[1 << 10], false).is_ok(), "flat");
+        // Equal block sizes at adjacent levels are allowed (a level can
+        // be a no-op for one dimension).
+        assert!(TopologyPolicy::uniform(&[1 << 10, 1 << 10, 1 << 12], false).is_ok());
     }
 
     #[test]
@@ -357,7 +513,7 @@ mod tests {
         let ab = policy.bin_key(Hints::two(Addr::new(0x1000), Addr::new(0x9000)));
         let ba = policy.bin_key(Hints::two(Addr::new(0x9000), Addr::new(0x1000)));
         assert_eq!(ab, ba);
-        assert_eq!(policy.parent_key(ab), policy.parent_key(ba));
+        assert_eq!(policy.ancestor_key(ab, 1), policy.ancestor_key(ba, 1));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use locality_sched::{
     Addr, BinPolicy, FifoScheduler, Hierarchical, Hints, PaperBlockHash, RandomScheduler, RunMode,
-    Scheduler, SchedulerConfig, SingleBin, ThreadScheduler, Tour,
+    Scheduler, SchedulerConfig, SingleBin, ThreadScheduler, TopologyPolicy, Tour,
 };
 use proptest::prelude::*;
 
@@ -36,6 +36,7 @@ fn arb_policy() -> impl Strategy<Value = locality_sched::StealPolicy> {
         Just(StealPolicy::None),
         Just(StealPolicy::Random),
         Just(StealPolicy::LocalityAware),
+        Just(StealPolicy::TopologyAware),
     ]
 }
 
@@ -396,7 +397,54 @@ proptest! {
             addrs,
             other,
         );
+        check(
+            TopologyPolicy::uniform(&[block >> sub_log2, block], true).unwrap(),
+            addrs,
+            other,
+        );
         check(SingleBin, addrs, other);
+    }
+
+    /// A two-rung [`TopologyPolicy`] ladder IS the two-level
+    /// [`Hierarchical`] policy: identical bin keys, identical ancestor
+    /// ladder, and an identical drain order under any configuration,
+    /// tour, and hint mixture. This is what licenses `Hierarchical` to
+    /// remain a thin alias for the depth-2 case.
+    #[test]
+    fn topology_depth2_matches_hierarchical(
+        config in arb_config(),
+        hints in prop::collection::vec(arb_hints(), 0..150),
+        sub_log2 in 3u32..10,
+        block_log2 in 10u32..24,
+        symmetric in any::<bool>(),
+    ) {
+        let (sub, block) = (1u64 << sub_log2, 1u64 << block_log2);
+        let mut hier = Hierarchical::uniform(sub, block, symmetric).unwrap();
+        let mut tree = TopologyPolicy::uniform(&[sub, block], symmetric).unwrap();
+        prop_assert_eq!(BinPolicy::depth(&hier), 2);
+        prop_assert_eq!(BinPolicy::depth(&tree), 2);
+        for h in &hints {
+            let key = hier.bin_key(*h);
+            prop_assert_eq!(key, tree.bin_key(*h));
+            for level in 0..2 {
+                prop_assert_eq!(
+                    hier.ancestor_key(key, level),
+                    tree.ancestor_key(key, level),
+                    "level {}", level
+                );
+            }
+        }
+        let mut a: Scheduler<Log, _> = Scheduler::with_policy(config, hier);
+        let mut b: Scheduler<Log, _> = Scheduler::with_policy(config, tree);
+        for (i, h) in hints.iter().enumerate() {
+            a.fork(record, i, 0, *h);
+            b.fork(record, i, 0, *h);
+        }
+        let mut log_a = Log::new();
+        let mut log_b = Log::new();
+        a.run(&mut log_a, RunMode::Consume);
+        b.run(&mut log_b, RunMode::Consume);
+        prop_assert_eq!(log_a, log_b, "drain order diverged");
     }
 
     /// [`PaperBlockHash`] computes exactly the pre-refactor hints→bin

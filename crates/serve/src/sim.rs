@@ -31,7 +31,7 @@ use crate::trace::Request;
 use cachesim::{MachineModel, SimReport, SimSink};
 use locality_sched::{
     BinPolicy, EvictionPolicy, Hierarchical, PaperBlockHash, RunMode, Scheduler, SchedulerConfig,
-    SingleBin, UniqueBin,
+    SingleBin, TopologyPolicy, UniqueBin,
 };
 use memtrace::{Access, TraceSink};
 use std::collections::VecDeque;
@@ -146,6 +146,9 @@ pub enum ServePolicy {
     Flat,
     /// Two-level L1-in-L2 binning.
     Hierarchical,
+    /// Binning at every level of the machine's topology tree (equal to
+    /// `Hierarchical` on two-level machines, deeper on NUMA models).
+    Topology,
     /// Everything in one bin: FIFO service, no locality.
     SingleBin,
     /// Every request its own bin: fork-order service, maximal bins.
@@ -158,16 +161,18 @@ impl ServePolicy {
         match self {
             ServePolicy::Flat => "flat",
             ServePolicy::Hierarchical => "hierarchical",
+            ServePolicy::Topology => "topology",
             ServePolicy::SingleBin => "single_bin",
             ServePolicy::UniqueBin => "unique_bin",
         }
     }
 
-    /// All four policies, in the order benches report them.
-    pub fn all() -> [ServePolicy; 4] {
+    /// All five policies, in the order benches report them.
+    pub fn all() -> [ServePolicy; 5] {
         [
             ServePolicy::Flat,
             ServePolicy::Hierarchical,
+            ServePolicy::Topology,
             ServePolicy::SingleBin,
             ServePolicy::UniqueBin,
         ]
@@ -325,33 +330,48 @@ fn serve_thread(ctx: &mut ExecCtx, slot: usize, _arg2: usize) {
     ctx.free_slots.push(slot);
 }
 
-/// Serving bin geometry for `machine`: parent bins at half the L2,
-/// sub-bins capped at the L1 capacity, 1/8 of the L2, *and* half the
-/// parent block (the same separation rule `BinGeometry` applies to the
-/// paper kernels — the levels must stay apart or `Hierarchical`
-/// silently degenerates to flat).
+/// Serving bin geometry for `machine`: one block per level of its
+/// topology tree, coarsest at half that level's capacity and every
+/// finer block capped at its own level's capacity, 1/8 of the next
+/// coarser capacity, *and* half the next coarser block (the same
+/// separation rule `BinGeometry` applies to the paper kernels — the
+/// levels must stay apart or nesting silently degenerates to flat).
+/// On a plain L1/L2 machine this reduces exactly to the original
+/// two-level rule: parent at half the L2, sub-bins at
+/// `min(L1, L2/8)`.
 ///
 /// # Errors
 ///
-/// A machine whose L2 is so small that the parent block collapses
-/// below 2 bytes cannot keep two levels separated; that is a
+/// A machine whose coarsest level is so small that its block collapses
+/// below 2 bytes cannot keep the levels separated; that is a
 /// configuration error, not a silently-flat hierarchy.
-fn serve_blocks(machine: &MachineModel) -> Result<(u64, u64), ServeError> {
-    let l2_block = prev_power_of_two(machine.l2_capacity() / 2);
-    if l2_block < 2 {
+fn serve_ladder(machine: &MachineModel) -> Result<Vec<u64>, ServeError> {
+    let caps = machine.topology().capacities();
+    let depth = caps.len();
+    let mut blocks = vec![0u64; depth];
+    blocks[depth - 1] = prev_power_of_two(caps[depth - 1] / 2);
+    if blocks[depth - 1] < 2 {
         return Err(ServeError::new(format!(
-            "machine '{}' has L2 capacity {} — the {}-byte serving parent block cannot hold a \
-             separated L1 sub-block",
+            "machine '{}' has coarsest capacity {} — the {}-byte serving parent block cannot \
+             hold a separated sub-block",
             machine.name(),
-            machine.l2_capacity(),
-            l2_block,
+            caps[depth - 1],
+            blocks[depth - 1],
         )));
     }
-    let l1_budget = machine
-        .l1_capacity()
-        .min((machine.l2_capacity() / 8).max(1));
-    let l1_block = prev_power_of_two(l1_budget).min(l2_block / 2);
-    Ok((l1_block, l2_block))
+    for level in (0..depth - 1).rev() {
+        let budget = caps[level].min((caps[level + 1] / 8).max(1));
+        blocks[level] = prev_power_of_two(budget).min(blocks[level + 1] / 2);
+    }
+    Ok(blocks)
+}
+
+/// The ladder's two finest rungs: the L1/L2 blocks the flat and
+/// two-level policies bin at.
+#[cfg(test)]
+fn serve_blocks(machine: &MachineModel) -> Result<(u64, u64), ServeError> {
+    let ladder = serve_ladder(machine)?;
+    Ok((ladder[0], ladder[ladder.len().min(2) - 1]))
 }
 
 fn prev_power_of_two(value: u64) -> u64 {
@@ -376,7 +396,8 @@ pub fn run_serve<I: Iterator<Item = Request>>(
     config: &ServeConfig,
     policy: ServePolicy,
 ) -> Result<ServeOutcome, ServeError> {
-    let (l1_block, l2_block) = serve_blocks(machine)?;
+    let ladder = serve_ladder(machine)?;
+    let (l1_block, l2_block) = (ladder[0], ladder[ladder.len().min(2) - 1]);
     let sched_config = SchedulerConfig::builder()
         .block_size(l2_block)
         .eviction(config.eviction)
@@ -399,6 +420,14 @@ pub fn run_serve<I: Iterator<Item = Request>>(
             sched_config,
             Hierarchical::uniform(l1_block, l2_block, false)
                 .expect("separated powers of two are valid"),
+        ),
+        ServePolicy::Topology => run_serve_with(
+            trace,
+            machine,
+            config,
+            policy,
+            sched_config,
+            TopologyPolicy::uniform(&ladder, false).expect("separated powers of two are valid"),
         ),
         ServePolicy::SingleBin => {
             run_serve_with(trace, machine, config, policy, sched_config, SingleBin)
@@ -693,7 +722,8 @@ pub fn run_offline<I: Iterator<Item = Request>>(
     machine: &MachineModel,
     policy: ServePolicy,
 ) -> Result<Vec<ExecRecord>, ServeError> {
-    let (l1_block, l2_block) = serve_blocks(machine)?;
+    let ladder = serve_ladder(machine)?;
+    let (l1_block, l2_block) = (ladder[0], ladder[ladder.len().min(2) - 1]);
     let sched_config = SchedulerConfig::builder()
         .block_size(l2_block)
         .build()
@@ -711,6 +741,12 @@ pub fn run_offline<I: Iterator<Item = Request>>(
             sched_config,
             Hierarchical::uniform(l1_block, l2_block, false)
                 .expect("separated powers of two are valid"),
+        ),
+        ServePolicy::Topology => run_offline_with(
+            trace,
+            machine,
+            sched_config,
+            TopologyPolicy::uniform(&ladder, false).expect("separated powers of two are valid"),
         ),
         ServePolicy::SingleBin => run_offline_with(trace, machine, sched_config, SingleBin),
         ServePolicy::UniqueBin => {
@@ -905,11 +941,56 @@ mod tests {
             MachineModel::r8000(),
             MachineModel::r10000(),
             MachineModel::modern(),
+            MachineModel::numa2(),
         ] {
             let (l1, l2) = serve_blocks(&machine).unwrap();
             assert!(l1 < l2, "{}: {l1} !< {l2}", machine.name());
             assert!(l1.is_power_of_two() && l2.is_power_of_two());
         }
+    }
+
+    #[test]
+    fn serve_ladder_follows_the_topology_tree() {
+        let ladder = serve_ladder(&MachineModel::numa2()).unwrap();
+        assert_eq!(ladder.len(), 4, "{ladder:?}");
+        for pair in ladder.windows(2) {
+            assert!(pair[0].is_power_of_two(), "{ladder:?}");
+            assert!(pair[0] <= pair[1] / 2, "levels not separated: {ladder:?}");
+        }
+        // Two-level machines reduce to the original L1/L2 rule.
+        let machine = MachineModel::r8000();
+        let (l1, l2) = serve_blocks(&machine).unwrap();
+        assert_eq!(l2, prev_power_of_two(machine.l2_capacity() / 2));
+        let l1_budget = machine.l1_capacity().min(machine.l2_capacity() / 8);
+        assert_eq!(l1, prev_power_of_two(l1_budget).min(l2 / 2));
+    }
+
+    #[test]
+    fn topology_policy_matches_hierarchical_on_two_level_machines() {
+        let machine = MachineModel::r8000();
+        let config = ServeConfig::default_bench();
+        let h = run_serve(
+            tiny_trace(2000),
+            &machine,
+            &config,
+            ServePolicy::Hierarchical,
+        )
+        .unwrap();
+        let t = run_serve(tiny_trace(2000), &machine, &config, ServePolicy::Topology).unwrap();
+        assert_eq!(h.report.warm_hits, t.report.warm_hits);
+        assert_eq!(h.report.completed, t.report.completed);
+        assert_eq!(h.report.drains, t.report.drains);
+        assert_eq!(h.report.p99_latency_ns, t.report.p99_latency_ns);
+        assert_eq!(h.sim.l2.misses(), t.sim.l2.misses());
+    }
+
+    #[test]
+    fn topology_policy_serves_a_numa_machine() {
+        let machine = MachineModel::numa2();
+        let config = ServeConfig::default_bench();
+        let out = run_serve(tiny_trace(2000), &machine, &config, ServePolicy::Topology).unwrap();
+        assert_eq!(out.report.offered, 2000);
+        assert_eq!(out.report.completed + out.report.shed, out.report.admitted);
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Online-vs-offline equivalence: with every request arriving at t=0
 //! and an unbounded admission queue, the continuously-draining online
 //! engine must execute requests in **exactly** the offline batch
-//! scheduler's order, with identical per-request miss deltas — for all
-//! four bin policies and any lane count.
+//! scheduler's order, with identical per-request miss deltas — for
+//! every bin policy and any lane count.
 //!
 //! This is the contract that makes the online mode trustworthy: lanes
 //! model time overlap only, never reorder execution, and the online
@@ -27,13 +27,18 @@ fn machine(index: usize) -> MachineModel {
         0 => MachineModel::r8000(),
         1 => MachineModel::r10000(),
         2 => MachineModel::modern(),
-        3 => MachineModel::r8000().scaled(0.25),
-        _ => MachineModel::r10000().scaled_split(0.5, 0.125),
+        3 => MachineModel::r8000()
+            .scaled(0.25)
+            .expect("valid scaled machine"),
+        4 => MachineModel::r10000()
+            .scaled_split(0.5, 0.125)
+            .expect("valid scaled machine"),
+        _ => MachineModel::numa2(),
     }
 }
 
 fn policy(index: usize) -> ServePolicy {
-    ServePolicy::all()[index % 4]
+    ServePolicy::all()[index % ServePolicy::all().len()]
 }
 
 fn online_log(
@@ -81,8 +86,8 @@ proptest! {
     #[test]
     fn online_t0_matches_offline_batch(
         seed in any::<u64>(),
-        machine_index in 0usize..5,
-        policy_index in 0usize..4,
+        machine_index in 0usize..6,
+        policy_index in 0usize..5,
         requests in 100u64..400,
         objects in prop_oneof![Just(64u64), Just(256), Just(1024)],
         zipf_s in prop_oneof![Just(0.0), Just(0.8), Just(1.1)],
@@ -111,7 +116,13 @@ proptest! {
 #[test]
 fn all_policy_lane_cells_agree_on_fixed_trace() {
     let config = trace_config(0xA5A5, 600, 256, 0.99);
-    for machine in [MachineModel::r8000(), MachineModel::r10000()] {
+    // numa2 exercises the topology policy at depth 4: the t=0 contract
+    // must hold on deep trees, not just the two-level machines.
+    for machine in [
+        MachineModel::r8000(),
+        MachineModel::r10000(),
+        MachineModel::numa2(),
+    ] {
         for policy in ServePolicy::all() {
             let offline = run_offline(at_epoch(config), &machine, policy).unwrap();
             for lanes in [1usize, 2, 4] {

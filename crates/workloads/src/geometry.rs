@@ -16,13 +16,15 @@
 //! | [`Sor`](Kernel::Sor) | L2 / 4 | 63 bins over a 32 MB array ≈ L2/4 blocks |
 //! | [`NBody`](Kernel::NBody) | L2 / 3 | three hint dimensions summing to L2 (§3.2) |
 //!
-//! The same rules applied to the L1 capacity give the *sub-bin* sizes
-//! for hierarchical (L1-in-L2) binning: sub-bins whose working sets fit
-//! the first-level cache, drained back-to-back inside their L2-sized
-//! parent.
+//! The same rules applied to every other level of the machine's
+//! [`MachineTopology`](cachesim::MachineTopology) give the block sizes
+//! for hierarchical binning at arbitrary depth: level-0 sub-bins whose
+//! working sets fit the first-level cache, nested in L2-sized bins,
+//! nested in L3- or NUMA-node-sized groups, drained back-to-back
+//! inside their parents at every depth.
 
-use cachesim::MachineModel;
-use locality_sched::{ConfigError, Hierarchical, SchedulerConfig};
+use cachesim::{MachineModel, MAX_TOPOLOGY_LEVELS};
+use locality_sched::{ConfigError, Hierarchical, SchedulerConfig, TopologyPolicy};
 
 /// The four threaded kernels whose bin sizes derive from the machine.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -129,47 +131,93 @@ fn prev_power_of_two(x: u64) -> u64 {
     1 << (63 - x.leading_zeros())
 }
 
-/// The cache capacities a machine offers each bin level, extracted once
-/// from a [`MachineModel`] so every workload and bench derives its
-/// block sizes from the same two numbers.
+/// The per-level cache capacities a machine offers each bin level,
+/// extracted once from a [`MachineModel`]'s topology tree so every
+/// workload and bench derives its block sizes from the same ladder.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BinGeometry {
-    /// First-level data cache capacity in bytes (sub-bin budget).
-    pub l1_capacity: u64,
-    /// Second-level cache capacity in bytes (bin budget, §3.2).
-    pub l2_capacity: u64,
+    /// Per-level capacities in bytes, finest first; entries past
+    /// `depth` are unused.
+    capacities: [u64; MAX_TOPOLOGY_LEVELS],
+    depth: usize,
 }
 
 impl BinGeometry {
-    /// Reads the bin-level budgets off a machine model.
+    /// Reads the bin-level budgets off a machine model's topology.
     pub fn for_machine(machine: &MachineModel) -> Self {
+        let caps = machine.topology().capacities();
+        let mut capacities = [0u64; MAX_TOPOLOGY_LEVELS];
+        capacities[..caps.len()].copy_from_slice(&caps);
         BinGeometry {
-            l1_capacity: machine.l1_capacity(),
-            l2_capacity: machine.l2_capacity(),
+            capacities,
+            depth: caps.len(),
         }
     }
 
-    /// The L2-sized (flat / parent) block for `kernel`.
-    pub fn l2_block(&self, kernel: Kernel) -> u64 {
-        prev_power_of_two(kernel.capacity_share(self.l2_capacity))
+    /// A two-level (L1-in-L2) geometry from explicit capacities — the
+    /// pre-topology constructor, kept for tests and callers that do
+    /// not have a machine model at hand.
+    pub fn two_level(l1_capacity: u64, l2_capacity: u64) -> Self {
+        let mut capacities = [0u64; MAX_TOPOLOGY_LEVELS];
+        capacities[0] = l1_capacity;
+        capacities[1] = l2_capacity;
+        BinGeometry {
+            capacities,
+            depth: 2,
+        }
     }
 
-    /// The L1-sized (sub-bin) block for `kernel`.
-    ///
-    /// The sub-bin budget is the L1 capacity, capped at 1/8 of the L2
-    /// capacity: a sub-bin level only refines the schedule if it is
-    /// strictly finer than its parent. Real machines keep L1 ≪ L2
-    /// (R8000 1:128, R10000 1:32 — the cap never binds), but the
-    /// ratio-preserving bench machines scale L2 down while leaving L1
-    /// untouched, which used to collapse the sub-bin block onto the
-    /// parent block and made [`hierarchical`](Self::hierarchical)
-    /// byte-identical to [`flat_config`](Self::flat_config) at bench
-    /// scale.
+    /// Number of hierarchy levels the geometry carries.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Per-level block budgets: each level gets its own capacity,
+    /// capped at 1/8 of the next-coarser level's *budget* so every
+    /// level stays strictly finer than its parent. Real machines keep
+    /// adjacent levels ≫ 8× apart (R8000 L1:L2 is 1:256 — the cap
+    /// never binds), but the ratio-preserving bench machines scale
+    /// coarse levels down while leaving L1 untouched, which used to
+    /// collapse the sub-bin block onto the parent block and made
+    /// [`hierarchical`](Self::hierarchical) byte-identical to
+    /// [`flat_config`](Self::flat_config) at bench scale.
+    fn budgets(&self) -> [u64; MAX_TOPOLOGY_LEVELS] {
+        let mut budgets = [0u64; MAX_TOPOLOGY_LEVELS];
+        budgets[self.depth - 1] = self.capacities[self.depth - 1];
+        for level in (0..self.depth - 1).rev() {
+            budgets[level] = self.capacities[level].min((budgets[level + 1] / 8).max(1));
+        }
+        budgets
+    }
+
+    /// The block sizes for `kernel` at every level, finest first: the
+    /// kernel's capacity share of each level's budget, rounded down to
+    /// a power of two and clamped monotone non-decreasing up the
+    /// ladder (so the resulting [`TopologyPolicy`] always validates,
+    /// even on degenerate test hierarchies).
+    pub fn level_blocks(&self, kernel: Kernel) -> Vec<u64> {
+        let budgets = self.budgets();
+        let mut blocks = vec![0u64; self.depth];
+        for level in (0..self.depth).rev() {
+            let block = prev_power_of_two(kernel.capacity_share(budgets[level]));
+            blocks[level] = if level + 1 < self.depth {
+                block.min(blocks[level + 1])
+            } else {
+                block
+            };
+        }
+        blocks
+    }
+
+    /// The L2-sized (flat / paper) block for `kernel` — the block at
+    /// ladder level 1, the second-level cache the paper sizes bins to.
+    pub fn l2_block(&self, kernel: Kernel) -> u64 {
+        self.level_blocks(kernel)[1.min(self.depth - 1)]
+    }
+
+    /// The L1-sized (finest sub-bin) block for `kernel`.
     pub fn l1_block(&self, kernel: Kernel) -> u64 {
-        let budget = self.l1_capacity.min((self.l2_capacity / 8).max(1));
-        // Never larger than the L2 block, even on machines whose L1
-        // rivals their L2 (degenerate test hierarchies).
-        prev_power_of_two(kernel.capacity_share(budget)).min(self.l2_block(kernel))
+        self.level_blocks(kernel)[0]
     }
 
     /// The flat (paper §3.2) scheduler configuration for `kernel`:
@@ -182,9 +230,17 @@ impl BinGeometry {
     }
 
     /// The hierarchical (L1-in-L2) policy for `kernel`: L1-sized
-    /// sub-bins nested in L2-sized bins.
+    /// sub-bins nested in L2-sized bins — the first two rungs of the
+    /// ladder, whatever the machine's full depth.
     pub fn hierarchical(&self, kernel: Kernel) -> Result<Hierarchical, ConfigError> {
         Hierarchical::uniform(self.l1_block(kernel), self.l2_block(kernel), false)
+    }
+
+    /// The full-depth topology policy for `kernel`: one nesting level
+    /// per machine-hierarchy level. At depth 2 this is bit-identical
+    /// to [`hierarchical`](Self::hierarchical).
+    pub fn topology_policy(&self, kernel: Kernel) -> Result<TopologyPolicy, ConfigError> {
+        TopologyPolicy::uniform(&self.level_blocks(kernel), false)
     }
 }
 
@@ -194,10 +250,7 @@ mod tests {
 
     fn r8000_like() -> BinGeometry {
         // The paper's R8000 model: 16 KB L1d, 4 MB unified L2.
-        BinGeometry {
-            l1_capacity: 16 << 10,
-            l2_capacity: 4 << 20,
-        }
+        BinGeometry::two_level(16 << 10, 4 << 20)
     }
 
     #[test]
@@ -220,10 +273,7 @@ mod tests {
     #[test]
     fn l1_block_never_exceeds_l2_block() {
         // Degenerate machine: L1 as large as L2.
-        let g = BinGeometry {
-            l1_capacity: 1 << 20,
-            l2_capacity: 1 << 20,
-        };
+        let g = BinGeometry::two_level(1 << 20, 1 << 20);
         for k in [Kernel::MatMul, Kernel::Pde, Kernel::Sor, Kernel::NBody] {
             assert!(g.l1_block(k) <= g.l2_block(k), "{k:?}");
         }
@@ -237,10 +287,7 @@ mod tests {
         // sub-bins strictly finer than parents on every such geometry.
         for l2_capacity in [16u64 << 10, 32 << 10, 128 << 10, 512 << 10, 2 << 20] {
             for l1_capacity in [16u64 << 10, 32 << 10] {
-                let g = BinGeometry {
-                    l1_capacity,
-                    l2_capacity,
-                };
+                let g = BinGeometry::two_level(l1_capacity, l2_capacity);
                 for k in Kernel::ALL {
                     assert!(
                         g.l1_block(k) < g.l2_block(k),
@@ -261,10 +308,7 @@ mod tests {
         // where the paper's shares put them.
         let g = r8000_like();
         assert_eq!(g.l1_block(Kernel::MatMul), 1 << 13); // 16K/2
-        let r10000 = BinGeometry {
-            l1_capacity: 32 << 10,
-            l2_capacity: 1 << 20,
-        };
+        let r10000 = BinGeometry::two_level(32 << 10, 1 << 20);
         assert_eq!(r10000.l1_block(Kernel::MatMul), 1 << 14); // 32K/2
     }
 
@@ -281,6 +325,41 @@ mod tests {
         for k in [Kernel::MatMul, Kernel::Pde, Kernel::Sor, Kernel::NBody] {
             let policy = g.hierarchical(k).expect("valid geometry");
             assert!(!format!("{policy:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn level_blocks_follow_the_machine_topology() {
+        // numa2: 32K L1, 256K L2, 8M L3, 64M node — four ladder rungs.
+        let g = BinGeometry::for_machine(&cachesim::MachineModel::numa2());
+        assert_eq!(g.depth(), 4);
+        let blocks = g.level_blocks(Kernel::MatMul);
+        // Budgets chain coarse → fine: 64M, 8M, min(256K, 1M) = 256K,
+        // min(32K, 32K) = 32K; each block is budget/2 rounded down.
+        assert_eq!(blocks, vec![16 << 10, 128 << 10, 4 << 20, 32 << 20]);
+        assert_eq!(g.l1_block(Kernel::MatMul), 16 << 10);
+        assert_eq!(g.l2_block(Kernel::MatMul), 128 << 10);
+        for k in Kernel::ALL {
+            let blocks = g.level_blocks(k);
+            assert!(
+                blocks.windows(2).all(|w| w[0] <= w[1]),
+                "{k:?}: {blocks:?} not monotone"
+            );
+            let policy = g.topology_policy(k).expect("valid ladder");
+            assert_eq!(locality_sched::BinPolicy::depth(&policy), 4);
+        }
+    }
+
+    #[test]
+    fn topology_policy_at_depth_2_matches_hierarchical_blocks() {
+        let g = r8000_like();
+        for k in Kernel::ALL {
+            assert_eq!(
+                g.level_blocks(k),
+                vec![g.l1_block(k), g.l2_block(k)],
+                "{k:?}"
+            );
+            g.topology_policy(k).expect("valid depth-2 ladder");
         }
     }
 

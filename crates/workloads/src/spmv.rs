@@ -274,7 +274,9 @@ mod tests {
         use cachesim::{MachineModel, SimSink};
         // x is 8x the scaled L2, banded structure, shuffled work list.
         let n = 32_768; // x = 256 KiB
-        let machine = MachineModel::r8000().scaled_split(1.0, 1.0 / 64.0); // L2 32 KiB
+        let machine = MachineModel::r8000()
+            .scaled_split(1.0, 1.0 / 64.0)
+            .expect("valid scaled machine"); // L2 32 KiB
         let mut space = AddressSpace::new();
         let mut d = SpmvData::banded(&mut space, n, 64, 6, 9);
 

@@ -13,7 +13,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // n = 192: three 288 KiB matrices against a 64 KiB L2 — the same
     // "data is ~13x the cache" regime as the paper's n = 1024 vs 2 MB.
     let n = 192;
-    let machine = MachineModel::r8000().scaled_split(1.0, 1.0 / 32.0);
+    let machine = MachineModel::r8000()
+        .scaled_split(1.0, 1.0 / 32.0)
+        .expect("valid scaled machine");
     println!("machine: {machine}");
     println!(
         "problem: {n}x{n} doubles, {} KiB of matrices\n",

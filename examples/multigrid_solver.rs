@@ -11,7 +11,9 @@ use thread_locality::trace::{AddressSpace, NullSink};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 513;
-    let machine = MachineModel::r8000().scaled_split(1.0, 1.0 / 16.0);
+    let machine = MachineModel::r8000()
+        .scaled_split(1.0, 1.0 / 16.0)
+        .expect("valid scaled machine");
     println!("machine: {machine}");
     println!("problem: -∇²u = f on {n}x{n}, V(2,2) cycles\n");
 

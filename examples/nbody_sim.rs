@@ -11,7 +11,9 @@ use thread_locality::trace::AddressSpace;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bodies = 8_000;
-    let machine = MachineModel::r8000().scaled_split(1.0, 1.0 / 8.0);
+    let machine = MachineModel::r8000()
+        .scaled_split(1.0, 1.0 / 8.0)
+        .expect("valid scaled machine");
     println!("machine: {machine}");
     println!("problem: {bodies} bodies (Plummer cluster), 2 timesteps\n");
 

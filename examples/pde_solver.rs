@@ -13,7 +13,9 @@ use thread_locality::trace::AddressSpace;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 513;
     let iters = 5;
-    let machine = MachineModel::r8000().scaled_split(1.0, 1.0 / 16.0);
+    let machine = MachineModel::r8000()
+        .scaled_split(1.0, 1.0 / 16.0)
+        .expect("valid scaled machine");
     println!("machine: {machine}");
     println!("problem: {n}x{n} grid, {iters} red-black iterations + residual\n");
 

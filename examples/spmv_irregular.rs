@@ -15,7 +15,9 @@ use thread_locality::trace::AddressSpace;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 65_536; // x = 512 KiB
     let band = 64;
-    let machine = MachineModel::r8000().scaled_split(1.0, 1.0 / 32.0); // 64 KiB L2
+    let machine = MachineModel::r8000()
+        .scaled_split(1.0, 1.0 / 32.0)
+        .expect("valid scaled machine"); // 64 KiB L2
     println!("machine: {machine}");
     println!("problem: {n}x{n} banded CSR (half-width {band}), shuffled work list\n");
 

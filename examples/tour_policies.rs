@@ -13,7 +13,9 @@ use thread_locality::trace::AddressSpace;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 160;
-    let machine = MachineModel::r8000().scaled_split(1.0, 1.0 / 32.0);
+    let machine = MachineModel::r8000()
+        .scaled_split(1.0, 1.0 / 32.0)
+        .expect("valid scaled machine");
     println!("machine: {machine}");
     println!("threaded matmul, n = {n}; block = L2/2; varying the bin tour:\n");
     println!(

@@ -8,7 +8,9 @@ use thread_locality::sim::{MachineModel, SimReport, SimSink};
 use thread_locality::trace::AddressSpace;
 
 fn run_once() -> SimReport {
-    let machine = MachineModel::r10000().scaled_split(1.0, 1.0 / 32.0);
+    let machine = MachineModel::r10000()
+        .scaled_split(1.0, 1.0 / 32.0)
+        .expect("valid scaled machine");
     let mut space = AddressSpace::new();
     let mut data = matmul::MatMulData::new(&mut space, 64, 99);
     let mut sim = SimSink::new(machine.hierarchy());

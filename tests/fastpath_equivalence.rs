@@ -27,7 +27,9 @@ use thread_locality::trace::{Access, AccessKind, Addr, AddressSpace, TraceSink, 
 /// overflow the caches (otherwise the fast paths would never face an
 /// eviction).
 fn machine() -> MachineModel {
-    MachineModel::r8000().scaled_split(1.0 / 16.0, 1.0 / 64.0)
+    MachineModel::r8000()
+        .scaled_split(1.0 / 16.0, 1.0 / 64.0)
+        .expect("valid scaled machine")
 }
 
 /// Runs `workload` twice — fast paths on and off — and returns both
@@ -230,7 +232,7 @@ proptest! {
             1..800,
         ),
     ) {
-        let machine = MachineModel::r8000().scaled(1.0 / 16.0);
+        let machine = MachineModel::r8000().scaled(1.0 / 16.0).expect("valid scaled machine");
         // Shifts outside this geometry's selector field are skipped:
         // ShardPlan::for_hierarchy never produces them.
         let plan = ShardPlan::with_shift(&machine.hierarchy(), shards, shift);

@@ -12,7 +12,9 @@ use thread_locality::trace::AddressSpace;
 /// A small machine keeping the paper's "data is several times the L2"
 /// regime at test-friendly sizes: full L1, L2 scaled to 32 KiB.
 fn test_machine() -> MachineModel {
-    MachineModel::r8000().scaled_split(1.0, 1.0 / 64.0)
+    MachineModel::r8000()
+        .scaled_split(1.0, 1.0 / 64.0)
+        .expect("valid scaled machine")
 }
 
 fn sim_matmul(
@@ -122,7 +124,9 @@ fn sor_threaded_and_tiled_eliminate_capacity_misses() {
     // A gentler L2 scale: the tiled version's band working set is
     // O(n·s) and must still fit the cache, as it does in the paper's
     // configuration.
-    let machine = MachineModel::r8000().scaled_split(1.0, 1.0 / 16.0);
+    let machine = MachineModel::r8000()
+        .scaled_split(1.0, 1.0 / 16.0)
+        .expect("valid scaled machine");
     let n = 251;
     let t = 10;
     let mut space = AddressSpace::new();
@@ -162,7 +166,9 @@ fn nbody_threading_cuts_l2_misses() {
     // Keep the paper's bodies-to-L2 pressure: enough bodies that the
     // tree dwarfs the cache, but a cache big enough that a scheduling
     // cell's subtree fits.
-    let machine = MachineModel::r8000().scaled_split(1.0, 1.0 / 16.0);
+    let machine = MachineModel::r8000()
+        .scaled_split(1.0, 1.0 / 16.0)
+        .expect("valid scaled machine");
     let bodies = 6000;
     let params = nbody::NBodyParams {
         plane_extent: 4 * (machine.l2_config().size() / 3),
@@ -261,7 +267,9 @@ fn three_level_modern_hierarchy_preserves_the_benefit() {
         .l3
         .expect("modern machine has an L3")
         .size() as f64;
-    let machine = modern.scaled_split(1.0, data_bytes / 12.0 / llc);
+    let machine = modern
+        .scaled_split(1.0, data_bytes / 12.0 / llc)
+        .expect("valid scaled machine");
     let untiled = sim_matmul(&machine, n, |d, _s, sink| matmul::interchanged(d, sink));
     let threaded = sim_matmul(&machine, n, |d, _s, sink| {
         let llc = machine.hierarchy_config().l3.expect("L3").size();

@@ -16,7 +16,9 @@ fn rel_close(a: f64, b: f64, tolerance: f64) -> bool {
 }
 
 fn sor_untiled(n: usize, l2_factor: f64, sweeps: usize) -> SimReport {
-    let machine = MachineModel::r8000().scaled_split(1.0, l2_factor);
+    let machine = MachineModel::r8000()
+        .scaled_split(1.0, l2_factor)
+        .expect("valid scaled machine");
     let mut space = AddressSpace::new();
     let mut data = sor::SorData::new(&mut space, n, 3);
     let mut sim = SimSink::new(machine.hierarchy());
@@ -42,7 +44,9 @@ fn sor_capacity_rate_is_scale_invariant() {
 }
 
 fn matmul_l2_misses(n: usize, l2_factor: f64, threaded: bool) -> SimReport {
-    let machine = MachineModel::r8000().scaled_split(1.0, l2_factor);
+    let machine = MachineModel::r8000()
+        .scaled_split(1.0, l2_factor)
+        .expect("valid scaled machine");
     let mut space = AddressSpace::new();
     let mut data = matmul::MatMulData::new(&mut space, n, 42);
     let mut sim = SimSink::new(machine.hierarchy());

@@ -13,7 +13,9 @@ use thread_locality::trace::{
 
 #[test]
 fn recorded_trace_replays_to_identical_simulation() {
-    let machine = MachineModel::r10000().scaled_split(1.0, 1.0 / 32.0);
+    let machine = MachineModel::r10000()
+        .scaled_split(1.0, 1.0 / 32.0)
+        .expect("valid scaled machine");
 
     // Online simulation, while simultaneously recording the trace.
     let mut buffer: Vec<u8> = Vec::new();
@@ -47,6 +49,7 @@ fn tiny_sim() -> SimSink {
     SimSink::new(
         MachineModel::r8000()
             .scaled_split(1.0 / 256.0, 1.0 / 1024.0)
+            .expect("valid scaled machine")
             .hierarchy(),
     )
 }
@@ -178,7 +181,7 @@ proptest! {
     fn arbitrary_compact_bytes_never_panic_and_shard_identically(
         bytes in prop::collection::vec(any::<u8>(), 0..2048),
     ) {
-        let machine = MachineModel::r8000().scaled_split(1.0 / 256.0, 1.0 / 1024.0);
+        let machine = MachineModel::r8000().scaled_split(1.0 / 256.0, 1.0 / 1024.0).expect("valid scaled machine");
         let mut unsharded = SimSink::new(machine.hierarchy());
         let mut sharded = ShardedSimSink::new(machine.hierarchy(), 4);
         for access in CompactIter::new(&bytes) {
