@@ -1,9 +1,10 @@
 //! The four analyses, run over one [`Capture`].
 
-use crate::capture::{Capture, PhaseModel};
+use crate::capture::{Capture, DrainConcurrency, PhaseModel};
 use crate::conflict::{conflict_pairs, ConflictPair};
+use crate::hb::{stealing_log, HbIndex, ObligationKind, OrderObligation};
 use crate::policies::{
-    assign_bins, dispatch_order, paper_policy, single_policy, unique_policy, BinAssignment,
+    assign_bins, dispatch_trace, paper_policy, single_policy, unique_policy, BinAssignment,
     PolicyKind,
 };
 use crate::{Finding, Severity};
@@ -45,10 +46,17 @@ pub struct PolicyCheck {
     /// Conflicting pairs reordered in a convergence-equivalent
     /// workload (allowed; informational).
     pub reordered: u64,
-    /// Conflicting pairs split across bins: their order is guaranteed
-    /// only by the serial tour, not by bin containment, so a
-    /// multi-worker or stealing drain may flip them.
+    /// Conflicting pairs split across bins — unordered by
+    /// happens-before in the stealing execution model: their order is
+    /// guaranteed only by the serial tour, not by bin containment, so
+    /// a multi-worker or stealing drain may flip them.
     pub steal_unsafe: u64,
+    /// Order obligations checked against the happens-before indices
+    /// (one [`ForkOrder`](crate::ObligationKind::ForkOrder) per
+    /// conflicting pair in order-exact workloads, plus one
+    /// [`ConflictOrder`](crate::ObligationKind::ConflictOrder) per
+    /// conflicting pair in the stealing model).
+    pub hb_obligations: u64,
 }
 
 /// Everything `schedlint` reports for one workload.
@@ -86,6 +94,18 @@ pub struct KernelSummary {
     /// the coarsest topology level (0 unless the capture carries a
     /// depth-≥ 3 topology).
     pub cross_node_pairs: u64,
+    /// Schedule events replayed into happens-before indices (serial +
+    /// stealing model, all policies, all phases).
+    pub hb_events: u64,
+    /// Drain units of the capture policy's serial trace.
+    pub hb_units: u64,
+    /// Order obligations checked across all policies.
+    pub hb_obligations: u64,
+    /// Data races: conflicting pairs unordered by happens-before under
+    /// the capture's *declared* drain concurrency (always 0 for
+    /// [`Serial`](DrainConcurrency::Serial) captures — the total
+    /// dispatch order covers every pair).
+    pub hb_races: u64,
     /// Per-policy order-safety results.
     pub checks: Vec<PolicyCheck>,
     /// All findings, most severe first.
@@ -122,12 +142,16 @@ pub fn analyze(capture: &Capture, opts: &AnalyzeOptions) -> KernelSummary {
             violations: 0,
             reordered: 0,
             steal_unsafe: 0,
+            hb_obligations: 0,
         })
         .collect();
     let mut findings = Vec::new();
     let mut threads = 0u64;
     let mut bins = 0u64;
     let mut total_conflicts = 0u64;
+    let mut hb_events = 0u64;
+    let mut hb_units = 0u64;
+    let mut race_example: Option<String> = None;
     let mut coverage = CoverageStats::default();
     let mut overflow = OverflowStats::default();
     let mut false_sharing = FalseSharingStats::default();
@@ -153,24 +177,56 @@ pub fn analyze(capture: &Capture, opts: &AnalyzeOptions) -> KernelSummary {
                 PolicyKind::Single => assign_bins(single_policy(), &phase.hints),
                 PolicyKind::Unique => assign_bins(unique_policy(), &phase.hints),
             };
-            let order = match kind {
+            let trace = match kind {
                 PolicyKind::Paper => {
-                    dispatch_order(capture.config, paper_policy(&capture.config), &phase.hints)
+                    dispatch_trace(capture.config, paper_policy(&capture.config), &phase.hints)
                 }
-                PolicyKind::Hierarchical => dispatch_order(
+                PolicyKind::Hierarchical => dispatch_trace(
                     capture.config,
                     capture.hierarchical.expect("checked above"),
                     &phase.hints,
                 ),
-                PolicyKind::Single => dispatch_order(capture.config, single_policy(), &phase.hints),
-                PolicyKind::Unique => dispatch_order(capture.config, unique_policy(), &phase.hints),
+                PolicyKind::Single => dispatch_trace(capture.config, single_policy(), &phase.hints),
+                PolicyKind::Unique => dispatch_trace(capture.config, unique_policy(), &phase.hints),
             };
-            let mut position = vec![0usize; order.len()];
-            for (pos, &fork) in order.iter().enumerate() {
-                position[fork] = pos;
+            // Two happens-before indices per policy: the serial drain's
+            // real event stream (totally ordered — decides fork-order
+            // obligations), and the modeled stealing drain (only
+            // same-bin order survives — decides which conflicting
+            // pairs race when units migrate).
+            let serial = HbIndex::from_log(&trace.log);
+            let stealing = HbIndex::from_log(&stealing_log(
+                phase.threads(),
+                &assignment.fine,
+                &trace.order,
+            ));
+            hb_events += serial.events + stealing.events;
+            if *kind == PolicyKind::Paper {
+                hb_units += serial.units;
             }
+            let position = {
+                let mut position = vec![0usize; trace.order.len()];
+                for (pos, &fork) in trace.order.iter().enumerate() {
+                    position[fork] = pos;
+                }
+                position
+            };
             for pair in &conflicts {
-                if position[pair.b] < position[pair.a] {
+                let fork_order = OrderObligation {
+                    kind: ObligationKind::ForkOrder,
+                    a: pair.a,
+                    b: pair.b,
+                };
+                let preserved = fork_order.satisfied(&serial);
+                debug_assert_eq!(
+                    preserved,
+                    position[pair.a] < position[pair.b],
+                    "serial happens-before must agree with the dispatch permutation"
+                );
+                if exact {
+                    check.hb_obligations += 1;
+                }
+                if !preserved {
                     if exact {
                         check.violations += 1;
                         order_examples.entry(check.policy).or_insert_with(|| {
@@ -186,8 +242,35 @@ pub fn analyze(capture: &Capture, opts: &AnalyzeOptions) -> KernelSummary {
                         check.reordered += 1;
                     }
                 }
-                if assignment.fine[pair.a] != assignment.fine[pair.b] {
+                let conflict_order = OrderObligation {
+                    kind: ObligationKind::ConflictOrder,
+                    a: pair.a,
+                    b: pair.b,
+                };
+                check.hb_obligations += 1;
+                let unordered = !conflict_order.satisfied(&stealing);
+                debug_assert_eq!(
+                    unordered,
+                    assignment.fine[pair.a] != assignment.fine[pair.b],
+                    "stealing-model races must be exactly the cross-bin pairs"
+                );
+                if unordered {
                     check.steal_unsafe += 1;
+                    if *kind == PolicyKind::Paper
+                        && capture.concurrency == DrainConcurrency::Stealing
+                    {
+                        race_example.get_or_insert_with(|| {
+                            format!(
+                                "phase {phase_ix}: threads {} and {} (bins {} and {}) \
+                                 share word {:#x} with no happens-before edge",
+                                pair.a,
+                                pair.b,
+                                assignment.fine[pair.a],
+                                assignment.fine[pair.b],
+                                pair.example_word * WORD_BYTES
+                            )
+                        });
+                    }
                 }
             }
         }
@@ -232,7 +315,33 @@ pub fn analyze(capture: &Capture, opts: &AnalyzeOptions) -> KernelSummary {
         .iter()
         .find(|c| c.policy == "paper")
         .map_or(0, |c| c.steal_unsafe);
-    if exact && paper_steal > 0 {
+    // The happens-before race lint: under a declared stealing drain,
+    // an unordered conflicting pair is not a "may flip" warning but a
+    // W/W or R/W data race — an error, regardless of order semantics.
+    let hb_races = match capture.concurrency {
+        DrainConcurrency::Serial => 0,
+        DrainConcurrency::Stealing => paper_steal,
+    };
+    if hb_races > 0 {
+        let breakdown: Vec<String> = checks
+            .iter()
+            .filter(|c| c.checked && c.steal_unsafe > 0)
+            .map(|c| format!("{}: {}", c.policy, c.steal_unsafe))
+            .collect();
+        findings.push(Finding {
+            severity: Severity::Error,
+            analysis: "hb-race",
+            workload: capture.workload.clone(),
+            detail: format!(
+                "{} conflicting pair(s) unordered by happens-before under the declared \
+                 stealing drain ({}); e.g. {}",
+                hb_races,
+                breakdown.join(", "),
+                race_example.as_deref().unwrap_or("(no example)")
+            ),
+        });
+    }
+    if exact && paper_steal > 0 && capture.concurrency == DrainConcurrency::Serial {
         let breakdown: Vec<String> = checks
             .iter()
             .filter(|c| c.checked && c.steal_unsafe > 0)
@@ -271,6 +380,10 @@ pub fn analyze(capture: &Capture, opts: &AnalyzeOptions) -> KernelSummary {
         overflow_subbins: overflow.sub,
         false_sharing_lines: false_sharing.lines,
         cross_node_pairs: cross_node.pairs,
+        hb_events,
+        hb_units,
+        hb_obligations: checks.iter().map(|c| c.hb_obligations).sum(),
+        hb_races,
         checks,
         findings,
     }
@@ -623,6 +736,7 @@ mod tests {
     use workloads::Kernel;
 
     #[test]
+    #[cfg_attr(miri, ignore)] // kernel capture / simulator replay: too slow under miri
     fn every_policy_is_order_safe_on_the_pde() {
         let capture = capture_kernel(Kernel::Pde, &default_machine(), &AnalyzeScale::default());
         let summary = analyze(&capture, &AnalyzeOptions::default());
@@ -635,6 +749,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // kernel capture / simulator replay: too slow under miri
     fn matmul_threads_are_conflict_free() {
         let capture = capture_kernel(Kernel::MatMul, &default_machine(), &AnalyzeScale::default());
         let summary = analyze(&capture, &AnalyzeOptions::default());
@@ -644,6 +759,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // kernel capture / simulator replay: too slow under miri
     fn sor_reorders_are_informational_not_errors() {
         let capture = capture_kernel(Kernel::Sor, &default_machine(), &AnalyzeScale::default());
         let summary = analyze(&capture, &AnalyzeOptions::default());
@@ -656,6 +772,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // kernel capture / simulator replay: too slow under miri
     fn nbody_skips_hint_accuracy_and_is_conflict_free() {
         let capture = capture_kernel(Kernel::NBody, &default_machine(), &AnalyzeScale::default());
         let summary = analyze(&capture, &AnalyzeOptions::default());

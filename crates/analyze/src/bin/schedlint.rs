@@ -3,16 +3,23 @@
 //!
 //! ```text
 //! schedlint [--kernel matmul|pde|sor|nbody|all] [--fixture NAME]
-//!           [--hint-threshold PCT] [--json PATH]
+//!           [--hint-threshold PCT] [--json PATH] [--hb-json PATH]
 //!           [--gate] [--gate-warnings] [--quiet]
 //! ```
+//!
+//! `--hb-json` writes the happens-before steal-safety certificate
+//! report (`ANALYZE_hb.json`) over the analyzed kernels: one row per
+//! kernel × policy with vector-clock obligation counts, plus sharded
+//! simulator partition certificates. The output is byte-reproducible
+//! run-to-run.
 //!
 //! Exit codes follow the `benchdiff` convention: 0 = clean, 1 = gate
 //! failure (`--gate`: any error finding; `--gate-warnings` additionally
 //! promotes warnings), 2 = usage or I/O error.
 
 use analyze::{
-    analyze, capture_kernel, default_machine, AnalyzeOptions, AnalyzeReport, AnalyzeScale, Fixture,
+    analyze, capture_kernel, default_machine, hb_report, AnalyzeOptions, AnalyzeReport,
+    AnalyzeScale, Fixture,
 };
 use workloads::Kernel;
 
@@ -21,6 +28,7 @@ struct Args {
     fixtures: Vec<Fixture>,
     hint_threshold_pct: f64,
     json: Option<String>,
+    hb_json: Option<String>,
     gate: bool,
     gate_warnings: bool,
     quiet: bool,
@@ -29,12 +37,15 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: schedlint [--kernel matmul|pde|sor|nbody|all]\n\
-         \x20                [--fixture wrong-hint|false-sharing|cross-node]\n\
-         \x20                [--hint-threshold PCT] [--json PATH] [--gate] [--gate-warnings] [--quiet]\n\
+         \x20                [--fixture wrong-hint|false-sharing|cross-node|unordered-race]\n\
+         \x20                [--hint-threshold PCT] [--json PATH] [--hb-json PATH]\n\
+         \x20                [--gate] [--gate-warnings] [--quiet]\n\
          \n\
          Analyzes captured thread footprints for schedule-safety violations,\n\
-         inaccurate hints, overflowing bins, and cross-bin false sharing.\n\
-         With no --kernel/--fixture, analyzes all four paper kernels.\n\
+         happens-before races, inaccurate hints, overflowing bins, and\n\
+         cross-bin false sharing. With no --kernel/--fixture, analyzes all\n\
+         four paper kernels. --hb-json writes the vector-clock steal-safety\n\
+         certificates for the analyzed kernels.\n\
          Exit codes: 0 clean, 1 gate failure, 2 usage/IO error."
     );
     std::process::exit(2);
@@ -46,6 +57,7 @@ fn parse_args() -> Args {
         fixtures: Vec::new(),
         hint_threshold_pct: AnalyzeOptions::default().hint_threshold_pct,
         json: None,
+        hb_json: None,
         gate: false,
         gate_warnings: false,
         quiet: false,
@@ -88,6 +100,7 @@ fn parse_args() -> Args {
                 }
             }
             "--json" => args.json = Some(argv.next().unwrap_or_else(|| usage())),
+            "--hb-json" => args.hb_json = Some(argv.next().unwrap_or_else(|| usage())),
             "--gate" => args.gate = true,
             "--gate-warnings" => {
                 args.gate = true;
@@ -115,9 +128,11 @@ fn main() {
         hint_threshold_pct: args.hint_threshold_pct,
     };
     let mut report = AnalyzeReport::new(machine.name(), opts.hint_threshold_pct);
+    let mut captures = Vec::new();
     for &kernel in &args.kernels {
         let capture = capture_kernel(kernel, &machine, &scale);
         report.kernels.push(analyze(&capture, &opts));
+        captures.push(capture);
     }
     for &fixture in &args.fixtures {
         let capture = fixture.capture();
@@ -128,6 +143,13 @@ fn main() {
     }
     if let Some(path) = &args.json {
         if let Err(err) = std::fs::write(path, report.to_json()) {
+            eprintln!("schedlint: cannot write {path}: {err}");
+            std::process::exit(2);
+        }
+    }
+    if let Some(path) = &args.hb_json {
+        let hb = hb_report(machine.name(), &captures);
+        if let Err(err) = std::fs::write(path, hb.to_json()) {
             eprintln!("schedlint: cannot write {path}: {err}");
             std::process::exit(2);
         }

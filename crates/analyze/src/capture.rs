@@ -119,6 +119,23 @@ pub fn rebuild_hints(addrs: &[Addr]) -> Hints {
     Hints::four(a[0], a[1], a[2], a[3])
 }
 
+/// How the workload declares its threads may be drained — the
+/// execution model the happens-before race lint judges conflicts
+/// against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DrainConcurrency {
+    /// The workload runs under the serial allocation-order drain (the
+    /// paper's scheduler): the total dispatch order orders every
+    /// conflicting pair, and cross-bin conflicts are at most
+    /// steal-safety *warnings*.
+    Serial,
+    /// The workload declares it may be drained by stealing workers:
+    /// only same-bin order and fork → dispatch publication are
+    /// guaranteed, so a conflicting pair unordered by happens-before
+    /// is a data race — an **error**.
+    Stealing,
+}
+
 /// A captured workload: everything the analyses need.
 #[derive(Clone, Debug)]
 pub struct Capture {
@@ -141,6 +158,12 @@ pub struct Capture {
     pub topology: Option<TopologyPolicy>,
     /// The machine whose caches define line sizes and capacities.
     pub machine: MachineModel,
+    /// Declared drain concurrency (kernels are [`Serial`]; fixtures
+    /// may declare [`Stealing`] to engage the race lint).
+    ///
+    /// [`Serial`]: DrainConcurrency::Serial
+    /// [`Stealing`]: DrainConcurrency::Stealing
+    pub concurrency: DrainConcurrency,
     /// Fork-indexed phases.
     pub phases: Vec<PhaseModel>,
 }
@@ -201,6 +224,7 @@ pub fn capture_kernel(kernel: Kernel, machine: &MachineModel, scale: &AnalyzeSca
         hierarchical: geometry.hierarchical(kernel).ok(),
         topology: geometry.topology_policy(kernel).ok(),
         machine: machine.clone(),
+        concurrency: DrainConcurrency::Serial,
         phases,
     }
 }
@@ -224,6 +248,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // kernel capture / simulator replay: too slow under miri
     fn pde_capture_has_one_phase_per_iteration() {
         let machine = default_machine();
         let scale = AnalyzeScale {
@@ -243,6 +268,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // kernel capture / simulator replay: too slow under miri
     fn matmul_capture_spreads_over_multiple_bins() {
         let machine = default_machine();
         let capture = capture_kernel(Kernel::MatMul, &machine, &AnalyzeScale::default());

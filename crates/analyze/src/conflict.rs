@@ -7,9 +7,24 @@
 //! distinct words on one cache *line* are false sharing — a locality
 //! hazard, not a correctness one — and are handled by the separate
 //! false-sharing detector.
+//!
+//! The graph is *aggregated per (thread pair, line)*: footprint words
+//! are bucketed into [`CONFLICT_LINE_WORDS`]-word lines and each
+//! bucket's overlap is resolved with per-thread word bitmasks, so one
+//! adversarial phase where many threads write one huge shared range
+//! costs `O(lines × threads-on-line²)` bit-parallel steps — never a
+//! per-word pair enumeration — and the output stays one record per
+//! conflicting pair regardless of how many words overlap. Exact
+//! per-word counts survive as the summary fields
+//! [`ConflictPair::words`] / [`ConflictPair::lines`].
 
 use memtrace::ThreadFootprint;
 use std::collections::BTreeMap;
+
+/// Words per aggregation line of the conflict graph (a 64-byte line of
+/// 8-byte words — an aggregation granule only, not a semantic one:
+/// conflicts are still decided per word via the line's bitmasks).
+pub const CONFLICT_LINE_WORDS: u64 = 8;
 
 /// One conflicting thread pair (fork indices, `a < b`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -20,56 +35,84 @@ pub struct ConflictPair {
     pub b: usize,
     /// Number of shared word granules with a write on either side.
     pub words: u64,
+    /// Number of [`CONFLICT_LINE_WORDS`]-word lines those words span.
+    pub lines: u64,
     /// One of the conflicting word granules (`addr / 8`), for reports.
     pub example_word: u64,
+}
+
+/// Per-thread touch masks within one aggregation line.
+#[derive(Clone, Copy)]
+struct LineTouch {
+    thread: usize,
+    reads: u8,
+    writes: u8,
 }
 
 /// Builds the conflict graph of one phase from fork-indexed
 /// footprints. Pairs come back sorted by `(a, b)`; the computation is
 /// fully deterministic.
 pub fn conflict_pairs(footprints: &[ThreadFootprint]) -> Vec<ConflictPair> {
-    // Invert: word → writers, word → readers. BTreeMaps keep every
-    // downstream iteration deterministic.
-    let mut writers: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
-    let mut readers: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    // Invert per *line*, not per word: line → per-thread word bitmasks.
+    // The BTreeMap keeps every downstream iteration deterministic, and
+    // threads appear in fork-index order within each line.
+    let mut lines: BTreeMap<u64, Vec<LineTouch>> = BTreeMap::new();
+    let touch = |lines: &mut BTreeMap<u64, Vec<LineTouch>>, thread: usize, word: u64, w: bool| {
+        let line = word / CONFLICT_LINE_WORDS;
+        let bit = 1u8 << (word % CONFLICT_LINE_WORDS);
+        let slots = lines.entry(line).or_default();
+        let slot = match slots.last_mut() {
+            Some(last) if last.thread == thread => last,
+            _ => {
+                slots.push(LineTouch {
+                    thread,
+                    reads: 0,
+                    writes: 0,
+                });
+                slots.last_mut().expect("just pushed")
+            }
+        };
+        if w {
+            slot.writes |= bit;
+        } else {
+            slot.reads |= bit;
+        }
+    };
     for (i, fp) in footprints.iter().enumerate() {
         for &w in fp.write_words() {
-            writers.entry(w).or_default().push(i);
+            touch(&mut lines, i, w, true);
         }
         for &r in fp.read_words() {
-            readers.entry(r).or_default().push(i);
+            touch(&mut lines, i, r, false);
         }
     }
-    let mut pairs: BTreeMap<(usize, usize), (u64, u64)> = BTreeMap::new();
-    let bump = |pairs: &mut BTreeMap<(usize, usize), (u64, u64)>, x: usize, y: usize, word| {
-        if x == y {
-            return;
-        }
-        let key = (x.min(y), x.max(y));
-        pairs.entry(key).or_insert((0, word)).0 += 1;
-    };
-    for (&word, ws) in &writers {
-        // W/W on the same word.
-        for (i, &w1) in ws.iter().enumerate() {
-            for &w2 in &ws[i + 1..] {
-                bump(&mut pairs, w1, w2, word);
-            }
-        }
-        // R/W on the same word.
-        if let Some(rs) = readers.get(&word) {
-            for &w in ws {
-                for &r in rs {
-                    bump(&mut pairs, w, r, word);
+    // Per line, resolve every thread pair's overlap bit-parallel over
+    // the whole line; accumulate one record per pair.
+    let mut pairs: BTreeMap<(usize, usize), (u64, u64, u64)> = BTreeMap::new();
+    for (&line, slots) in &lines {
+        for (i, ta) in slots.iter().enumerate() {
+            for tb in &slots[i + 1..] {
+                debug_assert_ne!(ta.thread, tb.thread, "per-thread masks are merged");
+                let conflict =
+                    (ta.writes & (tb.reads | tb.writes)) | (tb.writes & (ta.reads | ta.writes));
+                if conflict == 0 {
+                    continue;
                 }
+                let key = (ta.thread.min(tb.thread), ta.thread.max(tb.thread));
+                let example = line * CONFLICT_LINE_WORDS + u64::from(conflict.trailing_zeros());
+                let entry = pairs.entry(key).or_insert((0, 0, example));
+                entry.0 += u64::from(conflict.count_ones());
+                entry.1 += 1;
             }
         }
     }
     pairs
         .into_iter()
-        .map(|((a, b), (words, example_word))| ConflictPair {
+        .map(|((a, b), (words, lines, example_word))| ConflictPair {
             a,
             b,
             words,
+            lines,
             example_word,
         })
         .collect()
@@ -104,6 +147,7 @@ mod tests {
         assert_eq!(pairs.len(), 1);
         assert_eq!((pairs[0].a, pairs[0].b), (0, 1));
         assert_eq!(pairs[0].words, 1);
+        assert_eq!(pairs[0].lines, 1);
         assert_eq!(pairs[0].example_word, 10);
     }
 
@@ -114,6 +158,7 @@ mod tests {
         assert_eq!(pairs.len(), 1);
         assert_eq!((pairs[0].a, pairs[0].b), (0, 1));
         assert_eq!(pairs[0].words, 2);
+        assert_eq!(pairs[0].lines, 1);
     }
 
     #[test]
@@ -122,5 +167,37 @@ mod tests {
         // granules: false sharing, not a conflict.
         let fps = [fp(&[], &[0]), fp(&[1], &[])];
         assert!(conflict_pairs(&fps).is_empty());
+    }
+
+    #[test]
+    fn adversarial_overlap_stays_one_record_per_pair_with_exact_counts() {
+        // Three threads all write the same 4096-word range: the output
+        // is 3 pair records (not O(words²)), each carrying the exact
+        // word and line summary counts.
+        let range: Vec<u64> = (0..4096).collect();
+        let fps = [fp(&[], &range), fp(&[], &range), fp(&[], &range)];
+        let pairs = conflict_pairs(&fps);
+        assert_eq!(pairs.len(), 3);
+        for pair in &pairs {
+            assert_eq!(pair.words, 4096);
+            assert_eq!(pair.lines, 4096 / CONFLICT_LINE_WORDS);
+            assert_eq!(pair.example_word, 0);
+        }
+        assert_eq!(
+            pairs.iter().map(|p| (p.a, p.b)).collect::<Vec<_>>(),
+            vec![(0, 1), (0, 2), (1, 2)]
+        );
+    }
+
+    #[test]
+    fn conflicts_spanning_lines_count_every_line_once() {
+        // Words 6..10 straddle the line-0/line-1 boundary.
+        let shared: Vec<u64> = (6..10).collect();
+        let fps = [fp(&[], &shared), fp(&shared, &[])];
+        let pairs = conflict_pairs(&fps);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].words, 4);
+        assert_eq!(pairs[0].lines, 2);
+        assert_eq!(pairs[0].example_word, 6);
     }
 }

@@ -7,7 +7,7 @@
 //! and asserts the gate *fails* with exactly the injected finding: the
 //! analyzer must neither miss the bug nor over-report.
 
-use crate::capture::{Capture, PhaseModel};
+use crate::capture::{Capture, DrainConcurrency, PhaseModel};
 use cachesim::MachineModel;
 use locality_sched::{
     Hierarchical, Hints, PaperBlockHash, RunMode, Scheduler, SchedulerConfig, TopologyPolicy,
@@ -45,14 +45,22 @@ pub enum Fixture {
     /// coarsest level no matter how bins are drained: exactly one
     /// cross-node-sharing **warning** and nothing else.
     CrossNode,
+    /// Two threads in different flat bins, under *convergent* semantics
+    /// and a declared [`Stealing`](DrainConcurrency::Stealing) drain,
+    /// that both write one contended word outside both hinted blocks.
+    /// The serial tour orders them, but bin containment does not — a
+    /// stealing drain can run them concurrently, so the pair is a data
+    /// race: exactly one happens-before **error** and nothing else.
+    UnorderedRace,
 }
 
 impl Fixture {
     /// Every fixture.
-    pub const ALL: [Fixture; 3] = [
+    pub const ALL: [Fixture; 4] = [
         Fixture::WrongHint,
         Fixture::FalseSharing,
         Fixture::CrossNode,
+        Fixture::UnorderedRace,
     ];
 
     /// CLI name.
@@ -61,6 +69,7 @@ impl Fixture {
             Fixture::WrongHint => "wrong-hint",
             Fixture::FalseSharing => "false-sharing",
             Fixture::CrossNode => "cross-node",
+            Fixture::UnorderedRace => "unordered-race",
         }
     }
 
@@ -75,14 +84,28 @@ impl Fixture {
             Fixture::WrongHint => wrong_hint_plan(),
             Fixture::FalseSharing => false_sharing_plan(),
             Fixture::CrossNode => cross_node_plan(),
+            Fixture::UnorderedRace => unordered_race_plan(),
         };
         let mut capture = capture_plan(self.name(), plan, hints);
-        if self == Fixture::CrossNode {
-            // Convergent semantics: the same-word conflict is allowed,
-            // so the only finding left is the cross-node warning.
-            capture.semantics = OrderSemantics::Convergent;
-            capture.machine = MachineModel::numa2();
-            capture.topology = TopologyPolicy::uniform(&[SUB_BLOCK, BLOCK, NODE_BLOCK], false).ok();
+        match self {
+            Fixture::CrossNode => {
+                // Convergent semantics: the same-word conflict is
+                // allowed, so the only finding left is the cross-node
+                // warning.
+                capture.semantics = OrderSemantics::Convergent;
+                capture.machine = MachineModel::numa2();
+                capture.topology =
+                    TopologyPolicy::uniform(&[SUB_BLOCK, BLOCK, NODE_BLOCK], false).ok();
+            }
+            Fixture::UnorderedRace => {
+                // Convergent semantics (any serial order converges) but
+                // a *stealing* drain declaration: the cross-bin
+                // conflict is unordered by happens-before, which is
+                // the injected race.
+                capture.semantics = OrderSemantics::Convergent;
+                capture.concurrency = DrainConcurrency::Stealing;
+            }
+            _ => {}
         }
         capture
     }
@@ -153,6 +176,29 @@ fn cross_node_plan() -> (Vec<Vec<Op>>, Vec<Hints>) {
     )
 }
 
+/// The raced word both unordered-race threads write: outside both
+/// hinted blocks, in neither thread's bin.
+const RACED: u64 = BASE + 9 * BLOCK;
+
+fn unordered_race_plan() -> (Vec<Vec<Op>>, Vec<Hints>) {
+    let region_a = BASE;
+    let region_b = BASE + BLOCK;
+    let mut ops_a: Vec<Op> = (0..10).map(|k| (true, region_a + k * 0x100)).collect();
+    let mut ops_b: Vec<Op> = (0..10).map(|k| (true, region_b + k * 0x100)).collect();
+    // Same word, both writing: a true conflict between threads the
+    // paper policy puts in different bins. Under a stealing drain the
+    // pair is reachable concurrently — a data race.
+    ops_a.push((true, RACED));
+    ops_b.push((true, RACED));
+    (
+        vec![ops_a, ops_b],
+        vec![
+            Hints::one(Addr::new(region_a)),
+            Hints::one(Addr::new(region_b)),
+        ],
+    )
+}
+
 struct FixtureCtx<'a> {
     plan: &'a [Vec<Op>],
     sink: &'a mut FootprintSink,
@@ -199,6 +245,7 @@ fn capture_plan(name: &str, plan: Vec<Vec<Op>>, hints: Vec<Hints>) -> Capture {
         hierarchical: Hierarchical::uniform(SUB_BLOCK, BLOCK, false).ok(),
         topology: None,
         machine: MachineModel::r8000(),
+        concurrency: DrainConcurrency::Serial,
         phases,
     }
 }

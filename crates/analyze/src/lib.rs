@@ -37,14 +37,23 @@ pub mod analysis;
 pub mod capture;
 pub mod conflict;
 pub mod fixture;
+pub mod hb;
 pub mod policies;
 pub mod report;
 
 pub use analysis::{analyze, AnalyzeOptions, KernelSummary, PolicyCheck};
-pub use capture::{capture_kernel, default_machine, AnalyzeScale, Capture, PhaseModel};
+pub use capture::{
+    capture_kernel, default_machine, AnalyzeScale, Capture, DrainConcurrency, PhaseModel,
+};
 pub use conflict::{conflict_pairs, ConflictPair};
 pub use fixture::Fixture;
-pub use policies::{assign_bins, dispatch_order, BinAssignment, PolicyKind};
+pub use hb::{
+    hb_report, stealing_log, unordered_conflicts, HbIndex, HbReport, ObligationKind,
+    OrderObligation, VectorClock,
+};
+pub use policies::{
+    assign_bins, dispatch_order, dispatch_trace, BinAssignment, DispatchTrace, PolicyKind,
+};
 pub use report::AnalyzeReport;
 
 /// How serious a finding is — decides the gate outcome.
@@ -78,9 +87,9 @@ impl Severity {
 pub struct Finding {
     /// Severity of the finding.
     pub severity: Severity,
-    /// Which analysis produced it: `"conflict-order"`, `"steal-safety"`,
-    /// `"hint-accuracy"`, `"bin-overflow"`, `"false-sharing"`, or
-    /// `"cross-node-sharing"`.
+    /// Which analysis produced it: `"conflict-order"`, `"hb-race"`,
+    /// `"steal-safety"`, `"hint-accuracy"`, `"bin-overflow"`,
+    /// `"false-sharing"`, or `"cross-node-sharing"`.
     pub analysis: &'static str,
     /// The workload (kernel or fixture) the finding belongs to.
     pub workload: String,

@@ -13,6 +13,7 @@ use locality_sched::{
     BinPolicy, Hints, PaperBlockHash, RunMode, Scheduler, SchedulerConfig, SingleBin, UniqueBin,
     MAX_DIMS,
 };
+use memtrace::{SchedLogSink, ScheduleLog};
 use std::collections::HashMap;
 
 /// The shipped bin-policy families `schedlint` proves safe.
@@ -78,6 +79,57 @@ pub fn dispatch_order<P: BinPolicy>(
     sched.run(&mut log, RunMode::Consume);
     assert_eq!(log.len(), hints.len(), "marker replay lost threads");
     log
+}
+
+/// A mirror replay with its schedule-event stream: the dispatch
+/// permutation plus the [`ScheduleLog`] of the serial drain (forks,
+/// drain-unit begin/end, dispatches — resolved to fork indices — and
+/// the final barrier), ready for happens-before indexing.
+#[derive(Clone, Debug)]
+pub struct DispatchTrace {
+    /// Dispatch permutation: element `k` is the fork index of the
+    /// `k`-th thread to execute.
+    pub order: Vec<usize>,
+    /// The serial drain's schedule-event stream, fork-labeled.
+    pub log: ScheduleLog,
+}
+
+struct MarkCtx<'a> {
+    order: Vec<usize>,
+    sink: &'a mut SchedLogSink,
+}
+
+fn mark_traced(ctx: &mut MarkCtx<'_>, index: usize, _unused: usize) {
+    ctx.order.push(index);
+}
+
+/// Like [`dispatch_order`], but records the drain's schedule events
+/// alongside the permutation. The engine is deterministic given
+/// (config, policy, fork-ordered hints), so the returned log is too.
+///
+/// # Panics
+///
+/// Panics if the scheduler does not run exactly one marker per fork.
+pub fn dispatch_trace<P: BinPolicy>(
+    config: SchedulerConfig,
+    policy: P,
+    hints: &[Hints],
+) -> DispatchTrace {
+    let mut sink = SchedLogSink::new();
+    let mut sched: Scheduler<MarkCtx<'_>, P> = Scheduler::with_policy(config, policy);
+    for (index, &h) in hints.iter().enumerate() {
+        sched.fork_traced(mark_traced, index, 0, h, &mut sink);
+    }
+    let mut ctx = MarkCtx {
+        order: Vec::with_capacity(hints.len()),
+        sink: &mut sink,
+    };
+    sched.run_traced(&mut ctx, RunMode::Consume, |c| &mut *c.sink);
+    let order = ctx.order;
+    assert_eq!(order.len(), hints.len(), "marker replay lost threads");
+    let mut log = sink.into_log();
+    log.relabel_dispatch_forks(&order);
+    DispatchTrace { order, log }
 }
 
 /// Bin membership of every forked thread under one policy, at both
@@ -201,6 +253,45 @@ mod tests {
         assert_eq!(bins.fine, vec![0, 1, 0]);
         assert_eq!(bins.fine_bins, 2);
         assert_eq!(bins.parent, bins.fine);
+    }
+
+    #[test]
+    fn dispatch_trace_logs_forks_units_and_fork_labeled_dispatches() {
+        use memtrace::SchedEvent;
+        let hints = vec![
+            Hints::one(Addr::new(0x10)),
+            Hints::one(Addr::new(0x100_000)),
+            Hints::one(Addr::new(0x20)),
+        ];
+        let cfg = config(1024);
+        let trace = dispatch_trace(cfg, paper_policy(&cfg), &hints);
+        assert_eq!(trace.order, vec![0, 2, 1]);
+        let forks: Vec<u32> = trace
+            .log
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                SchedEvent::Dispatch { fork, .. } => Some(*fork),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(forks, vec![0, 2, 1], "dispatches carry fork indices");
+        let begins = trace
+            .log
+            .events
+            .iter()
+            .filter(|e| matches!(e, SchedEvent::DrainBegin { .. }))
+            .count();
+        assert_eq!(begins, 2, "two bins, two drain units");
+        assert_eq!(trace.log.events.last(), Some(&SchedEvent::Barrier));
+        assert_eq!(
+            trace.log.events[..3],
+            [
+                SchedEvent::Fork { actor: 0, fork: 0 },
+                SchedEvent::Fork { actor: 0, fork: 1 },
+                SchedEvent::Fork { actor: 0, fork: 2 },
+            ]
+        );
     }
 
     #[test]

@@ -61,7 +61,9 @@ impl AnalyzeReport {
                 "{{\"workload\":\"{}\",\"threads\":{},\"phases\":{},\"bins\":{},\
                  \"conflict_pairs\":{},\"violations\":{},\"reordered_convergent\":{},\
                  \"steal_unsafe_pairs\":{},\"overflow_bins\":{},\"overflow_subbins\":{},\
-                 \"false_sharing_lines\":{},\"cross_node_pairs\":{},\"errors\":{},\"warnings\":{}",
+                 \"false_sharing_lines\":{},\"cross_node_pairs\":{},\
+                 \"hb_events\":{},\"hb_units\":{},\"hb_obligations\":{},\"hb_races\":{},\
+                 \"errors\":{},\"warnings\":{}",
                 escape(&k.workload),
                 k.threads,
                 k.phases,
@@ -74,6 +76,10 @@ impl AnalyzeReport {
                 k.overflow_subbins,
                 k.false_sharing_lines,
                 k.cross_node_pairs,
+                k.hb_events,
+                k.hb_units,
+                k.hb_obligations,
+                k.hb_races,
                 k.errors(),
                 k.warnings(),
             )
@@ -135,8 +141,15 @@ impl AnalyzeReport {
             let _ = writeln!(
                 out,
                 "  {}: {} thread(s) / {} phase(s) / {} bin(s), {} conflict pair(s), \
-                 {} violation(s){coverage}",
-                k.workload, k.threads, k.phases, k.bins, k.conflict_pairs, k.violations
+                 {} violation(s), {} hb obligation(s) / {} race(s){coverage}",
+                k.workload,
+                k.threads,
+                k.phases,
+                k.bins,
+                k.conflict_pairs,
+                k.violations,
+                k.hb_obligations,
+                k.hb_races
             );
             for check in &k.checks {
                 let verdict = if !check.checked {
@@ -175,7 +188,7 @@ impl AnalyzeReport {
 }
 
 /// Escapes a string for inclusion in a JSON string literal.
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -215,12 +228,17 @@ mod tests {
             overflow_subbins: 0,
             false_sharing_lines: 1,
             cross_node_pairs: 0,
+            hb_events: 24,
+            hb_units: 2,
+            hb_obligations: 0,
+            hb_races: 0,
             checks: vec![PolicyCheck {
                 policy: "paper",
                 checked: true,
                 violations: 0,
                 reordered: 0,
                 steal_unsafe: 0,
+                hb_obligations: 0,
             }],
             findings: vec![Finding {
                 severity: Severity::Warning,

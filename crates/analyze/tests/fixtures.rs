@@ -96,6 +96,59 @@ fn cross_node_fixture_reports_exactly_one_cross_node_warning() {
 }
 
 #[test]
+fn unordered_race_fixture_reports_exactly_one_hb_race_error() {
+    let report = report_for(Fixture::UnorderedRace);
+    let summary = &report.kernels[0];
+    assert_eq!(
+        summary.findings.len(),
+        1,
+        "over-reporting: {:#?}",
+        summary.findings
+    );
+    let finding = &summary.findings[0];
+    assert_eq!(finding.severity, Severity::Error);
+    assert_eq!(finding.analysis, "hb-race");
+    assert!(
+        finding.detail.contains("threads 0 and 1"),
+        "wrong pair: {}",
+        finding.detail
+    );
+    assert_eq!(summary.hb_races, 1);
+    // The contended word is one true conflict; the serial tour orders
+    // it (no violations) but happens-before does not under the
+    // declared stealing drain.
+    assert_eq!(summary.conflict_pairs, 1);
+    assert_eq!(summary.violations, 0);
+    assert_eq!(summary.steal_unsafe_pairs, 1);
+    // Same-word sharing is not false sharing, and both hints cover
+    // their regions.
+    assert_eq!(summary.false_sharing_lines, 0);
+    assert!(summary.hint_coverage_min_pct.unwrap() > 85.0);
+    // Gate: the race is an error, so plain `--gate` fails (exit 1).
+    assert!(report.gate_failed(false));
+}
+
+#[test]
+fn serial_captures_never_report_hb_races() {
+    // The same cross-bin conflict under a *serial* declaration stays a
+    // warning-level concern: the race lint must not fire.
+    for fixture in [
+        Fixture::WrongHint,
+        Fixture::FalseSharing,
+        Fixture::CrossNode,
+    ] {
+        let report = report_for(fixture);
+        let summary = &report.kernels[0];
+        assert_eq!(summary.hb_races, 0, "{}", fixture.name());
+        assert!(
+            summary.findings.iter().all(|f| f.analysis != "hb-race"),
+            "{}: spurious race finding",
+            fixture.name()
+        );
+    }
+}
+
+#[test]
 fn fixture_findings_serialize_into_the_report_json() {
     let report = report_for(Fixture::WrongHint);
     let json = report.to_json();

@@ -9,10 +9,40 @@
 //! and machine geometries; the four-kernel check pins the shipped
 //! configuration.
 
-use analyze::{analyze, capture_kernel, default_machine, AnalyzeOptions, AnalyzeScale};
+use analyze::{
+    analyze, capture_kernel, default_machine, hb_report, AnalyzeOptions, AnalyzeScale, Capture,
+    HbReport, KernelSummary,
+};
 use cachesim::MachineModel;
 use proptest::prelude::*;
 use workloads::Kernel;
+
+/// Asserts the happens-before certificate rows for `capture` agree
+/// with the mirror-replay verdicts in `summary`: identical fork-order
+/// violation counts (the serial models coincide) and identical
+/// unordered-pair counts (the stealing model's races are exactly the
+/// cross-bin conflicts mirror replay flags as steal-unsafe). HB can
+/// therefore never contradict the PR 5 proof — it extends it.
+fn assert_hb_matches_mirror_replay(report: &HbReport, capture: &Capture, summary: &KernelSummary) {
+    for check in summary.checks.iter().filter(|c| c.checked) {
+        let label = format!("{}/{}", capture.workload, check.policy);
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.workload == label)
+            .unwrap_or_else(|| panic!("no certificate row for {label}"));
+        assert_eq!(
+            row.hb_violations, check.violations,
+            "{label}: HB fork-order verdict diverges from mirror replay"
+        );
+        assert_eq!(
+            row.hb_unordered, check.steal_unsafe,
+            "{label}: HB stealing-model races diverge from cross-bin pairs"
+        );
+        assert_eq!(row.hb_steal_safe == 1, check.steal_unsafe == 0, "{label}");
+        assert_eq!(row.hb_conflict_pairs, summary.conflict_pairs, "{label}");
+    }
+}
 
 #[test]
 fn all_four_kernels_have_zero_violations_under_every_shipped_policy() {
@@ -45,6 +75,64 @@ fn all_four_kernels_have_zero_violations_under_every_shipped_policy() {
             );
         }
     }
+}
+
+#[test]
+fn hb_certificates_agree_with_mirror_replay_on_every_kernel() {
+    let machine = default_machine();
+    let scale = AnalyzeScale::default();
+    let captures: Vec<Capture> = Kernel::ALL
+        .iter()
+        .map(|&k| capture_kernel(k, &machine, &scale))
+        .collect();
+    let report = hb_report(machine.name(), &captures);
+    for capture in &captures {
+        let summary = analyze(capture, &AnalyzeOptions::default());
+        assert_hb_matches_mirror_replay(&report, capture, &summary);
+        assert_eq!(
+            summary.hb_races, 0,
+            "{}: serial kernels never race",
+            capture.workload
+        );
+    }
+    // The lint passes clean on every shipped policy × kernel — the
+    // topology rows (TopologyAware stealing) included.
+    for row in &report.rows {
+        assert_eq!(row.hb_violations, 0, "{}", row.workload);
+        assert!(
+            row.hb_obligations > 0 || row.hb_conflict_pairs == 0,
+            "{}",
+            row.workload
+        );
+    }
+    assert!(
+        report.rows.iter().any(|r| r.policy == "topology"),
+        "kernels must carry a topology certificate row"
+    );
+    // Every shard partition certificate must hold: no cache line may
+    // straddle a shard boundary.
+    assert_eq!(report.shard_rows.len(), captures.len() * 2);
+    for row in &report.shard_rows {
+        assert_eq!(row.hb_cross_shard_words, 0, "{}", row.workload);
+        assert_eq!(row.hb_steal_safe, 1, "{}", row.workload);
+    }
+}
+
+#[test]
+fn hb_report_json_is_byte_identical_across_two_full_regenerations() {
+    let machine = default_machine();
+    let scale = AnalyzeScale::default();
+    let build = || {
+        let captures: Vec<Capture> = Kernel::ALL
+            .iter()
+            .map(|&k| capture_kernel(k, &machine, &scale))
+            .collect();
+        hb_report(machine.name(), &captures).to_json()
+    };
+    let first = build();
+    let second = build();
+    assert_eq!(first, second, "ANALYZE_hb.json must be byte-reproducible");
+    assert!(first.starts_with("{\"experiment\":\"schedlint-hb\""));
 }
 
 #[test]
@@ -89,5 +177,9 @@ proptest! {
                 l2_shrink
             );
         }
+        // The happens-before engine must reach the same verdicts as
+        // mirror replay at every sampled scale and geometry.
+        let report = hb_report(machine.name(), std::slice::from_ref(&capture));
+        assert_hb_matches_mirror_replay(&report, &capture, &summary);
     }
 }

@@ -360,6 +360,19 @@ const STABLE_LEAVES: &[&str] = &[
     "evictions",
     "peak_live_bin_records",
     "wasted_memory_time",
+    // Happens-before certificates (schedlint): event, unit, obligation,
+    // and race counts are replay-derived from seeded captures and must
+    // reproduce bit-exactly — any drift means the HB engine or a
+    // policy's schedule changed.
+    "hb_events",
+    "hb_units",
+    "hb_obligations",
+    "hb_races",
+    "hb_conflict_pairs",
+    "hb_violations",
+    "hb_unordered",
+    "hb_steal_safe",
+    "hb_cross_shard_words",
 ];
 
 /// Which machine-dependent metric families are promoted from

@@ -433,6 +433,8 @@ pub struct ShardedSimSink {
     reads: u64,
     writes: u64,
     threads: u64,
+    /// Completed drain rounds (flush → shard replay → merge cycles).
+    rounds: u64,
     obs: ShardObs,
 }
 
@@ -496,6 +498,7 @@ impl ShardedSimSink {
             reads: 0,
             writes: 0,
             threads: 0,
+            rounds: 0,
             obs: ShardObs::default(),
         }
     }
@@ -504,6 +507,40 @@ impl ShardedSimSink {
     #[must_use]
     pub fn plan(&self) -> ShardPlan {
         self.plan
+    }
+
+    /// The schedule-event stream of the sharded pipeline's hand-off
+    /// structure, for happens-before analysis: one round of
+    /// producer → shard hand-offs (actor 0 flushing each queue), one
+    /// drain unit per shard (the sequential replay of that shard's
+    /// records, actors 1..=shards), the shard → merge hand-offs back to
+    /// actor 0 (the program-order classifier merge), and a final
+    /// barrier, repeated once per completed drain round (at least one,
+    /// so the model is meaningful before the first flush). Every
+    /// cross-shard edge goes *through* actor 0 — two shards never
+    /// synchronize directly, which is exactly why per-shard replay must
+    /// be conflict-free at selector granularity to be sound.
+    #[must_use]
+    pub fn schedule_log(&self) -> memtrace::ScheduleLog {
+        use memtrace::SchedEvent;
+        let shards = self.plan.shards();
+        let rounds = self.rounds.max(1);
+        let mut log = memtrace::ScheduleLog::new(shards + 1);
+        for round in 0..rounds {
+            for s in 0..shards {
+                log.push(SchedEvent::Handoff { from: 0, to: s + 1 });
+            }
+            for s in 0..shards {
+                let unit = u32::try_from(round).expect("round fits u32") * shards + s;
+                log.push(SchedEvent::DrainBegin { actor: s + 1, unit });
+                log.push(SchedEvent::DrainEnd { actor: s + 1, unit });
+            }
+            for s in 0..shards {
+                log.push(SchedEvent::Handoff { from: s + 1, to: 0 });
+            }
+            log.push(SchedEvent::Barrier);
+        }
+        log
     }
 
     /// Records forked threads, as [`SimSink::add_threads`](crate::SimSink::add_threads).
@@ -654,6 +691,7 @@ impl ShardedSimSink {
         self.span_owners.clear();
         self.cur_shard = u32::MAX;
         self.pending = 0;
+        self.rounds += 1;
     }
 
     /// Whether the sink is running the partitioned pipeline (vs inline
@@ -831,6 +869,42 @@ mod tests {
         plain.instructions(123);
         sharded.instructions(123);
         assert_eq!(plain.finish(), sharded.finish());
+    }
+
+    #[test]
+    fn schedule_log_models_per_round_handoffs_through_the_merge() {
+        use memtrace::{SchedEvent, TraceSink};
+        let machine = MachineModel::r8000();
+        let mut sink = ShardedSimSink::new(machine.hierarchy(), 4);
+        let shards = sink.plan().shards();
+        assert!(shards > 1, "r8000 geometry admits multiple shards");
+        for access in stream(2000, 7) {
+            sink.access(access);
+        }
+        let _ = sink.report(); // forces one drain round
+        let log = sink.schedule_log();
+        assert_eq!(log.actors, shards + 1);
+        // Per round: shards hand-offs in, one begin/end pair per shard,
+        // shards hand-offs out, one barrier.
+        assert_eq!(log.len() as u32 % (4 * shards + 1), 0);
+        let mut open = Vec::new();
+        for &event in &log.events {
+            match event {
+                SchedEvent::Handoff { from, to } => {
+                    assert!(from == 0 || to == 0, "every edge passes the coordinator");
+                }
+                SchedEvent::DrainBegin { actor, unit } => {
+                    assert!(actor >= 1 && actor <= shards);
+                    open.push(unit);
+                }
+                SchedEvent::DrainEnd { unit, .. } => {
+                    assert_eq!(open.pop(), Some(unit));
+                }
+                _ => {}
+            }
+        }
+        assert!(open.is_empty());
+        assert_eq!(log.digest(), sink.schedule_log().digest(), "deterministic");
     }
 
     #[test]

@@ -75,6 +75,7 @@ impl<C> ThreadScheduler<C> for FifoScheduler<C> {
             mode,
             |_, _, _| {},
             |_, _| {},
+            |_, _, _| {},
             |ctx, spec| (spec.func)(ctx, spec.arg1, spec.arg2),
         )
     }
@@ -118,6 +119,7 @@ impl<C> ThreadScheduler<C> for RandomScheduler<C> {
             mode,
             |_, _, _| {},
             |_, _| {},
+            |_, _, _| {},
             |ctx, spec| (spec.func)(ctx, spec.arg1, spec.arg2),
         );
         RunStats {

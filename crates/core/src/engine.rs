@@ -538,6 +538,7 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
         ctx: &mut X,
         mut on_read: impl FnMut(&mut X, Addr, u32),
         mut on_dispatch: impl FnMut(&mut X, u64),
+        mut on_unit: impl FnMut(&mut X, u64, bool),
         mut exec: impl FnMut(&mut X, &T),
     ) -> Option<RunStats> {
         let (parent, epoch) = {
@@ -550,6 +551,9 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
             state.drain_epoch += 1;
             (parent, state.drain_epoch)
         };
+        // The whole incremental drain is one unit; its ordinal is the
+        // 0-based drain epoch.
+        on_unit(ctx, epoch - 1, true);
         let state = self.online.as_ref().expect("checked above");
         let reap = state.eviction != EvictionPolicy::Off;
         let mut subs: Vec<BinId> = state.members[&parent]
@@ -610,6 +614,7 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
         if hierarchical {
             self.obs.parent_occupancy.record(threads_run);
         }
+        on_unit(ctx, epoch - 1, false);
         let bins = &self.bins;
         let state = self.online.as_mut().expect("checked above");
         state.dispatched = dispatched;
@@ -697,7 +702,10 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
     /// called for each package memory reference (only when tracing is
     /// enabled), `on_dispatch(ctx, seq)` immediately before the
     /// `seq`-th thread of this run executes (unconditionally — callers
-    /// wanting schedule events pass a forwarder, others a no-op), and
+    /// wanting schedule events pass a forwarder, others a no-op),
+    /// `on_unit(ctx, unit, begin)` at each drain-unit boundary (one bin
+    /// for flat policies, one parent group's contiguous sub-bins for
+    /// nested ones — the granularity work stealing moves whole), and
     /// `exec(ctx, item)` for each thread record. Splitting the sink
     /// access (`on_read`/`on_dispatch`) from thread execution (`exec`)
     /// lets one `&mut ctx` serve both without aliasing.
@@ -707,6 +715,7 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
         mode: RunMode,
         mut on_read: impl FnMut(&mut X, Addr, u32),
         mut on_dispatch: impl FnMut(&mut X, u64),
+        mut on_unit: impl FnMut(&mut X, u64, bool),
         mut exec: impl FnMut(&mut X, &T),
     ) -> RunStats {
         let order = self.tour_order();
@@ -721,6 +730,11 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
             // only); the tour keeps each parent's sub-bins contiguous,
             // so one linear pass suffices.
             let mut parent: Option<([u64; MAX_DIMS], u64)> = None;
+            // Drain-unit boundary tracking: the unit key is the group
+            // (coarsest-level) key, which for flat policies is the bin
+            // key itself — each bin its own unit.
+            let mut unit_seq = 0u64;
+            let mut unit_key: Option<[u64; MAX_DIMS]> = None;
             for id in order {
                 let bin = &self.bins[id as usize];
                 if bin.threads == 0 {
@@ -728,9 +742,17 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
                 }
                 bins_visited += 1;
                 self.obs.bin_occupancy.record(bin.threads);
+                let pk = self.group_key(self.table.key(id));
+                if unit_key != Some(pk) {
+                    if unit_key.take().is_some() {
+                        on_unit(ctx, unit_seq, false);
+                        unit_seq += 1;
+                    }
+                    on_unit(ctx, unit_seq, true);
+                    unit_key = Some(pk);
+                }
                 if hierarchical {
                     self.obs.subbins_run.incr();
-                    let pk = self.group_key(self.table.key(id));
                     match &mut parent {
                         Some((key, threads)) if *key == pk => *threads += bin.threads,
                         _ => {
@@ -768,6 +790,9 @@ impl<T, P: BinPolicy> BinEngine<T, P> {
             }
             if let Some((_, threads)) = parent {
                 self.obs.parent_occupancy.record(threads);
+            }
+            if unit_key.is_some() {
+                on_unit(ctx, unit_seq, false);
             }
         }
         if mode == RunMode::Consume {

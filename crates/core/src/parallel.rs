@@ -60,6 +60,7 @@ use crate::policy::{BinPolicy, PaperBlockHash};
 use crate::stats::{RunStats, SchedulerStats, WorkerStats};
 use crate::table::BinId;
 use crate::{Hints, SchedulerConfig};
+use memtrace::{SchedEvent, ScheduleLog};
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -157,6 +158,17 @@ pub struct ParRunReport {
     /// Probe observations (steal sizes, deque high-water marks,
     /// per-bin run times). Empty when the probe layer is compiled out.
     pub profile: probe::RunProfile,
+    /// The *observed* schedule-event stream of this run: actor 0 is the
+    /// partitioning coordinator, actors 1..=workers the workers. Each
+    /// drain unit (tour position) appears as exactly one
+    /// [`DrainBegin`](SchedEvent::DrainBegin)/[`DrainEnd`](SchedEvent::DrainEnd)
+    /// pair on the worker that executed it, with
+    /// [`Steal`](SchedEvent::Steal) provenance events where deque
+    /// halves moved. Event *content* depends on how steals raced, so
+    /// the log is for structural checks (every unit drained exactly
+    /// once, steals consistent with counters), not for byte-stable
+    /// artifacts — reproducible analysis uses modeled logs instead.
+    pub schedule: ScheduleLog,
 }
 
 impl ParRunReport {
@@ -334,6 +346,9 @@ impl<C: Sync, P: BinPolicy> ParScheduler<C, P> {
         let total = self.engine.pending();
         let queues: Vec<WorkerQueue> = (0..workers).map(|_| WorkerQueue::new()).collect();
         let obs = ParObs::default();
+        // The observed schedule log opens with one partition hand-off
+        // per worker that received a non-empty initial segment.
+        let mut schedule = ScheduleLog::new(workers as u32 + 1);
         {
             let mut cum = 0u64;
             let mut w = 0usize;
@@ -348,15 +363,21 @@ impl<C: Sync, P: BinPolicy> ParScheduler<C, P> {
                     .push_back(pos as u32);
                 cum += bins[id as usize].threads();
             }
-            if probe::enabled() {
-                for queue in &queues {
-                    let depth = queue.deque.lock().expect("deque poisoned").len();
+            for (w, queue) in queues.iter().enumerate() {
+                let depth = queue.deque.lock().expect("deque poisoned").len();
+                if depth > 0 {
+                    schedule.push(SchedEvent::Handoff {
+                        from: 0,
+                        to: w as u32 + 1,
+                    });
+                }
+                if probe::enabled() {
                     obs.deque_depth.record(depth as u64);
                 }
             }
         }
 
-        let per_worker: Vec<WorkerStats> = std::thread::scope(|scope| {
+        let outcomes: Vec<(WorkerStats, Vec<SchedEvent>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|me| {
                     let queues = &queues;
@@ -375,6 +396,15 @@ impl<C: Sync, P: BinPolicy> ParScheduler<C, P> {
                 .collect()
         });
 
+        let per_worker: Vec<WorkerStats> = outcomes.iter().map(|(w, _)| *w).collect();
+        // Per-worker event streams concatenated in worker order; each
+        // stream is internally ordered, cross-worker order is modeled
+        // by the final barrier (the scope join).
+        for (_, events) in outcomes {
+            schedule.events.extend(events);
+        }
+        schedule.push(SchedEvent::Barrier);
+
         let threads_run: u64 = per_worker.iter().map(|w| w.threads_executed).sum();
         let bins_visited: usize = per_worker.iter().map(|w| w.bins_executed).sum::<u64>() as usize;
         self.engine.clear();
@@ -390,12 +420,15 @@ impl<C: Sync, P: BinPolicy> ParScheduler<C, P> {
             },
             stats,
             profile,
+            schedule,
         }
     }
 }
 
 /// One worker: drain the own deque front-to-back; once empty, steal
-/// per `policy` or exit.
+/// per `policy` or exit. Returns the worker's counters plus its
+/// observed schedule events (drain-unit begin/end per tour position
+/// executed, steal provenance per successful transfer).
 #[allow(clippy::too_many_arguments)]
 fn worker_loop<C: Sync>(
     me: usize,
@@ -407,13 +440,16 @@ fn worker_loop<C: Sync>(
     policy: StealPolicy,
     ctx: &C,
     obs: &ParObs,
-) -> WorkerStats {
+) -> (WorkerStats, Vec<SchedEvent>) {
     let mut stats = WorkerStats::default();
+    let mut events: Vec<SchedEvent> = Vec::new();
+    let actor = me as u32 + 1;
     let mut rng = XorShift64::for_worker(me);
     loop {
         let next = queues[me].deque.lock().expect("deque poisoned").pop_front();
         if let Some(pos) = next {
             queues[me].current.store(pos as usize, Ordering::Relaxed);
+            events.push(SchedEvent::DrainBegin { actor, unit: pos });
             let bin = &bins[order[pos as usize] as usize];
             let busy = Instant::now();
             for spec in bin.items() {
@@ -426,10 +462,11 @@ fn worker_loop<C: Sync>(
             stats.busy_ns += busy_ns;
             stats.bins_executed += 1;
             stats.threads_executed += bin.threads();
+            events.push(SchedEvent::DrainEnd { actor, unit: pos });
             continue;
         }
         if policy == StealPolicy::None {
-            return stats;
+            return (stats, events);
         }
         let parked = Instant::now();
         let got = match policy {
@@ -439,10 +476,17 @@ fn worker_loop<C: Sync>(
             StealPolicy::TopologyAware => steal_topology(me, queues, ladders, &mut stats, obs),
         };
         stats.parked_ns += parked.elapsed().as_nanos() as u64;
-        if !got {
-            // No victim has stealable work; the only remaining bins
-            // are in flight on other workers and cannot move. Done.
-            return stats;
+        match got {
+            Some((victim, units)) => events.push(SchedEvent::Steal {
+                thief: actor,
+                victim: victim as u32 + 1,
+                units: u32::try_from(units).expect("steal size fits u32"),
+            }),
+            None => {
+                // No victim has stealable work; the only remaining bins
+                // are in flight on other workers and cannot move. Done.
+                return (stats, events);
+            }
         }
     }
 }
@@ -476,27 +520,29 @@ fn steal_half(queues: &[WorkerQueue], victim: usize, me: usize, obs: &ParObs) ->
 
 /// Random policy: visit every other worker once, starting from a
 /// random rotation, and steal from the first with a non-empty deque.
+/// Returns the victim and the number of tour positions moved.
 fn steal_random(
     me: usize,
     queues: &[WorkerQueue],
     rng: &mut XorShift64,
     stats: &mut WorkerStats,
     obs: &ParObs,
-) -> bool {
+) -> Option<(usize, u64)> {
     let n = queues.len();
     if n <= 1 {
-        return false;
+        return None;
     }
     let start = (rng.next() as usize) % (n - 1);
     for i in 0..n - 1 {
         let victim = (me + 1 + (start + i) % (n - 1)) % n;
         stats.steals_attempted += 1;
-        if steal_half(queues, victim, me, obs) > 0 {
+        let moved = steal_half(queues, victim, me, obs);
+        if moved > 0 {
             stats.steals_succeeded += 1;
-            return true;
+            return Some((victim, moved));
         }
     }
-    false
+    None
 }
 
 /// Locality-aware policy: score every victim by the Manhattan distance
@@ -510,7 +556,7 @@ fn steal_locality(
     keys: &[[u64; MAX_DIMS]],
     stats: &mut WorkerStats,
     obs: &ParObs,
-) -> bool {
+) -> Option<(usize, u64)> {
     loop {
         let mut best: Option<(u64, usize, usize)> = None; // (distance, backlog, victim)
         for (victim, queue) in queues.iter().enumerate() {
@@ -534,13 +580,12 @@ fn steal_locality(
                 best = Some((distance, backlog, victim));
             }
         }
-        let Some((_, _, victim)) = best else {
-            return false;
-        };
+        let (_, _, victim) = best?;
         stats.steals_attempted += 1;
-        if steal_half(queues, victim, me, obs) > 0 {
+        let moved = steal_half(queues, victim, me, obs);
+        if moved > 0 {
             stats.steals_succeeded += 1;
-            return true;
+            return Some((victim, moved));
         }
         // The chosen victim drained between scoring and stealing;
         // rescan (total work shrinks monotonically, so this ends).
@@ -560,7 +605,7 @@ fn steal_topology(
     ladders: &[Vec<[u64; MAX_DIMS]>],
     stats: &mut WorkerStats,
     obs: &ParObs,
-) -> bool {
+) -> Option<(usize, u64)> {
     loop {
         let anchor = queues[me].current.load(Ordering::Relaxed);
         // (distance, backlog, victim); minimize distance, maximize
@@ -588,14 +633,13 @@ fn steal_topology(
                 best = Some((distance, backlog, victim));
             }
         }
-        let Some((distance, _, victim)) = best else {
-            return false;
-        };
+        let (distance, _, victim) = best?;
         stats.steals_attempted += 1;
-        if steal_half(queues, victim, me, obs) > 0 {
+        let moved = steal_half(queues, victim, me, obs);
+        if moved > 0 {
             stats.steals_succeeded += 1;
             obs.steal_distance.record(distance);
-            return true;
+            return Some((victim, moved));
         }
         // The chosen victim drained between scoring and stealing;
         // rescan (total work shrinks monotonically, so this ends).
@@ -910,6 +954,72 @@ mod tests {
         assert!(json.contains("\"makespan_ns\":"), "{json}");
         assert!(json.contains("\"busy_ns\":"), "{json}");
         assert!(json.contains("\"parked_ns\":"), "{json}");
+    }
+
+    #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "16 scheduler runs x 400 forks are too slow under the interpreter"
+    )]
+    fn observed_schedule_log_is_well_formed() {
+        // Every drain unit (tour position) appears as exactly one
+        // DrainBegin/DrainEnd pair, on whichever worker won it; steal
+        // events match the success counters; the log ends in a barrier.
+        use std::collections::BTreeMap;
+        for policy in ALL_POLICIES {
+            for workers in [1, 2, 4, 8] {
+                let mut sched: ParScheduler<Counters> = ParScheduler::new(config_with(policy));
+                for i in 0..400usize {
+                    sched.fork(
+                        bump,
+                        0,
+                        1,
+                        Hints::one(Addr::new((i as u64 % 16) * 1_000_000)),
+                    );
+                }
+                let ctx = counters(1);
+                let report = sched.run_report(&ctx, workers);
+                let log = &report.schedule;
+                assert_eq!(log.actors, workers as u32 + 1, "{policy}/{workers}");
+                assert_eq!(log.events.last(), Some(&SchedEvent::Barrier));
+                let mut begun: BTreeMap<u32, u64> = BTreeMap::new();
+                let mut ended: BTreeMap<u32, u64> = BTreeMap::new();
+                let mut steals = 0u64;
+                for &event in &log.events {
+                    match event {
+                        SchedEvent::DrainBegin { actor, unit } => {
+                            assert!(actor >= 1 && actor <= workers as u32);
+                            *begun.entry(unit).or_default() += 1;
+                        }
+                        SchedEvent::DrainEnd { unit, .. } => {
+                            *ended.entry(unit).or_default() += 1;
+                        }
+                        SchedEvent::Steal {
+                            thief,
+                            victim,
+                            units,
+                        } => {
+                            assert_ne!(thief, victim);
+                            assert!(units > 0);
+                            steals += 1;
+                        }
+                        SchedEvent::Handoff { from, to } => {
+                            assert_eq!(from, 0);
+                            assert!(to >= 1 && to <= workers as u32);
+                        }
+                        _ => {}
+                    }
+                }
+                assert_eq!(begun.len(), 16, "{policy}/{workers}: all 16 bins drained");
+                assert!(begun.values().all(|&n| n == 1), "{policy}/{workers}");
+                assert_eq!(begun, ended, "{policy}/{workers}");
+                assert_eq!(
+                    steals,
+                    report.stats.steals_succeeded(),
+                    "{policy}/{workers}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -191,6 +191,7 @@ impl<C, P: BinPolicy> Scheduler<C, P> {
             mode,
             |_, _, _| {},
             |_, _| {},
+            |_, _, _| {},
             |ctx, spec| (spec.func)(ctx, spec.arg1, spec.arg2),
         )
     }
@@ -201,10 +202,13 @@ impl<C, P: BinPolicy> Scheduler<C, P> {
     /// [`trace_package_memory`](Self::trace_package_memory) was called,
     /// plus the run's *schedule events*: a
     /// [`thread_begin`](TraceSink::thread_begin) before each thread
-    /// body and a [`run_end`](TraceSink::run_end) when the drain
-    /// finishes. Ordinary sinks ignore those (default no-ops);
+    /// body, a [`drain_begin`](TraceSink::drain_begin) /
+    /// [`drain_end`](TraceSink::drain_end) pair around each drain unit
+    /// (one bin for flat policies, one parent group's sub-bins for
+    /// nested ones), and a [`run_end`](TraceSink::run_end) when the
+    /// drain finishes. Ordinary sinks ignore those (default no-ops);
     /// schedule-analysis sinks use them to attribute the trace to
-    /// threads.
+    /// threads and to rebuild the drain-unit structure.
     ///
     /// `sink_of` borrows the sink out of the context between thread
     /// invocations (thread bodies usually own the sink through the same
@@ -222,6 +226,15 @@ impl<C, P: BinPolicy> Scheduler<C, P> {
             mode,
             |ctx, addr, size| (sink_of.borrow_mut())(ctx).read(addr, size),
             |ctx, seq| (sink_of.borrow_mut())(ctx).thread_begin(seq),
+            |ctx, unit, begin| {
+                let sink = &mut *(sink_of.borrow_mut());
+                let sink = sink(ctx);
+                if begin {
+                    sink.drain_begin(unit);
+                } else {
+                    sink.drain_end(unit);
+                }
+            },
             |ctx, spec| (spec.func)(ctx, spec.arg1, spec.arg2),
         );
         (sink_of.into_inner())(ctx).run_end();
@@ -279,6 +292,7 @@ impl<C, P: BinPolicy> Scheduler<C, P> {
             ctx,
             |_, _, _| {},
             |_, _| {},
+            |_, _, _| {},
             |ctx, spec| (spec.func)(ctx, spec.arg1, spec.arg2),
         )
     }

@@ -1,0 +1,283 @@
+//! Ordered schedule-event streams for happens-before analysis.
+//!
+//! A [`ScheduleLog`] is the scheduling-plane counterpart of a memory
+//! trace: an ordered list of [`SchedEvent`]s naming which *actor* (a
+//! sequential execution lane — the serial drain loop, one `ParScheduler`
+//! worker, one cache-simulator shard, one serving lane) did what, and
+//! where work moved between actors. Emitters:
+//!
+//! * the serial `BinEngine` drain (fork / drain-unit begin-end /
+//!   dispatch, all on actor 0), recorded by [`SchedLogSink`];
+//! * `ParScheduler` workers (drain-unit begin/end per worker, plus
+//!   [`Steal`](SchedEvent::Steal) provenance when half a deque moves);
+//! * the sharded cache simulator ([`Handoff`](SchedEvent::Handoff)
+//!   producer → shard and shard → merge);
+//! * the serving simulation (grant [`Handoff`](SchedEvent::Handoff)s to
+//!   lanes).
+//!
+//! The log carries *order*, not timing: a happens-before engine (the
+//! `analyze` crate) replays it into per-actor vector clocks and decides
+//! which thread bodies are ordered. Actor 0 is by convention the
+//! serial/coordinating lane; further actors are numbered from 1.
+
+/// One schedule event. `actor`, `thief`, `victim`, `from`, and `to`
+/// are actor ids; `fork` is a fork index (program order); `unit` is a
+/// drain-unit ordinal (one bin for flat policies, one parent group's
+/// sub-bins for nested policies).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedEvent {
+    /// `actor` forked (published) thread `fork`. Establishes the birth
+    /// clock a later [`Dispatch`](SchedEvent::Dispatch) joins.
+    Fork { actor: u32, fork: u32 },
+    /// `actor` started draining unit `unit`.
+    DrainBegin { actor: u32, unit: u32 },
+    /// `actor` ran the body of thread `fork` (inside the actor's
+    /// currently open drain unit, if any). Recording sinks that cannot
+    /// resolve fork indices store the dispatch sequence number here;
+    /// see [`ScheduleLog::relabel_dispatch_forks`].
+    Dispatch { actor: u32, fork: u32 },
+    /// `actor` finished draining unit `unit`.
+    DrainEnd { actor: u32, unit: u32 },
+    /// `thief` moved `units` drain units from `victim`'s deque.
+    /// Provenance only: the records' publication edge is the
+    /// fork → dispatch join, which the stolen units' dispatches already
+    /// carry, so a steal adds no ordering of its own.
+    Steal { thief: u32, victim: u32, units: u32 },
+    /// `from` handed its work (and its history: a synchronizing edge)
+    /// to `to` — a shard queue flush, a merge, a lane grant.
+    Handoff { from: u32, to: u32 },
+    /// Full join: every actor synchronizes with every other (the final
+    /// join of a run).
+    Barrier,
+}
+
+/// An ordered schedule-event stream over a fixed set of actors.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScheduleLog {
+    /// Number of actors; actor ids in `events` are `< actors`.
+    pub actors: u32,
+    /// The events, in observation order.
+    pub events: Vec<SchedEvent>,
+}
+
+impl ScheduleLog {
+    /// Creates an empty log over `actors` actors.
+    pub fn new(actors: u32) -> Self {
+        ScheduleLog {
+            actors,
+            events: Vec::new(),
+        }
+    }
+
+    /// Appends one event.
+    #[inline]
+    pub fn push(&mut self, event: SchedEvent) {
+        self.events.push(event);
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no event has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Rewrites every [`Dispatch`](SchedEvent::Dispatch) event's `fork`
+    /// field — recorded as a dispatch *sequence* number by sinks that
+    /// cannot see fork identity — through `fork_of_seq` (element `k` =
+    /// fork index of the `k`-th dispatch). Panics if a recorded
+    /// sequence number is out of range.
+    pub fn relabel_dispatch_forks(&mut self, fork_of_seq: &[usize]) {
+        for event in &mut self.events {
+            if let SchedEvent::Dispatch { fork, .. } = event {
+                *fork = u32::try_from(fork_of_seq[*fork as usize]).expect("fork index fits u32");
+            }
+        }
+    }
+
+    /// FNV-1a digest over the event stream — a cheap fingerprint for
+    /// byte-reproducibility checks.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        eat(u64::from(self.actors));
+        for &event in &self.events {
+            let (tag, a, b, c) = match event {
+                SchedEvent::Fork { actor, fork } => (1u64, actor, fork, 0),
+                SchedEvent::DrainBegin { actor, unit } => (2, actor, unit, 0),
+                SchedEvent::Dispatch { actor, fork } => (3, actor, fork, 0),
+                SchedEvent::DrainEnd { actor, unit } => (4, actor, unit, 0),
+                SchedEvent::Steal {
+                    thief,
+                    victim,
+                    units,
+                } => (5, thief, victim, units),
+                SchedEvent::Handoff { from, to } => (6, from, to, 0),
+                SchedEvent::Barrier => (7, 0, 0, 0),
+            };
+            eat(tag);
+            eat(u64::from(a));
+            eat(u64::from(b));
+            eat(u64::from(c));
+        }
+        h
+    }
+}
+
+/// A [`TraceSink`](crate::TraceSink) that records the schedule events
+/// of one serial scheduler run as a [`ScheduleLog`] on actor 0.
+///
+/// Memory references and instruction counts are discarded; only the
+/// scheduling plane is kept. [`Dispatch`](SchedEvent::Dispatch) events
+/// store the dispatch sequence number in the `fork` field (the sink
+/// cannot see fork identity); callers that know the dispatch
+/// permutation resolve it with
+/// [`ScheduleLog::relabel_dispatch_forks`].
+///
+/// # Examples
+///
+/// ```
+/// use memtrace::{Addr, SchedEvent, SchedLogSink, TraceSink};
+///
+/// let mut sink = SchedLogSink::new();
+/// sink.thread_hints(&[Addr::new(0x100)]); // fork 0
+/// sink.drain_begin(0);
+/// sink.thread_begin(0);
+/// sink.drain_end(0);
+/// sink.run_end();
+/// let log = sink.into_log();
+/// assert_eq!(log.events[0], SchedEvent::Fork { actor: 0, fork: 0 });
+/// assert_eq!(log.events.last(), Some(&SchedEvent::Barrier));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SchedLogSink {
+    log: ScheduleLog,
+    forks: u32,
+}
+
+impl SchedLogSink {
+    /// Creates an empty recording sink.
+    pub fn new() -> Self {
+        SchedLogSink {
+            log: ScheduleLog::new(1),
+            forks: 0,
+        }
+    }
+
+    /// The log recorded so far.
+    pub fn log(&self) -> &ScheduleLog {
+        &self.log
+    }
+
+    /// Consumes the sink, returning the recorded log.
+    pub fn into_log(self) -> ScheduleLog {
+        self.log
+    }
+}
+
+impl crate::TraceSink for SchedLogSink {
+    #[inline]
+    fn access(&mut self, _access: crate::Access) {}
+
+    #[inline]
+    fn instructions(&mut self, _count: u64) {}
+
+    fn thread_hints(&mut self, _hints: &[crate::Addr]) {
+        let fork = self.forks;
+        self.forks += 1;
+        self.log.push(SchedEvent::Fork { actor: 0, fork });
+    }
+
+    fn thread_begin(&mut self, seq: u64) {
+        self.log.push(SchedEvent::Dispatch {
+            actor: 0,
+            fork: u32::try_from(seq).expect("dispatch sequence fits u32"),
+        });
+    }
+
+    fn drain_begin(&mut self, unit: u64) {
+        self.log.push(SchedEvent::DrainBegin {
+            actor: 0,
+            unit: u32::try_from(unit).expect("drain unit fits u32"),
+        });
+    }
+
+    fn drain_end(&mut self, unit: u64) {
+        self.log.push(SchedEvent::DrainEnd {
+            actor: 0,
+            unit: u32::try_from(unit).expect("drain unit fits u32"),
+        });
+    }
+
+    fn run_end(&mut self) {
+        self.log.push(SchedEvent::Barrier);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Addr, TraceSink};
+
+    #[test]
+    fn sink_records_the_full_event_vocabulary_in_order() {
+        let mut sink = SchedLogSink::new();
+        sink.thread_hints(&[Addr::new(0x100)]);
+        sink.thread_hints(&[]);
+        sink.drain_begin(0);
+        sink.thread_begin(0);
+        sink.thread_begin(1);
+        sink.drain_end(0);
+        sink.run_end();
+        let log = sink.into_log();
+        assert_eq!(log.actors, 1);
+        assert_eq!(
+            log.events,
+            vec![
+                SchedEvent::Fork { actor: 0, fork: 0 },
+                SchedEvent::Fork { actor: 0, fork: 1 },
+                SchedEvent::DrainBegin { actor: 0, unit: 0 },
+                SchedEvent::Dispatch { actor: 0, fork: 0 },
+                SchedEvent::Dispatch { actor: 0, fork: 1 },
+                SchedEvent::DrainEnd { actor: 0, unit: 0 },
+                SchedEvent::Barrier,
+            ]
+        );
+    }
+
+    #[test]
+    fn relabel_maps_dispatch_sequence_to_fork_index() {
+        let mut log = ScheduleLog::new(1);
+        log.push(SchedEvent::Dispatch { actor: 0, fork: 0 });
+        log.push(SchedEvent::Dispatch { actor: 0, fork: 1 });
+        log.relabel_dispatch_forks(&[1, 0]);
+        assert_eq!(
+            log.events,
+            vec![
+                SchedEvent::Dispatch { actor: 0, fork: 1 },
+                SchedEvent::Dispatch { actor: 0, fork: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn digest_is_order_and_content_sensitive() {
+        let mut a = ScheduleLog::new(2);
+        a.push(SchedEvent::Handoff { from: 0, to: 1 });
+        a.push(SchedEvent::Barrier);
+        let mut b = ScheduleLog::new(2);
+        b.push(SchedEvent::Barrier);
+        b.push(SchedEvent::Handoff { from: 0, to: 1 });
+        assert_eq!(a.digest(), a.clone().digest());
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(a.digest(), ScheduleLog::new(2).digest());
+    }
+}

@@ -71,6 +71,24 @@ pub trait TraceSink {
     #[inline]
     fn run_end(&mut self) {}
 
+    /// Marks the start of drain unit `unit` (0-based within the current
+    /// run): the contiguous block of dispatches a scheduler hands out as
+    /// one indivisible batch — one bin for flat policies, one parent
+    /// group's sub-bins for nested policies. Work stealing moves whole
+    /// drain units between workers, never fractions of one, which is
+    /// what makes unit granularity sound for happens-before analysis.
+    /// Default: no-op.
+    #[inline]
+    fn drain_begin(&mut self, unit: u64) {
+        let _ = unit;
+    }
+
+    /// Marks the end of drain unit `unit`. Default: no-op.
+    #[inline]
+    fn drain_end(&mut self, unit: u64) {
+        let _ = unit;
+    }
+
     /// Convenience: consumes a read of `size` bytes at `addr`.
     #[inline]
     fn read(&mut self, addr: Addr, size: u32) {
@@ -113,6 +131,16 @@ impl<S: TraceSink + ?Sized> TraceSink for &mut S {
     #[inline]
     fn run_end(&mut self) {
         (**self).run_end();
+    }
+
+    #[inline]
+    fn drain_begin(&mut self, unit: u64) {
+        (**self).drain_begin(unit);
+    }
+
+    #[inline]
+    fn drain_end(&mut self, unit: u64) {
+        (**self).drain_end(unit);
     }
 }
 
@@ -360,6 +388,18 @@ impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
     fn run_end(&mut self) {
         self.first.run_end();
         self.second.run_end();
+    }
+
+    #[inline]
+    fn drain_begin(&mut self, unit: u64) {
+        self.first.drain_begin(unit);
+        self.second.drain_begin(unit);
+    }
+
+    #[inline]
+    fn drain_end(&mut self, unit: u64) {
+        self.first.drain_end(unit);
+        self.second.drain_end(unit);
     }
 }
 

@@ -119,7 +119,10 @@ pub struct ServeConfig {
     /// paper's never-free behaviour.
     pub eviction: EvictionPolicy,
     /// Record the per-request execution log (id, miss deltas) — the
-    /// equivalence suite's witness. Costs memory; off for benches.
+    /// equivalence suite's witness — and the lane-dispatch
+    /// [`ScheduleLog`](memtrace::ScheduleLog) in
+    /// [`ServeOutcome::schedule`], the happens-before engine's witness.
+    /// Costs memory; off for benches.
     pub log_execution: bool,
 }
 
@@ -204,6 +207,18 @@ pub struct ServeOutcome {
     pub sim: SimReport,
     /// Execution log when [`ServeConfig::log_execution`] was set.
     pub log: Vec<ExecRecord>,
+    /// Lane-dispatch schedule events when
+    /// [`ServeConfig::log_execution`] was set (empty otherwise): actor
+    /// 0 is the grant loop, actors 1..=lanes the serving lanes. Each
+    /// granted drain unit appears as a
+    /// [`Handoff`](memtrace::SchedEvent::Handoff) from the grant loop
+    /// to its lane followed by that lane's
+    /// [`DrainBegin`](memtrace::SchedEvent::DrainBegin)/[`DrainEnd`](memtrace::SchedEvent::DrainEnd)
+    /// pair. Lanes model *time* overlap only — cache state still
+    /// mutates in grant order on actor 0, which is why every unit's
+    /// hand-off chains through actor 0 and the log is totally ordered
+    /// by construction.
+    pub schedule: memtrace::ScheduleLog,
 }
 
 /// Lifecycle of a pending-slab slot.
@@ -465,6 +480,7 @@ where
 
     let mut events = EventHeap::new();
     let mut lane_free = vec![true; config.lanes.max(1)];
+    let mut schedule = memtrace::ScheduleLog::new(lane_free.len() as u32 + 1);
     let mut now = 0u64;
     let mut offered = 0u64;
     let mut rejected = 0u64;
@@ -556,6 +572,13 @@ where
                 break;
             }
             drains += 1;
+            if config.log_execution {
+                let actor = lane as u32 + 1;
+                let unit = u32::try_from(drains - 1).expect("drain ordinal fits u32");
+                schedule.push(memtrace::SchedEvent::Handoff { from: 0, to: actor });
+                schedule.push(memtrace::SchedEvent::DrainBegin { actor, unit });
+                schedule.push(memtrace::SchedEvent::DrainEnd { actor, unit });
+            }
             let mut unit_ns = 0u64;
             for (record, &arrival) in ctx.records[before..].iter().zip(&ctx.arrivals[before..]) {
                 let instructions = REQUEST_BASE_INSTRUCTIONS + INSTRUCTIONS_PER_LINE * record.lines;
@@ -639,10 +662,14 @@ where
         peak_live_bin_records: sched.peak_bins() as u64,
         wasted_memory_time: u64::try_from(wasted_byte_ns / 1_000_000).unwrap_or(u64::MAX),
     };
+    if config.log_execution {
+        schedule.push(memtrace::SchedEvent::Barrier);
+    }
     ServeOutcome {
         report,
         sim: ctx.sink.report(),
         log,
+        schedule,
     }
 }
 
@@ -824,6 +851,49 @@ mod tests {
         assert_eq!(out.report.evictions, 0);
         assert!(out.report.peak_live_bin_records > 0);
         assert_eq!(out.report.wasted_memory_time, 0);
+    }
+
+    #[test]
+    fn lane_schedule_log_chains_every_unit_through_the_grant_loop() {
+        use memtrace::SchedEvent;
+        let machine = MachineModel::r8000();
+        let config = legacy_config(3, u64::MAX, true);
+        let out = run_serve(tiny_trace(1500), &machine, &config, ServePolicy::Flat).unwrap();
+        let log = &out.schedule;
+        assert_eq!(log.actors, 4, "grant loop + 3 lanes");
+        assert_eq!(log.events.last(), Some(&SchedEvent::Barrier));
+        // One Handoff + DrainBegin + DrainEnd triple per drain, units
+        // numbered densely in grant order, every hand-off from actor 0.
+        let mut next_unit = 0u32;
+        let mut granted_to = None;
+        for &event in &log.events {
+            match event {
+                SchedEvent::Handoff { from, to } => {
+                    assert_eq!(from, 0);
+                    assert!((1..=3).contains(&to));
+                    granted_to = Some(to);
+                }
+                SchedEvent::DrainBegin { actor, unit } => {
+                    assert_eq!(Some(actor), granted_to, "begin follows its grant");
+                    assert_eq!(unit, next_unit, "units dense in grant order");
+                }
+                SchedEvent::DrainEnd { actor, unit } => {
+                    assert_eq!(Some(actor), granted_to);
+                    assert_eq!(unit, next_unit);
+                    next_unit += 1;
+                }
+                SchedEvent::Barrier => {}
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert_eq!(u64::from(next_unit), out.report.drains);
+        // The log is a deterministic artifact of the run.
+        let again = run_serve(tiny_trace(1500), &machine, &config, ServePolicy::Flat).unwrap();
+        assert_eq!(log.digest(), again.schedule.digest());
+        // Logging off ⇒ no schedule recorded.
+        let quiet = legacy_config(3, u64::MAX, false);
+        let silent = run_serve(tiny_trace(200), &machine, &quiet, ServePolicy::Flat).unwrap();
+        assert!(silent.schedule.is_empty());
     }
 
     #[test]
